@@ -1,0 +1,109 @@
+// Engine performance: simulator event throughput and reachability scaling.
+//
+// Not a paper artifact — this is the repository's own performance
+// regression harness for the core machinery every other bench depends on.
+#include "bench_util.h"
+
+#include "analysis/reachability.h"
+
+namespace pnut::bench {
+namespace {
+
+/// A chain of n pipeline-ish stages with recycling tokens; event count
+/// scales linearly with n.
+Net chain_net(std::size_t n) {
+  Net net("chain" + std::to_string(n));
+  std::vector<PlaceId> fwd;
+  for (std::size_t i = 0; i <= n; ++i) {
+    fwd.push_back(net.add_place("p" + std::to_string(i), i == 0 ? 4 : 0));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const TransitionId t = net.add_transition("t" + std::to_string(i));
+    net.add_input(t, fwd[i]);
+    net.add_output(t, fwd[i + 1]);
+    net.set_firing_time(t, DelaySpec::constant(1 + (i % 3)));
+  }
+  const TransitionId wrap = net.add_transition("wrap");
+  net.add_input(wrap, fwd[n]);
+  net.add_output(wrap, fwd[0]);
+  net.set_enabling_time(wrap, DelaySpec::constant(2));
+  return net;
+}
+
+void print_artifact() {
+  print_header("bench_engine", "engine throughput (not a paper artifact)");
+  const Net net = pipeline::build_full_model();
+  Simulator sim(net);
+  sim.reset(1);
+  sim.run_until(100000);
+  std::printf("full pipeline model, 100000 cycles: %llu firing starts\n\n",
+              static_cast<unsigned long long>(sim.total_firing_starts()));
+}
+
+void BM_ChainSimulation(benchmark::State& state) {
+  const Net net = chain_net(static_cast<std::size_t>(state.range(0)));
+  Simulator sim(net);
+  std::uint64_t seed = 1;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    sim.reset(seed++);
+    sim.run_until(5000);
+    events += sim.total_firing_starts();
+    benchmark::DoNotOptimize(sim.now());
+  }
+  state.counters["firings_per_s"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ChainSimulation)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_TraceRecording(benchmark::State& state) {
+  // Cost of recording vs silent simulation.
+  const Net net = pipeline::build_full_model();
+  Simulator sim(net);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    RecordedTrace trace;
+    sim.set_sink(&trace);
+    sim.reset(seed++);
+    sim.run_until(10000);
+    sim.finish();
+    benchmark::DoNotOptimize(trace.events().size());
+  }
+}
+BENCHMARK(BM_TraceRecording);
+
+void BM_ReachabilityScaling(benchmark::State& state) {
+  // Token count scales the state space of a two-ring net.
+  const auto tokens = static_cast<TokenCount>(state.range(0));
+  Net net;
+  const PlaceId a = net.add_place("A", tokens);
+  const PlaceId b = net.add_place("B");
+  const PlaceId c = net.add_place("C", tokens);
+  const PlaceId d = net.add_place("D");
+  const TransitionId t1 = net.add_transition("t1");
+  net.add_input(t1, a);
+  net.add_output(t1, b);
+  const TransitionId t2 = net.add_transition("t2");
+  net.add_input(t2, b);
+  net.add_output(t2, a);
+  const TransitionId t3 = net.add_transition("t3");
+  net.add_input(t3, c);
+  net.add_output(t3, d);
+  const TransitionId t4 = net.add_transition("t4");
+  net.add_input(t4, d);
+  net.add_output(t4, c);
+
+  std::size_t states = 0;
+  for (auto _ : state) {
+    const analysis::ReachabilityGraph graph(net);
+    states = graph.num_states();
+    benchmark::DoNotOptimize(states);
+  }
+  state.counters["states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_ReachabilityScaling)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace pnut::bench
+
+PNUT_BENCH_MAIN(pnut::bench::print_artifact)

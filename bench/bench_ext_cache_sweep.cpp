@@ -1,0 +1,63 @@
+// Section 3 extension: probabilistic cache models.
+//
+// "Instruction and data caches are quite common and can be easily modeled
+// probabilistically, assuming some given hit ratio." This bench sweeps the
+// hit ratio for instruction-only, data-only, and unified caching in front
+// of the Section 2 model's 5-cycle memory.
+#include "bench_util.h"
+
+namespace pnut::bench {
+namespace {
+
+double ipc_for(std::optional<pipeline::CacheConfig> icache,
+               std::optional<pipeline::CacheConfig> dcache) {
+  pipeline::PipelineConfig config;
+  config.icache = icache;
+  config.dcache = dcache;
+  const Net net = pipeline::build_full_model(config);
+  const RunStats stats = run_stats(net, 20000, 1988);
+  return stats.transition(pipeline::names::kIssue).throughput;
+}
+
+void print_artifact() {
+  print_header("bench_ext_cache_sweep",
+               "Section 3 extension: cache hit-ratio modeling (1-cycle hits)");
+
+  const double baseline = ipc_for(std::nullopt, std::nullopt);
+  std::printf("no cache baseline: ipc %.4f\n\n", baseline);
+  std::printf("%-10s %-12s %-12s %-12s\n", "hit_ratio", "icache_only", "dcache_only",
+              "both");
+  for (const double ratio : {0.5, 0.7, 0.8, 0.9, 0.95, 0.99}) {
+    const pipeline::CacheConfig cache{ratio, 1};
+    std::printf("%-10.2f %-12.4f %-12.4f %-12.4f\n", ratio,
+                ipc_for(cache, std::nullopt), ipc_for(std::nullopt, cache),
+                ipc_for(cache, cache));
+  }
+  std::printf("\n(expected shape: the dcache helps more than the icache even though\n"
+              " prefetch dominates bus traffic in Figure 5 — instruction latency is\n"
+              " already hidden by the 6-word buffer, while operand fetches and result\n"
+              " stores sit on the pipeline's critical path; the two caches compound.\n"
+              " This is precisely the 'strong yet difficult to predict impact' the\n"
+              " paper's introduction motivates modeling for.)\n\n");
+}
+
+void BM_CachedPipeline(benchmark::State& state) {
+  pipeline::PipelineConfig config;
+  const double ratio = static_cast<double>(state.range(0)) / 100.0;
+  config.icache = pipeline::CacheConfig{ratio, 1};
+  config.dcache = pipeline::CacheConfig{ratio, 1};
+  const Net net = pipeline::build_full_model(config);
+  Simulator sim(net);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    sim.reset(seed++);
+    sim.run_until(20000);
+    benchmark::DoNotOptimize(sim.now());
+  }
+}
+BENCHMARK(BM_CachedPipeline)->Arg(50)->Arg(90)->Arg(99);
+
+}  // namespace
+}  // namespace pnut::bench
+
+PNUT_BENCH_MAIN(pnut::bench::print_artifact)

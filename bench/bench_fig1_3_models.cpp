@@ -1,0 +1,69 @@
+// Figures 1-3: the three stage models and their composition.
+//
+// Regenerates the models as nets (printed in the textual format the paper
+// mentions — "textually ... in roughly 25 lines"), validates them, and
+// reports their structural footprint. Timing benchmarks cover net
+// construction and validation.
+#include "bench_util.h"
+
+#include "textio/pn_format.h"
+
+namespace pnut::bench {
+namespace {
+
+void print_artifact() {
+  print_header("bench_fig1_3_models",
+               "Figures 1-3 (prefetch / decode / execute models, Section 2)");
+
+  const Net prefetch = pipeline::build_prefetch_model();
+  std::printf("--- Figure 1: instruction pre-fetching (standalone) ---\n%s\n",
+              textio::print_net(prefetch).c_str());
+
+  const Net full = pipeline::build_full_model();
+  std::printf("--- Figures 1-3 composed: the complete pipeline model ---\n%s\n",
+              textio::print_net(full).c_str());
+
+  std::printf("structural footprint: %zu places, %zu transitions\n",
+              full.num_places(), full.num_transitions());
+  std::printf("validation issues: %zu\n\n", full.validate().size());
+}
+
+void BM_BuildPrefetchModel(benchmark::State& state) {
+  for (auto _ : state) {
+    const Net net = pipeline::build_prefetch_model();
+    benchmark::DoNotOptimize(net.num_places());
+  }
+}
+BENCHMARK(BM_BuildPrefetchModel);
+
+void BM_BuildFullModel(benchmark::State& state) {
+  for (auto _ : state) {
+    const Net net = pipeline::build_full_model();
+    benchmark::DoNotOptimize(net.num_places());
+  }
+}
+BENCHMARK(BM_BuildFullModel);
+
+void BM_ValidateFullModel(benchmark::State& state) {
+  const Net net = pipeline::build_full_model();
+  for (auto _ : state) {
+    const auto issues = net.validate();
+    benchmark::DoNotOptimize(issues.size());
+  }
+}
+BENCHMARK(BM_ValidateFullModel);
+
+void BM_PrintAndReparse(benchmark::State& state) {
+  const Net net = pipeline::build_full_model();
+  for (auto _ : state) {
+    const std::string text = textio::print_net(net);
+    const textio::NetDocument doc = textio::parse_net(text);
+    benchmark::DoNotOptimize(doc.net.num_transitions());
+  }
+}
+BENCHMARK(BM_PrintAndReparse);
+
+}  // namespace
+}  // namespace pnut::bench
+
+PNUT_BENCH_MAIN(pnut::bench::print_artifact)

@@ -1,0 +1,107 @@
+// Figure 4: the interpreted (table-driven) operand-fetch net.
+//
+// Regenerates the skeleton net with its predicates and actions (printed in
+// the textual format with `when`/`do` clauses), shows that the loop count
+// tracks the operand table, and compares the interpreted full pipeline with
+// the classic (Figures 1-3) model. Timing benchmarks measure the cost of
+// predicates/actions relative to an uninterpreted net.
+#include "bench_util.h"
+
+#include "pipeline/interpreted.h"
+#include "textio/pn_format.h"
+
+namespace pnut::bench {
+namespace {
+
+void print_artifact() {
+  print_header("bench_fig4_interpreted",
+               "Figure 4 (interpreted net for operand fetching, Section 3)");
+
+  // Print the net in textual form; the compiled predicates/actions are the
+  // paper's own, so show them alongside.
+  std::printf("--- Figure 4 net (predicates/actions as in the paper) ---\n");
+  std::printf("Decode action:            type = irand[1, max_type];\n");
+  std::printf("                          number_of_operands_needed = operands[type]\n");
+  std::printf("fetch_operand predicate:  number_of_operands_needed > 0\n");
+  std::printf("end_fetch action:         number_of_operands_needed = "
+              "number_of_operands_needed - 1\n");
+  std::printf("operand_fetching_done:    number_of_operands_needed == 0\n\n");
+
+  const Net fig4 = pipeline::build_interpreted_operand_fetch();
+  Simulator sim(fig4);
+  sim.reset(1988);
+  sim.run_until(100000);
+  const double instructions = static_cast<double>(
+      sim.completed_firings(fig4.transition_named("operand_fetching_done")));
+  const double fetches = static_cast<double>(
+      sim.completed_firings(fig4.transition_named(pipeline::names::kEndFetch)));
+  std::printf("run of 100000 cycles: %.0f instructions, %.0f operand fetches\n",
+              instructions, fetches);
+  std::printf("fetches per instruction: %.3f (table expectation: (0+1+2)/3 = 1.000)\n\n",
+              fetches / instructions);
+
+  const Net interp = pipeline::build_interpreted_pipeline();
+  const RunStats stats = run_stats(interp, 10000, 1988);
+  std::printf("interpreted full pipeline, length 10000:\n");
+  std::printf("  instructions/cycle %.4f   bus utilization %.4f\n\n",
+              stats.transition(pipeline::names::kIssue).throughput,
+              stats.place(pipeline::names::kBusBusy).avg_tokens);
+}
+
+void BM_InterpretedOperandFetch(benchmark::State& state) {
+  const Net net = pipeline::build_interpreted_operand_fetch();
+  Simulator sim(net);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    sim.reset(seed++);
+    sim.run_until(10000);
+    benchmark::DoNotOptimize(sim.now());
+  }
+  state.counters["sim_cycles_per_s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()) * 10000,
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpretedOperandFetch);
+
+void BM_InterpretedPipeline(benchmark::State& state) {
+  const Net net = pipeline::build_interpreted_pipeline();
+  Simulator sim(net);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    sim.reset(seed++);
+    sim.run_until(10000);
+    benchmark::DoNotOptimize(sim.now());
+  }
+  state.counters["sim_cycles_per_s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()) * 10000,
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpretedPipeline);
+
+void BM_ClassicPipelineBaseline(benchmark::State& state) {
+  const Net net = pipeline::build_full_model();
+  Simulator sim(net);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    sim.reset(seed++);
+    sim.run_until(10000);
+    benchmark::DoNotOptimize(sim.now());
+  }
+  state.counters["sim_cycles_per_s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()) * 10000,
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ClassicPipelineBaseline);
+
+void BM_CompilePredicateAndAction(benchmark::State& state) {
+  for (auto _ : state) {
+    const Net net = pipeline::build_interpreted_operand_fetch();
+    benchmark::DoNotOptimize(net.num_transitions());
+  }
+}
+BENCHMARK(BM_CompilePredicateAndAction);
+
+}  // namespace
+}  // namespace pnut::bench
+
+PNUT_BENCH_MAIN(pnut::bench::print_artifact)

@@ -1,0 +1,91 @@
+// Figure 5: the performance statistics report.
+//
+// Regenerates the RUN / EVENT / PLACE STATISTICS tables for the Section 2
+// pipeline model at simulation length 10000 (the paper's run), prints the
+// derived processor-level metrics, and adds a multi-seed replication so the
+// single run's numbers carry error bars. Timing benchmarks cover the
+// simulate+collect pipeline at several horizons.
+#include "bench_util.h"
+
+#include "stat/replication.h"
+
+namespace pnut::bench {
+namespace {
+
+void print_artifact() {
+  print_header("bench_fig5_stats", "Figure 5 (performance statistics report), length 10000");
+
+  const Net net = pipeline::build_full_model();
+  const RunStats stats = run_stats(net, 10000, 1988);
+  std::printf("%s\n", format_report(stats).c_str());
+
+  std::printf("Derived processor metrics (Section 4.2 mapping):\n%s\n",
+              pipeline::PipelineMetrics::from_stats(stats).to_string().c_str());
+
+  std::printf("Paper's reported values for comparison:\n");
+  std::printf("  Issue throughput        0.1238   bus utilization  0.6582\n");
+  std::printf("  pre_fetching 0.3107  fetching 0.2275  storing 0.12\n");
+  std::printf("  Full_I_buffers 4.621  Empty_I_buffers 0.7576\n");
+  std::printf("  Decoder_ready 0.0014  Execution_unit 0.2739\n\n");
+
+  const std::vector<MetricSpec> metrics = {
+      {"instructions_per_cycle",
+       [](const RunStats& r) { return r.transition(pipeline::names::kIssue).throughput; }},
+      {"bus_utilization",
+       [](const RunStats& r) { return r.place(pipeline::names::kBusBusy).avg_tokens; }},
+      {"bus_prefetch",
+       [](const RunStats& r) { return r.place(pipeline::names::kPreFetching).avg_tokens; }},
+      {"bus_operand_fetch",
+       [](const RunStats& r) { return r.place(pipeline::names::kFetching).avg_tokens; }},
+      {"bus_store",
+       [](const RunStats& r) { return r.place(pipeline::names::kStoring).avg_tokens; }},
+      {"full_buffers",
+       [](const RunStats& r) { return r.place(pipeline::names::kFullIBuffers).avg_tokens; }},
+  };
+  const ReplicationResult reps = run_replications(net, 10000, 10, metrics, 100);
+  std::printf("Across 10 replications (length 10000):\n%s\n",
+              format_metric_summaries(reps.metrics).c_str());
+}
+
+void BM_SimulateAndCollect(benchmark::State& state) {
+  const Net net = pipeline::build_full_model();
+  const Time horizon = static_cast<Time>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const RunStats stats = run_stats(net, horizon, seed++);
+    benchmark::DoNotOptimize(stats.events_started);
+  }
+  state.counters["sim_cycles_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * horizon, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateAndCollect)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_SimulateSilent(benchmark::State& state) {
+  const Net net = pipeline::build_full_model();
+  Simulator sim(net);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    sim.reset(seed++);
+    sim.run_until(10000);
+    benchmark::DoNotOptimize(sim.now());
+  }
+  state.counters["sim_cycles_per_s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()) * 10000,
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateSilent);
+
+void BM_FormatReport(benchmark::State& state) {
+  const Net net = pipeline::build_full_model();
+  const RunStats stats = run_stats(net, 10000, 1);
+  for (auto _ : state) {
+    const std::string report = format_report(stats);
+    benchmark::DoNotOptimize(report.data());
+  }
+}
+BENCHMARK(BM_FormatReport);
+
+}  // namespace
+}  // namespace pnut::bench
+
+PNUT_BENCH_MAIN(pnut::bench::print_artifact)

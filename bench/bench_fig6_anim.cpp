@@ -1,0 +1,60 @@
+// Figure 6: animation of the pipeline model.
+//
+// Regenerates a short animation excerpt (token flow over arcs, sub-frame
+// stepping) of the pipeline model, and benches frame rendering — the
+// "visual discrete event simulation" of Section 4.3.
+#include "bench_util.h"
+
+#include "anim/animator.h"
+
+namespace pnut::bench {
+namespace {
+
+RecordedTrace make_trace(Time horizon) {
+  const Net net = pipeline::build_prefetch_model();
+  RecordedTrace trace;
+  Simulator sim(net);
+  sim.set_sink(&trace);
+  sim.reset(1988);
+  sim.run_until(horizon);
+  sim.finish();
+  return trace;
+}
+
+void print_artifact() {
+  print_header("bench_fig6_anim", "Figure 6 (animation of pipeline model, Section 4.3)");
+  const RecordedTrace trace = make_trace(12);
+  anim::Animator animator(trace);
+  std::printf("%s\n", animator.play(12).c_str());
+}
+
+void BM_SingleStepFrames(benchmark::State& state) {
+  const RecordedTrace trace = make_trace(1000);
+  std::uint64_t frames = 0;
+  for (auto _ : state) {
+    anim::Animator animator(trace);
+    while (!animator.at_end()) {
+      const auto step = animator.single_step();
+      frames += step.size();
+      benchmark::DoNotOptimize(step.size());
+    }
+  }
+  state.counters["frames_per_s"] =
+      benchmark::Counter(static_cast<double>(frames), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SingleStepFrames);
+
+void BM_PlayWholeTrace(benchmark::State& state) {
+  const RecordedTrace trace = make_trace(500);
+  for (auto _ : state) {
+    anim::Animator animator(trace);
+    const std::string movie = animator.play(trace.num_states());
+    benchmark::DoNotOptimize(movie.data());
+  }
+}
+BENCHMARK(BM_PlayWholeTrace);
+
+}  // namespace
+}  // namespace pnut::bench
+
+PNUT_BENCH_MAIN(pnut::bench::print_artifact)

@@ -1,0 +1,92 @@
+// Figure 7: timing analysis using Tracertool.
+//
+// Regenerates the figure's display: Bus_busy activity, its three-way
+// breakdown (pre-fetching / operand fetching / result storing), the five
+// execution transitions, a user-defined function summing the execution
+// activity, and the Empty_I_buffers level — with the figure's O/X markers
+// (positions 54 and 94, distance 40). Timing benchmarks cover state
+// materialization, signal definition and waveform rendering.
+#include "bench_util.h"
+
+#include "trace/trace.h"
+#include "tracer/tracer.h"
+
+namespace pnut::bench {
+namespace {
+
+RecordedTrace make_trace(Time horizon, std::uint64_t seed) {
+  const Net net = pipeline::build_full_model();
+  RecordedTrace trace;
+  Simulator sim(net);
+  sim.set_sink(&trace);
+  sim.reset(seed);
+  sim.run_until(horizon);
+  sim.finish();
+  return trace;
+}
+
+void add_figure7_signals(tracer::Tracer& tr) {
+  tr.add_place_signal(pipeline::names::kBusBusy);
+  tr.add_place_signal(pipeline::names::kPreFetching, "pre_fetch");
+  tr.add_place_signal(pipeline::names::kFetching, "op_fetch");
+  tr.add_place_signal(pipeline::names::kStoring, "store");
+  for (std::size_t i = 1; i <= 5; ++i) {
+    tr.add_transition_signal(pipeline::names::exec_type(i));
+  }
+  tr.add_function_signal("exec_sum",
+                         "exec_type_1 + exec_type_2 + exec_type_3 + exec_type_4 + "
+                         "exec_type_5");
+  tr.add_place_signal(pipeline::names::kEmptyIBuffers, "empty_bufs");
+}
+
+void print_artifact() {
+  print_header("bench_fig7_tracer", "Figure 7 (timing analysis using Tracertool)");
+
+  const RecordedTrace trace = make_trace(200, 1988);
+  tracer::Tracer tr(trace);
+  add_figure7_signals(tr);
+  tr.set_marker('O', 54);
+  tr.set_marker('X', 94);
+
+  tracer::RenderOptions options;
+  options.columns = 96;
+  std::printf("%s\n", tr.render(0, 120, options).c_str());
+}
+
+void BM_MaterializeStates(benchmark::State& state) {
+  const RecordedTrace trace = make_trace(static_cast<Time>(state.range(0)), 3);
+  for (auto _ : state) {
+    tracer::Tracer tr(trace);
+    benchmark::DoNotOptimize(&tr);
+  }
+  state.counters["trace_events"] = static_cast<double>(trace.events().size());
+}
+BENCHMARK(BM_MaterializeStates)->Arg(1000)->Arg(10000);
+
+void BM_DefineSignals(benchmark::State& state) {
+  const RecordedTrace trace = make_trace(5000, 3);
+  for (auto _ : state) {
+    tracer::Tracer tr(trace);
+    add_figure7_signals(tr);
+    benchmark::DoNotOptimize(tr.num_signals());
+  }
+}
+BENCHMARK(BM_DefineSignals);
+
+void BM_RenderWaveforms(benchmark::State& state) {
+  const RecordedTrace trace = make_trace(5000, 3);
+  tracer::Tracer tr(trace);
+  add_figure7_signals(tr);
+  tracer::RenderOptions options;
+  options.columns = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const std::string display = tr.render(0, 5000, options);
+    benchmark::DoNotOptimize(display.data());
+  }
+}
+BENCHMARK(BM_RenderWaveforms)->Arg(80)->Arg(200);
+
+}  // namespace
+}  // namespace pnut::bench
+
+PNUT_BENCH_MAIN(pnut::bench::print_artifact)

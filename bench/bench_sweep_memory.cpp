@@ -1,0 +1,51 @@
+// Memory-speed sweep (the introduction's motivating claim).
+//
+// "Memory speed and processor clock rate can have a strong yet difficult to
+// predict impact on the performance of microprocessor-based computer
+// systems." This bench quantifies it on the Section 2 model: instruction
+// rate, bus utilization and buffer occupancy as the memory access time
+// sweeps 1..12 cycles (the paper's operating point is 5).
+#include "bench_util.h"
+
+namespace pnut::bench {
+namespace {
+
+void print_artifact() {
+  print_header("bench_sweep_memory",
+               "Intro claim: impact of memory speed (sweep around Figure 5's point)");
+
+  std::printf("%-10s %-8s %-8s %-10s %-10s %-10s %-10s\n", "mem_cycles", "ipc",
+              "bus_util", "prefetch", "op_fetch", "store", "full_bufs");
+  for (const Time memory : {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0, 12.0}) {
+    pipeline::PipelineConfig config;
+    config.memory_cycles = memory;
+    const Net net = pipeline::build_full_model(config);
+    const RunStats stats = run_stats(net, 20000, 1988);
+    const auto m = pipeline::PipelineMetrics::from_stats(stats);
+    std::printf("%-10.0f %-8.4f %-8.4f %-10.4f %-10.4f %-10.4f %-10.3f\n", memory,
+                m.instructions_per_cycle, m.bus_utilization, m.bus_prefetch_fraction,
+                m.bus_operand_fetch_fraction, m.bus_store_fraction,
+                m.avg_full_ibuffer_words);
+  }
+  std::printf("\n(expected shape: ipc falls steeply as memory slows; the bus saturates\n"
+              " and the instruction buffer drains at high latencies)\n\n");
+}
+
+void BM_SweepPoint(benchmark::State& state) {
+  pipeline::PipelineConfig config;
+  config.memory_cycles = static_cast<Time>(state.range(0));
+  const Net net = pipeline::build_full_model(config);
+  Simulator sim(net);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    sim.reset(seed++);
+    sim.run_until(20000);
+    benchmark::DoNotOptimize(sim.now());
+  }
+}
+BENCHMARK(BM_SweepPoint)->Arg(1)->Arg(5)->Arg(12);
+
+}  // namespace
+}  // namespace pnut::bench
+
+PNUT_BENCH_MAIN(pnut::bench::print_artifact)

@@ -1,0 +1,61 @@
+// Shared helpers for the benchmark binaries.
+//
+// Every bench binary follows the same shape: main() first prints the
+// reproduced paper artifact (the table or figure series, so running
+// `for b in build/bench/*; do $b; done` regenerates the whole evaluation),
+// then hands over to google-benchmark for timing of the machinery involved.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "pipeline/metrics.h"
+#include "pipeline/model.h"
+#include "sim/simulator.h"
+#include "stat/stat.h"
+
+namespace pnut::bench {
+
+/// Run `net` for `horizon` with `seed` and return its statistics.
+inline RunStats run_stats(const Net& net, Time horizon, std::uint64_t seed) {
+  StatCollector stats;
+  Simulator sim(net);
+  sim.set_sink(&stats);
+  sim.reset(seed);
+  sim.run_until(horizon);
+  sim.finish();
+  return stats.stats();
+}
+
+/// Run silently (no sink) and return completed firings of `transition`.
+inline std::uint64_t run_count(const Net& net, Time horizon, std::uint64_t seed,
+                               const char* transition) {
+  Simulator sim(net);
+  sim.reset(seed);
+  sim.run_until(horizon);
+  return sim.completed_firings(net.transition_named(transition));
+}
+
+inline void print_header(const char* experiment, const char* paper_ref) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("================================================================\n");
+}
+
+/// Standard main: print the artifact, then run the timing benchmarks.
+#define PNUT_BENCH_MAIN(print_artifact_fn)                       \
+  int main(int argc, char** argv) {                              \
+    print_artifact_fn();                                         \
+    ::benchmark::Initialize(&argc, argv);                        \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {  \
+      return 1;                                                  \
+    }                                                            \
+    ::benchmark::RunSpecifiedBenchmarks();                       \
+    ::benchmark::Shutdown();                                     \
+    return 0;                                                    \
+  }
+
+}  // namespace pnut::bench

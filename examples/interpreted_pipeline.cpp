@@ -1,0 +1,86 @@
+// Section 3's table-driven modeling: the Figure 4 interpreted operand-fetch
+// net and the full interpreted pipeline, where the instruction set lives in
+// tables and the Petri net models only bus contention and synchronization.
+//
+// Also demonstrates the textual format round trip for interpreted nets.
+//
+//   $ ./interpreted_pipeline
+#include <cstdio>
+
+#include "pipeline/interpreted.h"
+#include "pipeline/model.h"
+#include "sim/simulator.h"
+#include "stat/stat.h"
+#include "textio/pn_format.h"
+
+int main() {
+  using namespace pnut;
+
+  // --- Figure 4 verbatim -------------------------------------------------------
+  const Net fig4 = pipeline::build_interpreted_operand_fetch();
+  Simulator sim4(fig4);
+  sim4.reset(1988);
+  sim4.run_until(50000);
+  const auto instructions =
+      sim4.completed_firings(fig4.transition_named("operand_fetching_done"));
+  const auto fetches = sim4.completed_firings(fig4.transition_named("end_fetch"));
+  std::printf("Figure 4 net, 50000 cycles: %llu instructions, %llu operand fetches "
+              "(%.3f per instruction; table expects 1.0)\n\n",
+              static_cast<unsigned long long>(instructions),
+              static_cast<unsigned long long>(fetches),
+              static_cast<double>(fetches) / static_cast<double>(instructions));
+
+  // --- a richer instruction set, still one net ---------------------------------
+  pipeline::InterpretedConfig isa;
+  isa.types = {
+      // extra_words, memory_operands, exec_cycles, store_per_mille
+      {0, 0, 1, 100},   // register-register ALU
+      {0, 1, 2, 200},   // load
+      {0, 1, 2, 900},   // store-heavy op
+      {1, 2, 5, 300},   // memory-to-memory
+      {2, 0, 50, 0},    // long immediate + slow execute (e.g. divide)
+  };
+  const Net cpu = pipeline::build_interpreted_pipeline(isa);
+  std::printf("interpreted pipeline with a 5-entry instruction table:\n");
+
+  StatCollector stats;
+  Simulator sim(cpu);
+  sim.set_sink(&stats);
+  sim.reset(7);
+  sim.run_until(20000);
+  sim.finish();
+  std::printf("  instructions/cycle %.4f, bus utilization %.4f\n\n",
+              stats.stats().transition("Issue").throughput,
+              stats.stats().place("Bus_busy").avg_tokens);
+
+  // --- the same model in the textual format ------------------------------------
+  const char* text = R"(
+net fig4_textual
+var type 0
+var needed 0
+var max_type 3
+table operands 0 0 1 2
+place Next init 1
+place Decoded
+place Bus_free init 1
+place Bus_busy
+place Fetching
+trans Decode in Next out Decoded firing 1
+      do "type = irand[1, max_type]; needed = operands[type]"
+trans fetch_operand in Decoded, Bus_free out Bus_busy, Fetching when "needed > 0"
+trans end_fetch in Fetching, Bus_busy out Bus_free, Decoded enabling 5
+      do "needed = needed - 1"
+trans done in Decoded out Next when "needed == 0"
+)";
+  const textio::NetDocument doc = textio::parse_net(text);
+  std::printf("parsed the textual Figure 4 model; round-tripped form:\n%s\n",
+              textio::print_net(doc).c_str());
+
+  Simulator sim_text(doc.net);
+  sim_text.reset(3);
+  sim_text.run_until(10000);
+  std::printf("textual model, 10000 cycles: %llu instructions\n",
+              static_cast<unsigned long long>(
+                  sim_text.completed_firings(doc.net.transition_named("done"))));
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Section 4.4 end to end: test properties on a simulation trace with
+// tracertool's query engine, then *prove* them on the reachability graph of
+// a scaled-down configuration — the paper's test-vs-prove distinction.
+//
+//   $ ./verify_pipeline
+#include <cstdio>
+
+#include "analysis/marked_graph.h"
+#include "analysis/query.h"
+#include "analysis/reachability.h"
+#include "analysis/state_space.h"
+#include "pipeline/model.h"
+#include "sim/simulator.h"
+
+int main() {
+  using namespace pnut;
+
+  const char* queries[] = {
+      "forall s in S [ Bus_busy(s) + Bus_free(s) = 1 ]",
+      "exists s in (S-{#0}) [ Empty_I_buffers(s) = 6 ]",
+      "Exists s in S [exec_type_5(s) > 0]",
+      "forall s in {s' in S | Bus_busy(s')} [ inev(s, Bus_free(C), true) ]",
+  };
+
+  // --- test on one simulation run ------------------------------------------------
+  const Net net = pipeline::build_full_model();
+  RecordedTrace trace;
+  Simulator sim(net);
+  sim.set_sink(&trace);
+  sim.reset(1988);
+  sim.run_until(10000);
+  sim.finish();
+
+  const analysis::TraceStateSpace space(trace);
+  std::printf("--- testing one trace (%zu states) ---\n", space.num_states());
+  for (const char* q : queries) {
+    const auto r = analysis::eval_query(space, q);
+    std::printf("  %-70s %s\n", q, r.holds ? "holds" : "fails");
+  }
+
+  // --- prove on the reachability graph -------------------------------------------
+  pipeline::PipelineConfig small;
+  small.ibuffer_words = 2;
+  small.prefetch_words = 2;
+  small.exec_classes = {{2, 1.0}};
+  const Net small_net = pipeline::build_full_model(small);
+  const analysis::ReachabilityGraph graph(small_net);
+
+  std::printf("\n--- proving over all behaviours (scaled config: %zu states, %zu edges) "
+              "---\n",
+              graph.num_states(), graph.num_edges());
+  std::printf("  complete: %s, deadlock states: %zu, dead transitions: %zu, reversible: "
+              "%s\n",
+              graph.status() == analysis::ReachStatus::kComplete ? "yes" : "NO",
+              graph.deadlock_states().size(), graph.dead_transitions().size(),
+              graph.is_reversible() ? "yes" : "no");
+  for (const char* q : {queries[0], queries[3]}) {
+    const auto r = analysis::eval_query(graph, q);
+    std::printf("  %-70s %s\n", q, r.holds ? "PROVEN" : "refuted");
+  }
+
+  // --- bonus: an analytic bound on a decision-free abstraction --------------------
+  Net ring("stage_loop");
+  const PlaceId p0 = ring.add_place("job", 1);
+  const PlaceId p1 = ring.add_place("decoded");
+  const PlaceId p2 = ring.add_place("executed");
+  const TransitionId decode = ring.add_transition("decode");
+  ring.add_input(decode, p0);
+  ring.add_output(decode, p1);
+  ring.set_firing_time(decode, DelaySpec::constant(1));
+  const TransitionId execute = ring.add_transition("execute");
+  ring.add_input(execute, p1);
+  ring.add_output(execute, p2);
+  ring.set_firing_time(execute, DelaySpec::constant(4));  // E[exec mix] ~ 4.25
+  const TransitionId store = ring.add_transition("store");
+  ring.add_input(store, p2);
+  ring.add_output(store, p0);
+  ring.set_enabling_time(store, DelaySpec::constant(5));
+
+  const auto bound = analysis::marked_graph_cycle_time(ring);
+  std::printf("\nanalytic cycle time of the serialized stage loop: %.2f cycles "
+              "(1 instruction per %.2f cycles with no overlap;\n the simulated pipeline "
+              "achieves ~1 per 8 — the overlap the paper's model captures)\n",
+              bound.cycle_time, bound.cycle_time);
+  return 0;
+}

@@ -1,0 +1,223 @@
+#include "analysis/invariants.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace pnut::analysis {
+
+namespace {
+
+/// Row of the Farkas tableau: the remaining incidence part and the
+/// accumulated combination (candidate invariant).
+struct Row {
+  std::vector<std::int64_t> c;        ///< columns still to eliminate
+  std::vector<std::uint64_t> y;       ///< combination over the original rows
+
+  [[nodiscard]] bool c_is_zero() const {
+    return std::all_of(c.begin(), c.end(), [](std::int64_t v) { return v == 0; });
+  }
+};
+
+std::uint64_t gcd_of(const Row& row) {
+  std::uint64_t g = 0;
+  for (std::int64_t v : row.c) g = std::gcd(g, static_cast<std::uint64_t>(v < 0 ? -v : v));
+  for (std::uint64_t v : row.y) g = std::gcd(g, v);
+  return g == 0 ? 1 : g;
+}
+
+void normalize(Row& row) {
+  const std::uint64_t g = gcd_of(row);
+  if (g <= 1) return;
+  for (std::int64_t& v : row.c) v /= static_cast<std::int64_t>(g);
+  for (std::uint64_t& v : row.y) v /= g;
+}
+
+/// support(a) ⊆ support(b)?
+bool support_subset(const std::vector<std::uint64_t>& a, const std::vector<std::uint64_t>& b) {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != 0 && b[i] == 0) return false;
+  }
+  return true;
+}
+
+/// Farkas algorithm: given an n_rows × n_cols integer matrix `m`, compute
+/// the minimal-support non-negative integer row combinations y with
+/// yᵀm = 0.
+std::vector<Invariant> farkas(const std::vector<std::vector<std::int64_t>>& m,
+                              std::size_t n_rows, std::size_t n_cols) {
+  std::vector<Row> rows(n_rows);
+  for (std::size_t i = 0; i < n_rows; ++i) {
+    rows[i].c = m[i];
+    rows[i].y.assign(n_rows, 0);
+    rows[i].y[i] = 1;
+  }
+
+  for (std::size_t col = 0; col < n_cols; ++col) {
+    std::vector<Row> next;
+    std::vector<const Row*> positive;
+    std::vector<const Row*> negative;
+    for (const Row& row : rows) {
+      if (row.c[col] == 0) {
+        next.push_back(row);
+      } else if (row.c[col] > 0) {
+        positive.push_back(&row);
+      } else {
+        negative.push_back(&row);
+      }
+    }
+    // Combine every positive row with every negative row to cancel `col`.
+    for (const Row* p : positive) {
+      for (const Row* q : negative) {
+        const std::uint64_t a = static_cast<std::uint64_t>(-q->c[col]);
+        const std::uint64_t b = static_cast<std::uint64_t>(p->c[col]);
+        const std::uint64_t g = std::gcd(a, b);
+        const std::uint64_t fp = a / g;
+        const std::uint64_t fq = b / g;
+        Row combined;
+        combined.c.resize(n_cols);
+        for (std::size_t j = 0; j < n_cols; ++j) {
+          combined.c[j] = static_cast<std::int64_t>(fp) * p->c[j] +
+                          static_cast<std::int64_t>(fq) * q->c[j];
+        }
+        combined.y.resize(n_rows);
+        for (std::size_t j = 0; j < n_rows; ++j) {
+          combined.y[j] = fp * p->y[j] + fq * q->y[j];
+        }
+        normalize(combined);
+        // Minimal support: drop if some kept row's support is contained in
+        // ours (and drop kept rows our support is contained in).
+        bool dominated = false;
+        for (const Row& kept : next) {
+          if (support_subset(kept.y, combined.y)) {
+            dominated = true;
+            break;
+          }
+        }
+        if (!dominated) {
+          std::erase_if(next, [&](const Row& kept) {
+            return support_subset(combined.y, kept.y) && !(kept.y == combined.y);
+          });
+          // Avoid exact duplicates.
+          if (std::none_of(next.begin(), next.end(),
+                           [&](const Row& kept) { return kept.y == combined.y; })) {
+            next.push_back(std::move(combined));
+          }
+        }
+      }
+    }
+    rows = std::move(next);
+  }
+
+  std::vector<Invariant> out;
+  for (Row& row : rows) {
+    if (!row.c_is_zero()) continue;  // defensive; all columns eliminated
+    normalize(row);
+    out.push_back(Invariant{std::move(row.y)});
+  }
+  // Deterministic order: by support size then lexicographic.
+  std::sort(out.begin(), out.end(), [](const Invariant& a, const Invariant& b) {
+    const auto sa = a.support().size();
+    const auto sb = b.support().size();
+    if (sa != sb) return sa < sb;
+    return a.weights < b.weights;
+  });
+  return out;
+}
+
+/// Incidence matrix C[p][t] = out(t,p) - in(t,p).
+std::vector<std::vector<std::int64_t>> incidence(const Net& net) {
+  std::vector<std::vector<std::int64_t>> c(
+      net.num_places(), std::vector<std::int64_t>(net.num_transitions(), 0));
+  for (std::uint32_t ti = 0; ti < net.num_transitions(); ++ti) {
+    const Transition& tr = net.transition(TransitionId(ti));
+    for (const Arc& a : tr.inputs) c[a.place.value][ti] -= a.weight;
+    for (const Arc& a : tr.outputs) c[a.place.value][ti] += a.weight;
+  }
+  return c;
+}
+
+}  // namespace
+
+std::vector<std::size_t> Invariant::support() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] != 0) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<Invariant> place_invariants(const Net& net) {
+  return farkas(incidence(net), net.num_places(), net.num_transitions());
+}
+
+std::vector<Invariant> transition_invariants(const Net& net) {
+  // Transpose: rows are transitions, columns places.
+  const auto c = incidence(net);
+  std::vector<std::vector<std::int64_t>> ct(
+      net.num_transitions(), std::vector<std::int64_t>(net.num_places(), 0));
+  for (std::size_t p = 0; p < net.num_places(); ++p) {
+    for (std::size_t t = 0; t < net.num_transitions(); ++t) ct[t][p] = c[p][t];
+  }
+  return farkas(ct, net.num_transitions(), net.num_places());
+}
+
+std::uint64_t invariant_value(const Invariant& inv, const Marking& marking) {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < inv.weights.size() && i < marking.size(); ++i) {
+    sum += inv.weights[i] * marking[PlaceId(static_cast<std::uint32_t>(i))];
+  }
+  return sum;
+}
+
+namespace {
+
+std::string format_weighted_sum(const std::vector<std::uint64_t>& weights,
+                                const std::vector<std::string>& names) {
+  std::ostringstream out;
+  bool first = true;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] == 0) continue;
+    if (!first) out << " + ";
+    if (weights[i] != 1) out << weights[i] << '*';
+    out << names[i];
+    first = false;
+  }
+  if (first) out << "0";
+  return out.str();
+}
+
+}  // namespace
+
+std::string format_place_invariant(const Net& net, const Invariant& inv) {
+  std::vector<std::string> names;
+  names.reserve(net.num_places());
+  for (const Place& p : net.places()) names.push_back(p.name);
+  std::ostringstream out;
+  out << format_weighted_sum(inv.weights, names) << " = "
+      << invariant_value(inv, Marking::initial(net));
+  return out.str();
+}
+
+std::string format_transition_invariant(const Net& net, const Invariant& inv) {
+  std::vector<std::string> names;
+  names.reserve(net.num_transitions());
+  for (const Transition& t : net.transitions()) names.push_back(t.name);
+  return format_weighted_sum(inv.weights, names);
+}
+
+bool covered_by_place_invariants(const Net& net, const std::vector<Invariant>& invariants) {
+  for (std::size_t p = 0; p < net.num_places(); ++p) {
+    bool covered = false;
+    for (const Invariant& inv : invariants) {
+      if (p < inv.weights.size() && inv.weights[p] != 0) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+}  // namespace pnut::analysis

@@ -1,0 +1,64 @@
+// Structural invariant analysis (P- and T-invariants).
+//
+// The paper leans on invariants informally — "the sum of the tokens on
+// [Bus_free and Bus_busy] should always equal one" — and checks them by
+// query. This module derives them *structurally*: a place invariant is a
+// non-negative integer weighting y of places with yᵀC = 0 (C the incidence
+// matrix), so yᵀM is constant across every reachable marking regardless of
+// timing, frequencies or predicates. The constant is fixed by the initial
+// marking. Dually, a transition invariant x ≥ 0 with Cx = 0 gives firing
+// counts that return the net to its marking (the cyclic workloads of every
+// model in the paper).
+//
+// Computed with the classical Farkas / Fourier-Motzkin elimination on
+// [C | I], keeping minimal-support generators. Worst case exponential, in
+// practice instant for model-sized nets (the pipeline model: 20 places).
+//
+// Caveat for timed interpretation: with firing-time semantics, tokens "in
+// the transition" are on neither place, so yᵀM dips by the in-flight
+// contribution while a weighted transition fires; invariants are exact over
+// atomic states (reachability-graph states, and trace states when no
+// weighted firing is in flight). The tests check both readings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "petri/marking.h"
+#include "petri/net.h"
+
+namespace pnut::analysis {
+
+/// A semi-positive invariant: one weight per place (P-invariant) or per
+/// transition (T-invariant), in net index order.
+struct Invariant {
+  std::vector<std::uint64_t> weights;
+
+  /// Indices with non-zero weight.
+  [[nodiscard]] std::vector<std::size_t> support() const;
+
+  friend bool operator==(const Invariant&, const Invariant&) = default;
+};
+
+/// Minimal-support generators of the semi-positive place invariants.
+std::vector<Invariant> place_invariants(const Net& net);
+
+/// Minimal-support generators of the semi-positive transition invariants.
+std::vector<Invariant> transition_invariants(const Net& net);
+
+/// Weighted token sum yᵀM for a marking.
+std::uint64_t invariant_value(const Invariant& inv, const Marking& marking);
+
+/// Pretty form: "Bus_free + Bus_busy = 1" or "Empty + Full + 2*pre_fetching = 6"
+/// (constant from the net's initial marking).
+std::string format_place_invariant(const Net& net, const Invariant& inv);
+
+/// Pretty form of a T-invariant: "Decode + Type_1 + Issue + exec_type_1 + no_store".
+std::string format_transition_invariant(const Net& net, const Invariant& inv);
+
+/// True if every place appears in the support of some place invariant —
+/// a sufficient condition for structural boundedness.
+bool covered_by_place_invariants(const Net& net, const std::vector<Invariant>& invariants);
+
+}  // namespace pnut::analysis

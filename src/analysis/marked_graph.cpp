@@ -1,0 +1,151 @@
+#include "analysis/marked_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pnut::analysis {
+
+namespace {
+
+struct MgEdge {
+  std::uint32_t from;  ///< producer transition
+  std::uint32_t to;    ///< consumer transition
+  double tokens;       ///< initial marking of the connecting place
+};
+
+struct MgGraph {
+  std::vector<double> delay;  ///< per transition
+  std::vector<MgEdge> edges;
+};
+
+MgGraph extract(const Net& net) {
+  if (!net.is_marked_graph()) {
+    throw std::invalid_argument(
+        "marked_graph_cycle_time: net '" + net.name() +
+        "' is not a marked graph (a place has multiple producers/consumers, "
+        "an inhibitor arc, or a non-unit weight)");
+  }
+  MgGraph g;
+  g.delay.resize(net.num_transitions(), 0);
+  for (std::uint32_t i = 0; i < net.num_transitions(); ++i) {
+    const Transition& tr = net.transition(TransitionId(i));
+    const auto firing = tr.firing_time.mean();
+    const auto enabling = tr.enabling_time.mean();
+    if (!firing || !enabling) {
+      throw std::invalid_argument("marked_graph_cycle_time: transition '" + tr.name +
+                                  "' has a computed delay with no closed-form mean");
+    }
+    g.delay[i] = *firing + *enabling;
+  }
+  for (std::uint32_t pi = 0; pi < net.num_places(); ++pi) {
+    const PlaceId p(pi);
+    const auto producers = net.producers_of(p);
+    const auto consumers = net.consumers_of(p);
+    if (producers.size() != 1 || consumers.size() != 1) {
+      // Source/sink places do not constrain any cycle.
+      continue;
+    }
+    g.edges.push_back(MgEdge{producers[0].value, consumers[0].value,
+                             static_cast<double>(net.place(p).initial_tokens)});
+  }
+  return g;
+}
+
+/// Is there a cycle with sum(delay[from] - lambda * tokens) > eps?
+/// Bellman-Ford on negated weights; also extracts one such cycle if asked.
+bool positive_cycle(const MgGraph& g, double lambda, std::vector<std::uint32_t>* cycle_out) {
+  const std::size_t n = g.delay.size();
+  std::vector<double> dist(n, 0);
+  std::vector<std::int32_t> pred(n, -1);
+  std::uint32_t updated_node = UINT32_MAX;
+
+  for (std::size_t iter = 0; iter < n; ++iter) {
+    updated_node = UINT32_MAX;
+    for (std::size_t ei = 0; ei < g.edges.size(); ++ei) {
+      const MgEdge& e = g.edges[ei];
+      const double w = g.delay[e.from] - lambda * e.tokens;
+      if (dist[e.from] + w > dist[e.to] + 1e-12) {
+        dist[e.to] = dist[e.from] + w;
+        pred[e.to] = static_cast<std::int32_t>(e.from);
+        updated_node = e.to;
+      }
+    }
+    if (updated_node == UINT32_MAX) return false;  // converged: no positive cycle
+  }
+
+  if (cycle_out != nullptr) {
+    // Walk predecessors n steps to land inside the cycle, then collect it.
+    // A node without a predecessor can only be reached if the relaxation
+    // chain is shorter than n; bail out (no cycle extraction) in that case.
+    std::uint32_t v = updated_node;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (pred[v] < 0) {
+        cycle_out->clear();
+        return true;
+      }
+      v = static_cast<std::uint32_t>(pred[v]);
+    }
+    std::vector<std::uint32_t> cycle;
+    std::uint32_t u = v;
+    do {
+      cycle.push_back(u);
+      if (pred[u] < 0) {
+        cycle_out->clear();
+        return true;
+      }
+      u = static_cast<std::uint32_t>(pred[u]);
+    } while (u != v);
+    std::reverse(cycle.begin(), cycle.end());
+    *cycle_out = std::move(cycle);
+  }
+  return true;
+}
+
+}  // namespace
+
+CycleTimeResult marked_graph_cycle_time(const Net& net) {
+  const MgGraph g = extract(net);
+  CycleTimeResult result;
+  if (g.edges.empty()) return result;  // acyclic (no internal places at all)
+
+  // A token-free cycle exists iff there is a positive-delay cycle no lambda
+  // can compensate; equivalently a cycle at lambda = huge. Detect with a
+  // lambda larger than any achievable ratio (cycles with tokens then have
+  // very negative weight, token-free positive-delay cycles stay positive).
+  double total_delay = 0;
+  for (double d : g.delay) total_delay += d;
+  if (positive_cycle(g, total_delay + 1.0, nullptr)) {
+    // Only token-free cycles can stay positive at that lambda.
+    result.has_token_free_cycle = true;
+    return result;
+  }
+
+  // Binary search the maximum cycle ratio in [0, total_delay].
+  double lo = 0;
+  double hi = total_delay;
+  if (!positive_cycle(g, 0, nullptr)) {
+    // No cycle with positive delay at all (e.g. acyclic or all-zero delays).
+    result.cycle_time = 0;
+    return result;
+  }
+  for (int iter = 0; iter < 100 && hi - lo > 1e-9 * std::max(1.0, hi); ++iter) {
+    const double mid = (lo + hi) / 2;
+    if (positive_cycle(g, mid, nullptr)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  result.cycle_time = (lo + hi) / 2;
+
+  // Extract a critical cycle just below the ratio.
+  std::vector<std::uint32_t> cycle;
+  const double probe = std::max(0.0, result.cycle_time - 1e-6 * std::max(1.0, hi));
+  if (positive_cycle(g, probe, &cycle)) {
+    for (std::uint32_t t : cycle) result.critical_cycle.push_back(TransitionId(t));
+  }
+  return result;
+}
+
+}  // namespace pnut::analysis

@@ -1,0 +1,45 @@
+// Analytic performance evaluation for timed marked graphs.
+//
+// The paper's conclusion notes that "other tools support analytical (as
+// opposed to simulation) performance evaluation". For decision-free nets —
+// marked graphs: every place has exactly one producer and one consumer, no
+// inhibitors, unit weights — Ramchandani's classical result gives the
+// steady-state cycle time exactly:
+//
+//     lambda  =  max over directed cycles C of  D(C) / M(C)
+//
+// where D(C) is the total transition delay around the cycle and M(C) the
+// token count on the cycle's places (invariant under firing). Throughput of
+// every transition is 1/lambda. This module computes lambda by binary
+// search on the maximum cycle ratio with Bellman-Ford positive-cycle
+// detection, and is used as an independent cross-check of the simulator on
+// pipeline-shaped subnets (bench_ablation_time_semantics and the
+// sim/analysis agreement tests).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "petri/net.h"
+
+namespace pnut::analysis {
+
+struct CycleTimeResult {
+  /// Steady-state cycle time (time per firing of each transition).
+  /// 0 for an acyclic graph (nothing constrains repetition rate).
+  double cycle_time = 0;
+  /// True if some cycle carries no tokens: that cycle can never fire and
+  /// the net is partially dead (cycle time is meaningless / infinite).
+  bool has_token_free_cycle = false;
+  /// Transitions on one critical (ratio-achieving) cycle, in order.
+  /// Empty when acyclic or dead.
+  std::vector<TransitionId> critical_cycle;
+};
+
+/// Compute the cycle time of a timed marked graph. Transition delay is the
+/// mean of its firing time plus the mean of its enabling time.
+/// Throws std::invalid_argument if the net is not a marked graph or a delay
+/// has no closed-form mean (computed delays).
+CycleTimeResult marked_graph_cycle_time(const Net& net);
+
+}  // namespace pnut::analysis

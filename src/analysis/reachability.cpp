@@ -1,0 +1,203 @@
+#include "analysis/reachability.h"
+
+#include <deque>
+#include <set>
+
+namespace pnut::analysis {
+
+namespace {
+
+/// Stable textual key for a (marking, data) pair.
+std::string state_key(const Marking& m, const DataContext& d) {
+  std::string key;
+  key.reserve(m.size() * 4 + 16);
+  for (TokenCount t : m.tokens()) {
+    key += std::to_string(t);
+    key += ',';
+  }
+  const std::string data = d.to_string();
+  if (!data.empty()) {
+    key += '|';
+    key += data;
+  }
+  return key;
+}
+
+/// Would firing `t` from `m` overflow any capacity?
+bool overflows_capacity(const Net& net, const Marking& m, TransitionId t) {
+  const Transition& tr = net.transition(t);
+  for (const Arc& a : tr.outputs) {
+    const Place& p = net.place(a.place);
+    if (!p.capacity) continue;
+    TokenCount after = m[a.place] + a.weight;
+    // Tokens consumed from the same place by this firing offset the gain.
+    for (const Arc& in : tr.inputs) {
+      if (in.place == a.place) after -= std::min(after, in.weight);
+    }
+    if (after > *p.capacity) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ReachabilityGraph::ReachabilityGraph(const Net& net, ReachOptions options) : net_(&net) {
+  net.validate_or_throw();
+  explore(options);
+}
+
+std::size_t ReachabilityGraph::intern(const Marking& m, const DataContext& d) {
+  const std::string key = state_key(m, d);
+  const auto [it, inserted] = index_.emplace(key, markings_.size());
+  if (inserted) {
+    markings_.push_back(m);
+    data_.push_back(d);
+    edges_.emplace_back();
+  }
+  return it->second;
+}
+
+void ReachabilityGraph::explore(ReachOptions options) {
+  const Marking initial = Marking::initial(*net_);
+  const DataContext initial_data = net_->initial_data();
+  intern(initial, initial_data);
+
+  std::deque<std::size_t> frontier{0};
+  while (!frontier.empty()) {
+    const std::size_t state = frontier.front();
+    frontier.pop_front();
+
+    // Copy: intern() may reallocate the state vectors while we expand.
+    const Marking m = markings_[state];
+    const DataContext d = data_[state];
+
+    for (std::uint32_t ti = 0; ti < net_->num_transitions(); ++ti) {
+      const TransitionId t(ti);
+      if (!is_enabled(*net_, m, t, d)) continue;
+      if (options.respect_capacities && overflows_capacity(*net_, m, t)) continue;
+
+      const Transition& tr = net_->transition(t);
+      Marking next = m;
+      for (const Arc& a : tr.inputs) next.remove(a.place, a.weight);
+      for (const Arc& a : tr.outputs) next.add(a.place, a.weight);
+
+      for (TokenCount tokens : next.tokens()) {
+        if (tokens > options.place_bound) {
+          status_ = ReachStatus::kUnbounded;
+          return;
+        }
+      }
+
+      // Deterministic action: one successor. Stochastic action: sample
+      // distinct outcomes (see header).
+      std::vector<DataContext> outcomes;
+      if (!tr.action) {
+        outcomes.push_back(d);
+      } else {
+        std::set<std::string> seen;
+        const std::size_t samples = std::max<std::size_t>(options.irand_fanout_limit, 1);
+        for (std::size_t k = 0; k < samples; ++k) {
+          DataContext candidate = d;
+          // Deterministic per (state, transition, sample) seed so graph
+          // construction is reproducible.
+          Rng rng(0x9e3779b97f4a7c15ULL ^ (state * 0x100000001b3ULL) ^
+                  (static_cast<std::uint64_t>(ti) << 32) ^ k);
+          tr.action(candidate, rng);
+          if (seen.insert(candidate.to_string()).second) {
+            outcomes.push_back(std::move(candidate));
+          }
+        }
+      }
+
+      for (const DataContext& outcome : outcomes) {
+        const std::size_t before = markings_.size();
+        const std::size_t target = intern(next, outcome);
+        edges_[state].push_back(Edge{t, target});
+        if (target == before) {  // newly discovered
+          if (markings_.size() > options.max_states) {
+            status_ = ReachStatus::kTruncated;
+            return;
+          }
+          frontier.push_back(target);
+        }
+      }
+    }
+  }
+}
+
+std::int64_t ReachabilityGraph::transition_activity(std::size_t state, TransitionId t) const {
+  return is_enabled(*net_, markings_.at(state), t, data_.at(state)) ? 1 : 0;
+}
+
+std::optional<std::int64_t> ReachabilityGraph::variable(std::size_t state,
+                                                        std::string_view name) const {
+  const DataContext& d = data_.at(state);
+  if (d.has(name)) return d.get(name);
+  return std::nullopt;
+}
+
+std::vector<std::size_t> ReachabilityGraph::successors(std::size_t state) const {
+  std::vector<std::size_t> out;
+  out.reserve(edges_.at(state).size());
+  for (const Edge& e : edges_.at(state)) out.push_back(e.target);
+  return out;
+}
+
+std::size_t ReachabilityGraph::num_edges() const {
+  std::size_t n = 0;
+  for (const auto& e : edges_) n += e.size();
+  return n;
+}
+
+std::vector<std::size_t> ReachabilityGraph::deadlock_states() const {
+  std::vector<std::size_t> out;
+  for (std::size_t s = 0; s < edges_.size(); ++s) {
+    if (edges_[s].empty()) out.push_back(s);
+  }
+  return out;
+}
+
+TokenCount ReachabilityGraph::place_bound(PlaceId p) const {
+  TokenCount bound = 0;
+  for (const Marking& m : markings_) bound = std::max(bound, m[p]);
+  return bound;
+}
+
+std::vector<TransitionId> ReachabilityGraph::dead_transitions() const {
+  std::vector<bool> fired(net_->num_transitions(), false);
+  for (const auto& state_edges : edges_) {
+    for (const Edge& e : state_edges) fired[e.transition.value] = true;
+  }
+  std::vector<TransitionId> out;
+  for (std::uint32_t i = 0; i < fired.size(); ++i) {
+    if (!fired[i]) out.push_back(TransitionId(i));
+  }
+  return out;
+}
+
+bool ReachabilityGraph::is_reversible() const {
+  // Backward BFS from state 0 over reversed edges.
+  std::vector<std::vector<std::size_t>> reverse(markings_.size());
+  for (std::size_t s = 0; s < edges_.size(); ++s) {
+    for (const Edge& e : edges_[s]) reverse[e.target].push_back(s);
+  }
+  std::vector<bool> can_reach_initial(markings_.size(), false);
+  std::deque<std::size_t> frontier{0};
+  can_reach_initial[0] = true;
+  while (!frontier.empty()) {
+    const std::size_t s = frontier.front();
+    frontier.pop_front();
+    for (std::size_t pred : reverse[s]) {
+      if (!can_reach_initial[pred]) {
+        can_reach_initial[pred] = true;
+        frontier.push_back(pred);
+      }
+    }
+  }
+  for (bool b : can_reach_initial) {
+    if (!b) return false;
+  }
+  return true;
+}
+
+}  // namespace pnut::analysis

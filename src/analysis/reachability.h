@@ -1,0 +1,116 @@
+// Untimed reachability-graph construction ([MR87], Section 4.4).
+//
+// Explores all markings (and, for interpreted nets, data states) reachable
+// from the initial state under atomic firing semantics: a firing consumes
+// its inputs, applies its action, and produces its outputs in one step.
+// Time is abstracted away — the graph covers every interleaving the timed
+// semantics could produce and more, which is what makes it suitable for
+// *verifying* invariants like `Bus_busy + Bus_free = 1` rather than testing
+// them on one trace.
+//
+// Interpreted-net caveat: an action calling `irand` makes the data
+// successor nondeterministic, and actions are opaque functions that cannot
+// be enumerated symbolically. The builder samples each stochastic action
+// `irand_fanout_limit` times with distinct deterministic seeds and adds one
+// successor per distinct data outcome — exact for deterministic actions,
+// high-coverage sampling for small irand ranges (the paper's models draw
+// from ranges of size <= 5). The status never claims completeness it does
+// not have: nets with actions report kComplete only in the sampled sense
+// documented here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/state_space.h"
+#include "petri/marking.h"
+#include "petri/net.h"
+
+namespace pnut::analysis {
+
+struct ReachOptions {
+  /// Exploration stops (status kTruncated) beyond this many states.
+  std::size_t max_states = 200'000;
+  /// A place exceeding this token count marks the net unbounded
+  /// (status kUnbounded) and stops exploration.
+  TokenCount place_bound = 4096;
+  /// Treat declared place capacities as hard bounds: a firing that would
+  /// overflow a capacity is considered disabled.
+  bool respect_capacities = false;
+  /// Samples drawn per stochastic action firing (distinct outcomes each
+  /// become a successor).
+  std::size_t irand_fanout_limit = 64;
+};
+
+enum class ReachStatus : std::uint8_t { kComplete, kTruncated, kUnbounded };
+
+class ReachabilityGraph final : public StateSpace {
+ public:
+  struct Edge {
+    TransitionId transition;
+    std::size_t target;
+  };
+
+  /// Build the graph by breadth-first exploration from the initial state.
+  ReachabilityGraph(const Net& net, ReachOptions options = {});
+
+  [[nodiscard]] ReachStatus status() const { return status_; }
+
+  // --- StateSpace interface ----------------------------------------------------
+  [[nodiscard]] std::size_t num_states() const override { return markings_.size(); }
+  [[nodiscard]] std::int64_t place_tokens(std::size_t state, PlaceId p) const override {
+    return markings_.at(state)[p];
+  }
+  /// 1 if `t` is enabled in the state, else 0.
+  [[nodiscard]] std::int64_t transition_activity(std::size_t state,
+                                                 TransitionId t) const override;
+  [[nodiscard]] std::optional<std::int64_t> variable(std::size_t state,
+                                                     std::string_view name) const override;
+  [[nodiscard]] std::vector<std::size_t> successors(std::size_t state) const override;
+  [[nodiscard]] std::optional<PlaceId> find_place(std::string_view name) const override {
+    return net_->find_place(name);
+  }
+  [[nodiscard]] std::optional<TransitionId> find_transition(
+      std::string_view name) const override {
+    return net_->find_transition(name);
+  }
+
+  // --- graph-specific queries ---------------------------------------------------
+
+  [[nodiscard]] const Marking& marking(std::size_t state) const {
+    return markings_.at(state);
+  }
+  [[nodiscard]] const std::vector<Edge>& edges(std::size_t state) const {
+    return edges_.at(state);
+  }
+  [[nodiscard]] std::size_t num_edges() const;
+
+  /// States with no enabled transition.
+  [[nodiscard]] std::vector<std::size_t> deadlock_states() const;
+
+  /// Max tokens observed on `p` across all reachable states (the place's
+  /// bound, exact when status() == kComplete).
+  [[nodiscard]] TokenCount place_bound(PlaceId p) const;
+
+  /// Transitions that never appear on any edge (dead transitions).
+  [[nodiscard]] std::vector<TransitionId> dead_transitions() const;
+
+  /// True if from every reachable state the initial state is reachable
+  /// again (the net is reversible / cyclic). Uses one backward BFS.
+  [[nodiscard]] bool is_reversible() const;
+
+ private:
+  void explore(ReachOptions options);
+  std::size_t intern(const Marking& m, const DataContext& d);
+
+  const Net* net_;
+  ReachStatus status_ = ReachStatus::kComplete;
+  std::vector<Marking> markings_;
+  std::vector<DataContext> data_;
+  std::vector<std::vector<Edge>> edges_;
+  std::unordered_map<std::string, std::size_t> index_;  ///< state key -> index
+};
+
+}  // namespace pnut::analysis

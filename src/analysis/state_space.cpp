@@ -1,0 +1,62 @@
+#include "analysis/state_space.h"
+
+namespace pnut::analysis {
+
+TraceStateSpace::TraceStateSpace(const RecordedTrace& trace) : trace_(&trace) {
+  TraceCursor cursor(trace);
+  const std::size_t n = trace.num_states();
+  markings_.reserve(n);
+  active_.reserve(n);
+  data_.reserve(n);
+  times_.reserve(n);
+
+  markings_.push_back(cursor.marking());
+  active_.push_back(cursor.all_active_firings());
+  data_.push_back(cursor.data());
+  times_.push_back(cursor.time());
+  while (!cursor.at_end()) {
+    cursor.step();
+    markings_.push_back(cursor.marking());
+    active_.push_back(cursor.all_active_firings());
+    data_.push_back(cursor.data());
+    times_.push_back(cursor.time());
+  }
+}
+
+std::int64_t TraceStateSpace::place_tokens(std::size_t state, PlaceId p) const {
+  return markings_.at(state)[p];
+}
+
+std::int64_t TraceStateSpace::transition_activity(std::size_t state, TransitionId t) const {
+  return active_.at(state).at(t.value);
+}
+
+std::optional<std::int64_t> TraceStateSpace::variable(std::size_t state,
+                                                      std::string_view name) const {
+  const DataContext& d = data_.at(state);
+  if (d.has(name)) return d.get(name);
+  return std::nullopt;
+}
+
+std::vector<std::size_t> TraceStateSpace::successors(std::size_t state) const {
+  if (state + 1 < markings_.size()) return {state + 1};
+  return {};
+}
+
+std::optional<PlaceId> TraceStateSpace::find_place(std::string_view name) const {
+  const auto& names = trace_->header().place_names;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return PlaceId(static_cast<std::uint32_t>(i));
+  }
+  return std::nullopt;
+}
+
+std::optional<TransitionId> TraceStateSpace::find_transition(std::string_view name) const {
+  const auto& names = trace_->header().transition_names;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return TransitionId(static_cast<std::uint32_t>(i));
+  }
+  return std::nullopt;
+}
+
+}  // namespace pnut::analysis

@@ -1,0 +1,81 @@
+// The state-space abstraction shared by the reachability-graph analyzer and
+// tracertool (Section 4.4).
+//
+// "Tracertool uses the same concept [as the reachability graph analyzer] to
+// 'test' (rather than prove) the correctness of a simulation trace."
+//
+// Both a reachability graph (branching, all possible behaviours) and a
+// simulation trace (one linear path, one state per trace event) expose the
+// same interface: a set of states S, per-state place token counts and
+// transition activity, and a successor relation. The query engine
+// (query.h) evaluates `forall s in S [...]`-style formulas against either.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "petri/ids.h"
+#include "trace/trace.h"
+
+namespace pnut::analysis {
+
+class StateSpace {
+ public:
+  virtual ~StateSpace() = default;
+
+  [[nodiscard]] virtual std::size_t num_states() const = 0;
+
+  /// Tokens on `p` in state `s`.
+  [[nodiscard]] virtual std::int64_t place_tokens(std::size_t state, PlaceId p) const = 0;
+
+  /// Activity of transition `t` in state `s`: firings in flight for a trace
+  /// state; 1/0 enabledness for a reachability-graph state.
+  [[nodiscard]] virtual std::int64_t transition_activity(std::size_t state,
+                                                         TransitionId t) const = 0;
+
+  /// Scalar data variable value in state `s`; nullopt if unknown.
+  [[nodiscard]] virtual std::optional<std::int64_t> variable(std::size_t state,
+                                                             std::string_view name) const = 0;
+
+  /// Successor state indices (a trace has at most one; a graph, many).
+  [[nodiscard]] virtual std::vector<std::size_t> successors(std::size_t state) const = 0;
+
+  /// Name resolution for query formulas.
+  [[nodiscard]] virtual std::optional<PlaceId> find_place(std::string_view name) const = 0;
+  [[nodiscard]] virtual std::optional<TransitionId> find_transition(
+      std::string_view name) const = 0;
+};
+
+/// A recorded trace materialized as a state space: state 0 is the initial
+/// state, state k the state after event k-1 (what the paper's `#0` denotes).
+class TraceStateSpace final : public StateSpace {
+ public:
+  /// Materializes all states (markings, in-flight counts, data snapshots)
+  /// by replaying the trace once.
+  explicit TraceStateSpace(const RecordedTrace& trace);
+
+  [[nodiscard]] std::size_t num_states() const override { return markings_.size(); }
+  [[nodiscard]] std::int64_t place_tokens(std::size_t state, PlaceId p) const override;
+  [[nodiscard]] std::int64_t transition_activity(std::size_t state,
+                                                 TransitionId t) const override;
+  [[nodiscard]] std::optional<std::int64_t> variable(std::size_t state,
+                                                     std::string_view name) const override;
+  [[nodiscard]] std::vector<std::size_t> successors(std::size_t state) const override;
+  [[nodiscard]] std::optional<PlaceId> find_place(std::string_view name) const override;
+  [[nodiscard]] std::optional<TransitionId> find_transition(
+      std::string_view name) const override;
+
+  /// Simulation clock at each state (for timing queries and the tracer).
+  [[nodiscard]] Time state_time(std::size_t state) const { return times_.at(state); }
+
+ private:
+  const RecordedTrace* trace_;
+  std::vector<Marking> markings_;
+  std::vector<std::vector<std::uint32_t>> active_;
+  std::vector<DataContext> data_;
+  std::vector<Time> times_;
+};
+
+}  // namespace pnut::analysis

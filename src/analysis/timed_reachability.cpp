@@ -1,0 +1,306 @@
+#include "analysis/timed_reachability.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace pnut::analysis {
+
+namespace {
+
+/// Integer constant value of a delay, or throw.
+std::uint32_t integer_delay(const DelaySpec& spec, const std::string& transition,
+                            const char* kind) {
+  if (spec.kind() != DelaySpec::Kind::kConstant) {
+    throw std::invalid_argument("TimedReachabilityGraph: transition '" + transition +
+                                "' has a non-constant " + kind +
+                                " time; timed analysis needs integer constants");
+  }
+  const Time value = spec.constant_value();
+  if (value < 0 || value != std::floor(value)) {
+    throw std::invalid_argument("TimedReachabilityGraph: transition '" + transition +
+                                "' has a non-integer " + kind + " time");
+  }
+  return static_cast<std::uint32_t>(value);
+}
+
+}  // namespace
+
+std::string TimedReachabilityGraph::TimedState::key() const {
+  std::ostringstream out;
+  for (TokenCount t : marking.tokens()) out << t << ',';
+  out << '|';
+  for (std::uint32_t e : enabling_left) out << e << ',';
+  out << '|';
+  for (const auto& [t, left] : in_flight) out << t << ':' << left << ',';
+  return out.str();
+}
+
+TimedReachabilityGraph::TimedReachabilityGraph(const Net& net, TimedReachOptions options) {
+  net.validate_or_throw();
+  for (const Transition& t : net.transitions()) {
+    if (t.is_interpreted()) {
+      throw std::invalid_argument("TimedReachabilityGraph: transition '" + t.name +
+                                  "' has predicates/actions; timed analysis works on the "
+                                  "uninterpreted timing skeleton");
+    }
+  }
+  explore(net, options);
+}
+
+void TimedReachabilityGraph::explore(const Net& net, TimedReachOptions options) {
+  const std::size_t nt = net.num_transitions();
+  std::vector<std::uint32_t> enabling_delay(nt);
+  std::vector<std::uint32_t> firing_delay(nt);
+  for (std::uint32_t i = 0; i < nt; ++i) {
+    const Transition& tr = net.transition(TransitionId(i));
+    enabling_delay[i] = integer_delay(tr.enabling_time, tr.name, "enabling");
+    firing_delay[i] = integer_delay(tr.firing_time, tr.name, "firing");
+  }
+  const DataContext no_data;
+
+  // Eligibility under timed semantics: token-enabled, and single-server
+  // transitions must not have a firing of their own in flight.
+  auto eligible = [&](const TimedState& s, std::uint32_t t) {
+    const Transition& tr = net.transition(TransitionId(t));
+    if (tr.policy == FiringPolicy::kSingleServer) {
+      for (const auto& [ft, left] : s.in_flight) {
+        if (ft == t) return false;
+      }
+    }
+    return tokens_available(net, s.marking, TransitionId(t));
+  };
+
+  // Canonical form: eligible transitions carry their remaining enabling
+  // delay; ineligible ones carry the full delay (reset timers). `previous`
+  // carries over running timers for continuously-eligible transitions.
+  auto normalize = [&](TimedState& s, const TimedState* previous) {
+    for (std::uint32_t t = 0; t < nt; ++t) {
+      if (eligible(s, t)) {
+        if (previous != nullptr && previous->enabling_left[t] <= enabling_delay[t] &&
+            eligible(*previous, t)) {
+          s.enabling_left[t] = previous->enabling_left[t];
+        }
+        // Newly eligible: keep what the caller pre-set (full delay).
+      } else {
+        s.enabling_left[t] = enabling_delay[t];
+      }
+    }
+    std::sort(s.in_flight.begin(), s.in_flight.end());
+  };
+
+  std::unordered_map<std::string, std::size_t> index;
+  std::vector<TimedState> states;
+
+  auto intern = [&](TimedState s) -> std::size_t {
+    const std::string key = s.key();
+    const auto [it, inserted] = index.emplace(key, states.size());
+    if (inserted) {
+      markings_.push_back(s.marking);
+      earliest_time_.push_back(UINT64_MAX);
+      edges_.emplace_back();
+      states.push_back(std::move(s));
+    }
+    return it->second;
+  };
+
+  TimedState initial;
+  initial.marking = Marking::initial(net);
+  initial.enabling_left.assign(nt, 0);
+  for (std::uint32_t t = 0; t < nt; ++t) initial.enabling_left[t] = enabling_delay[t];
+  normalize(initial, nullptr);
+  intern(initial);
+  earliest_time_[0] = 0;
+
+  // 0-1 BFS: firing edges cost 0 (push front), tick edges cost 1 (push
+  // back), so the first expansion of a state uses its earliest time.
+  std::deque<std::size_t> frontier{0};
+  std::vector<bool> expanded(1, false);
+
+  while (!frontier.empty()) {
+    const std::size_t si = frontier.front();
+    frontier.pop_front();
+    if (expanded[si]) continue;
+    expanded[si] = true;
+    const TimedState s = states[si];  // copy: interning may reallocate
+    const std::uint64_t now = earliest_time_[si];
+
+    // Ready transitions fire before time may pass (maximal progress).
+    std::vector<std::uint32_t> ready;
+    for (std::uint32_t t = 0; t < nt; ++t) {
+      if (s.enabling_left[t] == 0 && eligible(s, t)) ready.push_back(t);
+    }
+
+    auto add_edge = [&](std::optional<TransitionId> label, TimedState next,
+                        std::uint64_t cost) {
+      const std::size_t before = states.size();
+      const std::size_t target = intern(std::move(next));
+      edges_[si].push_back(Edge{label, target});
+      if (target >= expanded.size()) expanded.resize(target + 1, false);
+      const std::uint64_t arrival = now + cost;
+      if (arrival < earliest_time_[target]) earliest_time_[target] = arrival;
+      if (target == before) {  // newly discovered
+        if (states.size() > options.max_states) {
+          status_ = TimedReachStatus::kTruncated;
+          return false;
+        }
+        if (arrival > options.max_time) {
+          status_ = TimedReachStatus::kTruncated;
+          return true;  // state recorded but not explored further
+        }
+      }
+      if (!expanded[target]) {
+        if (cost == 0) {
+          frontier.push_front(target);
+        } else {
+          frontier.push_back(target);
+        }
+      }
+      return true;
+    };
+
+    if (!ready.empty()) {
+      for (std::uint32_t t : ready) {
+        const Transition& tr = net.transition(TransitionId(t));
+        TimedState next = s;
+        for (const Arc& a : tr.inputs) next.marking.remove(a.place, a.weight);
+        if (firing_delay[t] == 0) {
+          for (const Arc& a : tr.outputs) next.marking.add(a.place, a.weight);
+        } else {
+          next.in_flight.emplace_back(t, firing_delay[t]);
+        }
+        // The fired transition's own timer restarts.
+        next.enabling_left[t] = enabling_delay[t];
+        normalize(next, &s);
+        // A fired transition must re-earn its enabling delay even if still
+        // eligible (normalize would otherwise carry the old 0 over).
+        if (eligible(next, t)) next.enabling_left[t] = enabling_delay[t];
+        if (!add_edge(TransitionId(t), std::move(next), 0)) return;
+      }
+      continue;  // time may not pass while something is ready
+    }
+
+    // Tick: possible iff something is waiting (an armed timer or an
+    // in-flight firing); otherwise the state is a timed deadlock.
+    bool anything_waiting = !s.in_flight.empty();
+    for (std::uint32_t t = 0; t < nt && !anything_waiting; ++t) {
+      anything_waiting = eligible(s, t);  // armed enabling timer
+    }
+    if (!anything_waiting) continue;  // deadlock: no outgoing edges
+
+    TimedState next = s;
+    for (std::uint32_t t = 0; t < nt; ++t) {
+      if (eligible(s, t) && next.enabling_left[t] > 0) next.enabling_left[t] -= 1;
+    }
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> still_flying;
+    for (auto [t, left] : next.in_flight) {
+      if (left > 1) {
+        still_flying.emplace_back(t, left - 1);
+      } else {
+        const Transition& tr = net.transition(TransitionId(t));
+        for (const Arc& a : tr.outputs) next.marking.add(a.place, a.weight);
+      }
+    }
+    next.in_flight = std::move(still_flying);
+    {
+      // Completions may enable new transitions; carry running timers over.
+      TimedState carry = s;
+      carry.marking = next.marking;      // eligibility in the *new* marking
+      carry.in_flight = next.in_flight;  // and with the new in-flight set
+      carry.enabling_left = next.enabling_left;
+      normalize(next, &carry);
+    }
+    if (!add_edge(std::nullopt, std::move(next), 1)) return;
+  }
+}
+
+std::optional<TimedReachabilityGraph::TimeBounds> TimedReachabilityGraph::time_bounds(
+    const std::function<bool(const Marking&)>& predicate) const {
+  const std::size_t n = num_states();
+  std::vector<char> hit(n, 0);
+  bool any = false;
+  for (std::size_t s = 0; s < n; ++s) {
+    hit[s] = predicate(markings_[s]) ? 1 : 0;
+    any |= (hit[s] != 0);
+  }
+  if (!any) return std::nullopt;
+
+  TimeBounds bounds;
+  bounds.earliest = UINT64_MAX;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (hit[s] && earliest_time_[s] < bounds.earliest) {
+      bounds.earliest = earliest_time_[s];
+    }
+  }
+  if (bounds.earliest == UINT64_MAX) return std::nullopt;  // unreachable hits
+
+  // Worst-case first-hit from state 0: longest path through non-hit states.
+  // Colors: 0 unvisited, 1 on stack, 2 done. A cycle or dead end among
+  // non-hit states means some run avoids the predicate forever -> saturate.
+  std::vector<std::uint64_t> worst(n, 0);
+  std::vector<std::uint8_t> color(n, 0);
+  bool unbounded = false;
+
+  // Iterative DFS.
+  struct Frame {
+    std::size_t state;
+    std::size_t edge = 0;
+  };
+  std::vector<Frame> stack;
+  if (hit[0]) return TimeBounds{bounds.earliest, 0};
+  stack.push_back(Frame{0});
+  color[0] = 1;
+  while (!stack.empty() && !unbounded) {
+    Frame& frame = stack.back();
+    const std::size_t s = frame.state;
+    const auto& out_edges = edges_[s];
+    if (out_edges.empty()) {
+      // Timed deadlock without hitting the predicate: avoided forever.
+      unbounded = true;
+      break;
+    }
+    if (frame.edge < out_edges.size()) {
+      const Edge& e = out_edges[frame.edge++];
+      const std::uint64_t cost = e.transition ? 0 : 1;
+      if (hit[e.target]) {
+        worst[s] = std::max(worst[s], cost);
+        continue;
+      }
+      if (color[e.target] == 1) {
+        unbounded = true;  // cycle avoiding the predicate
+        break;
+      }
+      if (color[e.target] == 0) {
+        color[e.target] = 1;
+        stack.push_back(Frame{e.target});
+      } else {
+        worst[s] = std::max(worst[s], cost + worst[e.target]);
+      }
+    } else {
+      color[s] = 2;
+      stack.pop_back();
+      if (!stack.empty()) {
+        Frame& parent = stack.back();
+        const Edge& e = edges_[parent.state][parent.edge - 1];
+        const std::uint64_t cost = e.transition ? 0 : 1;
+        worst[parent.state] = std::max(worst[parent.state], cost + worst[s]);
+      }
+    }
+  }
+  bounds.latest = unbounded ? UINT64_MAX : worst[0];
+  return bounds;
+}
+
+std::vector<std::size_t> TimedReachabilityGraph::deadlock_states() const {
+  std::vector<std::size_t> out;
+  for (std::size_t s = 0; s < edges_.size(); ++s) {
+    if (edges_[s].empty()) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace pnut::analysis

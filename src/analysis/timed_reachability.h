@@ -1,0 +1,105 @@
+// Timed reachability analysis ([RP84], Section 4's "complete reachability
+// graphs (timed)").
+//
+// For nets whose delays are integer constants, the timed behaviour is a
+// discrete-time transition system whose states are
+//   (marking, per-transition enabling-timer ages, in-flight firings with
+//    remaining times, data)
+// and whose edges are either *firing choices* at the current instant or a
+// *tick* advancing time by one cycle when nothing can fire. Unlike the
+// untimed graph, this enumerates exactly the timing-feasible interleavings:
+// a transition whose enabling delay has not elapsed cannot steal a token
+// here, while the untimed graph would let it.
+//
+// The timed graph answers questions the untimed graph cannot:
+//   * exact best/worst-case time bounds between markings
+//     (time_bounds_to_marking),
+//   * whether a timing race exists at all (branching in the timed graph),
+//   * cycle-accurate state counts for small controllers.
+//
+// State-space caveat: timers multiply states; this analyzer is meant for
+// controller-sized nets (tens of places, delays up to ~10) — the paper's
+// [RP84] tool had the same practical envelope. Exploration is bounded by
+// max_states and max_time.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "petri/marking.h"
+#include "petri/net.h"
+
+namespace pnut::analysis {
+
+struct TimedReachOptions {
+  std::size_t max_states = 100'000;
+  /// Time horizon: paths are cut (status kTruncated) beyond this many ticks.
+  std::uint64_t max_time = 10'000;
+};
+
+enum class TimedReachStatus : std::uint8_t { kComplete, kTruncated };
+
+/// Discrete-time reachability graph of a net with integer constant delays.
+class TimedReachabilityGraph {
+ public:
+  struct Edge {
+    /// Fired transition, or nullopt for a one-cycle tick.
+    std::optional<TransitionId> transition;
+    std::size_t target = 0;
+  };
+
+  /// Throws std::invalid_argument if any delay is not a non-negative
+  /// integer constant, or if the net is interpreted (predicates/actions) —
+  /// timed analysis is defined on the uninterpreted timing skeleton.
+  explicit TimedReachabilityGraph(const Net& net, TimedReachOptions options = {});
+
+  [[nodiscard]] TimedReachStatus status() const { return status_; }
+  [[nodiscard]] std::size_t num_states() const { return markings_.size(); }
+  [[nodiscard]] const Marking& marking(std::size_t state) const {
+    return markings_.at(state);
+  }
+  /// Time elapsed from the initial state (shortest path in ticks).
+  [[nodiscard]] std::uint64_t earliest_time(std::size_t state) const {
+    return earliest_time_.at(state);
+  }
+  [[nodiscard]] const std::vector<Edge>& edges(std::size_t state) const {
+    return edges_.at(state);
+  }
+
+  /// Earliest and latest (over timing-feasible paths, up to the horizon)
+  /// times at which `predicate` over the marking first becomes true.
+  /// Returns nullopt if no path reaches it. The latest bound is the maximum
+  /// over paths of the *first* hit — i.e. the worst-case response time.
+  struct TimeBounds {
+    std::uint64_t earliest = 0;
+    std::uint64_t latest = 0;
+  };
+  [[nodiscard]] std::optional<TimeBounds> time_bounds(
+      const std::function<bool(const Marking&)>& predicate) const;
+
+  /// States with no outgoing edges (true timed deadlocks: nothing fireable
+  /// now or ever, not even after ticks).
+  [[nodiscard]] std::vector<std::size_t> deadlock_states() const;
+
+ private:
+  struct TimedState {
+    Marking marking;
+    /// Remaining enabling delay per transition (0 = ready or not enabled).
+    std::vector<std::uint32_t> enabling_left;
+    /// In-flight firings: (transition, remaining cycles), sorted.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> in_flight;
+
+    [[nodiscard]] std::string key() const;
+  };
+
+  void explore(const Net& net, TimedReachOptions options);
+
+  TimedReachStatus status_ = TimedReachStatus::kComplete;
+  std::vector<Marking> markings_;
+  std::vector<std::uint64_t> earliest_time_;
+  std::vector<std::vector<Edge>> edges_;
+};
+
+}  // namespace pnut::analysis

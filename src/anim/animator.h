@@ -1,0 +1,76 @@
+// The animator (Section 4.3, Figure 6): visual discrete-event simulation.
+//
+// "The P-NUT animator deliberately animates the flow of tokens over arcs in
+// order to give the user time to understand the effect of state
+// transitions." And: "It is not a true animation since there is no constant
+// relationship between real time and simulation time."
+//
+// This is the paper's animator with the Sun workstation display replaced by
+// a terminal (see DESIGN.md's substitution table). Each trace event expands
+// into three sub-frames:
+//   1. tokens leaving the input places, shown in transit on their arcs
+//      (`Full_I_buffers ==(1)==> Decode`),
+//   2. the transition firing (in-flight),
+//   3. tokens arriving on the output places.
+// A frame shows the simulation clock, the event description, every marked
+// place as a token bar, and every in-flight transition. single_step()
+// advances one event; play() renders a frame sequence for a state range.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace pnut::anim {
+
+struct AnimOptions {
+  /// Show places with zero tokens too (default: only marked places, which
+  /// keeps frames close to the paper's visual density).
+  bool show_empty_places = false;
+  /// Max token glyphs in a place's token bar before switching to a count.
+  std::uint32_t max_token_glyphs = 8;
+  /// Frame width for the separator rule.
+  std::size_t width = 60;
+};
+
+class Animator {
+ public:
+  explicit Animator(const RecordedTrace& trace, AnimOptions options = {});
+
+  /// State index shown next (0 = initial state).
+  [[nodiscard]] std::size_t position() const { return cursor_.state_index(); }
+  [[nodiscard]] bool at_end() const { return cursor_.at_end(); }
+
+  /// Render the current state as one frame (no event context).
+  [[nodiscard]] std::string current_frame() const;
+
+  /// Render the sub-frames animating the next event, then advance past it.
+  /// Throws std::logic_error at the end of the trace.
+  std::vector<std::string> single_step();
+
+  /// Restart from the initial state.
+  void rewind() { cursor_.rewind(); }
+
+  /// Animate events [position, last_state) into one string, frames
+  /// separated by rules. Stops at the end of the trace.
+  std::string play(std::size_t last_state);
+
+ private:
+  [[nodiscard]] std::string state_block() const;
+  [[nodiscard]] std::string frame(const std::string& headline,
+                                  const std::vector<std::string>& arc_lines) const;
+  [[nodiscard]] const std::string& place_name(PlaceId p) const {
+    return trace_->header().place_names.at(p.value);
+  }
+  [[nodiscard]] const std::string& transition_name(TransitionId t) const {
+    return trace_->header().transition_names.at(t.value);
+  }
+
+  const RecordedTrace* trace_;
+  AnimOptions options_;
+  TraceCursor cursor_;
+};
+
+}  // namespace pnut::anim

@@ -1,0 +1,36 @@
+// The P-NUT command-line utility tools.
+//
+// The original P-NUT was a collection of small Unix-style tools over the
+// textual net and trace formats; this module is that surface:
+//
+//   pnut validate <model.pn>
+//   pnut print    <model.pn>
+//   pnut simulate <model.pn> --until T [--seed S] [--stats] [--tbl]
+//                 [--trace FILE] [--keep name,name,...]
+//   pnut stat     <trace.txt>
+//   pnut query    <trace.txt> "<query>"
+//   pnut query    --reach <model.pn> "<query>" [--max-states N]
+//   pnut render   <trace.txt> --signals a,b,... [--from T] [--to T]
+//                 [--columns N] [--marker X=T ...]
+//   pnut animate  <trace.txt> [--steps N]
+//   pnut analyze  <model.pn> [--max-states N]
+//
+// The entry point is a pure function over streams so the whole surface is
+// unit-testable; tools/pnut_main.cpp is a thin wrapper.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pnut::cli {
+
+/// Run one tool invocation. `args` excludes the program name. Returns the
+/// process exit code (0 success, 1 operational failure such as a violated
+/// query, 2 usage/parse errors).
+int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+
+/// The usage text printed by `pnut help`.
+std::string usage();
+
+}  // namespace pnut::cli

@@ -1,0 +1,162 @@
+#include "expr/ast.h"
+
+#include <sstream>
+
+namespace pnut::expr {
+
+std::int64_t IdentifierNode::eval(const EvalContext& ctx) const {
+  if (ctx.resolve_identifier) {
+    if (auto v = ctx.resolve_identifier(name_)) return *v;
+  }
+  if (ctx.data != nullptr && ctx.data->has(name_)) return ctx.data->get(name_);
+  throw EvalError("unknown identifier '" + name_ + "'");
+}
+
+std::int64_t CallNode::eval(const EvalContext& ctx) const {
+  std::vector<std::int64_t> values;
+  values.reserve(args_.size());
+  for (const NodePtr& a : args_) values.push_back(a->eval(ctx));
+
+  // Builtins first.
+  if (name_ == "irand") {
+    if (values.size() != 2) {
+      throw EvalError("irand expects 2 arguments, got " + std::to_string(values.size()));
+    }
+    if (ctx.rng == nullptr) {
+      throw EvalError("irand is not allowed here (no random source; predicates "
+                      "must be deterministic)");
+    }
+    if (values[0] > values[1]) {
+      throw EvalError("irand: empty range [" + std::to_string(values[0]) + ", " +
+                      std::to_string(values[1]) + "]");
+    }
+    return ctx.rng->next_int(values[0], values[1]);
+  }
+  if (name_ == "min" && values.size() == 2) return std::min(values[0], values[1]);
+  if (name_ == "max" && values.size() == 2) return std::max(values[0], values[1]);
+  if (name_ == "abs" && values.size() == 1) return values[0] < 0 ? -values[0] : values[0];
+
+  if (ctx.resolve_call) {
+    if (auto v = ctx.resolve_call(name_, values)) return *v;
+  }
+
+  // Table read: name[index].
+  if (values.size() == 1 && ctx.data != nullptr && ctx.data->has_table(name_)) {
+    try {
+      return ctx.data->get_table(name_, values[0]);
+    } catch (const std::out_of_range& e) {
+      throw EvalError(e.what());
+    }
+  }
+
+  throw EvalError("unknown function or table '" + name_ + "' with " +
+                  std::to_string(values.size()) + " argument(s)");
+}
+
+std::string CallNode::to_string() const {
+  std::ostringstream out;
+  out << name_ << '[';
+  for (std::size_t i = 0; i < args_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << args_[i]->to_string();
+  }
+  out << ']';
+  return out.str();
+}
+
+std::int64_t UnaryNode::eval(const EvalContext& ctx) const {
+  const std::int64_t v = operand_->eval(ctx);
+  switch (op_) {
+    case UnaryOp::kNeg: return -v;
+    case UnaryOp::kNot: return v == 0 ? 1 : 0;
+  }
+  return 0;  // unreachable
+}
+
+std::string UnaryNode::to_string() const {
+  return std::string(op_ == UnaryOp::kNeg ? "-" : "!") + "(" + operand_->to_string() + ")";
+}
+
+std::int64_t BinaryNode::eval(const EvalContext& ctx) const {
+  // Short-circuit logical operators.
+  if (op_ == BinaryOp::kAnd) {
+    return (lhs_->eval(ctx) != 0 && rhs_->eval(ctx) != 0) ? 1 : 0;
+  }
+  if (op_ == BinaryOp::kOr) {
+    return (lhs_->eval(ctx) != 0 || rhs_->eval(ctx) != 0) ? 1 : 0;
+  }
+  const std::int64_t a = lhs_->eval(ctx);
+  const std::int64_t b = rhs_->eval(ctx);
+  switch (op_) {
+    case BinaryOp::kAdd: return a + b;
+    case BinaryOp::kSub: return a - b;
+    case BinaryOp::kMul: return a * b;
+    case BinaryOp::kDiv:
+      if (b == 0) throw EvalError("division by zero");
+      return a / b;
+    case BinaryOp::kMod:
+      if (b == 0) throw EvalError("modulo by zero");
+      return a % b;
+    case BinaryOp::kEq: return a == b ? 1 : 0;
+    case BinaryOp::kNe: return a != b ? 1 : 0;
+    case BinaryOp::kLt: return a < b ? 1 : 0;
+    case BinaryOp::kLe: return a <= b ? 1 : 0;
+    case BinaryOp::kGt: return a > b ? 1 : 0;
+    case BinaryOp::kGe: return a >= b ? 1 : 0;
+    case BinaryOp::kAnd:
+    case BinaryOp::kOr:
+      break;  // handled above
+  }
+  return 0;  // unreachable
+}
+
+std::string BinaryNode::to_string() const {
+  const char* op = "?";
+  switch (op_) {
+    case BinaryOp::kAdd: op = "+"; break;
+    case BinaryOp::kSub: op = "-"; break;
+    case BinaryOp::kMul: op = "*"; break;
+    case BinaryOp::kDiv: op = "/"; break;
+    case BinaryOp::kMod: op = "%"; break;
+    case BinaryOp::kEq: op = "=="; break;
+    case BinaryOp::kNe: op = "!="; break;
+    case BinaryOp::kLt: op = "<"; break;
+    case BinaryOp::kLe: op = "<="; break;
+    case BinaryOp::kGt: op = ">"; break;
+    case BinaryOp::kGe: op = ">="; break;
+    case BinaryOp::kAnd: op = "&&"; break;
+    case BinaryOp::kOr: op = "||"; break;
+  }
+  return "(" + lhs_->to_string() + " " + op + " " + rhs_->to_string() + ")";
+}
+
+void Program::execute(const EvalContext& ctx) const {
+  if (ctx.mutable_data == nullptr) {
+    throw EvalError("cannot execute assignments without a mutable data context");
+  }
+  for (const Statement& stmt : statements) {
+    const std::int64_t value = stmt.value->eval(ctx);
+    if (stmt.index) {
+      const std::int64_t index = stmt.index->eval(ctx);
+      try {
+        ctx.mutable_data->set_table_entry(stmt.target, index, value);
+      } catch (const std::out_of_range& e) {
+        throw EvalError(e.what());
+      }
+    } else {
+      ctx.mutable_data->set(stmt.target, value);
+    }
+  }
+}
+
+std::string Program::to_string() const {
+  std::ostringstream out;
+  for (const Statement& stmt : statements) {
+    out << stmt.target;
+    if (stmt.index) out << '[' << stmt.index->to_string() << ']';
+    out << " = " << stmt.value->to_string() << ";\n";
+  }
+  return out.str();
+}
+
+}  // namespace pnut::expr

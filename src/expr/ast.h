@@ -1,0 +1,152 @@
+// AST and evaluator for the expression language.
+//
+// Values are 64-bit integers; booleans are 0/1 as in C. Evaluation runs
+// against an EvalContext that provides:
+//   * the DataContext for variable and table reads,
+//   * optionally a mutable DataContext and an Rng (actions, `irand`),
+//   * optional resolver hooks so embedding tools can add their own
+//     identifiers and functions — the query engine resolves `Bus_busy(s)`
+//     (tokens on a place in state s) and the tracer resolves signal names
+//     through exactly these hooks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "petri/data_context.h"
+#include "petri/rng.h"
+
+namespace pnut::expr {
+
+class Node;
+using NodePtr = std::unique_ptr<Node>;
+
+/// Environment an expression evaluates in.
+struct EvalContext {
+  /// Variable/table reads. May be null if the embedder resolves everything.
+  const DataContext* data = nullptr;
+  /// Assignment target for statements; null makes assignments an error.
+  DataContext* mutable_data = nullptr;
+  /// Random source for `irand`; null makes `irand` an error (e.g. inside
+  /// predicates, which must be side-effect free and deterministic).
+  Rng* rng = nullptr;
+
+  /// Hook consulted for bare identifiers before `data` (e.g. the bound
+  /// state variable `s` in queries, or a tracer signal name).
+  std::function<std::optional<std::int64_t>(std::string_view)> resolve_identifier;
+
+  /// Hook consulted for `name(args...)` / `name[args...]` before tables
+  /// (e.g. `Bus_busy(s)` in queries, `inev(...)` is handled upstream).
+  std::function<std::optional<std::int64_t>(std::string_view, std::span<const std::int64_t>)>
+      resolve_call;
+};
+
+/// Thrown when evaluation fails (unknown name, division by zero, irand
+/// without an Rng, assignment without a mutable context, ...).
+class EvalError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class BinaryOp : std::uint8_t {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+enum class UnaryOp : std::uint8_t { kNeg, kNot };
+
+/// Expression node. A small closed class hierarchy keeps evaluation simple
+/// and the memory model obvious (unique ownership, no cycles).
+class Node {
+ public:
+  virtual ~Node() = default;
+  [[nodiscard]] virtual std::int64_t eval(const EvalContext& ctx) const = 0;
+  /// Re-render the expression (canonical spacing); used in diagnostics and
+  /// report labels.
+  [[nodiscard]] virtual std::string to_string() const = 0;
+};
+
+class NumberNode final : public Node {
+ public:
+  explicit NumberNode(std::int64_t value) : value_(value) {}
+  std::int64_t eval(const EvalContext&) const override { return value_; }
+  std::string to_string() const override { return std::to_string(value_); }
+
+ private:
+  std::int64_t value_;
+};
+
+class IdentifierNode final : public Node {
+ public:
+  explicit IdentifierNode(std::string name) : name_(std::move(name)) {}
+  std::int64_t eval(const EvalContext& ctx) const override;
+  std::string to_string() const override { return name_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+/// `name[e]` (table read), `name[e1, e2]` / `name(e1, ...)` (call).
+class CallNode final : public Node {
+ public:
+  CallNode(std::string name, std::vector<NodePtr> args)
+      : name_(std::move(name)), args_(std::move(args)) {}
+  std::int64_t eval(const EvalContext& ctx) const override;
+  std::string to_string() const override;
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<NodePtr>& args() const { return args_; }
+
+ private:
+  std::string name_;
+  std::vector<NodePtr> args_;
+};
+
+class UnaryNode final : public Node {
+ public:
+  UnaryNode(UnaryOp op, NodePtr operand) : op_(op), operand_(std::move(operand)) {}
+  std::int64_t eval(const EvalContext& ctx) const override;
+  std::string to_string() const override;
+
+ private:
+  UnaryOp op_;
+  NodePtr operand_;
+};
+
+class BinaryNode final : public Node {
+ public:
+  BinaryNode(BinaryOp op, NodePtr lhs, NodePtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+  std::int64_t eval(const EvalContext& ctx) const override;
+  std::string to_string() const override;
+
+ private:
+  BinaryOp op_;
+  NodePtr lhs_;
+  NodePtr rhs_;
+};
+
+/// One statement of an action program: `x = e` or `table[i] = e`.
+struct Statement {
+  std::string target;
+  NodePtr index;  ///< null for scalar assignment
+  NodePtr value;
+};
+
+/// A sequence of assignments (an action body).
+struct Program {
+  std::vector<Statement> statements;
+
+  /// Run every statement in order against ctx.mutable_data.
+  void execute(const EvalContext& ctx) const;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace pnut::expr

@@ -1,0 +1,37 @@
+// Bridges from expression-language source text to the hooks a pnut::Net
+// accepts: predicates, actions, and computed delays.
+//
+// This is how the paper's Figure 4 net is written:
+//
+//   net.set_action(decode, compile_action(
+//       "type = irand[1, max_type]; number_of_operands_needed = operands[type]"));
+//   net.set_predicate(fetch_operand, compile_predicate("number_of_operands_needed > 0"));
+//   net.set_predicate(done, compile_predicate("number_of_operands_needed == 0"));
+//   net.set_action(end_fetch, compile_action(
+//       "number_of_operands_needed = number_of_operands_needed - 1"));
+#pragma once
+
+#include <string_view>
+
+#include "petri/net.h"
+
+namespace pnut::expr {
+
+/// Compile a boolean expression into a transition predicate. The predicate
+/// evaluates against the simulator's DataContext; it has no random source
+/// (irand in a predicate throws at evaluation time) and cannot assign.
+/// Throws ParseError on bad syntax.
+Predicate compile_predicate(std::string_view source);
+
+/// Compile an assignment program into a transition action. Runs with the
+/// mutable DataContext and the simulator's Rng (so irand is available).
+Action compile_action(std::string_view source);
+
+/// Compile an integer expression into a computed DelaySpec, evaluated
+/// against the DataContext each time a delay is needed. Negative results
+/// clamp to zero. Random delays should use DelaySpec distributions or
+/// variables set by actions, not irand, so the spec stays deterministic
+/// given the data state; irand here throws at evaluation time.
+DelaySpec compile_delay(std::string_view source);
+
+}  // namespace pnut::expr

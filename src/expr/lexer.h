@@ -1,0 +1,77 @@
+// Lexer for the P-NUT expression language (Section 3) and the query
+// language (Section 4.4). One token stream serves both: predicates/actions
+// attached to transitions, and tracertool / reachability-analyzer queries
+// such as `forall s in S [ Bus_busy(s) + Bus_free(s) = 1 ]`.
+//
+// A quirk inherited from the paper: identifiers may contain '-'
+// (`number-of-operands-needed`). The lexer folds `a-b` into one identifier,
+// so binary minus must be written with whitespace: `a - b`. Underscore
+// names avoid the issue entirely.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pnut::expr {
+
+enum class TokenKind : std::uint8_t {
+  kIdentifier,
+  kNumber,
+  kPlus,          // +
+  kMinus,         // -
+  kStar,          // *
+  kSlash,         // /
+  kPercent,       // %
+  kAssignOrEq,    // =   (assignment in statements, equality in expressions)
+  kEq,            // ==
+  kNe,            // !=
+  kLt,            // <
+  kLe,            // <=
+  kGt,            // >
+  kGe,            // >=
+  kAnd,           // && or 'and'
+  kOr,            // || or 'or'
+  kNot,           // !  or 'not'
+  kLParen,        // (
+  kRParen,        // )
+  kLBracket,      // [
+  kRBracket,      // ]
+  kLBrace,        // {
+  kRBrace,        // }
+  kComma,         // ,
+  kSemicolon,     // ;
+  kHash,          // #   (state references: #0)
+  kPipe,          // |   (set-builder: { s' in S | ... })
+  kPrime,         // '   (primed variables: s')
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;         ///< identifier text or number spelling
+  std::int64_t number = 0;  ///< value for kNumber
+  std::size_t offset = 0;   ///< byte offset in the source, for diagnostics
+};
+
+/// Thrown on any lexical or syntax error; carries the byte offset.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::string message, std::size_t offset)
+      : std::runtime_error(std::move(message)), offset_(offset) {}
+  [[nodiscard]] std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// Tokenize the whole input. Keywords `and`, `or`, `not` become operator
+/// tokens; every other word is an identifier.
+std::vector<Token> tokenize(std::string_view source);
+
+/// Human-readable token-kind name for diagnostics.
+std::string_view token_kind_name(TokenKind kind);
+
+}  // namespace pnut::expr

@@ -1,0 +1,171 @@
+#include "expr/parser.h"
+
+namespace pnut::expr {
+
+const Token& Parser::peek(std::size_t lookahead) const {
+  const std::size_t i = pos_ + lookahead;
+  return i < tokens_->size() ? (*tokens_)[i] : tokens_->back();
+}
+
+const Token& Parser::advance() {
+  const Token& t = peek();
+  if (t.kind != TokenKind::kEnd) ++pos_;
+  return t;
+}
+
+bool Parser::match(TokenKind kind) {
+  if (peek().kind == kind) {
+    advance();
+    return true;
+  }
+  return false;
+}
+
+const Token& Parser::expect(TokenKind kind, std::string_view what) {
+  if (peek().kind != kind) {
+    fail("expected " + std::string(token_kind_name(kind)) + " " + std::string(what) +
+         ", got " + std::string(token_kind_name(peek().kind)));
+  }
+  return advance();
+}
+
+void Parser::fail(std::string_view message) const {
+  throw ParseError(std::string(message), peek().offset);
+}
+
+NodePtr Parser::parse_expr() { return parse_or(); }
+
+NodePtr Parser::parse_or() {
+  NodePtr lhs = parse_and();
+  while (match(TokenKind::kOr)) {
+    lhs = std::make_unique<BinaryNode>(BinaryOp::kOr, std::move(lhs), parse_and());
+  }
+  return lhs;
+}
+
+NodePtr Parser::parse_and() {
+  NodePtr lhs = parse_rel();
+  while (match(TokenKind::kAnd)) {
+    lhs = std::make_unique<BinaryNode>(BinaryOp::kAnd, std::move(lhs), parse_rel());
+  }
+  return lhs;
+}
+
+NodePtr Parser::parse_rel() {
+  NodePtr lhs = parse_add();
+  BinaryOp op;
+  switch (peek().kind) {
+    case TokenKind::kEq:
+    case TokenKind::kAssignOrEq: op = BinaryOp::kEq; break;
+    case TokenKind::kNe: op = BinaryOp::kNe; break;
+    case TokenKind::kLt: op = BinaryOp::kLt; break;
+    case TokenKind::kLe: op = BinaryOp::kLe; break;
+    case TokenKind::kGt: op = BinaryOp::kGt; break;
+    case TokenKind::kGe: op = BinaryOp::kGe; break;
+    default: return lhs;
+  }
+  advance();
+  return std::make_unique<BinaryNode>(op, std::move(lhs), parse_add());
+}
+
+NodePtr Parser::parse_add() {
+  NodePtr lhs = parse_mul();
+  while (true) {
+    if (match(TokenKind::kPlus)) {
+      lhs = std::make_unique<BinaryNode>(BinaryOp::kAdd, std::move(lhs), parse_mul());
+    } else if (match(TokenKind::kMinus)) {
+      lhs = std::make_unique<BinaryNode>(BinaryOp::kSub, std::move(lhs), parse_mul());
+    } else {
+      return lhs;
+    }
+  }
+}
+
+NodePtr Parser::parse_mul() {
+  NodePtr lhs = parse_unary();
+  while (true) {
+    if (match(TokenKind::kStar)) {
+      lhs = std::make_unique<BinaryNode>(BinaryOp::kMul, std::move(lhs), parse_unary());
+    } else if (match(TokenKind::kSlash)) {
+      lhs = std::make_unique<BinaryNode>(BinaryOp::kDiv, std::move(lhs), parse_unary());
+    } else if (match(TokenKind::kPercent)) {
+      lhs = std::make_unique<BinaryNode>(BinaryOp::kMod, std::move(lhs), parse_unary());
+    } else {
+      return lhs;
+    }
+  }
+}
+
+NodePtr Parser::parse_unary() {
+  if (match(TokenKind::kMinus)) {
+    return std::make_unique<UnaryNode>(UnaryOp::kNeg, parse_unary());
+  }
+  if (match(TokenKind::kNot)) {
+    return std::make_unique<UnaryNode>(UnaryOp::kNot, parse_unary());
+  }
+  return parse_primary();
+}
+
+NodePtr Parser::parse_primary() {
+  const Token& t = peek();
+  if (t.kind == TokenKind::kNumber) {
+    advance();
+    return std::make_unique<NumberNode>(t.number);
+  }
+  if (t.kind == TokenKind::kLParen) {
+    advance();
+    NodePtr inner = parse_expr();
+    expect(TokenKind::kRParen, "to close parenthesized expression");
+    return inner;
+  }
+  if (t.kind == TokenKind::kIdentifier) {
+    std::string name = t.text;
+    advance();
+    // Call or table access: name[...] (paper style) or name(...).
+    if (peek().kind == TokenKind::kLBracket || peek().kind == TokenKind::kLParen) {
+      const bool bracket = peek().kind == TokenKind::kLBracket;
+      advance();
+      std::vector<NodePtr> args;
+      const TokenKind closer = bracket ? TokenKind::kRBracket : TokenKind::kRParen;
+      if (peek().kind != closer) {
+        args.push_back(parse_expr());
+        while (match(TokenKind::kComma)) args.push_back(parse_expr());
+      }
+      expect(closer, "to close argument list");
+      return std::make_unique<CallNode>(std::move(name), std::move(args));
+    }
+    return std::make_unique<IdentifierNode>(std::move(name));
+  }
+  fail("expected an expression");
+}
+
+NodePtr parse_expression(std::string_view source) {
+  const std::vector<Token> tokens = tokenize(source);
+  Parser parser(tokens);
+  NodePtr node = parser.parse_expr();
+  parser.expect(TokenKind::kEnd, "after expression");
+  return node;
+}
+
+Program parse_program(std::string_view source) {
+  const std::vector<Token> tokens = tokenize(source);
+  Parser parser(tokens);
+  Program program;
+  while (parser.peek().kind != TokenKind::kEnd) {
+    Statement stmt;
+    const Token& name = parser.expect(TokenKind::kIdentifier, "as assignment target");
+    stmt.target = name.text;
+    if (parser.match(TokenKind::kLBracket)) {
+      stmt.index = parser.parse_expr();
+      parser.expect(TokenKind::kRBracket, "to close table index");
+    }
+    parser.expect(TokenKind::kAssignOrEq, "in assignment");
+    stmt.value = parser.parse_expr();
+    program.statements.push_back(std::move(stmt));
+    if (!parser.match(TokenKind::kSemicolon)) break;
+  }
+  parser.expect(TokenKind::kEnd, "after statements");
+  return program;
+}
+
+}  // namespace pnut::expr

@@ -1,0 +1,64 @@
+// Recursive-descent parser for the expression language.
+//
+// Grammar (expressions):
+//   expr    := or
+//   or      := and (('||' | 'or') and)*
+//   and     := rel (('&&' | 'and') rel)*
+//   rel     := add (('==' | '=' | '!=' | '<' | '<=' | '>' | '>=') add)?
+//   add     := mul (('+' | '-') mul)*
+//   mul     := unary (('*' | '/' | '%') unary)*
+//   unary   := ('-' | '!' | 'not') unary | primary
+//   primary := number | ident | ident '[' expr (',' expr)* ']'
+//            | ident '(' expr (',' expr)* ')' | '(' expr ')'
+//
+// Note the paper writes equality with a single '=' inside predicates
+// (`Bus_busy(s) + Bus_free(s) = 1`); at expression level '=' therefore
+// parses as equality, while at statement level it is assignment.
+//
+// Grammar (action programs):
+//   program := (stmt ';')* [stmt]
+//   stmt    := ident '=' expr | ident '[' expr ']' '=' expr
+#pragma once
+
+#include <string_view>
+
+#include "expr/ast.h"
+#include "expr/lexer.h"
+
+namespace pnut::expr {
+
+/// Parse a single expression; the entire input must be consumed.
+NodePtr parse_expression(std::string_view source);
+
+/// Parse a sequence of assignment statements (an action body).
+Program parse_program(std::string_view source);
+
+/// Token-stream parser, exposed so the query language (src/analysis) can
+/// embed expression parsing inside its own grammar.
+class Parser {
+ public:
+  explicit Parser(const std::vector<Token>& tokens) : tokens_(&tokens) {}
+
+  [[nodiscard]] const Token& peek(std::size_t lookahead = 0) const;
+  const Token& advance();
+  bool match(TokenKind kind);
+  const Token& expect(TokenKind kind, std::string_view what);
+  [[noreturn]] void fail(std::string_view message) const;
+
+  /// Parse one expression starting at the current position.
+  NodePtr parse_expr();
+
+ private:
+  NodePtr parse_or();
+  NodePtr parse_and();
+  NodePtr parse_rel();
+  NodePtr parse_add();
+  NodePtr parse_mul();
+  NodePtr parse_unary();
+  NodePtr parse_primary();
+
+  const std::vector<Token>* tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace pnut::expr

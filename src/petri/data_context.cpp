@@ -1,0 +1,101 @@
+#include "petri/data_context.h"
+
+#include <sstream>
+
+namespace pnut {
+
+std::int64_t DataContext::get(std::string_view name) const {
+  auto it = scalars_.find(name);
+  if (it == scalars_.end()) {
+    throw std::out_of_range("DataContext: unknown variable '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+bool DataContext::has(std::string_view name) const {
+  return scalars_.find(name) != scalars_.end();
+}
+
+void DataContext::set(std::string_view name, std::int64_t value) {
+  auto it = scalars_.find(name);
+  if (it == scalars_.end()) {
+    scalars_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+std::int64_t DataContext::get_table(std::string_view name, std::int64_t index) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    throw std::out_of_range("DataContext: unknown table '" + std::string(name) + "'");
+  }
+  if (index < 0 || static_cast<std::size_t>(index) >= it->second.size()) {
+    throw std::out_of_range("DataContext: index " + std::to_string(index) +
+                            " out of bounds for table '" + std::string(name) + "' of size " +
+                            std::to_string(it->second.size()));
+  }
+  return it->second[static_cast<std::size_t>(index)];
+}
+
+bool DataContext::has_table(std::string_view name) const {
+  return tables_.find(name) != tables_.end();
+}
+
+void DataContext::set_table(std::string_view name, std::vector<std::int64_t> values) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    tables_.emplace(std::string(name), std::move(values));
+  } else {
+    it->second = std::move(values);
+  }
+}
+
+void DataContext::set_table_entry(std::string_view name, std::int64_t index,
+                                  std::int64_t value) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    throw std::out_of_range("DataContext: unknown table '" + std::string(name) + "'");
+  }
+  if (index < 0 || static_cast<std::size_t>(index) >= it->second.size()) {
+    throw std::out_of_range("DataContext: index " + std::to_string(index) +
+                            " out of bounds for table '" + std::string(name) + "'");
+  }
+  it->second[static_cast<std::size_t>(index)] = value;
+}
+
+std::size_t DataContext::table_size(std::string_view name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    throw std::out_of_range("DataContext: unknown table '" + std::string(name) + "'");
+  }
+  return it->second.size();
+}
+
+void DataContext::clear() {
+  scalars_.clear();
+  tables_.clear();
+}
+
+std::string DataContext::to_string() const {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& [name, value] : scalars_) {
+    if (!first) out << ' ';
+    out << name << '=' << value;
+    first = false;
+  }
+  for (const auto& [name, values] : tables_) {
+    if (!first) out << ' ';
+    out << name << "=[";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) out << ',';
+      out << values[i];
+    }
+    out << ']';
+    first = false;
+  }
+  return out.str();
+}
+
+}  // namespace pnut

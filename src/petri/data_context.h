@@ -1,0 +1,73 @@
+// Variable store for interpreted Petri nets (Section 3 of the paper).
+//
+// Predicates and actions attached to transitions read and write named
+// integer variables and tables. The paper's table-driven instruction-set
+// model keeps, e.g., `number-of-operands-needed` as a scalar and `operands`
+// as a table indexed by instruction type. The DataContext is owned by the
+// simulator and is part of the simulation state (an interpreted net's state
+// is marking + data).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pnut {
+
+/// Named integer scalars and integer tables.
+///
+/// Uses std::map (ordered) so that snapshots and dumps are deterministic and
+/// diffable; the variable count in realistic models is tiny, so lookup cost
+/// is irrelevant next to simulation bookkeeping.
+class DataContext {
+ public:
+  /// Read a scalar. Throws std::out_of_range if the name is unknown — an
+  /// unknown variable in a predicate is a modeling bug, not a default-0 read.
+  [[nodiscard]] std::int64_t get(std::string_view name) const;
+
+  /// True if a scalar with this name exists.
+  [[nodiscard]] bool has(std::string_view name) const;
+
+  /// Create or overwrite a scalar.
+  void set(std::string_view name, std::int64_t value);
+
+  /// Read table[index] (0-based). Throws std::out_of_range on unknown table
+  /// or out-of-bounds index.
+  [[nodiscard]] std::int64_t get_table(std::string_view name, std::int64_t index) const;
+
+  /// True if a table with this name exists.
+  [[nodiscard]] bool has_table(std::string_view name) const;
+
+  /// Create or overwrite an entire table.
+  void set_table(std::string_view name, std::vector<std::int64_t> values);
+
+  /// Write table[index]; the table must already exist and the index be valid.
+  void set_table_entry(std::string_view name, std::int64_t index, std::int64_t value);
+
+  [[nodiscard]] std::size_t table_size(std::string_view name) const;
+
+  [[nodiscard]] const std::map<std::string, std::int64_t, std::less<>>& scalars() const {
+    return scalars_;
+  }
+  [[nodiscard]] const std::map<std::string, std::vector<std::int64_t>, std::less<>>& tables()
+      const {
+    return tables_;
+  }
+
+  /// Remove all variables (used when resetting a simulation).
+  void clear();
+
+  /// One-line `name=value` dump, deterministic order; used in traces.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const DataContext&, const DataContext&) = default;
+
+ private:
+  std::map<std::string, std::int64_t, std::less<>> scalars_;
+  std::map<std::string, std::vector<std::int64_t>, std::less<>> tables_;
+};
+
+}  // namespace pnut

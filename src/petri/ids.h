@@ -1,0 +1,64 @@
+// Strongly-typed identifiers for Petri net elements.
+//
+// Places and transitions are referred to by dense indices into the owning
+// pnut::Net. Strong types prevent accidentally using a place id where a
+// transition id is expected (and vice versa), which is an easy mistake in a
+// model with hundreds of elements.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace pnut {
+
+/// Index of a place within a Net. Dense, starts at 0.
+struct PlaceId {
+  std::uint32_t value = UINT32_MAX;
+
+  constexpr PlaceId() = default;
+  constexpr explicit PlaceId(std::uint32_t v) : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const { return value != UINT32_MAX; }
+
+  friend constexpr bool operator==(PlaceId, PlaceId) = default;
+  friend constexpr auto operator<=>(PlaceId, PlaceId) = default;
+};
+
+/// Index of a transition within a Net. Dense, starts at 0.
+struct TransitionId {
+  std::uint32_t value = UINT32_MAX;
+
+  constexpr TransitionId() = default;
+  constexpr explicit TransitionId(std::uint32_t v) : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const { return value != UINT32_MAX; }
+
+  friend constexpr bool operator==(TransitionId, TransitionId) = default;
+  friend constexpr auto operator<=>(TransitionId, TransitionId) = default;
+};
+
+/// Number of tokens on a place. The paper's models use small counts (a
+/// 6-entry instruction buffer), but nothing prevents large pools.
+using TokenCount = std::uint32_t;
+
+/// Simulation time. The paper's processor models use integer processor
+/// cycles; we use double so that derived quantities (throughput, utilization)
+/// and fractional delays compose without a separate fixed-point layer.
+using Time = double;
+
+}  // namespace pnut
+
+template <>
+struct std::hash<pnut::PlaceId> {
+  std::size_t operator()(pnut::PlaceId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<pnut::TransitionId> {
+  std::size_t operator()(pnut::TransitionId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};

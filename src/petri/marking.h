@@ -1,0 +1,76 @@
+// Markings: the token state of a net, plus enablement tests.
+//
+// A marking is a dense vector of token counts indexed by PlaceId. The
+// enablement test implements the paper's rules: every input place must hold
+// at least the arc weight, every inhibitor place must hold fewer tokens than
+// the inhibitor threshold, and (for interpreted nets) the transition's
+// predicate must hold on the current data state.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "petri/ids.h"
+#include "petri/net.h"
+
+namespace pnut {
+
+class Marking {
+ public:
+  Marking() = default;
+  explicit Marking(std::size_t num_places) : tokens_(num_places, 0) {}
+
+  /// The net's initial marking.
+  static Marking initial(const Net& net);
+
+  [[nodiscard]] std::size_t size() const { return tokens_.size(); }
+
+  [[nodiscard]] TokenCount operator[](PlaceId p) const { return tokens_.at(p.value); }
+  [[nodiscard]] TokenCount& operator[](PlaceId p) { return tokens_.at(p.value); }
+
+  /// Deposit `n` tokens on `p`.
+  void add(PlaceId p, TokenCount n);
+
+  /// Remove `n` tokens from `p`; throws std::underflow_error if fewer are
+  /// present (a semantic bug in the caller, never silently clamped).
+  void remove(PlaceId p, TokenCount n);
+
+  /// Total tokens across all places.
+  [[nodiscard]] std::uint64_t total() const;
+
+  [[nodiscard]] const std::vector<TokenCount>& tokens() const { return tokens_; }
+
+  /// `name=count` pairs for all marked places, e.g. "Bus_free=1 Empty=6".
+  [[nodiscard]] std::string to_string(const Net& net) const;
+
+  friend bool operator==(const Marking&, const Marking&) = default;
+
+ private:
+  std::vector<TokenCount> tokens_;
+};
+
+/// FNV-1a hash over token counts; used by the reachability analyzer's
+/// visited-set.
+struct MarkingHash {
+  std::size_t operator()(const Marking& m) const noexcept;
+};
+
+/// Token-availability test only (input weights satisfied, inhibitors clear).
+/// Ignores predicates; see is_enabled for the full test.
+[[nodiscard]] bool tokens_available(const Net& net, const Marking& m, TransitionId t);
+
+/// Full enablement test: tokens available AND the predicate (if any) holds.
+[[nodiscard]] bool is_enabled(const Net& net, const Marking& m, TransitionId t,
+                              const DataContext& data);
+
+/// How many times `t` could fire concurrently from `m` on token counts alone
+/// (inhibitors allow either 0 or unbounded concurrent enablement; bounded
+/// here by what input tokens support). Used for infinite-server semantics.
+[[nodiscard]] TokenCount enabling_degree(const Net& net, const Marking& m, TransitionId t);
+
+/// All transitions enabled in `m` (with predicates evaluated on `data`).
+[[nodiscard]] std::vector<TransitionId> enabled_transitions(const Net& net, const Marking& m,
+                                                            const DataContext& data);
+
+}  // namespace pnut

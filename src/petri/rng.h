@@ -1,0 +1,102 @@
+// Deterministic pseudo-random number generator used by the whole toolset.
+//
+// All stochastic behaviour in P-NUT (probabilistic conflict resolution,
+// discrete delay distributions, the irand primitive of interpreted nets)
+// draws from a single seeded generator owned by the simulator, so a run is
+// reproducible from (net, seed, length) alone. We implement xoshiro256**
+// seeded via SplitMix64 rather than using std::mt19937 so the bit stream is
+// stable across standard-library implementations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace pnut {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded with SplitMix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initialize the state from a 64-bit seed.
+  void reseed(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& s : state_) s = splitmix64(x);
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi) {
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) return lo + static_cast<std::int64_t>(next_u64());
+    return lo + static_cast<std::int64_t>(bounded(span));
+  }
+
+  /// Uniform integer in [0, bound). Debiased multiply-shift (Lemire 2019).
+  std::uint64_t bounded(std::uint64_t bound) {
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(next_u64()) * static_cast<unsigned __int128>(bound);
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0ULL - bound) % bound;
+      while (low < threshold) {
+        m = static_cast<unsigned __int128>(next_u64()) *
+            static_cast<unsigned __int128>(bound);
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Sample an index from non-negative weights proportionally.
+  /// Returns weights.size() if the total weight is zero.
+  std::size_t next_weighted(std::span<const double> weights) {
+    double total = 0;
+    for (double w : weights) total += w;
+    if (total <= 0) return weights.size();
+    double r = next_double() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      r -= weights[i];
+      if (r < 0) return i;
+    }
+    return weights.size() - 1;  // floating-point slack lands on the last bin
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool next_bool(double p) { return next_double() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  static std::uint64_t splitmix64(std::uint64_t& x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace pnut

@@ -1,0 +1,57 @@
+// Parameters of the paper's example pipelined microprocessor (Section 2).
+//
+// Defaults are exactly the paper's eight numbered features:
+//   1. 3-stage pipeline (prefetch / decode+EA+operand-fetch / execute+store)
+//   2. prefetch when bus free, buffer room, no pending memory reads/writes
+//   3. 6-word instruction buffer, prefetched two-at-a-time, one instruction
+//      per word
+//   4. instruction mix: 0/1/2 memory operands with frequencies 70-20-10
+//   5. store probability 0.2 per instruction
+//   6. decode = 1 cycle; EA calculation = 2 cycles per memory operand
+//   7. execution = 1/2/5/10/50 cycles with probabilities .5/.3/.1/.05/.05
+//   8. memory access = 5 cycles
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "petri/ids.h"
+
+namespace pnut::pipeline {
+
+/// Probabilistic cache model (Section 3): a given hit ratio short-circuits
+/// the memory latency. Modeled as an immediate probabilistic branch between
+/// a hit path (hit_cycles) and a miss path (full memory latency).
+struct CacheConfig {
+  double hit_ratio = 0.9;
+  Time hit_cycles = 1;
+};
+
+struct PipelineConfig {
+  /// Instruction buffer capacity in words (feature 3).
+  TokenCount ibuffer_words = 6;
+  /// Words fetched per prefetch (feature 3: "two-at-a-time").
+  TokenCount prefetch_words = 2;
+  /// Decode firing time (feature 6).
+  Time decode_cycles = 1;
+  /// Effective-address calculation per memory operand (feature 6).
+  Time ea_calc_cycles = 2;
+  /// Main-memory access enabling delay (feature 8).
+  Time memory_cycles = 5;
+  /// Relative frequencies of 0-, 1- and 2-memory-operand instructions
+  /// (feature 4).
+  double type_frequency[3] = {70, 20, 10};
+  /// Probability an instruction stores a result (feature 5).
+  double store_probability = 0.2;
+  /// Execution delay classes: (cycles, probability weight) (feature 7).
+  std::vector<std::pair<Time, double>> exec_classes = {
+      {1, 0.5}, {2, 0.3}, {5, 0.1}, {10, 0.05}, {50, 0.05}};
+
+  /// Optional instruction cache in front of prefetch (Section 3 extension).
+  std::optional<CacheConfig> icache;
+  /// Optional data cache for operand fetches and result stores.
+  std::optional<CacheConfig> dcache;
+};
+
+}  // namespace pnut::pipeline

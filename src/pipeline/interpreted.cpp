@@ -1,0 +1,237 @@
+#include "pipeline/interpreted.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "expr/compile.h"
+#include "pipeline/model.h"
+
+namespace pnut::pipeline {
+
+namespace {
+
+/// Install the instruction-set tables (1-based by type, index 0 unused so
+/// the paper's `irand[1, max_type]` indexes directly) and the working
+/// variables into the net's initial data.
+void install_tables(Net& net, const InterpretedConfig& config) {
+  if (config.types.empty()) {
+    throw std::invalid_argument("InterpretedConfig: empty instruction-type table");
+  }
+  const std::size_t n = config.types.size();
+  std::vector<std::int64_t> operands(n + 1, 0);
+  std::vector<std::int64_t> extra_words(n + 1, 0);
+  std::vector<std::int64_t> exec_cycles(n + 1, 0);
+  std::vector<std::int64_t> store_per_mille(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    operands[i + 1] = config.types[i].memory_operands;
+    extra_words[i + 1] = config.types[i].extra_words;
+    exec_cycles[i + 1] = config.types[i].exec_cycles;
+    store_per_mille[i + 1] = config.types[i].store_per_mille;
+  }
+  DataContext& data = net.initial_data();
+  data.set("max_type", static_cast<std::int64_t>(n));
+  data.set("type", 0);
+  data.set("number_of_operands_needed", 0);
+  data.set("extra_words_needed", 0);
+  data.set("exec_cycles_current", 1);
+  data.set("store_needed", 0);
+  data.set_table("operands", std::move(operands));
+  data.set_table("extra_words", std::move(extra_words));
+  data.set_table("exec_cycles", std::move(exec_cycles));
+  data.set_table("store_per_mille", std::move(store_per_mille));
+}
+
+}  // namespace
+
+Net build_interpreted_operand_fetch(const InterpretedConfig& config) {
+  Net net("interpreted_operand_fetch");
+  install_tables(net, config);
+
+  const PlaceId next = net.add_place("Next_instruction", 1, 1);
+  const PlaceId decoded = net.add_place(names::kDecodedInstruction, 0, 1);
+  const PlaceId bus_free = net.add_place(names::kBusFree, 1, 1);
+  const PlaceId bus_busy = net.add_place(names::kBusBusy, 0, 1);
+  const PlaceId fetching = net.add_place(names::kFetching, 0, 1);
+
+  // Decode randomly selects the instruction type and looks up its operand
+  // count — the action text is the paper's Figure 4 action verbatim (modulo
+  // underscores for dashes).
+  const TransitionId decode = net.add_transition(names::kDecode);
+  net.add_input(decode, next);
+  net.add_output(decode, decoded);
+  net.set_firing_time(decode, DelaySpec::constant(config.decode_cycles));
+  net.set_action(decode, expr::compile_action(
+                             "type = irand[1, max_type];"
+                             "number_of_operands_needed = operands[type]"));
+
+  const TransitionId fetch = net.add_transition("fetch_operand");
+  net.add_input(fetch, decoded);
+  net.add_input(fetch, bus_free);
+  net.add_output(fetch, bus_busy);
+  net.add_output(fetch, fetching);
+  net.set_predicate(fetch, expr::compile_predicate("number_of_operands_needed > 0"));
+
+  const TransitionId end_fetch = net.add_transition(names::kEndFetch);
+  net.add_input(end_fetch, fetching);
+  net.add_input(end_fetch, bus_busy);
+  net.add_output(end_fetch, bus_free);
+  net.add_output(end_fetch, decoded);
+  net.set_enabling_time(end_fetch, DelaySpec::constant(config.memory_cycles));
+  net.set_action(end_fetch,
+                 expr::compile_action(
+                     "number_of_operands_needed = number_of_operands_needed - 1"));
+
+  const TransitionId done = net.add_transition("operand_fetching_done");
+  net.add_input(done, decoded);
+  net.add_output(done, next);
+  net.set_predicate(done, expr::compile_predicate("number_of_operands_needed == 0"));
+
+  net.validate_or_throw();
+  return net;
+}
+
+Net build_interpreted_pipeline(const InterpretedConfig& config, TokenCount ibuffer_words,
+                               TokenCount prefetch_words) {
+  if (prefetch_words == 0 || prefetch_words > ibuffer_words) {
+    throw std::invalid_argument(
+        "build_interpreted_pipeline: prefetch_words must be in [1, ibuffer_words]");
+  }
+  Net net("interpreted_pipeline");
+  install_tables(net, config);
+
+  // --- bus and prefetch (as in the classic model) ----------------------------
+  const PlaceId bus_free = net.add_place(names::kBusFree, 1, 1);
+  const PlaceId bus_busy = net.add_place(names::kBusBusy, 0, 1);
+  const PlaceId operand_pending = net.add_place(names::kOperandFetchPending);
+  const PlaceId store_pending = net.add_place(names::kResultStorePending);
+  const PlaceId empty = net.add_place(names::kEmptyIBuffers, ibuffer_words, ibuffer_words);
+  const PlaceId full = net.add_place(names::kFullIBuffers, 0, ibuffer_words);
+  const PlaceId prefetching = net.add_place(names::kPreFetching, 0, 1);
+
+  const TransitionId start_prefetch = net.add_transition(names::kStartPrefetch);
+  net.add_input(start_prefetch, bus_free);
+  net.add_input(start_prefetch, empty, prefetch_words);
+  net.add_inhibitor(start_prefetch, operand_pending);
+  net.add_inhibitor(start_prefetch, store_pending);
+  net.add_output(start_prefetch, bus_busy);
+  net.add_output(start_prefetch, prefetching);
+
+  const TransitionId end_prefetch = net.add_transition(names::kEndPrefetch);
+  net.add_input(end_prefetch, prefetching);
+  net.add_input(end_prefetch, bus_busy);
+  net.add_output(end_prefetch, bus_free);
+  net.add_output(end_prefetch, full, prefetch_words);
+  net.set_enabling_time(end_prefetch, DelaySpec::constant(config.memory_cycles));
+
+  // --- table-driven decode ----------------------------------------------------
+  const PlaceId decoder_ready = net.add_place(names::kDecoderReady, 1, 1);
+  const PlaceId extra_phase = net.add_place("Consuming_extra_words", 0, 1);
+  const PlaceId operand_phase = net.add_place("Operand_phase", 0, 1);
+  const PlaceId fetching = net.add_place(names::kFetching, 0, 1);
+  const PlaceId ready_to_issue = net.add_place(names::kReadyToIssue, 0, 1);
+
+  const TransitionId decode = net.add_transition(names::kDecode);
+  net.add_input(decode, full);
+  net.add_input(decode, decoder_ready);
+  net.add_output(decode, extra_phase);
+  net.add_output(decode, empty);
+  net.set_firing_time(decode, DelaySpec::constant(config.decode_cycles));
+  net.set_action(decode, expr::compile_action(
+                             "type = irand[1, max_type];"
+                             "number_of_operands_needed = operands[type];"
+                             "extra_words_needed = extra_words[type]"));
+
+  // Variable-length encodings: remove additional words from the buffer,
+  // one immediate firing per word.
+  const TransitionId take_word = net.add_transition("consume_extra_word");
+  net.add_input(take_word, extra_phase);
+  net.add_input(take_word, full);
+  net.add_output(take_word, extra_phase);
+  net.add_output(take_word, empty);
+  net.set_predicate(take_word, expr::compile_predicate("extra_words_needed > 0"));
+  net.set_action(take_word,
+                 expr::compile_action("extra_words_needed = extra_words_needed - 1"));
+
+  const TransitionId words_done = net.add_transition("extra_words_done");
+  net.add_input(words_done, extra_phase);
+  net.add_output(words_done, operand_phase);
+  net.set_predicate(words_done, expr::compile_predicate("extra_words_needed == 0"));
+
+  // --- operand-fetch loop (Figure 4) -------------------------------------------
+  const TransitionId calc = net.add_transition(names::kCalcEaddr);
+  net.add_input(calc, operand_phase);
+  net.add_output(calc, operand_pending);
+  net.set_firing_time(calc, DelaySpec::constant(config.ea_calc_cycles));
+  net.set_predicate(calc, expr::compile_predicate("number_of_operands_needed > 0"));
+
+  const TransitionId start_fetch = net.add_transition(names::kStartFetch);
+  net.add_input(start_fetch, operand_pending);
+  net.add_input(start_fetch, bus_free);
+  net.add_output(start_fetch, bus_busy);
+  net.add_output(start_fetch, fetching);
+
+  const TransitionId end_fetch = net.add_transition(names::kEndFetch);
+  net.add_input(end_fetch, fetching);
+  net.add_input(end_fetch, bus_busy);
+  net.add_output(end_fetch, bus_free);
+  net.add_output(end_fetch, operand_phase);
+  net.set_enabling_time(end_fetch, DelaySpec::constant(config.memory_cycles));
+  net.set_action(end_fetch,
+                 expr::compile_action(
+                     "number_of_operands_needed = number_of_operands_needed - 1"));
+
+  const TransitionId fetch_done = net.add_transition("operand_fetching_done");
+  net.add_input(fetch_done, operand_phase);
+  net.add_output(fetch_done, ready_to_issue);
+  net.set_predicate(fetch_done, expr::compile_predicate("number_of_operands_needed == 0"));
+
+  // --- table-driven execution ----------------------------------------------------
+  const PlaceId exec_unit = net.add_place(names::kExecutionUnit, 1, 1);
+  const PlaceId issued = net.add_place(names::kIssuedInstruction, 0, 1);
+  const PlaceId executed = net.add_place(names::kExecuted, 0, 1);
+  const PlaceId storing = net.add_place(names::kStoring, 0, 1);
+
+  // Issue latches this instruction's execution time and store decision so
+  // the next instruction's decode cannot clobber them mid-execution.
+  const TransitionId issue = net.add_transition(names::kIssue);
+  net.add_input(issue, ready_to_issue);
+  net.add_input(issue, exec_unit);
+  net.add_output(issue, issued);
+  net.add_output(issue, decoder_ready);
+  net.set_action(issue, expr::compile_action(
+                            "exec_cycles_current = exec_cycles[type];"
+                            "store_needed = irand[1, 1000] <= store_per_mille[type]"));
+
+  const TransitionId execute = net.add_transition("execute");
+  net.add_input(execute, issued);
+  net.add_output(execute, executed);
+  net.set_firing_time(execute, expr::compile_delay("exec_cycles_current"));
+
+  const TransitionId no_store = net.add_transition(names::kNoStore);
+  net.add_input(no_store, executed);
+  net.add_output(no_store, exec_unit);
+  net.set_predicate(no_store, expr::compile_predicate("store_needed == 0"));
+
+  const TransitionId need_store = net.add_transition(names::kNeedStore);
+  net.add_input(need_store, executed);
+  net.add_output(need_store, store_pending);
+  net.set_predicate(need_store, expr::compile_predicate("store_needed == 1"));
+
+  const TransitionId start_store = net.add_transition(names::kStartStore);
+  net.add_input(start_store, store_pending);
+  net.add_input(start_store, bus_free);
+  net.add_output(start_store, bus_busy);
+  net.add_output(start_store, storing);
+
+  const TransitionId end_store = net.add_transition(names::kEndStore);
+  net.add_input(end_store, storing);
+  net.add_input(end_store, bus_busy);
+  net.add_output(end_store, bus_free);
+  net.add_output(end_store, exec_unit);
+  net.set_enabling_time(end_store, DelaySpec::constant(config.memory_cycles));
+
+  net.validate_or_throw();
+  return net;
+}
+
+}  // namespace pnut::pipeline

@@ -1,0 +1,68 @@
+// Table-driven (interpreted) models of Section 3 / Figure 4.
+//
+// "Rather than using a separate subnet for each addressing mode it is
+// possible to construct a table-driven model of the instruction set. One
+// transition in the net can randomly select the instruction type ... and
+// the remaining parts of the net use the instruction type to remove
+// additional words from the instruction buffer, and to calculate firing
+// times, enabling times and the number of times to iterate through loops."
+//
+// Two builders:
+//   * build_interpreted_operand_fetch — Figure 4's skeleton verbatim: a
+//     Decode action draws `type = irand[1, max_type]` and looks up
+//     `number_of_operands_needed = operands[type]`; fetch_operand loops
+//     while the predicate `number_of_operands_needed > 0` holds, end_fetch
+//     decrements; operand_fetching_done fires on `== 0`.
+//   * build_interpreted_pipeline — the full processor with the instruction
+//     set in tables: operand counts, execution cycles and store behaviour
+//     are all data, the net models only bus contention and stage
+//     synchronization ("the Petri net focuses exclusively on modeling
+//     contention for the bus").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "petri/net.h"
+#include "pipeline/config.h"
+
+namespace pnut::pipeline {
+
+/// One row of the table-driven instruction set.
+struct InstructionType {
+  /// Extra instruction words beyond the first (variable-length encoding);
+  /// each occupies one I-buffer word.
+  std::uint32_t extra_words = 0;
+  /// Memory operands to fetch.
+  std::uint32_t memory_operands = 0;
+  /// Execution time in cycles.
+  std::uint32_t exec_cycles = 1;
+  /// Per-mille probability of storing a result (0..1000), drawn by the
+  /// execute action with irand.
+  std::uint32_t store_per_mille = 200;
+};
+
+struct InterpretedConfig {
+  std::vector<InstructionType> types = {
+      {0, 0, 1, 200},   // register-only, fast
+      {0, 1, 2, 200},   // one memory operand
+      {1, 2, 5, 200},   // two memory operands, longer encoding
+  };
+  Time memory_cycles = 5;
+  Time decode_cycles = 1;
+  Time ea_calc_cycles = 2;
+};
+
+/// Figure 4 verbatim: the operand-fetch loop driven by predicates and
+/// actions, with bus contention. Closed net (one instruction in flight,
+/// recycled), suitable for unit tests and the Figure 4 bench.
+Net build_interpreted_operand_fetch(const InterpretedConfig& config = {});
+
+/// Full interpreted processor: prefetch into the I-buffer, a table-driven
+/// decode that consumes extra words for long encodings, the operand-fetch
+/// loop, table-driven execution time, and probabilistic result store.
+Net build_interpreted_pipeline(const InterpretedConfig& config = {},
+                               TokenCount ibuffer_words = 6,
+                               TokenCount prefetch_words = 2);
+
+}  // namespace pnut::pipeline

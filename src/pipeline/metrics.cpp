@@ -1,0 +1,64 @@
+#include "pipeline/metrics.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "pipeline/model.h"
+
+namespace pnut::pipeline {
+
+PipelineMetrics PipelineMetrics::from_stats(const RunStats& stats) {
+  PipelineMetrics m;
+  m.instructions_per_cycle = stats.transition(names::kIssue).throughput;
+  m.bus_utilization = stats.place(names::kBusBusy).avg_tokens;
+  m.bus_prefetch_fraction = stats.place(names::kPreFetching).avg_tokens;
+  m.bus_operand_fetch_fraction = stats.place(names::kFetching).avg_tokens;
+  m.bus_store_fraction = stats.place(names::kStoring).avg_tokens;
+  m.decoder_busy = 1.0 - stats.place(names::kDecoderReady).avg_tokens;
+  m.exec_unit_busy = 1.0 - stats.place(names::kExecutionUnit).avg_tokens;
+  m.avg_full_ibuffer_words = stats.place(names::kFullIBuffers).avg_tokens;
+  m.avg_empty_ibuffer_words = stats.place(names::kEmptyIBuffers).avg_tokens;
+
+  for (std::size_t i = 1;; ++i) {
+    const std::string name = names::exec_type(i);
+    bool found = false;
+    for (const TransitionStats& t : stats.transitions) {
+      if (t.name == name) {
+        m.exec_class_time.push_back(t.avg_concurrent);
+        m.exec_class_counts.push_back(t.ends);
+        found = true;
+        break;
+      }
+    }
+    if (!found) break;
+  }
+  return m;
+}
+
+std::string PipelineMetrics::to_string() const {
+  std::ostringstream out;
+  char buf[160];
+  auto line = [&](const char* label, double value) {
+    std::snprintf(buf, sizeof(buf), "  %-28s %8.4f\n", label, value);
+    out << buf;
+  };
+  line("instructions / cycle", instructions_per_cycle);
+  line("bus utilization", bus_utilization);
+  line("  prefetch fraction", bus_prefetch_fraction);
+  line("  operand-fetch fraction", bus_operand_fetch_fraction);
+  line("  result-store fraction", bus_store_fraction);
+  line("decoder busy", decoder_busy);
+  line("execution unit busy", exec_unit_busy);
+  line("avg full I-buffer words", avg_full_ibuffer_words);
+  line("avg empty I-buffer words", avg_empty_ibuffer_words);
+  for (std::size_t i = 0; i < exec_class_time.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "  exec class %zu: time %7.4f, count %llu\n", i + 1,
+                  exec_class_time[i],
+                  static_cast<unsigned long long>(
+                      i < exec_class_counts.size() ? exec_class_counts[i] : 0));
+    out << buf;
+  }
+  return out.str();
+}
+
+}  // namespace pnut::pipeline

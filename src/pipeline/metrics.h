@@ -1,0 +1,50 @@
+// Processor-level metrics extracted from place/transition statistics
+// (Section 4.2).
+//
+// The stat tool reports only places and transitions; "the mapping between
+// this information and higher-level concepts such as processor utilization
+// is left up to the user. This mapping, however, is usually
+// straightforward." This header packages the paper's mappings:
+//
+//   instruction rate  = throughput of Issue                (instr/cycle)
+//   bus utilization   = time-avg tokens on Bus_busy        (valid because
+//                       Bus_free + Bus_busy = 1 and all bus moves are
+//                       instantaneous)
+//   bus breakdown     = time-avg of pre_fetching / fetching / storing
+//   decoder busy      = 1 - time-avg of Decoder_ready
+//   exec-unit busy    = 1 - time-avg of Execution_unit
+//   exec class mix    = time-avg concurrent firings of exec_type_i
+//                       (fraction of time executing each class)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stat/stat.h"
+
+namespace pnut::pipeline {
+
+struct PipelineMetrics {
+  double instructions_per_cycle = 0;
+  double bus_utilization = 0;
+  double bus_prefetch_fraction = 0;
+  double bus_operand_fetch_fraction = 0;
+  double bus_store_fraction = 0;
+  double decoder_busy = 0;
+  double exec_unit_busy = 0;
+  double avg_full_ibuffer_words = 0;
+  double avg_empty_ibuffer_words = 0;
+  /// Fraction of time spent executing each delay class (index = class - 1).
+  std::vector<double> exec_class_time;
+  /// Per-class completed executions.
+  std::vector<std::uint64_t> exec_class_counts;
+
+  /// Extract the mappings above from a Figure-5 statistics block produced
+  /// on the build_full_model vocabulary.
+  static PipelineMetrics from_stats(const RunStats& stats);
+
+  /// Multi-line human-readable summary.
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace pnut::pipeline

@@ -1,0 +1,318 @@
+#include "pipeline/model.h"
+
+#include <stdexcept>
+
+namespace pnut::pipeline {
+
+namespace names {
+std::string exec_type(std::size_t index_1based) {
+  return "exec_type_" + std::to_string(index_1based);
+}
+}  // namespace names
+
+namespace {
+
+/// Adds a bus access path `start -> (busy period) -> end` between
+/// acquisition and release of the bus, optionally split by a cache into a
+/// hit branch and a miss branch (an immediate probabilistic choice at
+/// acquisition time, which is when a real cache lookup resolves).
+///
+/// `activity` is the Figure 5 usage place (pre_fetching / fetching /
+/// storing): marked for the whole bus tenure so its time-average is the
+/// fraction of time the bus serves this activity.
+struct BusAccess {
+  /// Extra tokens consumed when the access starts (besides Bus_free).
+  std::vector<Arc> extra_inputs;
+  /// Inhibitors checked when the access starts.
+  std::vector<Arc> inhibitors;
+  /// Extra tokens produced when the access completes (besides Bus_free).
+  std::vector<Arc> extra_outputs;
+  std::string start_name;
+  std::string end_name;
+  PlaceId activity;
+  Time latency = 5;
+  std::optional<CacheConfig> cache;
+};
+
+void add_bus_access(Net& net, const SharedPlaces& shared, const BusAccess& spec) {
+  auto wire_start = [&](TransitionId t) {
+    net.add_input(t, shared.bus_free);
+    for (const Arc& a : spec.extra_inputs) net.add_input(t, a.place, a.weight);
+    for (const Arc& a : spec.inhibitors) net.add_inhibitor(t, a.place, a.weight);
+    net.add_output(t, shared.bus_busy);
+    net.add_output(t, spec.activity);
+  };
+  auto wire_end = [&](TransitionId t, Time latency) {
+    net.add_input(t, spec.activity);
+    net.add_input(t, shared.bus_busy);
+    net.add_output(t, shared.bus_free);
+    for (const Arc& a : spec.extra_outputs) net.add_output(t, a.place, a.weight);
+    net.set_enabling_time(t, DelaySpec::constant(latency));
+  };
+
+  if (!spec.cache) {
+    const TransitionId start = net.add_transition(spec.start_name);
+    wire_start(start);
+    const TransitionId end = net.add_transition(spec.end_name);
+    wire_end(end, spec.latency);
+    return;
+  }
+
+  // Cache split: two start transitions compete for the same preconditions
+  // with frequencies hit_ratio : (1 - hit_ratio); a routing place steers the
+  // access to the end transition with the right latency.
+  const CacheConfig& cache = *spec.cache;
+  if (cache.hit_ratio <= 0 || cache.hit_ratio >= 1) {
+    throw std::invalid_argument("CacheConfig: hit_ratio must be in (0, 1) for '" +
+                                spec.start_name + "'");
+  }
+  const PlaceId hit_route = net.add_place(spec.start_name + "_hit_route");
+  const PlaceId miss_route = net.add_place(spec.start_name + "_miss_route");
+
+  const TransitionId start_hit = net.add_transition(spec.start_name + "_hit");
+  wire_start(start_hit);
+  net.add_output(start_hit, hit_route);
+  net.set_frequency(start_hit, cache.hit_ratio);
+
+  const TransitionId start_miss = net.add_transition(spec.start_name + "_miss");
+  wire_start(start_miss);
+  net.add_output(start_miss, miss_route);
+  net.set_frequency(start_miss, 1 - cache.hit_ratio);
+
+  const TransitionId end_hit = net.add_transition(spec.end_name + "_hit");
+  net.add_input(end_hit, hit_route);
+  wire_end(end_hit, cache.hit_cycles);
+
+  const TransitionId end_miss = net.add_transition(spec.end_name + "_miss");
+  net.add_input(end_miss, miss_route);
+  wire_end(end_miss, spec.latency);
+}
+
+void check_config(const PipelineConfig& config) {
+  if (config.ibuffer_words == 0) {
+    throw std::invalid_argument("PipelineConfig: ibuffer_words must be >= 1");
+  }
+  if (config.prefetch_words == 0 || config.prefetch_words > config.ibuffer_words) {
+    throw std::invalid_argument(
+        "PipelineConfig: prefetch_words must be in [1, ibuffer_words]");
+  }
+  if (config.exec_classes.empty()) {
+    throw std::invalid_argument("PipelineConfig: at least one execution class required");
+  }
+  if (config.store_probability < 0 || config.store_probability > 1) {
+    throw std::invalid_argument("PipelineConfig: store_probability must be in [0, 1]");
+  }
+  for (double f : config.type_frequency) {
+    if (f < 0) throw std::invalid_argument("PipelineConfig: negative type frequency");
+  }
+  if (config.type_frequency[0] + config.type_frequency[1] + config.type_frequency[2] <= 0) {
+    throw std::invalid_argument("PipelineConfig: all type frequencies are zero");
+  }
+}
+
+}  // namespace
+
+SharedPlaces add_bus(Net& net) {
+  SharedPlaces shared;
+  shared.bus_free = net.add_place(names::kBusFree, 1, 1);
+  shared.bus_busy = net.add_place(names::kBusBusy, 0, 1);
+  shared.operand_fetch_pending = net.add_place(names::kOperandFetchPending);
+  shared.result_store_pending = net.add_place(names::kResultStorePending);
+  return shared;
+}
+
+void add_prefetch_stage(Net& net, const SharedPlaces& shared, const PipelineConfig& config) {
+  const PlaceId empty = net.add_place(names::kEmptyIBuffers, config.ibuffer_words,
+                                      config.ibuffer_words);
+  const PlaceId full = net.add_place(names::kFullIBuffers, 0, config.ibuffer_words);
+  const PlaceId prefetching = net.add_place(names::kPreFetching, 0, 1);
+
+  BusAccess access;
+  access.extra_inputs = {Arc{empty, config.prefetch_words}};
+  access.inhibitors = {Arc{shared.operand_fetch_pending, 1},
+                       Arc{shared.result_store_pending, 1}};
+  access.extra_outputs = {Arc{full, config.prefetch_words}};
+  access.start_name = names::kStartPrefetch;
+  access.end_name = names::kEndPrefetch;
+  access.activity = prefetching;
+  access.latency = config.memory_cycles;
+  access.cache = config.icache;
+  add_bus_access(net, shared, access);
+}
+
+void add_decode_stage(Net& net, const SharedPlaces& shared, const PipelineConfig& config) {
+  const PlaceId full = net.place_named(names::kFullIBuffers);
+  const PlaceId empty = net.place_named(names::kEmptyIBuffers);
+
+  const PlaceId decoder_ready = net.add_place(names::kDecoderReady, 1, 1);
+  const PlaceId decoded = net.add_place(names::kDecodedInstruction, 0, 1);
+  const PlaceId type2_pending = net.add_place("Type2_pending", 0, 1);
+  const PlaceId type3_pending = net.add_place("Type3_pending", 0, 1);
+  const PlaceId operands_needed = net.add_place("Operands_needed", 0, 2);
+  const PlaceId fetching = net.add_place(names::kFetching, 0, 1);
+  const PlaceId operands_fetched = net.add_place("Operands_fetched", 0, 2);
+  const PlaceId ready_to_issue = net.add_place(names::kReadyToIssue, 0, 1);
+
+  // Decode: one full word in, the word's buffer slot freed when the decode
+  // completes one cycle later (firing time).
+  const TransitionId decode = net.add_transition(names::kDecode);
+  net.add_input(decode, full);
+  net.add_input(decode, decoder_ready);
+  net.add_output(decode, decoded);
+  net.add_output(decode, empty);
+  net.set_firing_time(decode, DelaySpec::constant(config.decode_cycles));
+
+  // Instruction-class choice: three immediate transitions competing for the
+  // decoded instruction with the paper's 70-20-10 frequencies.
+  const TransitionId type1 = net.add_transition(names::kType1);
+  net.add_input(type1, decoded);
+  net.add_output(type1, ready_to_issue);
+  net.set_frequency(type1, config.type_frequency[0]);
+
+  const TransitionId type2 = net.add_transition(names::kType2);
+  net.add_input(type2, decoded);
+  net.add_output(type2, operands_needed, 1);
+  net.add_output(type2, type2_pending);
+  net.set_frequency(type2, config.type_frequency[1]);
+
+  const TransitionId type3 = net.add_transition(names::kType3);
+  net.add_input(type3, decoded);
+  net.add_output(type3, operands_needed, 2);
+  net.add_output(type3, type3_pending);
+  net.set_frequency(type3, config.type_frequency[2]);
+
+  // Effective-address calculation, 2 cycles per operand, serialized
+  // (single-server) through the address adder.
+  const TransitionId calc = net.add_transition(names::kCalcEaddr);
+  net.add_input(calc, operands_needed);
+  net.add_output(calc, shared.operand_fetch_pending);
+  net.set_firing_time(calc, DelaySpec::constant(config.ea_calc_cycles));
+
+  // Operand fetch over the bus. While Operand_fetch_pending is marked,
+  // Start_prefetch's inhibitor gives the fetch priority for the next free
+  // bus cycle.
+  BusAccess access;
+  access.extra_inputs = {Arc{shared.operand_fetch_pending, 1}};
+  access.extra_outputs = {Arc{operands_fetched, 1}};
+  access.start_name = names::kStartFetch;
+  access.end_name = names::kEndFetch;
+  access.activity = fetching;
+  access.latency = config.memory_cycles;
+  access.cache = config.dcache;
+  add_bus_access(net, shared, access);
+
+  // Join: the instruction issues once all its operands arrived.
+  const TransitionId ready2 = net.add_transition("operands_complete_1");
+  net.add_input(ready2, type2_pending);
+  net.add_input(ready2, operands_fetched, 1);
+  net.add_output(ready2, ready_to_issue);
+
+  const TransitionId ready3 = net.add_transition("operands_complete_2");
+  net.add_input(ready3, type3_pending);
+  net.add_input(ready3, operands_fetched, 2);
+  net.add_output(ready3, ready_to_issue);
+}
+
+void add_execute_stage(Net& net, const SharedPlaces& shared, const PipelineConfig& config) {
+  const PlaceId ready_to_issue = net.place_named(names::kReadyToIssue);
+  const PlaceId decoder_ready = net.place_named(names::kDecoderReady);
+
+  const PlaceId exec_unit = net.add_place(names::kExecutionUnit, 1, 1);
+  const PlaceId issued = net.add_place(names::kIssuedInstruction, 0, 1);
+  const PlaceId executed = net.add_place(names::kExecuted, 0, 1);
+  const PlaceId storing = net.add_place(names::kStoring, 0, 1);
+
+  // Issue frees the decoder (stage 2) and occupies the execution unit
+  // (stage 3) in one instantaneous step.
+  const TransitionId issue = net.add_transition(names::kIssue);
+  net.add_input(issue, ready_to_issue);
+  net.add_input(issue, exec_unit);
+  net.add_output(issue, issued);
+  net.add_output(issue, decoder_ready);
+
+  // Five execution-delay classes: separate transitions with appropriate
+  // firing frequencies and firing times (the paper's construction).
+  for (std::size_t i = 0; i < config.exec_classes.size(); ++i) {
+    const auto& [cycles, weight] = config.exec_classes[i];
+    const TransitionId exec = net.add_transition(names::exec_type(i + 1));
+    net.add_input(exec, issued);
+    net.add_output(exec, executed);
+    net.set_firing_time(exec, DelaySpec::constant(cycles));
+    net.set_frequency(exec, weight);
+  }
+
+  // Probabilistic result store (p = store_probability).
+  if (config.store_probability >= 1) {
+    // Degenerate config: every instruction stores.
+    const TransitionId store = net.add_transition(names::kNeedStore);
+    net.add_input(store, executed);
+    net.add_output(store, shared.result_store_pending);
+  } else if (config.store_probability <= 0) {
+    const TransitionId done = net.add_transition(names::kNoStore);
+    net.add_input(done, executed);
+    net.add_output(done, exec_unit);
+  } else {
+    const TransitionId done = net.add_transition(names::kNoStore);
+    net.add_input(done, executed);
+    net.add_output(done, exec_unit);
+    net.set_frequency(done, 1 - config.store_probability);
+
+    const TransitionId store = net.add_transition(names::kNeedStore);
+    net.add_input(store, executed);
+    net.add_output(store, shared.result_store_pending);
+    net.set_frequency(store, config.store_probability);
+  }
+
+  if (config.store_probability > 0) {
+    BusAccess access;
+    access.extra_inputs = {Arc{shared.result_store_pending, 1}};
+    access.extra_outputs = {Arc{exec_unit, 1}};
+    access.start_name = names::kStartStore;
+    access.end_name = names::kEndStore;
+    access.activity = storing;
+    access.latency = config.memory_cycles;
+    access.cache = config.dcache;
+    add_bus_access(net, shared, access);
+  }
+}
+
+Net build_full_model(const PipelineConfig& config) {
+  check_config(config);
+  Net net("pipelined_processor");
+  const SharedPlaces shared = add_bus(net);
+  add_prefetch_stage(net, shared, config);
+  add_decode_stage(net, shared, config);
+  add_execute_stage(net, shared, config);
+  net.validate_or_throw();
+  return net;
+}
+
+Net build_prefetch_model(const PipelineConfig& config) {
+  check_config(config);
+  Net net("prefetch_unit");
+  const SharedPlaces shared = add_bus(net);
+  add_prefetch_stage(net, shared, config);
+
+  // Figure 1 includes the decoder that drains the buffer; standalone, the
+  // decoded instruction is consumed immediately and the decoder recycles.
+  const PlaceId full = net.place_named(names::kFullIBuffers);
+  const PlaceId empty = net.place_named(names::kEmptyIBuffers);
+  const PlaceId decoder_ready = net.add_place(names::kDecoderReady, 1, 1);
+  const PlaceId decoded = net.add_place(names::kDecodedInstruction, 0, 1);
+
+  const TransitionId decode = net.add_transition(names::kDecode);
+  net.add_input(decode, full);
+  net.add_input(decode, decoder_ready);
+  net.add_output(decode, decoded);
+  net.add_output(decode, empty);
+  net.set_firing_time(decode, DelaySpec::constant(config.decode_cycles));
+
+  const TransitionId consume = net.add_transition("consume_instruction");
+  net.add_input(consume, decoded);
+  net.add_output(consume, decoder_ready);
+
+  net.validate_or_throw();
+  return net;
+}
+
+}  // namespace pnut::pipeline

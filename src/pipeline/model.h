@@ -1,0 +1,93 @@
+// The paper's 3-stage pipelined-microprocessor Petri net (Section 2,
+// Figures 1-3), built programmatically with element names matching the
+// Figure 5 statistics report.
+//
+// The model decomposes like the paper's figures:
+//   Figure 1 (prefetch):  Start_prefetch grabs the free bus when >= 2
+//     buffer words are empty and no operand fetch or result store is
+//     pending (inhibitor arcs); End_prefetch holds the bus for the memory
+//     latency (enabling delay) and delivers 2 full words.
+//   Figure 2 (decode):    Decode (1-cycle firing) consumes a full word and
+//     the Decoder_ready resource; Type_1/2/3 pick the instruction class
+//     with frequencies 70/20/10; calc_eaddr spends 2 cycles per memory
+//     operand; start_fetch/end_fetch contend for the bus per operand, with
+//     Operand_fetch_pending inhibiting prefetch while an operand waits.
+//   Figure 3 (execution): Issue moves the instruction into the execution
+//     unit and frees the decoder; exec_type_1..5 model the 1/2/5/10/50
+//     cycle execution classes; with probability 0.2 the result is stored
+//     over the bus (Result_store_pending inhibits prefetch while waiting).
+//
+// Token conservation invariants the test-suite checks:
+//   Bus_free + Bus_busy = 1                         (always)
+//   Empty + Full + 2*pre_fetching (+ in-decode word) = ibuffer_words
+//   Decoder_ready + stage-2 occupancy = 1
+//   Execution_unit + stage-3 occupancy = 1
+#pragma once
+
+#include "petri/net.h"
+#include "pipeline/config.h"
+
+namespace pnut::pipeline {
+
+/// Element-name constants (the Figure 5 vocabulary). Using these instead of
+/// string literals keeps tests, benches and metrics in sync with the model.
+namespace names {
+inline constexpr const char* kBusFree = "Bus_free";
+inline constexpr const char* kBusBusy = "Bus_busy";
+inline constexpr const char* kEmptyIBuffers = "Empty_I_buffers";
+inline constexpr const char* kFullIBuffers = "Full_I_buffers";
+inline constexpr const char* kPreFetching = "pre_fetching";
+inline constexpr const char* kFetching = "fetching";
+inline constexpr const char* kStoring = "storing";
+inline constexpr const char* kDecoderReady = "Decoder_ready";
+inline constexpr const char* kDecodedInstruction = "Decoded_instruction";
+inline constexpr const char* kOperandFetchPending = "Operand_fetch_pending";
+inline constexpr const char* kResultStorePending = "Result_store_pending";
+inline constexpr const char* kReadyToIssue = "ready_to_issue_instruction";
+inline constexpr const char* kExecutionUnit = "Execution_unit";
+inline constexpr const char* kIssuedInstruction = "Issued_instruction";
+inline constexpr const char* kExecuted = "Executed_instruction";
+
+inline constexpr const char* kStartPrefetch = "Start_prefetch";
+inline constexpr const char* kEndPrefetch = "End_prefetch";
+inline constexpr const char* kDecode = "Decode";
+inline constexpr const char* kType1 = "Type_1";
+inline constexpr const char* kType2 = "Type_2";
+inline constexpr const char* kType3 = "Type_3";
+inline constexpr const char* kCalcEaddr = "calc_eaddr";
+inline constexpr const char* kStartFetch = "start_fetch";
+inline constexpr const char* kEndFetch = "end_fetch";
+inline constexpr const char* kIssue = "Issue";
+inline constexpr const char* kNoStore = "no_store";
+inline constexpr const char* kNeedStore = "need_store";
+inline constexpr const char* kStartStore = "start_store";
+inline constexpr const char* kEndStore = "end_store";
+/// exec_type_1 .. exec_type_5 (or as many classes as configured).
+std::string exec_type(std::size_t index_1based);
+}  // namespace names
+
+/// Build the complete model of Figures 1-3. The net validates clean and is
+/// live for the paper's parameters.
+Net build_full_model(const PipelineConfig& config = {});
+
+/// Figure 1 as a standalone closed net: prefetch feeding a decoder that
+/// recycles (decoded instructions are consumed immediately). Useful for the
+/// animation demo and for unit-testing the prefetch stage in isolation.
+Net build_prefetch_model(const PipelineConfig& config = {});
+
+/// Internal composition API: each stage appends its elements to `net` and
+/// wires itself to the shared places created by earlier stages. Exposed so
+/// tests can exercise stages separately and extensions can swap a stage.
+struct SharedPlaces {
+  PlaceId bus_free;
+  PlaceId bus_busy;
+  PlaceId operand_fetch_pending;
+  PlaceId result_store_pending;
+};
+
+SharedPlaces add_bus(Net& net);
+void add_prefetch_stage(Net& net, const SharedPlaces& shared, const PipelineConfig& config);
+void add_decode_stage(Net& net, const SharedPlaces& shared, const PipelineConfig& config);
+void add_execute_stage(Net& net, const SharedPlaces& shared, const PipelineConfig& config);
+
+}  // namespace pnut::pipeline

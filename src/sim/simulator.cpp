@@ -1,0 +1,255 @@
+#include "sim/simulator.h"
+
+#include <stdexcept>
+
+namespace pnut {
+
+Simulator::Simulator(const Net& net, SimOptions options)
+    : net_(&net), options_(options), rng_(options.seed) {
+  net.validate_or_throw();
+  reset();
+}
+
+void Simulator::reset(std::optional<std::uint64_t> seed) {
+  if (seed) rng_.reseed(*seed);
+  now_ = options_.start_time;
+  marking_ = Marking::initial(*net_);
+  data_ = net_->initial_data();
+  states_.assign(net_->num_transitions(), TransitionState{});
+  queue_ = {};
+  next_sequence_ = 0;
+  next_firing_id_ = 0;
+  immediate_firings_this_instant_ = 0;
+  instant_ = now_;
+  began_ = true;
+
+  if (sink_ != nullptr) sink_->begin(TraceHeader::from_net(*net_, now_));
+
+  refresh_eligibility();
+  fire_ready_transitions();
+}
+
+bool Simulator::compute_eligible(TransitionId t) const {
+  const Transition& tr = net_->transition(t);
+  if (tr.policy == FiringPolicy::kSingleServer && states_[t.value].in_flight > 0) {
+    return false;
+  }
+  return is_enabled(*net_, marking_, t, data_);
+}
+
+void Simulator::schedule(QueuedEvent ev) {
+  ev.sequence = next_sequence_++;
+  queue_.push(ev);
+}
+
+void Simulator::refresh_eligibility() {
+  for (std::uint32_t i = 0; i < states_.size(); ++i) {
+    const TransitionId t(i);
+    TransitionState& st = states_[i];
+    const bool now_eligible = compute_eligible(t);
+
+    if (now_eligible && !st.eligible) {
+      // Became enabled: arm the enabling timer (or mark ready immediately).
+      st.eligible = true;
+      st.enabled_since = now_;
+      ++st.generation;
+      const Transition& tr = net_->transition(t);
+      if (tr.enabling_time.is_statically_zero()) {
+        st.ready = true;
+      } else {
+        const Time delay = tr.enabling_time.sample(data_, rng_);
+        if (delay <= 0) {
+          st.ready = true;
+        } else {
+          st.ready = false;
+          schedule(QueuedEvent{now_ + delay, 0, EventKind::kEnablingExpiry, t, 0,
+                               st.generation});
+        }
+      }
+    } else if (!now_eligible && st.eligible) {
+      // Disabled: the continuous-enablement clock resets; any pending
+      // expiry event for the old generation becomes stale.
+      st.eligible = false;
+      st.ready = false;
+      ++st.generation;
+    }
+    // Still eligible (or still not): leave the running timer untouched —
+    // that is precisely the "continuously enabled" requirement.
+  }
+}
+
+void Simulator::start_firing(TransitionId t) {
+  const Transition& tr = net_->transition(t);
+  TransitionState& st = states_[t.value];
+
+  TraceEvent start;
+  start.kind = TraceEvent::Kind::kStart;
+  start.time = now_;
+  start.transition = t;
+  start.firing_id = next_firing_id_++;
+
+  for (const Arc& a : tr.inputs) {
+    marking_.remove(a.place, a.weight);
+    start.consumed.push_back(TokenDelta{a.place, a.weight});
+  }
+
+  if (tr.action) {
+    // Diff the (small) data context around the action so the trace carries
+    // the exact variable updates the firing performed.
+    const DataContext before = data_;
+    tr.action(data_, rng_);
+    for (const auto& [name, value] : data_.scalars()) {
+      if (!before.has(name) || before.get(name) != value) {
+        start.scalar_updates.push_back(ScalarUpdate{name, value});
+      }
+    }
+    for (const auto& [name, values] : data_.tables()) {
+      if (!before.has_table(name)) {
+        throw std::logic_error(
+            "Simulator: action created table '" + name +
+            "' at runtime; declare tables in Net::initial_data() instead");
+      }
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        if (before.get_table(name, static_cast<std::int64_t>(i)) != values[i]) {
+          start.table_updates.push_back(
+              TableUpdate{name, static_cast<std::int64_t>(i), values[i]});
+        }
+      }
+    }
+  }
+
+  const Time firing_time = tr.firing_time.sample(data_, rng_);
+
+  if (firing_time <= 0) {
+    // Zero-duration firing: consume + produce in one atomic state delta
+    // (Section 4.2 relies on instantaneous moves being atomic for the
+    // Bus_busy + Bus_free = 1 style invariants to hold in every state).
+    start.kind = TraceEvent::Kind::kAtomic;
+    for (const Arc& a : tr.outputs) {
+      marking_.add(a.place, a.weight);
+      start.produced.push_back(TokenDelta{a.place, a.weight});
+    }
+    st.completions += 1;
+    if (sink_ != nullptr) sink_->event(start);
+    return;
+  }
+
+  st.in_flight += 1;
+  if (sink_ != nullptr) sink_->event(start);
+  schedule(QueuedEvent{now_ + firing_time, 0, EventKind::kFiringComplete, t,
+                       start.firing_id, 0});
+}
+
+void Simulator::complete_firing(TransitionId t, std::uint64_t firing_id) {
+  const Transition& tr = net_->transition(t);
+  TransitionState& st = states_[t.value];
+
+  TraceEvent end;
+  end.kind = TraceEvent::Kind::kEnd;
+  end.time = now_;
+  end.transition = t;
+  end.firing_id = firing_id;
+  for (const Arc& a : tr.outputs) {
+    marking_.add(a.place, a.weight);
+    end.produced.push_back(TokenDelta{a.place, a.weight});
+  }
+  st.in_flight -= 1;
+  st.completions += 1;
+  if (sink_ != nullptr) sink_->event(end);
+}
+
+void Simulator::fire_ready_transitions() {
+  while (true) {
+    // Collect transitions that are ready *and still* eligible at this
+    // instant (an earlier firing in this loop may have stolen their tokens).
+    std::vector<TransitionId> ready;
+    std::vector<double> weights;
+    for (std::uint32_t i = 0; i < states_.size(); ++i) {
+      if (states_[i].ready && states_[i].eligible) {
+        ready.push_back(TransitionId(i));
+        weights.push_back(net_->transition(TransitionId(i)).frequency);
+      }
+    }
+    if (ready.empty()) return;
+
+    // Budget guard against zero-delay livelock.
+    if (now_ != instant_) {
+      instant_ = now_;
+      immediate_firings_this_instant_ = 0;
+    }
+    if (++immediate_firings_this_instant_ > options_.max_immediate_firings_per_instant) {
+      throw std::runtime_error(
+          "Simulator: more than " +
+          std::to_string(options_.max_immediate_firings_per_instant) +
+          " firings at time " + std::to_string(now_) +
+          " — the net has a zero-delay livelock");
+    }
+
+    const std::size_t pick = rng_.next_weighted(weights);
+    const TransitionId chosen = ready[pick];
+
+    // Firing consumes this transition's readiness; it must wait out a full
+    // enabling delay again before its next firing.
+    states_[chosen.value].ready = false;
+    states_[chosen.value].eligible = false;
+    ++states_[chosen.value].generation;
+
+    start_firing(chosen);
+    refresh_eligibility();
+  }
+}
+
+StopReason Simulator::run_until(Time t, std::optional<std::uint64_t> max_events) {
+  if (!began_) reset();
+  std::uint64_t processed = 0;
+
+  while (!queue_.empty() && queue_.top().time <= t) {
+    if (max_events && processed >= *max_events) return StopReason::kEventLimit;
+    const QueuedEvent ev = queue_.top();
+    queue_.pop();
+
+    if (ev.kind == EventKind::kEnablingExpiry) {
+      const TransitionState& st = states_[ev.transition.value];
+      if (st.generation != ev.generation) continue;  // stale timer
+      now_ = ev.time;
+      states_[ev.transition.value].ready = true;
+    } else {
+      now_ = ev.time;
+      complete_firing(ev.transition, ev.firing_id);
+      refresh_eligibility();
+    }
+    ++processed;
+    fire_ready_transitions();
+  }
+
+  // Whether or not anything can still happen, the experiment's clock runs
+  // to the requested horizon — a deadlocked system keeps existing, so
+  // statistics integrate over the full [start, t] window.
+  if (t > now_) now_ = t;
+  if (queue_.empty() && deadlocked()) {
+    return StopReason::kDeadlock;
+  }
+  return StopReason::kTimeLimit;
+}
+
+StopReason Simulator::run_for(Time duration, std::optional<std::uint64_t> max_events) {
+  return run_until(now_ + duration, max_events);
+}
+
+void Simulator::finish() {
+  if (sink_ != nullptr) sink_->end(now_);
+}
+
+bool Simulator::deadlocked() const {
+  if (!queue_.empty()) return false;
+  for (const TransitionState& st : states_) {
+    if (st.in_flight > 0) return false;
+    if (st.ready && st.eligible) return false;
+    // An eligible transition with an armed timer would have an event queued.
+  }
+  // No queued events, nothing in flight, nothing ready: if some transition
+  // is eligible with a zero enabling delay it would have been fired already.
+  return true;
+}
+
+}  // namespace pnut

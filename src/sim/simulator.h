@@ -1,0 +1,180 @@
+// The P-NUT simulation engine (Section 4.1).
+//
+// "The P-NUT simulator is a simple simulation engine which 'pushes' tokens
+// around a Timed Petri Net. ... The simulator simply generates a trace."
+//
+// Execution semantics implemented here:
+//
+//  * Enabling time (Section 1): a transition must be *continuously* enabled
+//    (input tokens present, inhibitors clear, predicate true, and — for
+//    single-server transitions — no firing of its own in flight) for its
+//    enabling delay before it may fire. Any disablement resets the timer,
+//    and the delay is resampled on re-enablement (enabling-memory policy
+//    with resampling). When it fires, consumption and production happen at
+//    the same instant (atomic firing). This models, e.g., the paper's
+//    End-prefetch memory latency.
+//
+//  * Firing time (Ramchandani-style): when a transition starts firing its
+//    input tokens are removed and its action applied; "during the firing of
+//    a transition tokens are neither on the inputs nor on the outputs";
+//    outputs appear when the firing completes, firing-time later. This
+//    models, e.g., the one-cycle Decode. A transition may carry both delays:
+//    enabling delay to *start*, firing duration to *complete*.
+//
+//  * Conflict resolution (Section 1, [WPS86]): at each instant, transitions
+//    that are ready to fire are selected one at a time with probability
+//    proportional to their relative firing frequencies; the set is
+//    re-evaluated after every firing because one firing can disable its
+//    competitors.
+//
+//  * Immediate transitions (zero enabling and firing time) fire in zero
+//    time; a configurable per-instant firing budget turns an immediate
+//    livelock (a zero-delay cycle that never disables itself) into an error
+//    instead of a hang.
+//
+// The engine is deterministic: one seeded Rng drives every random choice,
+// and the event queue breaks time ties by insertion order, so (net, seed,
+// length) reproduces a trace bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "petri/marking.h"
+#include "petri/net.h"
+#include "petri/rng.h"
+#include "trace/trace.h"
+
+namespace pnut {
+
+struct SimOptions {
+  std::uint64_t seed = 1;
+  Time start_time = 0;
+  /// Abort threshold for zero-delay firing cascades at a single instant.
+  std::uint64_t max_immediate_firings_per_instant = 1'000'000;
+};
+
+/// Why a run call returned.
+enum class StopReason : std::uint8_t {
+  kTimeLimit,   ///< the requested horizon was reached
+  kDeadlock,    ///< no transition can ever fire again
+  kEventLimit,  ///< the requested event budget was exhausted
+};
+
+class Simulator {
+ public:
+  /// The net must outlive the simulator and pass validation.
+  explicit Simulator(const Net& net, SimOptions options = {});
+
+  /// Attach a sink receiving the trace (may be null to run silently).
+  /// Call before reset(); the sink's begin() fires on reset.
+  void set_sink(TraceSink* sink) { sink_ = sink; }
+
+  /// Re-initialize to the net's initial marking and data, clear all timers
+  /// and in-flight firings, and emit begin() to the sink. Initial immediate
+  /// firings happen here, so pass the seed to reset (rather than reseeding
+  /// afterwards) when reproducibility matters: reset(seed) makes the whole
+  /// run a pure function of (net, seed, horizon).
+  void reset(std::optional<std::uint64_t> seed = std::nullopt);
+
+  /// Advance until the clock reaches `t` (inclusive of events at `t`),
+  /// deadlock, or (if max_events is set) an event budget.
+  StopReason run_until(Time t, std::optional<std::uint64_t> max_events = std::nullopt);
+
+  /// Advance by a duration from the current clock.
+  StopReason run_for(Time duration, std::optional<std::uint64_t> max_events = std::nullopt);
+
+  /// Emit end(now) to the sink, closing the trace.
+  void finish();
+
+  // --- state inspection ------------------------------------------------------
+
+  [[nodiscard]] Time now() const { return now_; }
+  [[nodiscard]] const Marking& marking() const { return marking_; }
+  [[nodiscard]] const DataContext& data() const { return data_; }
+  [[nodiscard]] const Net& net() const { return *net_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+  /// Firings of `t` currently in flight.
+  [[nodiscard]] std::uint32_t active_firings(TransitionId t) const {
+    return states_.at(t.value).in_flight;
+  }
+
+  /// Completed firings of `t` since reset.
+  [[nodiscard]] std::uint64_t completed_firings(TransitionId t) const {
+    return states_.at(t.value).completions;
+  }
+
+  /// Total firing starts since reset.
+  [[nodiscard]] std::uint64_t total_firing_starts() const { return next_firing_id_; }
+
+  /// True if nothing can ever happen again (no in-flight firings, no armed
+  /// enabling timers, no ready transitions).
+  [[nodiscard]] bool deadlocked() const;
+
+ private:
+  struct TransitionState {
+    bool eligible = false;  ///< continuously enabled since `enabled_since`
+    bool ready = false;     ///< enabling delay has elapsed
+    Time enabled_since = 0;
+    std::uint64_t generation = 0;  ///< invalidates stale timer events
+    std::uint32_t in_flight = 0;
+    std::uint64_t completions = 0;
+  };
+
+  enum class EventKind : std::uint8_t { kFiringComplete, kEnablingExpiry };
+
+  struct QueuedEvent {
+    Time time = 0;
+    std::uint64_t sequence = 0;  ///< tie-break: FIFO within an instant
+    EventKind kind = EventKind::kFiringComplete;
+    TransitionId transition;
+    std::uint64_t firing_id = 0;    ///< kFiringComplete
+    std::uint64_t generation = 0;   ///< kEnablingExpiry
+
+    /// Min-heap on (time, sequence).
+    friend bool operator>(const QueuedEvent& a, const QueuedEvent& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  /// Re-evaluate eligibility of every transition after a state change;
+  /// arms/disarms enabling timers and marks zero-delay transitions ready.
+  void refresh_eligibility();
+
+  [[nodiscard]] bool compute_eligible(TransitionId t) const;
+
+  /// Fire every ready transition at the current instant, resolving
+  /// conflicts probabilistically, until none remain ready.
+  void fire_ready_transitions();
+
+  /// Start one firing of `t` now: consume, apply action, emit Start,
+  /// complete immediately or schedule completion.
+  void start_firing(TransitionId t);
+
+  /// Apply `t`'s completion: produce tokens, emit End.
+  void complete_firing(TransitionId t, std::uint64_t firing_id);
+
+  void schedule(QueuedEvent ev);
+
+  const Net* net_;
+  SimOptions options_;
+  TraceSink* sink_ = nullptr;
+  Rng rng_;
+
+  Time now_ = 0;
+  Marking marking_;
+  DataContext data_;
+  std::vector<TransitionState> states_;
+  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, std::greater<>> queue_;
+  std::uint64_t next_sequence_ = 0;
+  std::uint64_t next_firing_id_ = 0;
+  std::uint64_t immediate_firings_this_instant_ = 0;
+  Time instant_ = -1;  ///< the instant the immediate budget counts against
+  bool began_ = false;
+};
+
+}  // namespace pnut

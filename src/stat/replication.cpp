@@ -1,0 +1,66 @@
+#include "stat/replication.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace pnut {
+
+ReplicationResult run_replications(const Net& net, Time horizon,
+                                   std::size_t num_replications,
+                                   const std::vector<MetricSpec>& metrics,
+                                   std::uint64_t base_seed) {
+  ReplicationResult result;
+  result.runs.reserve(num_replications);
+
+  Simulator sim(net);
+  for (std::size_t k = 0; k < num_replications; ++k) {
+    StatCollector collector;
+    collector.set_run_number(static_cast<int>(k + 1));
+    sim.set_sink(&collector);
+    sim.reset(base_seed + k);
+    sim.run_until(horizon);
+    sim.finish();
+    result.runs.push_back(collector.stats());
+  }
+
+  for (const MetricSpec& spec : metrics) {
+    MetricSummary summary;
+    summary.name = spec.name;
+    summary.replications = result.runs.size();
+    std::vector<double> values;
+    values.reserve(result.runs.size());
+    for (const RunStats& run : result.runs) values.push_back(spec.extract(run));
+    if (!values.empty()) {
+      double sum = 0;
+      for (double v : values) sum += v;
+      summary.mean = sum / static_cast<double>(values.size());
+      double ss = 0;
+      for (double v : values) ss += (v - summary.mean) * (v - summary.mean);
+      summary.stddev =
+          values.size() > 1 ? std::sqrt(ss / static_cast<double>(values.size() - 1)) : 0;
+      summary.min = *std::min_element(values.begin(), values.end());
+      summary.max = *std::max_element(values.begin(), values.end());
+    }
+    result.metrics.push_back(std::move(summary));
+  }
+  return result;
+}
+
+std::string format_metric_summaries(const std::vector<MetricSummary>& metrics) {
+  std::size_t name_w = 6;
+  for (const MetricSummary& m : metrics) name_w = std::max(name_w, m.name.size());
+
+  std::ostringstream out;
+  char buf[160];
+  for (const MetricSummary& m : metrics) {
+    std::snprintf(buf, sizeof(buf), "  %-*s  %10.4f +/- %-8.4f  [%g, %g]  (n=%zu)\n",
+                  static_cast<int>(name_w), m.name.c_str(), m.mean, m.stddev, m.min, m.max,
+                  m.replications);
+    out << buf;
+  }
+  return out.str();
+}
+
+}  // namespace pnut

@@ -1,0 +1,51 @@
+// Multi-replication experiments.
+//
+// The paper's simulator accepts "a few simulation commands that allow a user
+// to control the duration of one or more simulation experiments". This
+// helper runs N independent replications (fresh seed each) and aggregates
+// any scalar metric extracted from the per-run statistics, reporting sample
+// mean, sample standard deviation, and min/max — the standard way to put
+// confidence behind a single Figure-5-style run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "stat/stat.h"
+
+namespace pnut {
+
+struct MetricSummary {
+  std::string name;
+  std::size_t replications = 0;
+  double mean = 0;
+  double stddev = 0;  ///< sample standard deviation (n-1)
+  double min = 0;
+  double max = 0;
+};
+
+/// A named scalar extracted from one run's statistics.
+struct MetricSpec {
+  std::string name;
+  std::function<double(const RunStats&)> extract;
+};
+
+struct ReplicationResult {
+  std::vector<RunStats> runs;
+  std::vector<MetricSummary> metrics;
+};
+
+/// Run `num_replications` simulations of `net` to `horizon`, seeding run k
+/// with `base_seed + k`, and summarize `metrics` across runs.
+ReplicationResult run_replications(const Net& net, Time horizon,
+                                   std::size_t num_replications,
+                                   const std::vector<MetricSpec>& metrics,
+                                   std::uint64_t base_seed = 1);
+
+/// Aligned text table of metric summaries ("metric  mean ± stddev  [min, max]").
+std::string format_metric_summaries(const std::vector<MetricSummary>& metrics);
+
+}  // namespace pnut

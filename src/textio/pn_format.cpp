@@ -1,0 +1,416 @@
+#include "textio/pn_format.h"
+
+#include <cctype>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "expr/compile.h"
+#include "expr/lexer.h"
+
+namespace pnut::textio {
+
+namespace {
+
+struct Word {
+  std::string text;
+  bool quoted = false;
+  std::size_t line = 0;
+};
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw std::runtime_error(".pn format, line " + std::to_string(line) + ": " + message);
+}
+
+/// Split the whole input into words, attaching line numbers. Commas are
+/// separators; quoted strings become single words with quoted=true;
+/// '#' starts a comment to end of line.
+std::vector<Word> scan(std::string_view text) {
+  std::vector<Word> words;
+  std::size_t line = 1;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0 || c == ',') {
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      while (i < n && text[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '"') {
+      const std::size_t start_line = line;
+      std::string value;
+      ++i;
+      while (i < n && text[i] != '"') {
+        if (text[i] == '\n') ++line;
+        value += text[i++];
+      }
+      if (i >= n) fail(start_line, "unterminated string literal");
+      ++i;  // closing quote
+      words.push_back(Word{std::move(value), true, start_line});
+      continue;
+    }
+    std::size_t j = i;
+    while (j < n && std::isspace(static_cast<unsigned char>(text[j])) == 0 &&
+           text[j] != ',' && text[j] != '#' && text[j] != '"') {
+      ++j;
+    }
+    words.push_back(Word{std::string(text.substr(i, j - i)), false, line});
+    i = j;
+  }
+  return words;
+}
+
+bool is_declaration(const Word& w) {
+  return !w.quoted && (w.text == "net" || w.text == "var" || w.text == "table" ||
+                       w.text == "place" || w.text == "trans");
+}
+
+bool is_clause(const Word& w) {
+  return !w.quoted &&
+         (w.text == "in" || w.text == "out" || w.text == "inhibit" || w.text == "firing" ||
+          w.text == "enabling" || w.text == "freq" || w.text == "policy" ||
+          w.text == "when" || w.text == "do");
+}
+
+class PnParser {
+ public:
+  explicit PnParser(std::string_view text) : words_(scan(text)) {}
+
+  NetDocument parse() {
+    while (!at_end()) {
+      const Word& w = peek();
+      if (!is_declaration(w)) fail(w.line, "expected a declaration, got '" + w.text + "'");
+      if (w.text == "net") parse_net_name();
+      else if (w.text == "var") parse_var();
+      else if (w.text == "table") parse_table();
+      else if (w.text == "place") parse_place();
+      else parse_transition();
+    }
+    doc_.net.validate_or_throw();
+    return std::move(doc_);
+  }
+
+ private:
+  [[nodiscard]] bool at_end() const { return pos_ >= words_.size(); }
+  [[nodiscard]] const Word& peek() const { return words_[pos_]; }
+  const Word& take() { return words_[pos_++]; }
+
+  const Word& take_word(const char* what) {
+    if (at_end()) fail(last_line(), std::string("unexpected end of input, expected ") + what);
+    return take();
+  }
+
+  [[nodiscard]] std::size_t last_line() const {
+    return words_.empty() ? 1 : words_.back().line;
+  }
+
+  std::int64_t take_int(const char* what) {
+    const Word& w = take_word(what);
+    try {
+      std::size_t used = 0;
+      const std::int64_t v = std::stoll(w.text, &used);
+      if (used != w.text.size()) throw std::invalid_argument(w.text);
+      return v;
+    } catch (const std::exception&) {
+      fail(w.line, std::string("expected integer ") + what + ", got '" + w.text + "'");
+    }
+  }
+
+  double take_double(const char* what) {
+    const Word& w = take_word(what);
+    try {
+      std::size_t used = 0;
+      const double v = std::stod(w.text, &used);
+      if (used != w.text.size()) throw std::invalid_argument(w.text);
+      return v;
+    } catch (const std::exception&) {
+      fail(w.line, std::string("expected number ") + what + ", got '" + w.text + "'");
+    }
+  }
+
+  void parse_net_name() {
+    take();  // 'net'
+    doc_.net.set_name(take_word("net name").text);
+  }
+
+  void parse_var() {
+    take();  // 'var'
+    const std::string name = take_word("variable name").text;
+    doc_.net.initial_data().set(name, take_int("variable value"));
+  }
+
+  void parse_table() {
+    take();  // 'table'
+    const std::string name = take_word("table name").text;
+    std::vector<std::int64_t> values;
+    while (!at_end() && !is_declaration(peek()) && !is_clause(peek())) {
+      values.push_back(take_int("table entry"));
+    }
+    doc_.net.initial_data().set_table(name, std::move(values));
+  }
+
+  void parse_place() {
+    const Word& kw = take();  // 'place'
+    const std::string name = take_word("place name").text;
+    if (doc_.net.find_place(name)) fail(kw.line, "duplicate place '" + name + "'");
+    TokenCount init = 0;
+    std::optional<TokenCount> capacity;
+    while (!at_end() && !is_declaration(peek()) && !is_clause(peek())) {
+      const Word& option = take();
+      if (option.text == "init") {
+        init = static_cast<TokenCount>(take_int("initial token count"));
+      } else if (option.text == "capacity") {
+        capacity = static_cast<TokenCount>(take_int("capacity"));
+      } else {
+        fail(option.line, "unknown place option '" + option.text + "'");
+      }
+    }
+    doc_.net.add_place(name, init, capacity);
+  }
+
+  /// `Name` or `Name*weight`.
+  std::pair<std::string, TokenCount> parse_arc_ref(const Word& w) {
+    const auto star = w.text.find('*');
+    if (star == std::string::npos) return {w.text, 1};
+    const std::string name = w.text.substr(0, star);
+    try {
+      return {name, static_cast<TokenCount>(std::stoul(w.text.substr(star + 1)))};
+    } catch (const std::exception&) {
+      fail(w.line, "bad arc weight in '" + w.text + "'");
+    }
+  }
+
+  PlaceId place_ref(const Word& w, const std::string& name) {
+    if (auto id = doc_.net.find_place(name)) return *id;
+    fail(w.line, "unknown place '" + name + "' (declare places before transitions)");
+  }
+
+  DelaySpec parse_delay(std::size_t line) {
+    const Word& first = take_word("delay specification");
+    if (first.quoted) fail(first.line, "delay: unexpected string (use `expr \"...\"`)");
+    if (first.text == "uniform") {
+      const std::int64_t lo = take_int("uniform lower bound");
+      const std::int64_t hi = take_int("uniform upper bound");
+      return DelaySpec::uniform_int(lo, hi);
+    }
+    if (first.text == "discrete") {
+      std::vector<std::pair<Time, double>> choices;
+      while (!at_end() && !is_declaration(peek()) && !is_clause(peek())) {
+        const Word& w = take();
+        const auto colon = w.text.find(':');
+        if (colon == std::string::npos) {
+          fail(w.line, "discrete delay entries are value:weight, got '" + w.text + "'");
+        }
+        try {
+          choices.emplace_back(std::stod(w.text.substr(0, colon)),
+                               std::stod(w.text.substr(colon + 1)));
+        } catch (const std::exception&) {
+          fail(w.line, "bad discrete delay entry '" + w.text + "'");
+        }
+      }
+      if (choices.empty()) fail(line, "discrete delay needs at least one value:weight");
+      return DelaySpec::discrete(std::move(choices));
+    }
+    if (first.text == "expr") {
+      const Word& src = take_word("delay expression string");
+      if (!src.quoted) fail(src.line, "delay expression must be a quoted string");
+      pending_delay_expr_ = src.text;
+      return expr::compile_delay(src.text);
+    }
+    try {
+      std::size_t used = 0;
+      const double v = std::stod(first.text, &used);
+      if (used != first.text.size()) throw std::invalid_argument(first.text);
+      return DelaySpec::constant(v);
+    } catch (const std::exception&) {
+      fail(first.line, "bad delay '" + first.text + "'");
+    }
+  }
+
+  void parse_transition() {
+    const Word& kw = take();  // 'trans'
+    const std::string name = take_word("transition name").text;
+    if (doc_.net.find_transition(name)) fail(kw.line, "duplicate transition '" + name + "'");
+    const TransitionId t = doc_.net.add_transition(name);
+
+    while (!at_end() && is_clause(peek())) {
+      const Word clause = take();
+      if (clause.text == "in" || clause.text == "out" || clause.text == "inhibit") {
+        bool any = false;
+        while (!at_end() && !is_declaration(peek()) && !is_clause(peek())) {
+          const Word& w = take();
+          const auto [pname, weight] = parse_arc_ref(w);
+          const PlaceId p = place_ref(w, pname);
+          if (clause.text == "in") doc_.net.add_input(t, p, weight);
+          else if (clause.text == "out") doc_.net.add_output(t, p, weight);
+          else doc_.net.add_inhibitor(t, p, weight);
+          any = true;
+        }
+        if (!any) fail(clause.line, "'" + clause.text + "' clause lists no places");
+      } else if (clause.text == "firing") {
+        pending_delay_expr_.clear();
+        doc_.net.set_firing_time(t, parse_delay(clause.line));
+        if (!pending_delay_expr_.empty()) {
+          doc_.firing_expr_sources[t.value] = pending_delay_expr_;
+        }
+      } else if (clause.text == "enabling") {
+        pending_delay_expr_.clear();
+        doc_.net.set_enabling_time(t, parse_delay(clause.line));
+        if (!pending_delay_expr_.empty()) {
+          doc_.enabling_expr_sources[t.value] = pending_delay_expr_;
+        }
+      } else if (clause.text == "freq") {
+        doc_.net.set_frequency(t, take_double("frequency"));
+      } else if (clause.text == "policy") {
+        const Word& w = take_word("policy (single|infinite)");
+        if (w.text == "single") doc_.net.set_policy(t, FiringPolicy::kSingleServer);
+        else if (w.text == "infinite") doc_.net.set_policy(t, FiringPolicy::kInfiniteServer);
+        else fail(w.line, "unknown policy '" + w.text + "'");
+      } else if (clause.text == "when") {
+        const Word& src = take_word("predicate string");
+        if (!src.quoted) fail(src.line, "predicate must be a quoted string");
+        try {
+          doc_.net.set_predicate(t, expr::compile_predicate(src.text));
+        } catch (const expr::ParseError& e) {
+          fail(src.line, "bad predicate: " + std::string(e.what()));
+        }
+        doc_.predicate_sources[t.value] = src.text;
+      } else if (clause.text == "do") {
+        const Word& src = take_word("action string");
+        if (!src.quoted) fail(src.line, "action must be a quoted string");
+        try {
+          doc_.net.set_action(t, expr::compile_action(src.text));
+        } catch (const expr::ParseError& e) {
+          fail(src.line, "bad action: " + std::string(e.what()));
+        }
+        doc_.action_sources[t.value] = src.text;
+      }
+    }
+  }
+
+  std::vector<Word> words_;
+  std::size_t pos_ = 0;
+  NetDocument doc_;
+  std::string pending_delay_expr_;
+};
+
+std::string format_number(double v) {
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+
+/// Render a delay clause, or return false if it is the zero constant.
+bool print_delay(std::ostringstream& out, const char* keyword, const DelaySpec& spec,
+                 const std::string* expr_source) {
+  switch (spec.kind()) {
+    case DelaySpec::Kind::kConstant:
+      if (spec.is_statically_zero()) return false;
+      out << ' ' << keyword << ' ' << format_number(spec.constant_value());
+      return true;
+    case DelaySpec::Kind::kUniform: {
+      const auto [lo, hi] = spec.uniform_bounds();
+      out << ' ' << keyword << " uniform " << lo << ' ' << hi;
+      return true;
+    }
+    case DelaySpec::Kind::kDiscrete:
+      out << ' ' << keyword << " discrete";
+      for (const auto& [value, weight] : spec.choices()) {
+        out << ' ' << format_number(value) << ':' << format_number(weight);
+      }
+      return true;
+    case DelaySpec::Kind::kComputed:
+      if (expr_source == nullptr) {
+        throw std::invalid_argument(
+            "print_net: computed delay with no source text; use NetDocument");
+      }
+      out << ' ' << keyword << " expr \"" << *expr_source << '"';
+      return true;
+  }
+  return false;
+}
+
+std::string print_document(const Net& net, const NetDocument* doc) {
+  std::ostringstream out;
+  if (!net.name().empty()) out << "net " << net.name() << "\n";
+
+  for (const auto& [name, value] : net.initial_data().scalars()) {
+    out << "var " << name << ' ' << value << '\n';
+  }
+  for (const auto& [name, values] : net.initial_data().tables()) {
+    out << "table " << name;
+    for (std::int64_t v : values) out << ' ' << v;
+    out << '\n';
+  }
+
+  for (const Place& p : net.places()) {
+    out << "place " << p.name;
+    if (p.initial_tokens != 0) out << " init " << p.initial_tokens;
+    if (p.capacity) out << " capacity " << *p.capacity;
+    out << '\n';
+  }
+
+  auto lookup = [&](const std::map<std::uint32_t, std::string>* m,
+                    std::uint32_t key) -> const std::string* {
+    if (m == nullptr) return nullptr;
+    const auto it = m->find(key);
+    return it == m->end() ? nullptr : &it->second;
+  };
+
+  for (std::uint32_t i = 0; i < net.num_transitions(); ++i) {
+    const Transition& tr = net.transition(TransitionId(i));
+    out << "trans " << tr.name;
+    auto arcs = [&](const char* keyword, const std::vector<Arc>& list) {
+      if (list.empty()) return;
+      out << ' ' << keyword;
+      for (std::size_t k = 0; k < list.size(); ++k) {
+        out << (k == 0 ? " " : ", ") << net.place(list[k].place).name;
+        if (list[k].weight != 1) out << '*' << list[k].weight;
+      }
+    };
+    arcs("in", tr.inputs);
+    arcs("inhibit", tr.inhibitors);
+    arcs("out", tr.outputs);
+    print_delay(out, "firing", tr.firing_time,
+                lookup(doc ? &doc->firing_expr_sources : nullptr, i));
+    print_delay(out, "enabling", tr.enabling_time,
+                lookup(doc ? &doc->enabling_expr_sources : nullptr, i));
+    if (tr.frequency != 1.0) out << " freq " << format_number(tr.frequency);
+    if (tr.policy == FiringPolicy::kInfiniteServer) out << " policy infinite";
+
+    const std::string* pred = lookup(doc ? &doc->predicate_sources : nullptr, i);
+    if (pred != nullptr) out << " when \"" << *pred << '"';
+    else if (tr.predicate) {
+      throw std::invalid_argument("print_net: transition '" + tr.name +
+                                  "' has a predicate with no source text; use NetDocument");
+    }
+    const std::string* action = lookup(doc ? &doc->action_sources : nullptr, i);
+    if (action != nullptr) out << " do \"" << *action << '"';
+    else if (tr.action) {
+      throw std::invalid_argument("print_net: transition '" + tr.name +
+                                  "' has an action with no source text; use NetDocument");
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace
+
+NetDocument parse_net(std::string_view text) { return PnParser(text).parse(); }
+
+std::string print_net(const NetDocument& doc) { return print_document(doc.net, &doc); }
+
+std::string print_net(const Net& net) { return print_document(net, nullptr); }
+
+}  // namespace pnut::textio

@@ -1,0 +1,71 @@
+// The textual Petri-net format (.pn).
+//
+// The paper notes the complete pipeline model "can be expressed ...
+// textually (for some of our textually based tools) in roughly 25 lines".
+// This module defines that textual form: a line-oriented format with one
+// declaration per line and keyword-led clauses for transitions.
+//
+//   # comment
+//   net pipelined_processor
+//   var  type 0
+//   table operands 0 0 1 2
+//   place Bus_free init 1
+//   place Empty_I_buffers init 6 capacity 6
+//   trans Start_prefetch in Bus_free, Empty_I_buffers*2
+//         inhibit Operand_fetch_pending out Bus_busy, pre_fetching
+//   trans End_prefetch in pre_fetching, Bus_busy
+//         out Bus_free, Full_I_buffers*2 enabling 5
+//   trans Decode in Full_I_buffers, Decoder_ready
+//         out Decoded_instruction, Empty_I_buffers firing 1
+//         do "type = irand[1, max_type]"
+//   trans exec in Issued out Done firing discrete 1:0.5 2:0.3 5:0.2 freq 3
+//   trans fetch_operand in D, Bus_free out Bus_busy when "n_ops > 0"
+//
+// Clauses may continue on following lines; a new declaration keyword (net/
+// var/table/place/trans) starts the next statement. Delay clauses:
+//   firing|enabling <number>
+//   firing|enabling uniform <lo> <hi>
+//   firing|enabling discrete <value>:<weight> ...
+//   firing|enabling expr "<expression>"
+// Other clauses: freq <number>, policy single|infinite,
+// when "<predicate>", do "<statements>".
+//
+// Because predicates, actions and computed delays compile to opaque
+// functions, the parser returns a NetDocument that keeps the source text
+// alongside the net, so print_net round-trips interpreted models.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "petri/net.h"
+
+namespace pnut::textio {
+
+/// A net plus the textual sources of its interpreted parts (keyed by
+/// transition index).
+struct NetDocument {
+  Net net;
+  std::map<std::uint32_t, std::string> predicate_sources;
+  std::map<std::uint32_t, std::string> action_sources;
+  std::map<std::uint32_t, std::string> firing_expr_sources;
+  std::map<std::uint32_t, std::string> enabling_expr_sources;
+};
+
+/// Parse the .pn format. Throws std::runtime_error carrying a line number
+/// on any lexical, syntactic or semantic error (unknown place, duplicate
+/// name, malformed delay, bad expression, ...). The returned net has been
+/// validated.
+NetDocument parse_net(std::string_view text);
+
+/// Render a document back to the .pn format. parse_net(print_net(d)) yields
+/// a structurally identical net.
+std::string print_net(const NetDocument& doc);
+
+/// Render a plain net (no interpreted sources). Throws std::invalid_argument
+/// if the net has predicates/actions/computed delays, since those cannot be
+/// recovered from compiled functions — use NetDocument for such nets.
+std::string print_net(const Net& net);
+
+}  // namespace pnut::textio

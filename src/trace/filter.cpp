@@ -1,0 +1,64 @@
+#include "trace/filter.h"
+
+#include <algorithm>
+
+namespace pnut {
+
+void TraceFilter::begin(const TraceHeader& header) {
+  kept_firings_.clear();
+  dropped_ = 0;
+  kept_ = 0;
+  downstream_->begin(header);
+}
+
+bool TraceFilter::firing_is_relevant(TransitionId t) const {
+  if (kept_transitions_.count(t.value) > 0) return true;
+  const Transition& tr = net_->transition(t);
+  auto touches = [&](const std::vector<Arc>& arcs) {
+    return std::any_of(arcs.begin(), arcs.end(), [&](const Arc& a) {
+      return kept_places_.count(a.place.value) > 0;
+    });
+  };
+  return touches(tr.inputs) || touches(tr.outputs) || touches(tr.inhibitors);
+}
+
+void TraceFilter::event(const TraceEvent& ev) {
+  bool keep = false;
+  if (ev.kind == TraceEvent::Kind::kAtomic) {
+    keep = firing_is_relevant(ev.transition);
+  } else if (ev.kind == TraceEvent::Kind::kStart) {
+    keep = firing_is_relevant(ev.transition);
+    if (keep) kept_firings_.insert(ev.firing_id);
+  } else {
+    keep = kept_firings_.count(ev.firing_id) > 0;
+    if (keep) kept_firings_.erase(ev.firing_id);
+  }
+
+  if (!keep) {
+    ++dropped_;
+    return;
+  }
+
+  TraceEvent projected = ev;
+  const bool transition_kept = kept_transitions_.count(ev.transition.value) > 0;
+  if (!transition_kept) {
+    // Project token deltas onto kept places only.
+    auto project = [&](std::vector<TokenDelta>& deltas) {
+      std::erase_if(deltas, [&](const TokenDelta& d) {
+        return kept_places_.count(d.place.value) == 0;
+      });
+    };
+    project(projected.consumed);
+    project(projected.produced);
+    if (!keep_data_) {
+      projected.scalar_updates.clear();
+      projected.table_updates.clear();
+    }
+  }
+  ++kept_;
+  downstream_->event(projected);
+}
+
+void TraceFilter::end(Time end_time) { downstream_->end(end_time); }
+
+}  // namespace pnut

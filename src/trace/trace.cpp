@@ -1,0 +1,91 @@
+#include "trace/trace.h"
+
+#include <stdexcept>
+
+namespace pnut {
+
+TraceHeader TraceHeader::from_net(const Net& net, Time start_time) {
+  TraceHeader h;
+  h.net_name = net.name();
+  h.place_names.reserve(net.num_places());
+  for (const Place& p : net.places()) h.place_names.push_back(p.name);
+  h.transition_names.reserve(net.num_transitions());
+  for (const Transition& t : net.transitions()) h.transition_names.push_back(t.name);
+  h.initial_marking = Marking::initial(net);
+  h.initial_data = net.initial_data();
+  h.start_time = start_time;
+  return h;
+}
+
+void RecordedTrace::begin(const TraceHeader& header) {
+  header_ = header;
+  events_.clear();
+  end_time_ = header.start_time;
+  ended_ = false;
+}
+
+void RecordedTrace::event(const TraceEvent& ev) {
+  if (!events_.empty() && ev.time < events_.back().time) {
+    throw std::logic_error("RecordedTrace: events out of time order");
+  }
+  events_.push_back(ev);
+}
+
+void RecordedTrace::end(Time end_time) {
+  end_time_ = end_time;
+  ended_ = true;
+}
+
+TraceCursor::TraceCursor(const RecordedTrace& trace)
+    : trace_(&trace),
+      time_(trace.header().start_time),
+      marking_(trace.header().initial_marking),
+      data_(trace.header().initial_data),
+      active_firings_(trace.header().transition_names.size(), 0) {}
+
+bool TraceCursor::at_end() const { return next_event_ >= trace_->events().size(); }
+
+const TraceEvent& TraceCursor::pending_event() const {
+  if (at_end()) throw std::logic_error("TraceCursor: no pending event at end of trace");
+  return trace_->events()[next_event_];
+}
+
+void TraceCursor::step() {
+  const TraceEvent& ev = pending_event();
+  time_ = ev.time;
+  if (ev.kind == TraceEvent::Kind::kAtomic) {
+    for (const TokenDelta& d : ev.consumed) marking_.remove(d.place, d.count);
+    for (const ScalarUpdate& u : ev.scalar_updates) data_.set(u.name, u.value);
+    for (const TableUpdate& u : ev.table_updates) {
+      data_.set_table_entry(u.name, u.index, u.value);
+    }
+    for (const TokenDelta& d : ev.produced) marking_.add(d.place, d.count);
+  } else if (ev.kind == TraceEvent::Kind::kStart) {
+    for (const TokenDelta& d : ev.consumed) marking_.remove(d.place, d.count);
+    for (const ScalarUpdate& u : ev.scalar_updates) data_.set(u.name, u.value);
+    for (const TableUpdate& u : ev.table_updates) {
+      data_.set_table_entry(u.name, u.index, u.value);
+    }
+    active_firings_.at(ev.transition.value) += 1;
+  } else {
+    for (const TokenDelta& d : ev.produced) marking_.add(d.place, d.count);
+    auto& active = active_firings_.at(ev.transition.value);
+    if (active == 0) {
+      throw std::logic_error("TraceCursor: End event for transition '" +
+                             trace_->header().transition_names[ev.transition.value] +
+                             "' with no firing in flight");
+    }
+    active -= 1;
+  }
+  ++next_event_;
+}
+
+void TraceCursor::rewind() {
+  next_event_ = 0;
+  time_ = trace_->header().start_time;
+  marking_ = trace_->header().initial_marking;
+  data_ = trace_->header().initial_data;
+  active_firings_.assign(trace_->header().transition_names.size(), 0);
+}
+
+}  // namespace pnut

@@ -1,0 +1,258 @@
+#include "tracer/tracer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "expr/ast.h"
+#include "expr/parser.h"
+
+namespace pnut::tracer {
+
+Tracer::Tracer(const RecordedTrace& trace) : trace_(&trace), states_(trace) {}
+
+Time Tracer::start_time() const { return trace_->header().start_time; }
+
+std::size_t Tracer::state_at(Time t) const {
+  // States are ordered by time; binary search the last state with
+  // state_time <= t.
+  std::size_t lo = 0;
+  std::size_t hi = states_.num_states();  // exclusive
+  while (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (states_.state_time(mid) <= t) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+void Tracer::add_place_signal(std::string_view place_name, std::string_view label) {
+  const auto p = states_.find_place(place_name);
+  if (!p) {
+    throw std::invalid_argument("Tracer: no place named '" + std::string(place_name) + "'");
+  }
+  Signal s;
+  s.label = label.empty() ? std::string(place_name) : std::string(label);
+  s.values.reserve(states_.num_states());
+  for (std::size_t i = 0; i < states_.num_states(); ++i) {
+    s.values.push_back(states_.place_tokens(i, *p));
+  }
+  signals_.push_back(std::move(s));
+}
+
+void Tracer::add_transition_signal(std::string_view transition_name, std::string_view label) {
+  const auto t = states_.find_transition(transition_name);
+  if (!t) {
+    throw std::invalid_argument("Tracer: no transition named '" +
+                                std::string(transition_name) + "'");
+  }
+  Signal s;
+  s.label = label.empty() ? std::string(transition_name) : std::string(label);
+  s.values.reserve(states_.num_states());
+  for (std::size_t i = 0; i < states_.num_states(); ++i) {
+    s.values.push_back(states_.transition_activity(i, *t));
+  }
+  signals_.push_back(std::move(s));
+}
+
+void Tracer::add_variable_signal(std::string_view variable, std::string_view label) {
+  Signal s;
+  s.label = label.empty() ? std::string(variable) : std::string(label);
+  s.values.reserve(states_.num_states());
+  for (std::size_t i = 0; i < states_.num_states(); ++i) {
+    const auto v = states_.variable(i, variable);
+    if (!v) {
+      throw std::invalid_argument("Tracer: no data variable named '" +
+                                  std::string(variable) + "'");
+    }
+    s.values.push_back(*v);
+  }
+  signals_.push_back(std::move(s));
+}
+
+void Tracer::add_function_signal(std::string_view label, std::string_view expression) {
+  const expr::NodePtr ast = expr::parse_expression(expression);
+
+  Signal s;
+  s.label = std::string(label);
+  s.values.reserve(states_.num_states());
+  for (std::size_t i = 0; i < states_.num_states(); ++i) {
+    expr::EvalContext ctx;
+    ctx.resolve_identifier = [&](std::string_view name) -> std::optional<std::int64_t> {
+      if (auto p = states_.find_place(name)) return states_.place_tokens(i, *p);
+      if (auto t = states_.find_transition(name)) return states_.transition_activity(i, *t);
+      return states_.variable(i, name);
+    };
+    s.values.push_back(ast->eval(ctx));
+  }
+  signals_.push_back(std::move(s));
+}
+
+std::int64_t Tracer::value_at(std::size_t index, Time t) const {
+  return signals_.at(index).values.at(state_at(t));
+}
+
+void Tracer::set_marker(char name, Time position) {
+  for (auto& [n, t] : markers_) {
+    if (n == name) {
+      t = position;
+      return;
+    }
+  }
+  markers_.emplace_back(name, position);
+}
+
+void Tracer::set_marker_at_state(char name, std::size_t state_index) {
+  set_marker(name, states_.state_time(state_index));
+}
+
+std::optional<Time> Tracer::marker(char name) const {
+  for (const auto& [n, t] : markers_) {
+    if (n == name) return t;
+  }
+  return std::nullopt;
+}
+
+Time Tracer::marker_distance(char a, char b) const {
+  const auto ta = marker(a);
+  const auto tb = marker(b);
+  if (!ta || !tb) {
+    throw std::invalid_argument(std::string("Tracer: marker '") + (ta ? b : a) +
+                                "' is not set");
+  }
+  return std::fabs(*ta - *tb);
+}
+
+std::optional<Time> Tracer::first_time_at_or_above(std::size_t index, std::int64_t threshold,
+                                                   Time from) const {
+  const Signal& s = signals_.at(index);
+  for (std::size_t i = 0; i < s.values.size(); ++i) {
+    if (states_.state_time(i) < from) continue;
+    if (s.values[i] >= threshold) return states_.state_time(i);
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Amplitude ramps, low to high. Index 0 is "zero".
+constexpr const char* kAsciiRamp = "_.:-=+*#@";
+constexpr const char* kUnicodeRamp[] = {"▁", "▂", "▃", "▄",
+                                        "▅", "▆", "▇", "█"};
+
+}  // namespace
+
+std::string Tracer::render(Time t0, Time t1, RenderOptions options) const {
+  if (t1 <= t0) throw std::invalid_argument("Tracer::render: require t0 < t1");
+  const std::size_t cols = std::max<std::size_t>(options.columns, 8);
+
+  std::size_t label_w = 8;
+  for (const Signal& s : signals_) label_w = std::max(label_w, s.label.size());
+
+  std::ostringstream out;
+  char buf[64];
+
+  // Sample each signal at column midpoints.
+  auto column_time = [&](std::size_t c) {
+    return t0 + (t1 - t0) * (static_cast<double>(c) + 0.5) / static_cast<double>(cols);
+  };
+
+  for (const Signal& s : signals_) {
+    // Scale per signal over the window.
+    std::int64_t peak = 1;
+    std::vector<std::int64_t> samples(cols);
+    for (std::size_t c = 0; c < cols; ++c) {
+      samples[c] = s.values.at(state_at(column_time(c)));
+      peak = std::max(peak, samples[c]);
+    }
+    out << s.label;
+    for (std::size_t i = s.label.size(); i < label_w + 1; ++i) out << ' ';
+    out << '|';
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::int64_t v = samples[c];
+      if (options.unicode) {
+        if (v <= 0) {
+          out << ' ';
+        } else {
+          const std::size_t level =
+              std::min<std::size_t>(7, static_cast<std::size_t>((v * 8 - 1) / peak));
+          out << kUnicodeRamp[level];
+        }
+      } else {
+        if (v <= 0) {
+          out << kAsciiRamp[0];
+        } else {
+          // Map (0, peak] onto ramp indices 1..8 so that v == peak renders
+          // full height ('@') even when peak == 1.
+          const std::size_t level = std::max<std::size_t>(
+              1, std::min<std::size_t>(8, static_cast<std::size_t>((v * 8) / peak)));
+          out << kAsciiRamp[level];
+        }
+      }
+    }
+    out << "| max=" << peak << '\n';
+  }
+
+  if (options.show_axis) {
+    // Time axis.
+    for (std::size_t i = 0; i < label_w + 1; ++i) out << ' ';
+    out << '+';
+    for (std::size_t c = 0; c < cols; ++c) out << (c % 10 == 9 ? '+' : '-');
+    out << "+\n";
+    for (std::size_t i = 0; i < label_w + 2; ++i) out << ' ';
+    std::snprintf(buf, sizeof(buf), "%-.6g", t0);
+    out << buf;
+    const std::string right = [&] {
+      char b2[32];
+      std::snprintf(b2, sizeof(b2), "%.6g", t1);
+      return std::string(b2);
+    }();
+    const std::size_t used = std::string(buf).size();
+    for (std::size_t i = used; i + right.size() < cols; ++i) out << ' ';
+    out << right << '\n';
+
+    // Marker row + legend.
+    if (!markers_.empty()) {
+      std::string row(cols, ' ');
+      for (const auto& [name, t] : markers_) {
+        if (t < t0 || t > t1) continue;
+        const auto c = static_cast<std::size_t>((t - t0) / (t1 - t0) * (cols - 1));
+        row[std::min(c, cols - 1)] = name;
+      }
+      for (std::size_t i = 0; i < label_w + 2; ++i) out << ' ';
+      out << row << '\n';
+      for (const auto& [name, t] : markers_) {
+        std::snprintf(buf, sizeof(buf), "  %c position: %.6g (state #%zu)\n", name, t,
+                      state_at(t));
+        out << buf;
+      }
+      for (std::size_t i = 0; i < markers_.size(); ++i) {
+        for (std::size_t j = i + 1; j < markers_.size(); ++j) {
+          std::snprintf(buf, sizeof(buf), "  %c <-> %c: %.6g\n", markers_[i].first,
+                        markers_[j].first,
+                        std::fabs(markers_[i].second - markers_[j].second));
+          out << buf;
+        }
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string Tracer::render_all(RenderOptions options) const {
+  const Time t0 = start_time();
+  Time t1 = end_time();
+  if (t1 <= t0) t1 = t0 + 1;
+  return render(t0, t1, options);
+}
+
+analysis::QueryResult Tracer::check(std::string_view query) const {
+  return analysis::eval_query(states_, query);
+}
+
+}  // namespace pnut::tracer

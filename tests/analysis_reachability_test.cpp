@@ -1,0 +1,214 @@
+// Unit tests for the reachability-graph analyzer.
+#include <gtest/gtest.h>
+
+#include "analysis/reachability.h"
+
+namespace pnut::analysis {
+namespace {
+
+/// Two-transition ring: P(1) <-> Q via t1, t2. Two states.
+Net ring_net() {
+  Net net("ring");
+  const PlaceId p = net.add_place("P", 1);
+  const PlaceId q = net.add_place("Q");
+  const TransitionId t1 = net.add_transition("t1");
+  const TransitionId t2 = net.add_transition("t2");
+  net.add_input(t1, p);
+  net.add_output(t1, q);
+  net.add_input(t2, q);
+  net.add_output(t2, p);
+  return net;
+}
+
+TEST(Reachability, RingHasTwoStates) {
+  const Net net = ring_net();
+  const ReachabilityGraph graph(net);
+  EXPECT_EQ(graph.status(), ReachStatus::kComplete);
+  EXPECT_EQ(graph.num_states(), 2u);
+  EXPECT_EQ(graph.num_edges(), 2u);
+  EXPECT_TRUE(graph.deadlock_states().empty());
+  EXPECT_TRUE(graph.is_reversible());
+  EXPECT_TRUE(graph.dead_transitions().empty());
+}
+
+TEST(Reachability, InitialStateIsIndexZero) {
+  const Net net = ring_net();
+  const ReachabilityGraph graph(net);
+  EXPECT_EQ(graph.marking(0), Marking::initial(net));
+}
+
+TEST(Reachability, DeadlockStateDetected) {
+  Net net("oneshot");
+  const PlaceId p = net.add_place("P", 1);
+  const PlaceId q = net.add_place("Q");
+  const TransitionId t = net.add_transition("t");
+  net.add_input(t, p);
+  net.add_output(t, q);
+  const ReachabilityGraph graph(net);
+  EXPECT_EQ(graph.num_states(), 2u);
+  const auto deadlocks = graph.deadlock_states();
+  ASSERT_EQ(deadlocks.size(), 1u);
+  EXPECT_EQ(graph.marking(deadlocks[0])[q], 1u);
+  EXPECT_FALSE(graph.is_reversible());
+}
+
+TEST(Reachability, DeadTransitionDetected) {
+  Net net;
+  const PlaceId p = net.add_place("P", 1);
+  const PlaceId never = net.add_place("Never");
+  const TransitionId live = net.add_transition("live");
+  net.add_input(live, p);
+  net.add_output(live, p);
+  const TransitionId dead = net.add_transition("dead");
+  net.add_input(dead, never);
+  net.add_output(dead, p);
+  const ReachabilityGraph graph(net);
+  const auto dead_list = graph.dead_transitions();
+  ASSERT_EQ(dead_list.size(), 1u);
+  EXPECT_EQ(dead_list[0], net.transition_named("dead"));
+}
+
+TEST(Reachability, WeightedArcsChangeStateCount) {
+  // P(4) consumed 2-at-a-time: markings 4, 2, 0 -> 3 states.
+  Net net;
+  const PlaceId p = net.add_place("P", 4);
+  const PlaceId q = net.add_place("Q");
+  const TransitionId t = net.add_transition("t");
+  net.add_input(t, p, 2);
+  net.add_output(t, q, 2);
+  const ReachabilityGraph graph(net);
+  EXPECT_EQ(graph.num_states(), 3u);
+  EXPECT_EQ(graph.place_bound(q), 4u);
+}
+
+TEST(Reachability, InhibitorPrunesFirings) {
+  Net net;
+  const PlaceId p = net.add_place("P", 2);
+  const PlaceId g = net.add_place("G");
+  const PlaceId q = net.add_place("Q");
+  const TransitionId t = net.add_transition("t");
+  net.add_input(t, p);
+  net.add_inhibitor(t, g);
+  net.add_output(t, q);
+  const TransitionId filler = net.add_transition("filler");
+  net.add_input(filler, q);
+  net.add_output(filler, g);
+
+  const ReachabilityGraph graph(net);
+  EXPECT_EQ(graph.status(), ReachStatus::kComplete);
+  // No edge may fire t from a state where G is marked.
+  for (std::size_t s = 0; s < graph.num_states(); ++s) {
+    for (const auto& e : graph.edges(s)) {
+      if (e.transition == net.transition_named("t")) {
+        EXPECT_EQ(graph.marking(s)[g], 0u);
+      }
+    }
+  }
+}
+
+TEST(Reachability, UnboundedNetReported) {
+  Net net("unbounded");
+  const PlaceId p = net.add_place("P");
+  const TransitionId src = net.add_transition("src");
+  net.add_output(src, p);
+  ReachOptions options;
+  options.place_bound = 50;
+  const ReachabilityGraph graph(net, options);
+  EXPECT_EQ(graph.status(), ReachStatus::kUnbounded);
+}
+
+TEST(Reachability, TruncationAtMaxStates) {
+  Net net;
+  const PlaceId a = net.add_place("A", 10);
+  const PlaceId b = net.add_place("B");
+  const TransitionId t1 = net.add_transition("t1");
+  net.add_input(t1, a);
+  net.add_output(t1, b);
+  const TransitionId t2 = net.add_transition("t2");
+  net.add_input(t2, b);
+  net.add_output(t2, a);
+  ReachOptions options;
+  options.max_states = 5;
+  const ReachabilityGraph graph(net, options);
+  EXPECT_EQ(graph.status(), ReachStatus::kTruncated);
+  EXPECT_LE(graph.num_states(), 7u);
+}
+
+TEST(Reachability, RespectCapacitiesBlocksOverflowingFirings) {
+  Net net;
+  const PlaceId p = net.add_place("P", 2);
+  const PlaceId q = net.add_place("Q", 0, 1);  // capacity 1
+  const TransitionId t = net.add_transition("t");
+  net.add_input(t, p);
+  net.add_output(t, q);
+  ReachOptions options;
+  options.respect_capacities = true;
+  const ReachabilityGraph graph(net, options);
+  EXPECT_EQ(graph.place_bound(q), 1u);
+  // Without capacities, Q reaches 2.
+  const ReachabilityGraph unrestricted(net);
+  EXPECT_EQ(unrestricted.place_bound(q), 2u);
+}
+
+TEST(Reachability, TransitionActivityIsEnabledness) {
+  const Net net = ring_net();
+  const ReachabilityGraph graph(net);
+  const TransitionId t1 = net.transition_named("t1");
+  const TransitionId t2 = net.transition_named("t2");
+  EXPECT_EQ(graph.transition_activity(0, t1), 1);
+  EXPECT_EQ(graph.transition_activity(0, t2), 0);
+}
+
+TEST(Reachability, InterpretedDeterministicActionTracked) {
+  // A counter in data: P recycles, action increments x mod 3. The graph
+  // must distinguish data states: 3 states, not 1.
+  Net net;
+  net.initial_data().set("x", 0);
+  const PlaceId p = net.add_place("P", 1);
+  const TransitionId t = net.add_transition("t");
+  net.add_input(t, p);
+  net.add_output(t, p);
+  net.set_action(t, [](DataContext& d, Rng&) { d.set("x", (d.get("x") + 1) % 3); });
+  const ReachabilityGraph graph(net);
+  EXPECT_EQ(graph.num_states(), 3u);
+  EXPECT_TRUE(graph.is_reversible());
+  EXPECT_EQ(graph.variable(0, "x"), 0);
+}
+
+TEST(Reachability, StochasticActionFansOut) {
+  // Action draws x in [1,3]: one marking, data outcomes 1..3 plus initial 0.
+  Net net;
+  net.initial_data().set("x", 0);
+  const PlaceId p = net.add_place("P", 1);
+  const TransitionId t = net.add_transition("t");
+  net.add_input(t, p);
+  net.add_output(t, p);
+  net.set_action(t, [](DataContext& d, Rng& rng) { d.set("x", rng.next_int(1, 3)); });
+  const ReachabilityGraph graph(net);
+  EXPECT_EQ(graph.num_states(), 4u);
+}
+
+TEST(Reachability, PredicateLimitsStateSpace) {
+  Net net;
+  net.initial_data().set("x", 0);
+  const PlaceId p = net.add_place("P", 1);
+  const TransitionId inc = net.add_transition("inc");
+  net.add_input(inc, p);
+  net.add_output(inc, p);
+  net.set_predicate(inc, [](const DataContext& d) { return d.get("x") < 5; });
+  net.set_action(inc, [](DataContext& d, Rng&) { d.set("x", d.get("x") + 1); });
+  const ReachabilityGraph graph(net);
+  EXPECT_EQ(graph.num_states(), 6u);  // x = 0..5
+  ASSERT_EQ(graph.deadlock_states().size(), 1u);
+  EXPECT_EQ(graph.variable(graph.deadlock_states()[0], "x"), 5);
+}
+
+TEST(Reachability, InvalidNetRejected) {
+  Net net;
+  net.add_place("X", 0);
+  net.add_place("X", 0);
+  EXPECT_THROW(ReachabilityGraph{net}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pnut::analysis

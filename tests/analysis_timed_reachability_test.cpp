@@ -1,0 +1,303 @@
+// Unit tests for the timed reachability analyzer ([RP84]).
+#include <gtest/gtest.h>
+
+#include "analysis/timed_reachability.h"
+#include "pipeline/model.h"
+#include "sim/simulator.h"
+
+namespace pnut::analysis {
+namespace {
+
+/// Marking predicate: named place holds >= n tokens.
+auto marked(const Net& net, const char* place, TokenCount n = 1) {
+  const PlaceId p = net.place_named(place);
+  return [p, n](const Marking& m) { return m[p] >= n; };
+}
+
+TEST(TimedReach, EnablingDelayCountsTicks) {
+  Net net;
+  const PlaceId a = net.add_place("A", 1);
+  const PlaceId b = net.add_place("B");
+  const TransitionId t = net.add_transition("T");
+  net.add_input(t, a);
+  net.add_output(t, b);
+  net.set_enabling_time(t, DelaySpec::constant(3));
+
+  const TimedReachabilityGraph graph(net);
+  EXPECT_EQ(graph.status(), TimedReachStatus::kComplete);
+  // Timer states 3,2,1,0-fires plus the final marking: 5 timed states
+  // versus 2 untimed ones.
+  EXPECT_EQ(graph.num_states(), 5u);
+
+  const auto bounds = graph.time_bounds(marked(net, "B"));
+  ASSERT_TRUE(bounds.has_value());
+  EXPECT_EQ(bounds->earliest, 3u);
+  EXPECT_EQ(bounds->latest, 3u);
+}
+
+TEST(TimedReach, FiringDelayHoldsTokensInFlight) {
+  Net net;
+  const PlaceId a = net.add_place("A", 1);
+  const PlaceId b = net.add_place("B");
+  const TransitionId t = net.add_transition("T");
+  net.add_input(t, a);
+  net.add_output(t, b);
+  net.set_firing_time(t, DelaySpec::constant(2));
+
+  const TimedReachabilityGraph graph(net);
+  const auto bounds = graph.time_bounds(marked(net, "B"));
+  ASSERT_TRUE(bounds.has_value());
+  EXPECT_EQ(bounds->earliest, 2u);
+  EXPECT_EQ(bounds->latest, 2u);
+  // Some state has the token in neither place.
+  bool saw_in_flight = false;
+  for (std::size_t s = 0; s < graph.num_states(); ++s) {
+    saw_in_flight |= (graph.marking(s)[a] == 0 && graph.marking(s)[b] == 0);
+  }
+  EXPECT_TRUE(saw_in_flight);
+}
+
+TEST(TimedReach, TimingPrunesRaces) {
+  // fast (enabling 2) and slow (enabling 5) race for one token: in the
+  // timed graph only fast can ever fire — the untimed graph would allow
+  // both outcomes.
+  Net net;
+  const PlaceId p = net.add_place("P", 1);
+  const PlaceId fast_done = net.add_place("FastDone");
+  const PlaceId slow_done = net.add_place("SlowDone");
+  const TransitionId fast = net.add_transition("fast");
+  net.add_input(fast, p);
+  net.add_output(fast, fast_done);
+  net.set_enabling_time(fast, DelaySpec::constant(2));
+  const TransitionId slow = net.add_transition("slow");
+  net.add_input(slow, p);
+  net.add_output(slow, slow_done);
+  net.set_enabling_time(slow, DelaySpec::constant(5));
+
+  const TimedReachabilityGraph graph(net);
+  EXPECT_TRUE(graph.time_bounds(marked(net, "FastDone")).has_value());
+  EXPECT_FALSE(graph.time_bounds(marked(net, "SlowDone")).has_value())
+      << "slow must never win a 2-vs-5 race in the timed semantics";
+  for (std::size_t s = 0; s < graph.num_states(); ++s) {
+    for (const auto& e : graph.edges(s)) {
+      if (e.transition) EXPECT_NE(*e.transition, slow);
+    }
+  }
+}
+
+TEST(TimedReach, TieRaceBranches) {
+  // Equal delays: both outcomes are timing-feasible -> branching.
+  Net net;
+  const PlaceId p = net.add_place("P", 1);
+  const PlaceId a_done = net.add_place("ADone");
+  const PlaceId b_done = net.add_place("BDone");
+  const TransitionId ta = net.add_transition("ta");
+  net.add_input(ta, p);
+  net.add_output(ta, a_done);
+  net.set_enabling_time(ta, DelaySpec::constant(3));
+  const TransitionId tb = net.add_transition("tb");
+  net.add_input(tb, p);
+  net.add_output(tb, b_done);
+  net.set_enabling_time(tb, DelaySpec::constant(3));
+
+  const TimedReachabilityGraph graph(net);
+  ASSERT_TRUE(graph.time_bounds(marked(net, "ADone")).has_value());
+  ASSERT_TRUE(graph.time_bounds(marked(net, "BDone")).has_value());
+  EXPECT_EQ(graph.time_bounds(marked(net, "ADone"))->earliest, 3u);
+}
+
+TEST(TimedReach, WorstCaseOverBranches) {
+  // Immediate choice: a short path (2 ticks) and a long path (7 ticks) to
+  // Done. Worst-case first-hit = 7, best = 2.
+  Net net;
+  const PlaceId start = net.add_place("Start", 1);
+  const PlaceId short_way = net.add_place("ShortWay");
+  const PlaceId long_way = net.add_place("LongWay");
+  const PlaceId done = net.add_place("Done");
+  const TransitionId pick_short = net.add_transition("pick_short");
+  net.add_input(pick_short, start);
+  net.add_output(pick_short, short_way);
+  const TransitionId pick_long = net.add_transition("pick_long");
+  net.add_input(pick_long, start);
+  net.add_output(pick_long, long_way);
+  const TransitionId go_short = net.add_transition("go_short");
+  net.add_input(go_short, short_way);
+  net.add_output(go_short, done);
+  net.set_enabling_time(go_short, DelaySpec::constant(2));
+  const TransitionId go_long = net.add_transition("go_long");
+  net.add_input(go_long, long_way);
+  net.add_output(go_long, done);
+  net.set_enabling_time(go_long, DelaySpec::constant(7));
+
+  const TimedReachabilityGraph graph(net);
+  const auto bounds = graph.time_bounds(marked(net, "Done"));
+  ASSERT_TRUE(bounds.has_value());
+  EXPECT_EQ(bounds->earliest, 2u);
+  EXPECT_EQ(bounds->latest, 7u);
+}
+
+TEST(TimedReach, UnboundedWorstCaseWhenAvoidable) {
+  // A loop that can spin forever without ever taking the exit.
+  Net net;
+  const PlaceId a = net.add_place("A", 1);
+  const PlaceId b = net.add_place("B");
+  const PlaceId out = net.add_place("Out");
+  const TransitionId spin1 = net.add_transition("spin1");
+  net.add_input(spin1, a);
+  net.add_output(spin1, b);
+  net.set_enabling_time(spin1, DelaySpec::constant(1));
+  const TransitionId spin2 = net.add_transition("spin2");
+  net.add_input(spin2, b);
+  net.add_output(spin2, a);
+  net.set_enabling_time(spin2, DelaySpec::constant(1));
+  const TransitionId exit = net.add_transition("exit");
+  net.add_input(exit, a);
+  net.add_output(exit, out);
+  net.set_enabling_time(exit, DelaySpec::constant(1));
+
+  const TimedReachabilityGraph graph(net);
+  const auto bounds = graph.time_bounds(marked(net, "Out"));
+  ASSERT_TRUE(bounds.has_value());
+  EXPECT_EQ(bounds->earliest, 1u);
+  EXPECT_EQ(bounds->latest, UINT64_MAX);
+}
+
+TEST(TimedReach, DeadlockStatesHaveNoEdges) {
+  Net net;
+  const PlaceId a = net.add_place("A", 1);
+  const PlaceId b = net.add_place("B");
+  const TransitionId t = net.add_transition("T");
+  net.add_input(t, a);
+  net.add_output(t, b);
+  net.set_enabling_time(t, DelaySpec::constant(2));
+
+  const TimedReachabilityGraph graph(net);
+  const auto deadlocks = graph.deadlock_states();
+  ASSERT_EQ(deadlocks.size(), 1u);
+  EXPECT_EQ(graph.marking(deadlocks[0])[b], 1u);
+  EXPECT_EQ(graph.earliest_time(deadlocks[0]), 2u);
+}
+
+TEST(TimedReach, MaximalProgressBlocksTicksWhileReady) {
+  // An immediate transition is ready at t=0: no tick edge may leave the
+  // initial state.
+  Net net;
+  const PlaceId a = net.add_place("A", 1);
+  const PlaceId b = net.add_place("B");
+  const TransitionId now = net.add_transition("now");
+  net.add_input(now, a);
+  net.add_output(now, b);
+  const TransitionId later = net.add_transition("later");
+  net.add_input(later, a);
+  net.add_output(later, b);
+  net.set_enabling_time(later, DelaySpec::constant(4));
+
+  const TimedReachabilityGraph graph(net);
+  for (const auto& e : graph.edges(0)) {
+    EXPECT_TRUE(e.transition.has_value()) << "tick from a state with a ready transition";
+    EXPECT_EQ(*e.transition, now);
+  }
+}
+
+TEST(TimedReach, AgreesWithSimulatorOnDeterministicNet) {
+  // Deterministic 3-stage chain: the timed graph's bound equals the
+  // simulator's completion time.
+  Net net;
+  const PlaceId a = net.add_place("A", 1);
+  const PlaceId b = net.add_place("B");
+  const PlaceId c = net.add_place("C");
+  const TransitionId t1 = net.add_transition("t1");
+  net.add_input(t1, a);
+  net.add_output(t1, b);
+  net.set_enabling_time(t1, DelaySpec::constant(3));
+  const TransitionId t2 = net.add_transition("t2");
+  net.add_input(t2, b);
+  net.add_output(t2, c);
+  net.set_firing_time(t2, DelaySpec::constant(4));
+
+  const TimedReachabilityGraph graph(net);
+  const auto bounds = graph.time_bounds(marked(net, "C"));
+  ASSERT_TRUE(bounds.has_value());
+  EXPECT_EQ(bounds->earliest, 7u);
+  EXPECT_EQ(bounds->latest, 7u);
+
+  Simulator sim(net);
+  sim.run_until(6.5);
+  EXPECT_EQ(sim.marking()[c], 0u);
+  sim.run_until(7);
+  EXPECT_EQ(sim.marking()[c], 1u);
+}
+
+TEST(TimedReach, PipelineFirstIssueLatency) {
+  // Scaled-down pipeline with integer delays: time to the first completed
+  // instruction. Prefetch needs 2 (memory), decode 1, then the class-1
+  // execution 1 more; timed analysis pins the first-issue window exactly.
+  pipeline::PipelineConfig config;
+  config.ibuffer_words = 2;
+  config.prefetch_words = 2;
+  config.memory_cycles = 2;
+  config.ea_calc_cycles = 1;
+  config.exec_classes = {{1, 1.0}};
+  config.store_probability = 0;  // keep the space small
+  const Net net = pipeline::build_full_model(config);
+
+  TimedReachOptions options;
+  options.max_states = 200000;
+  options.max_time = 200;
+  const TimedReachabilityGraph graph(net, options);
+  ASSERT_EQ(graph.status(), TimedReachStatus::kComplete);
+
+  const auto bounds =
+      graph.time_bounds(marked(net, pipeline::names::kIssuedInstruction));
+  ASSERT_TRUE(bounds.has_value());
+  // Prefetch completes at 2, decode at 3; issue is immediate.
+  EXPECT_EQ(bounds->earliest, 3u);
+  EXPECT_LT(graph.num_states(), 100000u);
+}
+
+TEST(TimedReach, RejectsNonIntegerAndInterpretedNets) {
+  Net net;
+  const PlaceId p = net.add_place("P", 1);
+  const TransitionId t = net.add_transition("T");
+  net.add_input(t, p);
+  net.add_output(t, p);
+  net.set_firing_time(t, DelaySpec::constant(1.5));
+  EXPECT_THROW(TimedReachabilityGraph{net}, std::invalid_argument);
+
+  Net net2;
+  const PlaceId p2 = net2.add_place("P", 1);
+  const TransitionId t2 = net2.add_transition("T");
+  net2.add_input(t2, p2);
+  net2.add_output(t2, p2);
+  net2.set_firing_time(t2, DelaySpec::uniform_int(1, 2));
+  EXPECT_THROW(TimedReachabilityGraph{net2}, std::invalid_argument);
+
+  Net net3;
+  const PlaceId p3 = net3.add_place("P", 1);
+  const TransitionId t3 = net3.add_transition("T");
+  net3.add_input(t3, p3);
+  net3.add_output(t3, p3);
+  net3.set_firing_time(t3, DelaySpec::constant(1));
+  net3.set_predicate(t3, [](const DataContext&) { return true; });
+  EXPECT_THROW(TimedReachabilityGraph{net3}, std::invalid_argument);
+}
+
+TEST(TimedReach, TruncationAtHorizon) {
+  // An endless 1-cycle loop explored with a tiny horizon.
+  Net net;
+  const PlaceId p = net.add_place("P", 1);
+  const PlaceId q = net.add_place("Counter");
+  const TransitionId t = net.add_transition("T");
+  net.add_input(t, p);
+  net.add_output(t, p);
+  net.add_output(t, q);  // unbounded counter distinguishes every state
+  net.set_enabling_time(t, DelaySpec::constant(1));
+
+  TimedReachOptions options;
+  options.max_time = 5;
+  const TimedReachabilityGraph graph(net, options);
+  EXPECT_EQ(graph.status(), TimedReachStatus::kTruncated);
+}
+
+}  // namespace
+}  // namespace pnut::analysis

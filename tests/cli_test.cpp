@@ -1,0 +1,228 @@
+// Tests for the pnut command-line utility tools (src/cli).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "cli/cli.h"
+
+namespace pnut::cli {
+namespace {
+
+constexpr const char* kModelPn = R"(
+net demo
+place Bus_free init 1
+place Bus_busy
+place Jobs init 2
+place Done
+trans start in Bus_free, Jobs out Bus_busy
+trans finish in Bus_busy out Bus_free, Done enabling 5
+trans recycle in Done out Jobs enabling 3
+)";
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("pnut_cli_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+    model_path_ = (dir_ / "model.pn").string();
+    std::ofstream(model_path_) << kModelPn;
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// Run the CLI, capture out/err.
+  struct Result {
+    int code;
+    std::string out;
+    std::string err;
+  };
+  static Result run_cli(std::vector<std::string> args) {
+    std::ostringstream out;
+    std::ostringstream err;
+    const int code = run(args, out, err);
+    return Result{code, out.str(), err.str()};
+  }
+
+  std::string make_trace_file() {
+    const std::string trace_path = (dir_ / "run.trace").string();
+    const Result r = run_cli({"simulate", model_path_, "--until", "200", "--seed", "7",
+                              "--trace", trace_path});
+    EXPECT_EQ(r.code, 0) << r.err;
+    return trace_path;
+  }
+
+  std::filesystem::path dir_;
+  std::string model_path_;
+};
+
+TEST_F(CliTest, HelpAndUnknownCommand) {
+  EXPECT_EQ(run_cli({"help"}).code, 0);
+  EXPECT_NE(run_cli({"help"}).out.find("usage"), std::string::npos);
+  EXPECT_EQ(run_cli({}).code, 2);
+  const Result bad = run_cli({"frobnicate"});
+  EXPECT_EQ(bad.code, 2);
+  EXPECT_NE(bad.err.find("unknown command"), std::string::npos);
+}
+
+TEST_F(CliTest, ValidateAcceptsGoodModel) {
+  const Result r = run_cli({"validate", model_path_});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("4 places"), std::string::npos);
+  EXPECT_NE(r.out.find("3 transitions"), std::string::npos);
+}
+
+TEST_F(CliTest, ValidateRejectsBadModel) {
+  const std::string bad_path = (dir_ / "bad.pn").string();
+  std::ofstream(bad_path) << "place P init 1\ntrans t in Nowhere out P\n";
+  const Result r = run_cli({"validate", bad_path});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown place"), std::string::npos);
+}
+
+TEST_F(CliTest, ValidateMissingFile) {
+  const Result r = run_cli({"validate", (dir_ / "absent.pn").string()});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("cannot open"), std::string::npos);
+}
+
+TEST_F(CliTest, PrintRoundTrips) {
+  const Result r = run_cli({"print", model_path_});
+  ASSERT_EQ(r.code, 0) << r.err;
+  const std::string reprinted_path = (dir_ / "reprinted.pn").string();
+  std::ofstream(reprinted_path) << r.out;
+  const Result again = run_cli({"print", reprinted_path});
+  EXPECT_EQ(again.code, 0);
+  EXPECT_EQ(again.out, r.out);
+}
+
+TEST_F(CliTest, SimulatePrintsStatsByDefault) {
+  const Result r = run_cli({"simulate", model_path_, "--until", "1000", "--seed", "3"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("simulated to t=1000"), std::string::npos);
+  EXPECT_NE(r.out.find("EVENT STATISTICS"), std::string::npos);
+  EXPECT_NE(r.out.find("Bus_busy"), std::string::npos);
+}
+
+TEST_F(CliTest, SimulateTblOutput) {
+  const Result r =
+      run_cli({"simulate", model_path_, "--until", "100", "--seed", "3", "--tbl"});
+  ASSERT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find(".TS"), std::string::npos);
+}
+
+TEST_F(CliTest, SimulateWritesTraceFile) {
+  const std::string trace_path = make_trace_file();
+  std::ifstream in(trace_path);
+  std::string first_line;
+  std::getline(in, first_line);
+  EXPECT_EQ(first_line, "pnut-trace 1");
+}
+
+TEST_F(CliTest, StatReadsTraceBack) {
+  const std::string trace_path = make_trace_file();
+  const Result r = run_cli({"stat", trace_path});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("PLACE STATISTICS"), std::string::npos);
+  EXPECT_NE(r.out.find("finish"), std::string::npos);
+}
+
+TEST_F(CliTest, SimulateWithKeepFilterShrinksTrace) {
+  const std::string full_path = (dir_ / "full.trace").string();
+  const std::string small_path = (dir_ / "small.trace").string();
+  ASSERT_EQ(run_cli({"simulate", model_path_, "--until", "500", "--seed", "2", "--trace",
+                     full_path})
+                .code,
+            0);
+  ASSERT_EQ(run_cli({"simulate", model_path_, "--until", "500", "--seed", "2", "--trace",
+                     small_path, "--keep", "Done"})
+                .code,
+            0);
+  EXPECT_LT(std::filesystem::file_size(small_path), std::filesystem::file_size(full_path));
+}
+
+TEST_F(CliTest, QueryOnTraceExitCodeReflectsVerdict) {
+  const std::string trace_path = make_trace_file();
+  const Result good =
+      run_cli({"query", trace_path, "forall s in S [ Bus_busy(s) + Bus_free(s) = 1 ]"});
+  EXPECT_EQ(good.code, 0) << good.err;
+  EXPECT_NE(good.out.find("holds"), std::string::npos);
+
+  const Result bad = run_cli({"query", trace_path, "forall s in S [ Bus_busy(s) = 1 ]"});
+  EXPECT_EQ(bad.code, 1);
+  EXPECT_NE(bad.out.find("fails"), std::string::npos);
+}
+
+TEST_F(CliTest, QueryOnReachabilityGraph) {
+  const Result r = run_cli({"query", "--reach", model_path_,
+                            "forall s in S [ Bus_busy(s) + Bus_free(s) = 1 ]"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("holds"), std::string::npos);
+}
+
+TEST_F(CliTest, QuerySyntaxErrorIsUsageError) {
+  const std::string trace_path = make_trace_file();
+  const Result r = run_cli({"query", trace_path, "forall s in ["});
+  EXPECT_EQ(r.code, 2);
+}
+
+TEST_F(CliTest, RenderWaveforms) {
+  const std::string trace_path = make_trace_file();
+  const Result r = run_cli({"render", trace_path, "--signals",
+                            "Bus_busy,Done,load=Bus_busy+Jobs", "--columns", "40",
+                            "--marker", "O=20", "--marker", "X=60"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("Bus_busy"), std::string::npos);
+  EXPECT_NE(r.out.find("load"), std::string::npos);
+  EXPECT_NE(r.out.find("O <-> X: 40"), std::string::npos);
+}
+
+TEST_F(CliTest, RenderUnknownSignalFails) {
+  const std::string trace_path = make_trace_file();
+  const Result r = run_cli({"render", trace_path, "--signals", "NoSuchThing"});
+  EXPECT_EQ(r.code, 2);
+}
+
+TEST_F(CliTest, AnimateShowsTokenFlow) {
+  const std::string trace_path = make_trace_file();
+  const Result r = run_cli({"animate", trace_path, "--steps", "4"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("==(1)==>"), std::string::npos);
+  EXPECT_NE(r.out.find("t="), std::string::npos);
+}
+
+TEST_F(CliTest, AnalyzeReportsInvariantsAndReachability) {
+  const Result r = run_cli({"analyze", model_path_});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("place invariants"), std::string::npos);
+  EXPECT_NE(r.out.find("Bus_free + Bus_busy = 1"), std::string::npos);
+  EXPECT_NE(r.out.find("structurally bounded"), std::string::npos);
+  EXPECT_NE(r.out.find("transition invariants"), std::string::npos);
+  EXPECT_NE(r.out.find("reachability:"), std::string::npos);
+  EXPECT_NE(r.out.find("deadlock states: 0"), std::string::npos);
+  EXPECT_NE(r.out.find("reversible: yes"), std::string::npos);
+  EXPECT_NE(r.out.find("timed reachability:"), std::string::npos);
+  EXPECT_NE(r.out.find("timed deadlocks: 0"), std::string::npos);
+}
+
+TEST_F(CliTest, AnalyzeSkipsTimedSectionForStochasticDelays) {
+  const std::string stochastic_path = (dir_ / "stochastic.pn").string();
+  std::ofstream(stochastic_path) << "place P init 1\ntrans t in P out P firing uniform 1 3\n";
+  const Result r = run_cli({"analyze", stochastic_path});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("timed reachability: skipped"), std::string::npos);
+}
+
+TEST_F(CliTest, FlagErrors) {
+  EXPECT_EQ(run_cli({"simulate", model_path_, "--until"}).code, 2);
+  EXPECT_EQ(run_cli({"simulate", model_path_, "--until", "abc"}).code, 2);
+  EXPECT_EQ(run_cli({"render", make_trace_file()}).code, 2);  // missing --signals
+  EXPECT_EQ(run_cli({"simulate"}).code, 2);                   // missing model
+}
+
+}  // namespace
+}  // namespace pnut::cli

@@ -1,0 +1,121 @@
+// Unit tests for the expression-language lexer, including the paper's
+// dashed-identifier quirk.
+#include "expr/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace pnut::expr {
+namespace {
+
+std::vector<TokenKind> kinds(std::string_view src) {
+  std::vector<TokenKind> out;
+  for (const Token& t : tokenize(src)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, EmptyInputYieldsEnd) {
+  const auto tokens = tokenize("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEnd);
+}
+
+TEST(Lexer, NumbersAndIdentifiers) {
+  const auto tokens = tokenize("foo 42 bar_9");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "foo");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kNumber);
+  EXPECT_EQ(tokens[1].number, 42);
+  EXPECT_EQ(tokens[2].text, "bar_9");
+}
+
+TEST(Lexer, DashedIdentifierIsOneToken) {
+  // The paper writes number-of-operands-needed.
+  const auto tokens = tokenize("number-of-operands-needed");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "number-of-operands-needed");
+}
+
+TEST(Lexer, SpacedMinusIsSubtraction) {
+  const auto k = kinds("a - b");
+  ASSERT_EQ(k.size(), 4u);
+  EXPECT_EQ(k[1], TokenKind::kMinus);
+}
+
+TEST(Lexer, TrailingDashNotConsumed) {
+  const auto tokens = tokenize("a- b");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kMinus);
+}
+
+TEST(Lexer, ComparisonOperators) {
+  const auto k = kinds("= == != < <= > >= <>");
+  EXPECT_EQ(k[0], TokenKind::kAssignOrEq);
+  EXPECT_EQ(k[1], TokenKind::kEq);
+  EXPECT_EQ(k[2], TokenKind::kNe);
+  EXPECT_EQ(k[3], TokenKind::kLt);
+  EXPECT_EQ(k[4], TokenKind::kLe);
+  EXPECT_EQ(k[5], TokenKind::kGt);
+  EXPECT_EQ(k[6], TokenKind::kGe);
+  EXPECT_EQ(k[7], TokenKind::kNe);
+}
+
+TEST(Lexer, LogicalOperatorsWordAndSymbol) {
+  const auto k = kinds("a and b or not c && d || !e");
+  EXPECT_EQ(k[1], TokenKind::kAnd);
+  EXPECT_EQ(k[3], TokenKind::kOr);
+  EXPECT_EQ(k[4], TokenKind::kNot);
+  EXPECT_EQ(k[6], TokenKind::kAnd);
+  EXPECT_EQ(k[8], TokenKind::kOr);
+  EXPECT_EQ(k[9], TokenKind::kNot);
+}
+
+TEST(Lexer, BracketsBracesParensPunctuation) {
+  const auto k = kinds("( ) [ ] { } , ; # | '");
+  EXPECT_EQ(k[0], TokenKind::kLParen);
+  EXPECT_EQ(k[1], TokenKind::kRParen);
+  EXPECT_EQ(k[2], TokenKind::kLBracket);
+  EXPECT_EQ(k[3], TokenKind::kRBracket);
+  EXPECT_EQ(k[4], TokenKind::kLBrace);
+  EXPECT_EQ(k[5], TokenKind::kRBrace);
+  EXPECT_EQ(k[6], TokenKind::kComma);
+  EXPECT_EQ(k[7], TokenKind::kSemicolon);
+  EXPECT_EQ(k[8], TokenKind::kHash);
+  EXPECT_EQ(k[9], TokenKind::kPipe);
+  EXPECT_EQ(k[10], TokenKind::kPrime);
+}
+
+TEST(Lexer, LineCommentSkipped) {
+  const auto k = kinds("a // this is a comment\n+ b");
+  ASSERT_EQ(k.size(), 4u);
+  EXPECT_EQ(k[1], TokenKind::kPlus);
+}
+
+TEST(Lexer, StrayAmpersandRejected) {
+  EXPECT_THROW(tokenize("a & b"), ParseError);
+}
+
+TEST(Lexer, UnknownCharacterRejectedWithOffset) {
+  try {
+    tokenize("ab $");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.offset(), 3u);
+  }
+}
+
+TEST(Lexer, HugeNumberRejected) {
+  EXPECT_THROW(tokenize("99999999999999999999999999"), ParseError);
+}
+
+TEST(Lexer, OffsetsPointIntoSource) {
+  const auto tokens = tokenize("ab + cd");
+  EXPECT_EQ(tokens[0].offset, 0u);
+  EXPECT_EQ(tokens[1].offset, 3u);
+  EXPECT_EQ(tokens[2].offset, 5u);
+}
+
+}  // namespace
+}  // namespace pnut::expr

@@ -1,0 +1,133 @@
+// Unit tests for the expression parser: precedence, associativity, the
+// paper's bracket call syntax, statements, and error reporting.
+#include "expr/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace pnut::expr {
+namespace {
+
+std::string parsed(std::string_view src) { return parse_expression(src)->to_string(); }
+
+TEST(Parser, PrecedenceMulOverAdd) {
+  EXPECT_EQ(parsed("1 + 2 * 3"), "(1 + (2 * 3))");
+  EXPECT_EQ(parsed("(1 + 2) * 3"), "((1 + 2) * 3)");
+}
+
+TEST(Parser, LeftAssociativity) {
+  EXPECT_EQ(parsed("10 - 3 - 2"), "((10 - 3) - 2)");
+  EXPECT_EQ(parsed("24 / 4 / 2"), "((24 / 4) / 2)");
+}
+
+TEST(Parser, RelationalBindsLooserThanArithmetic) {
+  EXPECT_EQ(parsed("a + 1 > b * 2"), "((a + 1) > (b * 2))");
+}
+
+TEST(Parser, SingleEqualsIsEqualityInExpressions) {
+  // The paper: Bus_busy(s) + Bus_free(s) = 1.
+  EXPECT_EQ(parsed("x + y = 1"), "((x + y) == 1)");
+}
+
+TEST(Parser, BooleanPrecedence) {
+  EXPECT_EQ(parsed("a > 1 and b < 2 or c = 3"), "(((a > 1) && (b < 2)) || (c == 3))");
+}
+
+TEST(Parser, UnaryOperators) {
+  EXPECT_EQ(parsed("-x"), "-(x)");
+  EXPECT_EQ(parsed("not x"), "!(x)");
+  EXPECT_EQ(parsed("- - 3"), "-(-(3))");
+}
+
+TEST(Parser, PaperBracketCallSyntax) {
+  // irand[1, max-type] — the paper's square-bracket call form.
+  EXPECT_EQ(parsed("irand[1, max-type]"), "irand[1, max-type]");
+}
+
+TEST(Parser, ParenCallSyntaxNormalizesToBrackets) {
+  EXPECT_EQ(parsed("irand(1, 5)"), "irand[1, 5]");
+}
+
+TEST(Parser, TableIndexing) {
+  EXPECT_EQ(parsed("operands[type]"), "operands[type]");
+  EXPECT_EQ(parsed("operands[type + 1]"), "operands[(type + 1)]");
+}
+
+TEST(Parser, NullaryCall) {
+  EXPECT_EQ(parsed("f()"), "f[]");
+}
+
+TEST(Parser, RejectsTrailingGarbage) {
+  EXPECT_THROW(parse_expression("1 + 2 extra"), ParseError);
+}
+
+TEST(Parser, RejectsMissingOperand) {
+  EXPECT_THROW(parse_expression("1 +"), ParseError);
+  EXPECT_THROW(parse_expression("* 2"), ParseError);
+}
+
+TEST(Parser, RejectsUnbalancedParens) {
+  EXPECT_THROW(parse_expression("(1 + 2"), ParseError);
+  EXPECT_THROW(parse_expression("f[1, 2"), ParseError);
+}
+
+TEST(Parser, ProgramSingleAssignment) {
+  const Program p = parse_program("x = 1 + 2");
+  ASSERT_EQ(p.statements.size(), 1u);
+  EXPECT_EQ(p.statements[0].target, "x");
+  EXPECT_EQ(p.statements[0].index, nullptr);
+  EXPECT_EQ(p.statements[0].value->to_string(), "(1 + 2)");
+}
+
+TEST(Parser, ProgramPaperFigure4Action) {
+  const Program p = parse_program(
+      "type = irand[1, max-type];\n"
+      "number-of-operands-needed = operands[type];");
+  ASSERT_EQ(p.statements.size(), 2u);
+  EXPECT_EQ(p.statements[0].target, "type");
+  EXPECT_EQ(p.statements[1].target, "number-of-operands-needed");
+}
+
+TEST(Parser, ProgramTableAssignment) {
+  const Program p = parse_program("t[i + 1] = 9");
+  ASSERT_EQ(p.statements.size(), 1u);
+  EXPECT_EQ(p.statements[0].target, "t");
+  ASSERT_NE(p.statements[0].index, nullptr);
+  EXPECT_EQ(p.statements[0].index->to_string(), "(i + 1)");
+}
+
+TEST(Parser, ProgramTrailingSemicolonOptional) {
+  EXPECT_EQ(parse_program("x = 1").statements.size(), 1u);
+  EXPECT_EQ(parse_program("x = 1;").statements.size(), 1u);
+  EXPECT_EQ(parse_program("x = 1; y = 2").statements.size(), 2u);
+}
+
+TEST(Parser, ProgramEmptyIsValid) {
+  EXPECT_TRUE(parse_program("").statements.empty());
+}
+
+TEST(Parser, ProgramRejectsExpressionStatement) {
+  EXPECT_THROW(parse_program("1 + 2"), ParseError);
+}
+
+TEST(Parser, ProgramRejectsDoubleEquals) {
+  // `x == 1` is a comparison, not an assignment.
+  EXPECT_THROW(parse_program("x == 1"), ParseError);
+}
+
+TEST(Parser, ProgramToStringRoundTrips) {
+  const Program p = parse_program("a = 1; t[2] = b + 1");
+  const Program p2 = parse_program(p.to_string());
+  EXPECT_EQ(p2.to_string(), p.to_string());
+}
+
+TEST(Parser, ExpressionToStringRoundTrips) {
+  for (const char* src : {"1 + 2 * 3", "irand[1, 5] > 2 and x = 1", "operands[type] - 1",
+                          "not (a or b)", "max(a, b) + min(1, 2)"}) {
+    const std::string once = parse_expression(src)->to_string();
+    const std::string twice = parse_expression(once)->to_string();
+    EXPECT_EQ(once, twice) << "source: " << src;
+  }
+}
+
+}  // namespace
+}  // namespace pnut::expr

@@ -1,0 +1,256 @@
+// Cross-module integration tests: the full P-NUT pipeline from model
+// construction through simulation, filtering, serialization, statistics,
+// verification and analytic cross-checks.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/marked_graph.h"
+#include "analysis/query.h"
+#include "analysis/reachability.h"
+#include "pipeline/metrics.h"
+#include "pipeline/model.h"
+#include "sim/simulator.h"
+#include "stat/replication.h"
+#include "stat/stat.h"
+#include "textio/pn_format.h"
+#include "trace/filter.h"
+#include "trace/trace_text.h"
+#include "tracer/tracer.h"
+
+namespace pnut {
+namespace {
+
+TEST(Integration, SimulatorToFilterToStatMatchesUnfiltered) {
+  // Section 4.1's pipeline: simulator -> filter -> analysis, without
+  // storing the full trace. Bus statistics must be identical either way.
+  const Net net = pipeline::build_full_model();
+
+  StatCollector full_stats;
+  StatCollector bus_stats;
+  TraceFilter filter(net, bus_stats);
+  filter.keep_place(pipeline::names::kBusBusy);
+  filter.keep_place(pipeline::names::kBusFree);
+  MultiSink fan;
+  fan.add(full_stats);
+  fan.add(filter);
+
+  Simulator sim(net);
+  sim.set_sink(&fan);
+  sim.reset(42);
+  sim.run_until(5000);
+  sim.finish();
+
+  const double full_avg = full_stats.stats().place(pipeline::names::kBusBusy).avg_tokens;
+  const double filtered_avg = bus_stats.stats().place(pipeline::names::kBusBusy).avg_tokens;
+  EXPECT_NEAR(filtered_avg, full_avg, 1e-12);
+  EXPECT_LT(bus_stats.stats().events_started, full_stats.stats().events_started);
+}
+
+TEST(Integration, TextTraceRoundTripPreservesAnalyses) {
+  const Net net = pipeline::build_full_model();
+  RecordedTrace trace;
+  Simulator sim(net);
+  sim.set_sink(&trace);
+  sim.reset(7);
+  sim.run_until(2000);
+  sim.finish();
+
+  const RecordedTrace reloaded = read_trace_text(write_trace_text(trace));
+  ASSERT_EQ(reloaded, trace);
+
+  // Stats agree exactly.
+  const RunStats a = collect_stats(trace);
+  const RunStats b = collect_stats(reloaded);
+  EXPECT_EQ(a.events_started, b.events_started);
+  EXPECT_EQ(a.place(pipeline::names::kBusBusy).avg_tokens,
+            b.place(pipeline::names::kBusBusy).avg_tokens);
+
+  // Queries agree.
+  const analysis::TraceStateSpace sa(trace);
+  const analysis::TraceStateSpace sb(reloaded);
+  const char* query = "forall s in S [ Bus_busy(s) + Bus_free(s) = 1 ]";
+  EXPECT_EQ(analysis::eval_query(sa, query).holds, analysis::eval_query(sb, query).holds);
+}
+
+TEST(Integration, PnFormatRoundTripReproducesExactTrace) {
+  // The full (non-interpreted) model survives print -> parse with element
+  // order intact, so the same seed yields the bit-identical trace.
+  const Net original = pipeline::build_full_model();
+  const std::string text = textio::print_net(original);
+  const textio::NetDocument reparsed = textio::parse_net(text);
+
+  auto run = [](const Net& net) {
+    RecordedTrace trace;
+    Simulator sim(net);
+    sim.set_sink(&trace);
+    sim.reset(1988);
+    sim.run_until(3000);
+    sim.finish();
+    return trace;
+  };
+  const RecordedTrace a = run(original);
+  const RecordedTrace b = run(reparsed.net);
+  EXPECT_EQ(a.events().size(), b.events().size());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Integration, ReachabilityVerifiesWhatTracesTest) {
+  // Build a scaled-down pipeline (tiny buffer, single operand path) so the
+  // reachability graph stays small, then prove the bus invariant over ALL
+  // states — the paper's distinction between testing and proving.
+  pipeline::PipelineConfig config;
+  config.ibuffer_words = 2;
+  config.prefetch_words = 2;
+  config.exec_classes = {{2, 1.0}};
+  const Net net = pipeline::build_full_model(config);
+
+  analysis::ReachOptions options;
+  options.max_states = 100000;
+  const analysis::ReachabilityGraph graph(net, options);
+  ASSERT_EQ(graph.status(), analysis::ReachStatus::kComplete);
+  EXPECT_GT(graph.num_states(), 10u);
+
+  EXPECT_TRUE(
+      analysis::eval_query(graph, "forall s in S [ Bus_busy(s) + Bus_free(s) = 1 ]").holds);
+  EXPECT_TRUE(analysis::eval_query(graph,
+                                   "forall s in {s' in S | Bus_busy(s')} "
+                                   "[ inev(s, Bus_free(C), true) ]")
+                  .holds);
+  // The pipeline has no deadlock state.
+  EXPECT_TRUE(graph.deadlock_states().empty());
+}
+
+TEST(Integration, ReachabilityBoundsMatchDeclaredCapacities) {
+  pipeline::PipelineConfig config;
+  config.ibuffer_words = 2;
+  config.exec_classes = {{1, 1.0}};
+  const Net net = pipeline::build_full_model(config);
+  const analysis::ReachabilityGraph graph(net);
+  ASSERT_EQ(graph.status(), analysis::ReachStatus::kComplete);
+  for (std::uint32_t i = 0; i < net.num_places(); ++i) {
+    const PlaceId p(i);
+    const auto capacity = net.place(p).capacity;
+    if (capacity) {
+      EXPECT_LE(graph.place_bound(p), *capacity)
+          << "place " << net.place(p).name << " exceeds its declared capacity";
+    }
+  }
+}
+
+TEST(Integration, TracerRendersFigure7ForThePipeline) {
+  const Net net = pipeline::build_full_model();
+  RecordedTrace trace;
+  Simulator sim(net);
+  sim.set_sink(&trace);
+  sim.reset(64);
+  sim.run_until(500);
+  sim.finish();
+
+  tracer::Tracer tr(trace);
+  // Figure 7's probe set.
+  tr.add_place_signal(pipeline::names::kBusBusy);
+  tr.add_place_signal(pipeline::names::kPreFetching);
+  tr.add_place_signal(pipeline::names::kFetching);
+  tr.add_place_signal(pipeline::names::kStoring);
+  for (std::size_t i = 1; i <= 5; ++i) {
+    tr.add_transition_signal(pipeline::names::exec_type(i));
+  }
+  tr.add_function_signal("exec_sum",
+                         "exec_type_1 + exec_type_2 + exec_type_3 + exec_type_4 + "
+                         "exec_type_5");
+  tr.add_place_signal(pipeline::names::kEmptyIBuffers);
+  tr.set_marker('O', 54);
+  tr.set_marker('X', 94);
+
+  const std::string display = tr.render(0, 200, {.columns = 100});
+  EXPECT_NE(display.find("Bus_busy"), std::string::npos);
+  EXPECT_NE(display.find("exec_sum"), std::string::npos);
+  EXPECT_NE(display.find("Empty_I_buffers"), std::string::npos);
+  EXPECT_NE(display.find("O <-> X: 40"), std::string::npos);
+  // 10 signal rows + axis + markers.
+  std::size_t rows = 0;
+  for (char c : display) rows += (c == '\n');
+  EXPECT_GE(rows, 12u);
+}
+
+TEST(Integration, ReplicationsGiveStableFigure5Metrics) {
+  const Net net = pipeline::build_full_model();
+  const std::vector<MetricSpec> metrics = {
+      {"ipc",
+       [](const RunStats& r) { return r.transition(pipeline::names::kIssue).throughput; }},
+      {"bus",
+       [](const RunStats& r) { return r.place(pipeline::names::kBusBusy).avg_tokens; }},
+  };
+  const ReplicationResult result = run_replications(net, 10000, 5, metrics, 1000);
+  ASSERT_EQ(result.metrics.size(), 2u);
+  EXPECT_NEAR(result.metrics[0].mean, 0.124, 0.01);
+  EXPECT_LT(result.metrics[0].stddev, 0.01);
+  EXPECT_NEAR(result.metrics[1].mean, 0.66, 0.04);
+}
+
+TEST(Integration, MarkedGraphCrossChecksSimulatorOnPipelineRing) {
+  // A decision-free abstraction of the pipeline's critical loop:
+  // decode (1) -> ea (4) -> exec (3) -> writeback (5), single token.
+  Net ring("critical_loop");
+  const Time delays[4] = {1, 4, 3, 5};
+  std::vector<TransitionId> ts;
+  std::vector<PlaceId> ps;
+  for (int i = 0; i < 4; ++i) {
+    ps.push_back(ring.add_place("p" + std::to_string(i), i == 0 ? 1 : 0));
+  }
+  for (int i = 0; i < 4; ++i) {
+    const TransitionId t = ring.add_transition("t" + std::to_string(i));
+    ring.add_input(t, ps[static_cast<std::size_t>(i)]);
+    ring.add_output(t, ps[static_cast<std::size_t>((i + 1) % 4)]);
+    ring.set_firing_time(t, DelaySpec::constant(delays[i]));
+    ts.push_back(t);
+  }
+
+  const auto analytic = analysis::marked_graph_cycle_time(ring);
+  EXPECT_NEAR(analytic.cycle_time, 13.0, 1e-6);
+
+  Simulator sim(ring);
+  sim.run_until(13000);
+  EXPECT_EQ(sim.completed_firings(ts[0]), 1000u);
+}
+
+TEST(Integration, StatReportForPipelineListsAllFigure5Rows) {
+  const Net net = pipeline::build_full_model();
+  StatCollector stats;
+  Simulator sim(net);
+  sim.set_sink(&stats);
+  sim.reset(2);
+  sim.run_until(10000);
+  sim.finish();
+  const std::string report = format_report(stats.stats());
+  for (const char* row : {"Issue", "Type_1", "Type_2", "Type_3", "exec_type_1",
+                          "exec_type_5", "Full_I_buffers", "Empty_I_buffers",
+                          "pre_fetching", "fetching", "storing", "Bus_busy",
+                          "Decoder_ready", "Execution_unit",
+                          "ready_to_issue_instruction"}) {
+    EXPECT_NE(report.find(row), std::string::npos) << "missing Figure 5 row: " << row;
+  }
+}
+
+TEST(Integration, AnimatorConsumesFilteredTrace) {
+  // Filter down to the bus, then animate the smaller trace.
+  const Net net = pipeline::build_full_model();
+  RecordedTrace filtered;
+  TraceFilter filter(net, filtered);
+  filter.keep_place(pipeline::names::kBusBusy);
+
+  Simulator sim(net);
+  sim.set_sink(&filter);
+  sim.reset(8);
+  sim.run_until(100);
+  sim.finish();
+
+  ASSERT_GT(filtered.events().size(), 0u);
+  TraceCursor cursor(filtered);
+  while (!cursor.at_end()) cursor.step();  // cursor reconstructs cleanly
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace pnut

@@ -1,0 +1,137 @@
+// Unit tests for the deterministic RNG (xoshiro256** + SplitMix64).
+#include "petri/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace pnut {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64()) << "diverged at draw " << i;
+  }
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng rng(99);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(rng.next_u64());
+  rng.reseed(99);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(rng.next_u64(), first[i]);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextIntInclusiveBounds) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.next_int(2, 9);
+    ASSERT_GE(v, 2);
+    ASSERT_LE(v, 9);
+    saw_lo |= (v == 2);
+    saw_hi |= (v == 9);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextIntDegenerateRange) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_int(5, 5), 5);
+}
+
+TEST(Rng, NextIntNegativeRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.next_int(-4, -1);
+    ASSERT_GE(v, -4);
+    ASSERT_LE(v, -1);
+  }
+}
+
+TEST(Rng, NextIntUniformity) {
+  // Chi-square-ish sanity: 6 bins, 60000 draws, each bin within 5% of 10000.
+  Rng rng(42);
+  std::array<int, 6> bins{};
+  for (int i = 0; i < 60000; ++i) bins[static_cast<std::size_t>(rng.next_int(0, 5))]++;
+  for (int count : bins) {
+    EXPECT_NEAR(count, 10000, 500);
+  }
+}
+
+TEST(Rng, WeightedRespectsWeights) {
+  Rng rng(5);
+  const std::array<double, 3> weights{70, 20, 10};
+  std::array<int, 3> counts{};
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) {
+    counts[rng.next_weighted(weights)]++;
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(draws), 0.70, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(draws), 0.20, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(draws), 0.10, 0.01);
+}
+
+TEST(Rng, WeightedZeroTotalReturnsSize) {
+  Rng rng(5);
+  const std::array<double, 3> weights{0, 0, 0};
+  EXPECT_EQ(rng.next_weighted(weights), 3u);
+}
+
+TEST(Rng, WeightedSingleElement) {
+  Rng rng(5);
+  const std::array<double, 1> weights{2.5};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_weighted(weights), 0u);
+}
+
+TEST(Rng, WeightedIgnoresZeroWeightEntries) {
+  Rng rng(5);
+  const std::array<double, 3> weights{0, 1, 0};
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(rng.next_weighted(weights), 1u);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng rng(8);
+  int hits = 0;
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) {
+    if (rng.next_bool(0.2)) ++hits;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(draws), 0.2, 0.01);
+}
+
+TEST(Rng, MeanOfDoublesNearHalf) {
+  Rng rng(21);
+  double sum = 0;
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / draws, 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace pnut

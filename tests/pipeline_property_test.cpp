@@ -1,0 +1,165 @@
+// Property-based tests (parameterized sweeps): the model's structural
+// invariants must hold for every seed and every sane configuration, not
+// just the paper's defaults.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "analysis/query.h"
+#include "analysis/state_space.h"
+#include "pipeline/metrics.h"
+#include "pipeline/model.h"
+#include "sim/simulator.h"
+#include "stat/stat.h"
+
+namespace pnut::pipeline {
+namespace {
+
+struct SweepParam {
+  std::uint64_t seed;
+  TokenCount ibuffer_words;
+  TokenCount prefetch_words;
+  Time memory_cycles;
+  bool with_caches;
+};
+
+std::string param_name(const ::testing::TestParamInfo<SweepParam>& info) {
+  const SweepParam& p = info.param;
+  return "seed" + std::to_string(p.seed) + "_buf" + std::to_string(p.ibuffer_words) + "x" +
+         std::to_string(p.prefetch_words) + "_mem" +
+         std::to_string(static_cast<int>(p.memory_cycles)) +
+         (p.with_caches ? "_cached" : "_plain");
+}
+
+class PipelineSweep : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  static PipelineConfig make_config(const SweepParam& p) {
+    PipelineConfig config;
+    config.ibuffer_words = p.ibuffer_words;
+    config.prefetch_words = p.prefetch_words;
+    config.memory_cycles = p.memory_cycles;
+    if (p.with_caches) {
+      config.icache = CacheConfig{0.85, 1};
+      config.dcache = CacheConfig{0.85, 1};
+    }
+    return config;
+  }
+};
+
+TEST_P(PipelineSweep, InvariantsAndSanity) {
+  const SweepParam& p = GetParam();
+  const PipelineConfig config = make_config(p);
+  const Net net = build_full_model(config);
+
+  RecordedTrace trace;
+  StatCollector stats;
+  MultiSink fan;
+  fan.add(trace);
+  fan.add(stats);
+  Simulator sim(net);
+  sim.set_sink(&fan);
+  sim.reset(p.seed);
+  const StopReason reason = sim.run_until(3000);
+  sim.finish();
+
+  // The pipeline never deadlocks.
+  EXPECT_EQ(reason, StopReason::kTimeLimit);
+
+  const analysis::TraceStateSpace space(trace);
+
+  // Invariant 1: bus mutual exclusion (the paper's query).
+  EXPECT_TRUE(
+      analysis::eval_query(space, "forall s in S [ Bus_busy(s) + Bus_free(s) = 1 ]").holds);
+
+  // Invariant 2: buffer-word conservation, parametric in the config.
+  const std::string conservation =
+      "forall s in S [ Empty_I_buffers(s) + Full_I_buffers(s) + " +
+      std::to_string(config.prefetch_words) + " * pre_fetching(s) + Decode(s) = " +
+      std::to_string(config.ibuffer_words) + " ]";
+  EXPECT_TRUE(analysis::eval_query(space, conservation).holds) << conservation;
+
+  // Invariant 3: at most one bus activity at a time.
+  EXPECT_TRUE(analysis::eval_query(
+                  space, "forall s in S [ pre_fetching(s) + fetching(s) + storing(s) <= 1 ]")
+                  .holds);
+
+  // Sanity of derived metrics.
+  const PipelineMetrics m = PipelineMetrics::from_stats(stats.stats());
+  EXPECT_GT(m.instructions_per_cycle, 0.0);
+  EXPECT_LE(m.instructions_per_cycle, 1.0);
+  EXPECT_GE(m.bus_utilization, 0.0);
+  EXPECT_LE(m.bus_utilization, 1.0 + 1e-9);
+  EXPECT_GE(m.decoder_busy, 0.0);
+  EXPECT_LE(m.decoder_busy, 1.0 + 1e-9);
+  EXPECT_GE(m.exec_unit_busy, 0.0);
+  EXPECT_LE(m.exec_unit_busy, 1.0 + 1e-9);
+  EXPECT_NEAR(m.bus_prefetch_fraction + m.bus_operand_fetch_fraction + m.bus_store_fraction,
+              m.bus_utilization, 1e-9);
+  EXPECT_LE(m.avg_full_ibuffer_words, config.ibuffer_words);
+  EXPECT_LE(m.avg_empty_ibuffer_words, config.ibuffer_words);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, PipelineSweep,
+    ::testing::Values(SweepParam{1, 6, 2, 5, false}, SweepParam{2, 6, 2, 5, false},
+                      SweepParam{3, 6, 2, 5, false}, SweepParam{4, 6, 2, 5, false},
+                      SweepParam{5, 6, 2, 5, false}, SweepParam{6, 6, 2, 5, false},
+                      SweepParam{7, 6, 2, 5, false}, SweepParam{8, 6, 2, 5, false}),
+    param_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, PipelineSweep,
+    ::testing::Values(SweepParam{1, 2, 1, 5, false}, SweepParam{1, 4, 2, 5, false},
+                      SweepParam{1, 8, 2, 5, false}, SweepParam{1, 12, 4, 5, false},
+                      SweepParam{1, 6, 6, 5, false}, SweepParam{1, 6, 2, 1, false},
+                      SweepParam{1, 6, 2, 3, false}, SweepParam{1, 6, 2, 10, false},
+                      SweepParam{1, 6, 2, 5, true}, SweepParam{2, 8, 4, 8, true}),
+    param_name);
+
+// --- determinism as a property over seeds ----------------------------------------
+
+class DeterminismSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeterminismSweep, SameSeedSameFigure5Numbers) {
+  const Net net = build_full_model();
+  auto run_once = [&net](std::uint64_t seed) {
+    StatCollector stats;
+    Simulator sim(net);
+    sim.set_sink(&stats);
+    sim.reset(seed);
+    sim.run_until(2000);
+    sim.finish();
+    return stats.stats().transition(names::kIssue).ends;
+  };
+  EXPECT_EQ(run_once(GetParam()), run_once(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismSweep,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+// --- reproducibility of the Figure 5 band across seeds ---------------------------
+
+class Figure5Band : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Figure5Band, IpcAndBusUtilizationStayInBand) {
+  const Net net = build_full_model();
+  StatCollector stats;
+  Simulator sim(net);
+  sim.set_sink(&stats);
+  sim.reset(GetParam());
+  sim.run_until(10000);
+  sim.finish();
+  const PipelineMetrics m = PipelineMetrics::from_stats(stats.stats());
+  // Generous bands: every seed must land near the paper's operating point.
+  EXPECT_GT(m.instructions_per_cycle, 0.10);
+  EXPECT_LT(m.instructions_per_cycle, 0.15);
+  EXPECT_GT(m.bus_utilization, 0.58);
+  EXPECT_LT(m.bus_utilization, 0.76);
+  EXPECT_GT(m.decoder_busy, 0.95);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Figure5Band,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707, 808));
+
+}  // namespace
+}  // namespace pnut::pipeline

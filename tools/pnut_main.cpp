@@ -1,0 +1,11 @@
+// The `pnut` command-line tool; all logic lives in src/cli for testability.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return pnut::cli::run(args, std::cout, std::cerr);
+}
