@@ -125,14 +125,14 @@ std::vector<Invariant> farkas(const std::vector<std::vector<std::int64_t>>& m,
   return out;
 }
 
-/// Incidence matrix C[p][t] = out(t,p) - in(t,p).
-std::vector<std::vector<std::int64_t>> incidence(const Net& net) {
+/// Incidence matrix C[p][t] = out(t,p) - in(t,p), from the CSR arc spans.
+std::vector<std::vector<std::int64_t>> incidence(const CompiledNet& net) {
   std::vector<std::vector<std::int64_t>> c(
       net.num_places(), std::vector<std::int64_t>(net.num_transitions(), 0));
   for (std::uint32_t ti = 0; ti < net.num_transitions(); ++ti) {
-    const Transition& tr = net.transition(TransitionId(ti));
-    for (const Arc& a : tr.inputs) c[a.place.value][ti] -= a.weight;
-    for (const Arc& a : tr.outputs) c[a.place.value][ti] += a.weight;
+    const TransitionId t(ti);
+    for (const Arc& a : net.inputs(t)) c[a.place.value][ti] -= a.weight;
+    for (const Arc& a : net.outputs(t)) c[a.place.value][ti] += a.weight;
   }
   return c;
 }
@@ -148,10 +148,18 @@ std::vector<std::size_t> Invariant::support() const {
 }
 
 std::vector<Invariant> place_invariants(const Net& net) {
+  return place_invariants(CompiledNet(net));
+}
+
+std::vector<Invariant> place_invariants(const CompiledNet& net) {
   return farkas(incidence(net), net.num_places(), net.num_transitions());
 }
 
 std::vector<Invariant> transition_invariants(const Net& net) {
+  return transition_invariants(CompiledNet(net));
+}
+
+std::vector<Invariant> transition_invariants(const CompiledNet& net) {
   // Transpose: rows are transitions, columns places.
   const auto c = incidence(net);
   std::vector<std::vector<std::int64_t>> ct(

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "petri/compiled_net.h"
 #include "petri/marking.h"
 #include "petri/net.h"
 
@@ -42,10 +43,14 @@ struct Invariant {
 };
 
 /// Minimal-support generators of the semi-positive place invariants.
+/// The incidence matrix is built from the CompiledNet's CSR arc arrays;
+/// the Net overloads compile internally.
 std::vector<Invariant> place_invariants(const Net& net);
+std::vector<Invariant> place_invariants(const CompiledNet& net);
 
 /// Minimal-support generators of the semi-positive transition invariants.
 std::vector<Invariant> transition_invariants(const Net& net);
+std::vector<Invariant> transition_invariants(const CompiledNet& net);
 
 /// Weighted token sum yᵀM for a marking.
 std::uint64_t invariant_value(const Invariant& inv, const Marking& marking);

@@ -19,7 +19,7 @@ struct MgGraph {
   std::vector<MgEdge> edges;
 };
 
-MgGraph extract(const Net& net) {
+MgGraph extract(const CompiledNet& net) {
   if (!net.is_marked_graph()) {
     throw std::invalid_argument(
         "marked_graph_cycle_time: net '" + net.name() +
@@ -29,25 +29,26 @@ MgGraph extract(const Net& net) {
   MgGraph g;
   g.delay.resize(net.num_transitions(), 0);
   for (std::uint32_t i = 0; i < net.num_transitions(); ++i) {
-    const Transition& tr = net.transition(TransitionId(i));
-    const auto firing = tr.firing_time.mean();
-    const auto enabling = tr.enabling_time.mean();
+    const TransitionId t(i);
+    const auto firing = net.firing_time(t).mean();
+    const auto enabling = net.enabling_time(t).mean();
     if (!firing || !enabling) {
-      throw std::invalid_argument("marked_graph_cycle_time: transition '" + tr.name +
+      throw std::invalid_argument("marked_graph_cycle_time: transition '" +
+                                  net.transition_name(t) +
                                   "' has a computed delay with no closed-form mean");
     }
     g.delay[i] = *firing + *enabling;
   }
   for (std::uint32_t pi = 0; pi < net.num_places(); ++pi) {
     const PlaceId p(pi);
-    const auto producers = net.producers_of(p);
-    const auto consumers = net.consumers_of(p);
+    const auto producers = net.producers(p);
+    const auto consumers = net.consumers(p);
     if (producers.size() != 1 || consumers.size() != 1) {
       // Source/sink places do not constrain any cycle.
       continue;
     }
     g.edges.push_back(MgEdge{producers[0].value, consumers[0].value,
-                             static_cast<double>(net.place(p).initial_tokens)});
+                             static_cast<double>(net.initial_tokens(p))});
   }
   return g;
 }
@@ -105,6 +106,10 @@ bool positive_cycle(const MgGraph& g, double lambda, std::vector<std::uint32_t>*
 }  // namespace
 
 CycleTimeResult marked_graph_cycle_time(const Net& net) {
+  return marked_graph_cycle_time(CompiledNet(net));
+}
+
+CycleTimeResult marked_graph_cycle_time(const CompiledNet& net) {
   const MgGraph g = extract(net);
   CycleTimeResult result;
   if (g.edges.empty()) return result;  // acyclic (no internal places at all)

@@ -20,6 +20,7 @@
 #include <optional>
 #include <vector>
 
+#include "petri/compiled_net.h"
 #include "petri/net.h"
 
 namespace pnut::analysis {
@@ -40,6 +41,8 @@ struct CycleTimeResult {
 /// mean of its firing time plus the mean of its enabling time.
 /// Throws std::invalid_argument if the net is not a marked graph or a delay
 /// has no closed-form mean (computed delays).
+/// The Net overload compiles internally; pass a CompiledNet to reuse one.
 CycleTimeResult marked_graph_cycle_time(const Net& net);
+CycleTimeResult marked_graph_cycle_time(const CompiledNet& net);
 
 }  // namespace pnut::analysis

@@ -24,25 +24,29 @@ std::string state_key(const Marking& m, const DataContext& d) {
 }
 
 /// Would firing `t` from `m` overflow any capacity?
-bool overflows_capacity(const Net& net, const Marking& m, TransitionId t) {
-  const Transition& tr = net.transition(t);
-  for (const Arc& a : tr.outputs) {
-    const Place& p = net.place(a.place);
-    if (!p.capacity) continue;
+bool overflows_capacity(const CompiledNet& net, const Marking& m, TransitionId t) {
+  for (const Arc& a : net.outputs(t)) {
+    const auto capacity = net.capacity(a.place);
+    if (!capacity) continue;
     TokenCount after = m[a.place] + a.weight;
     // Tokens consumed from the same place by this firing offset the gain.
-    for (const Arc& in : tr.inputs) {
+    for (const Arc& in : net.inputs(t)) {
       if (in.place == a.place) after -= std::min(after, in.weight);
     }
-    if (after > *p.capacity) return true;
+    if (after > *capacity) return true;
   }
   return false;
 }
 
 }  // namespace
 
-ReachabilityGraph::ReachabilityGraph(const Net& net, ReachOptions options) : net_(&net) {
-  net.validate_or_throw();
+ReachabilityGraph::ReachabilityGraph(const Net& net, ReachOptions options)
+    : ReachabilityGraph(CompiledNet::compile(net), options) {}
+
+ReachabilityGraph::ReachabilityGraph(std::shared_ptr<const CompiledNet> net,
+                                     ReachOptions options)
+    : net_(std::move(net)) {
+  if (!net_) throw std::invalid_argument("ReachabilityGraph: null CompiledNet");
   explore(options);
 }
 
@@ -58,8 +62,8 @@ std::size_t ReachabilityGraph::intern(const Marking& m, const DataContext& d) {
 }
 
 void ReachabilityGraph::explore(ReachOptions options) {
-  const Marking initial = Marking::initial(*net_);
-  const DataContext initial_data = net_->initial_data();
+  const Marking initial = Marking::initial(net_->net());
+  const DataContext initial_data = net_->net().initial_data();
   intern(initial, initial_data);
 
   std::deque<std::size_t> frontier{0};
@@ -73,13 +77,12 @@ void ReachabilityGraph::explore(ReachOptions options) {
 
     for (std::uint32_t ti = 0; ti < net_->num_transitions(); ++ti) {
       const TransitionId t(ti);
-      if (!is_enabled(*net_, m, t, d)) continue;
+      if (!net_->is_enabled(m, t, d)) continue;
       if (options.respect_capacities && overflows_capacity(*net_, m, t)) continue;
 
-      const Transition& tr = net_->transition(t);
       Marking next = m;
-      for (const Arc& a : tr.inputs) next.remove(a.place, a.weight);
-      for (const Arc& a : tr.outputs) next.add(a.place, a.weight);
+      for (const Arc& a : net_->inputs(t)) next.remove(a.place, a.weight);
+      for (const Arc& a : net_->outputs(t)) next.add(a.place, a.weight);
 
       for (TokenCount tokens : next.tokens()) {
         if (tokens > options.place_bound) {
@@ -91,7 +94,7 @@ void ReachabilityGraph::explore(ReachOptions options) {
       // Deterministic action: one successor. Stochastic action: sample
       // distinct outcomes (see header).
       std::vector<DataContext> outcomes;
-      if (!tr.action) {
+      if (!net_->has_action(t)) {
         outcomes.push_back(d);
       } else {
         std::set<std::string> seen;
@@ -102,7 +105,7 @@ void ReachabilityGraph::explore(ReachOptions options) {
           // construction is reproducible.
           Rng rng(0x9e3779b97f4a7c15ULL ^ (state * 0x100000001b3ULL) ^
                   (static_cast<std::uint64_t>(ti) << 32) ^ k);
-          tr.action(candidate, rng);
+          net_->action(t)(candidate, rng);
           if (seen.insert(candidate.to_string()).second) {
             outcomes.push_back(std::move(candidate));
           }
@@ -126,7 +129,7 @@ void ReachabilityGraph::explore(ReachOptions options) {
 }
 
 std::int64_t ReachabilityGraph::transition_activity(std::size_t state, TransitionId t) const {
-  return is_enabled(*net_, markings_.at(state), t, data_.at(state)) ? 1 : 0;
+  return net_->is_enabled(markings_.at(state), t, data_.at(state)) ? 1 : 0;
 }
 
 std::optional<std::int64_t> ReachabilityGraph::variable(std::size_t state,

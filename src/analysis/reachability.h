@@ -20,11 +20,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "analysis/state_space.h"
+#include "petri/compiled_net.h"
 #include "petri/marking.h"
 #include "petri/net.h"
 
@@ -54,7 +56,11 @@ class ReachabilityGraph final : public StateSpace {
   };
 
   /// Build the graph by breadth-first exploration from the initial state.
-  ReachabilityGraph(const Net& net, ReachOptions options = {});
+  /// Compiles the net internally; see the CompiledNet overload to share an
+  /// already-compiled net across tools.
+  explicit ReachabilityGraph(const Net& net, ReachOptions options = {});
+  explicit ReachabilityGraph(std::shared_ptr<const CompiledNet> net,
+                             ReachOptions options = {});
 
   [[nodiscard]] ReachStatus status() const { return status_; }
 
@@ -70,7 +76,7 @@ class ReachabilityGraph final : public StateSpace {
                                                      std::string_view name) const override;
   [[nodiscard]] std::vector<std::size_t> successors(std::size_t state) const override;
   [[nodiscard]] std::optional<PlaceId> find_place(std::string_view name) const override {
-    return net_->find_place(name);
+    return net_->find_place(name);  // hashed index of the compiled net
   }
   [[nodiscard]] std::optional<TransitionId> find_transition(
       std::string_view name) const override {
@@ -105,7 +111,7 @@ class ReachabilityGraph final : public StateSpace {
   void explore(ReachOptions options);
   std::size_t intern(const Marking& m, const DataContext& d);
 
-  const Net* net_;
+  std::shared_ptr<const CompiledNet> net_;
   ReachStatus status_ = ReachStatus::kComplete;
   std::vector<Marking> markings_;
   std::vector<DataContext> data_;

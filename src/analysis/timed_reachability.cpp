@@ -40,39 +40,42 @@ std::string TimedReachabilityGraph::TimedState::key() const {
   return out.str();
 }
 
-TimedReachabilityGraph::TimedReachabilityGraph(const Net& net, TimedReachOptions options) {
-  net.validate_or_throw();
-  for (const Transition& t : net.transitions()) {
-    if (t.is_interpreted()) {
-      throw std::invalid_argument("TimedReachabilityGraph: transition '" + t.name +
+TimedReachabilityGraph::TimedReachabilityGraph(const Net& net, TimedReachOptions options)
+    : TimedReachabilityGraph(CompiledNet::compile(net), options) {}
+
+TimedReachabilityGraph::TimedReachabilityGraph(std::shared_ptr<const CompiledNet> net,
+                                               TimedReachOptions options) {
+  if (!net) throw std::invalid_argument("TimedReachabilityGraph: null CompiledNet");
+  for (std::uint32_t i = 0; i < net->num_transitions(); ++i) {
+    if (net->is_interpreted(TransitionId(i))) {
+      throw std::invalid_argument("TimedReachabilityGraph: transition '" +
+                                  net->transition_name(TransitionId(i)) +
                                   "' has predicates/actions; timed analysis works on the "
                                   "uninterpreted timing skeleton");
     }
   }
-  explore(net, options);
+  explore(*net, options);
 }
 
-void TimedReachabilityGraph::explore(const Net& net, TimedReachOptions options) {
+void TimedReachabilityGraph::explore(const CompiledNet& net, TimedReachOptions options) {
   const std::size_t nt = net.num_transitions();
   std::vector<std::uint32_t> enabling_delay(nt);
   std::vector<std::uint32_t> firing_delay(nt);
   for (std::uint32_t i = 0; i < nt; ++i) {
-    const Transition& tr = net.transition(TransitionId(i));
-    enabling_delay[i] = integer_delay(tr.enabling_time, tr.name, "enabling");
-    firing_delay[i] = integer_delay(tr.firing_time, tr.name, "firing");
+    const TransitionId t(i);
+    enabling_delay[i] = integer_delay(net.enabling_time(t), net.transition_name(t), "enabling");
+    firing_delay[i] = integer_delay(net.firing_time(t), net.transition_name(t), "firing");
   }
-  const DataContext no_data;
 
   // Eligibility under timed semantics: token-enabled, and single-server
   // transitions must not have a firing of their own in flight.
   auto eligible = [&](const TimedState& s, std::uint32_t t) {
-    const Transition& tr = net.transition(TransitionId(t));
-    if (tr.policy == FiringPolicy::kSingleServer) {
+    if (net.is_single_server(TransitionId(t))) {
       for (const auto& [ft, left] : s.in_flight) {
         if (ft == t) return false;
       }
     }
-    return tokens_available(net, s.marking, TransitionId(t));
+    return net.tokens_available(s.marking, TransitionId(t));
   };
 
   // Canonical form: eligible transitions carry their remaining enabling
@@ -109,7 +112,7 @@ void TimedReachabilityGraph::explore(const Net& net, TimedReachOptions options) 
   };
 
   TimedState initial;
-  initial.marking = Marking::initial(net);
+  initial.marking = Marking::initial(net.net());
   initial.enabling_left.assign(nt, 0);
   for (std::uint32_t t = 0; t < nt; ++t) initial.enabling_left[t] = enabling_delay[t];
   normalize(initial, nullptr);
@@ -165,11 +168,10 @@ void TimedReachabilityGraph::explore(const Net& net, TimedReachOptions options) 
 
     if (!ready.empty()) {
       for (std::uint32_t t : ready) {
-        const Transition& tr = net.transition(TransitionId(t));
         TimedState next = s;
-        for (const Arc& a : tr.inputs) next.marking.remove(a.place, a.weight);
+        for (const Arc& a : net.inputs(TransitionId(t))) next.marking.remove(a.place, a.weight);
         if (firing_delay[t] == 0) {
-          for (const Arc& a : tr.outputs) next.marking.add(a.place, a.weight);
+          for (const Arc& a : net.outputs(TransitionId(t))) next.marking.add(a.place, a.weight);
         } else {
           next.in_flight.emplace_back(t, firing_delay[t]);
         }
@@ -201,8 +203,7 @@ void TimedReachabilityGraph::explore(const Net& net, TimedReachOptions options) 
       if (left > 1) {
         still_flying.emplace_back(t, left - 1);
       } else {
-        const Transition& tr = net.transition(TransitionId(t));
-        for (const Arc& a : tr.outputs) next.marking.add(a.place, a.weight);
+        for (const Arc& a : net.outputs(TransitionId(t))) next.marking.add(a.place, a.weight);
       }
     }
     next.in_flight = std::move(still_flying);

@@ -24,10 +24,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "petri/compiled_net.h"
 #include "petri/marking.h"
 #include "petri/net.h"
 
@@ -54,6 +56,8 @@ class TimedReachabilityGraph {
   /// integer constant, or if the net is interpreted (predicates/actions) —
   /// timed analysis is defined on the uninterpreted timing skeleton.
   explicit TimedReachabilityGraph(const Net& net, TimedReachOptions options = {});
+  explicit TimedReachabilityGraph(std::shared_ptr<const CompiledNet> net,
+                                  TimedReachOptions options = {});
 
   [[nodiscard]] TimedReachStatus status() const { return status_; }
   [[nodiscard]] std::size_t num_states() const { return markings_.size(); }
@@ -94,7 +98,7 @@ class TimedReachabilityGraph {
     [[nodiscard]] std::string key() const;
   };
 
-  void explore(const Net& net, TimedReachOptions options);
+  void explore(const CompiledNet& net, TimedReachOptions options);
 
   TimedReachStatus status_ = TimedReachStatus::kComplete;
   std::vector<Marking> markings_;

@@ -13,6 +13,7 @@
 #include "analysis/state_space.h"
 #include "analysis/timed_reachability.h"
 #include "anim/animator.h"
+#include "petri/compiled_net.h"
 #include "sim/simulator.h"
 #include "stat/stat.h"
 #include "textio/pn_format.h"
@@ -171,7 +172,7 @@ int cmd_simulate(const Args& args, std::ostream& out) {
     }
   }
 
-  Simulator sim(doc.net);
+  Simulator sim(CompiledNet::compile(doc.net));
   sim.set_sink(&sinks);
   sim.reset(seed);
   const StopReason reason = sim.run_until(until);
@@ -277,12 +278,14 @@ int cmd_animate(const Args& args, std::ostream& out) {
 int cmd_analyze(const Args& args, std::ostream& out) {
   const textio::NetDocument doc = load_net(require_positional(args, 0, "model file"));
   const Net& net = doc.net;
+  // One immutable compiled view shared by every analyzer below.
+  const auto compiled = CompiledNet::compile(net);
 
   out << "net: " << (net.name().empty() ? "(unnamed)" : net.name()) << " — "
       << net.num_places() << " places, " << net.num_transitions() << " transitions\n\n";
 
   // Structural invariants.
-  const auto p_invs = analysis::place_invariants(net);
+  const auto p_invs = analysis::place_invariants(*compiled);
   out << "place invariants (" << p_invs.size() << "):\n";
   for (const auto& inv : p_invs) {
     out << "  " << analysis::format_place_invariant(net, inv) << '\n';
@@ -290,7 +293,7 @@ int cmd_analyze(const Args& args, std::ostream& out) {
   out << (analysis::covered_by_place_invariants(net, p_invs)
               ? "  every place covered: net is structurally bounded\n"
               : "  (not all places covered by invariants)\n");
-  const auto t_invs = analysis::transition_invariants(net);
+  const auto t_invs = analysis::transition_invariants(*compiled);
   out << "transition invariants (" << t_invs.size() << "):\n";
   for (const auto& inv : t_invs) {
     out << "  " << analysis::format_transition_invariant(net, inv) << '\n';
@@ -299,7 +302,7 @@ int cmd_analyze(const Args& args, std::ostream& out) {
   // Reachability.
   analysis::ReachOptions options;
   options.max_states = static_cast<std::size_t>(args.get_number("max-states", 100000));
-  const analysis::ReachabilityGraph graph(net, options);
+  const analysis::ReachabilityGraph graph(compiled, options);
   out << "\nreachability: " << graph.num_states() << " states, " << graph.num_edges()
       << " edges";
   switch (graph.status()) {
@@ -331,7 +334,7 @@ int cmd_analyze(const Args& args, std::ostream& out) {
   try {
     analysis::TimedReachOptions topts;
     topts.max_states = static_cast<std::size_t>(args.get_number("max-states", 100000));
-    const analysis::TimedReachabilityGraph timed(net, topts);
+    const analysis::TimedReachabilityGraph timed(compiled, topts);
     out << "timed reachability: " << timed.num_states() << " states"
         << (timed.status() == analysis::TimedReachStatus::kComplete ? " (complete)"
                                                                     : " (TRUNCATED)")
@@ -341,9 +344,9 @@ int cmd_analyze(const Args& args, std::ostream& out) {
   }
 
   // Analytic cycle time when the structure allows it.
-  if (net.is_marked_graph()) {
+  if (compiled->is_marked_graph()) {
     try {
-      const auto result = analysis::marked_graph_cycle_time(net);
+      const auto result = analysis::marked_graph_cycle_time(*compiled);
       if (result.has_token_free_cycle) {
         out << "marked graph: token-free cycle (net is partially dead)\n";
       } else {

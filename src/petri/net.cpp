@@ -103,14 +103,18 @@ std::optional<Time> DelaySpec::mean() const {
 PlaceId Net::add_place(std::string_view name, TokenCount initial_tokens,
                        std::optional<TokenCount> capacity) {
   places_.push_back(Place{std::string(name), initial_tokens, capacity});
-  return PlaceId(static_cast<std::uint32_t>(places_.size() - 1));
+  const auto id = static_cast<std::uint32_t>(places_.size() - 1);
+  place_index_.emplace(places_.back().name, id);  // first occurrence wins
+  return PlaceId(id);
 }
 
 TransitionId Net::add_transition(std::string_view name) {
   Transition t;
   t.name = std::string(name);
   transitions_.push_back(std::move(t));
-  return TransitionId(static_cast<std::uint32_t>(transitions_.size() - 1));
+  const auto id = static_cast<std::uint32_t>(transitions_.size() - 1);
+  transition_index_.emplace(transitions_.back().name, id);
+  return TransitionId(id);
 }
 
 void Net::check_place(PlaceId id) const {
@@ -185,17 +189,15 @@ void Net::set_initial_tokens(PlaceId p, TokenCount tokens) {
 // --- lookup --------------------------------------------------------------------
 
 std::optional<PlaceId> Net::find_place(std::string_view name) const {
-  for (std::size_t i = 0; i < places_.size(); ++i) {
-    if (places_[i].name == name) return PlaceId(static_cast<std::uint32_t>(i));
-  }
-  return std::nullopt;
+  const auto it = place_index_.find(name);
+  if (it == place_index_.end()) return std::nullopt;
+  return PlaceId(it->second);
 }
 
 std::optional<TransitionId> Net::find_transition(std::string_view name) const {
-  for (std::size_t i = 0; i < transitions_.size(); ++i) {
-    if (transitions_[i].name == name) return TransitionId(static_cast<std::uint32_t>(i));
-  }
-  return std::nullopt;
+  const auto it = transition_index_.find(name);
+  if (it == transition_index_.end()) return std::nullopt;
+  return TransitionId(it->second);
 }
 
 PlaceId Net::place_named(std::string_view name) const {
@@ -273,19 +275,31 @@ TokenCount Net::output_weight(TransitionId t, PlaceId p) const {
 }
 
 bool Net::is_marked_graph() const {
-  for (const Transition& t : transitions_) {
+  // Single pass: count per-place *distinct* consumer/producer transitions
+  // instead of the old O(places * transitions) consumers_of/producers_of
+  // rescans. `last_*` dedupes multiple arcs from one transition to a place.
+  constexpr std::uint32_t kNone = UINT32_MAX;
+  std::vector<std::uint32_t> last_consumer(places_.size(), kNone);
+  std::vector<std::uint32_t> last_producer(places_.size(), kNone);
+  std::vector<std::uint8_t> consumer_count(places_.size(), 0);
+  std::vector<std::uint8_t> producer_count(places_.size(), 0);
+  for (std::uint32_t ti = 0; ti < transitions_.size(); ++ti) {
+    const Transition& t = transitions_[ti];
     if (!t.inhibitors.empty()) return false;
     for (const Arc& a : t.inputs) {
       if (a.weight != 1) return false;
+      if (a.place.value >= places_.size()) continue;
+      if (last_consumer[a.place.value] == ti) continue;
+      last_consumer[a.place.value] = ti;
+      if (++consumer_count[a.place.value] > 1) return false;
     }
     for (const Arc& a : t.outputs) {
       if (a.weight != 1) return false;
+      if (a.place.value >= places_.size()) continue;
+      if (last_producer[a.place.value] == ti) continue;
+      last_producer[a.place.value] = ti;
+      if (++producer_count[a.place.value] > 1) return false;
     }
-  }
-  for (std::size_t i = 0; i < places_.size(); ++i) {
-    const PlaceId p(static_cast<std::uint32_t>(i));
-    if (consumers_of(p).size() > 1) return false;
-    if (producers_of(p).size() > 1) return false;
   }
   return true;
 }

@@ -24,6 +24,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "petri/data_context.h"
@@ -31,6 +32,18 @@
 #include "petri/rng.h"
 
 namespace pnut {
+
+/// Transparent string hash so name->id maps answer std::string_view
+/// lookups without allocating a temporary std::string.
+struct NameHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+/// Hashed name->dense-id index used by Net and CompiledNet.
+using NameIndex = std::unordered_map<std::string, std::uint32_t, NameHash, std::equal_to<>>;
 
 /// A weighted arc endpoint. For input arcs `weight` is the number of tokens
 /// consumed; for output arcs, produced; for inhibitor arcs it is the
@@ -182,7 +195,10 @@ class Net {
   [[nodiscard]] const std::vector<Place>& places() const { return places_; }
   [[nodiscard]] const std::vector<Transition>& transitions() const { return transitions_; }
 
-  /// Name lookup; nullopt if absent.
+  /// Name lookup; nullopt if absent. O(1) via the hashed name index
+  /// maintained on add_place/add_transition (duplicates keep the first id,
+  /// matching the historical first-match scan; validate() still reports
+  /// duplicate names as a structural problem).
   [[nodiscard]] std::optional<PlaceId> find_place(std::string_view name) const;
   [[nodiscard]] std::optional<TransitionId> find_transition(std::string_view name) const;
 
@@ -226,6 +242,8 @@ class Net {
   std::string name_;
   std::vector<Place> places_;
   std::vector<Transition> transitions_;
+  NameIndex place_index_;
+  NameIndex transition_index_;
   DataContext initial_data_;
 };
 

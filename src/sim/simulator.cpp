@@ -1,21 +1,27 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace pnut {
 
 Simulator::Simulator(const Net& net, SimOptions options)
-    : net_(&net), options_(options), rng_(options.seed) {
-  net.validate_or_throw();
+    : Simulator(CompiledNet::compile(net), options) {}
+
+Simulator::Simulator(std::shared_ptr<const CompiledNet> net, SimOptions options)
+    : net_(std::move(net)), options_(options), rng_(options.seed) {
+  if (!net_) throw std::invalid_argument("Simulator: null CompiledNet");
   reset();
 }
 
 void Simulator::reset(std::optional<std::uint64_t> seed) {
   if (seed) rng_.reseed(*seed);
   now_ = options_.start_time;
-  marking_ = Marking::initial(*net_);
-  data_ = net_->initial_data();
+  marking_ = Marking::initial(net_->net());
+  data_ = net_->net().initial_data();
   states_.assign(net_->num_transitions(), TransitionState{});
+  dirty_.clear();
+  dirty_flag_.assign(net_->num_transitions(), 0);
   queue_ = {};
   next_sequence_ = 0;
   next_firing_id_ = 0;
@@ -23,18 +29,18 @@ void Simulator::reset(std::optional<std::uint64_t> seed) {
   instant_ = now_;
   began_ = true;
 
-  if (sink_ != nullptr) sink_->begin(TraceHeader::from_net(*net_, now_));
+  if (sink_ != nullptr) sink_->begin(TraceHeader::from_net(net_->net(), now_));
 
+  mark_all_dirty();
   refresh_eligibility();
   fire_ready_transitions();
 }
 
 bool Simulator::compute_eligible(TransitionId t) const {
-  const Transition& tr = net_->transition(t);
-  if (tr.policy == FiringPolicy::kSingleServer && states_[t.value].in_flight > 0) {
+  if (net_->is_single_server(t) && states_[t.value].in_flight > 0) {
     return false;
   }
-  return is_enabled(*net_, marking_, t, data_);
+  return net_->is_enabled(marking_, t, data_);
 }
 
 void Simulator::schedule(QueuedEvent ev) {
@@ -42,44 +48,84 @@ void Simulator::schedule(QueuedEvent ev) {
   queue_.push(ev);
 }
 
-void Simulator::refresh_eligibility() {
-  for (std::uint32_t i = 0; i < states_.size(); ++i) {
-    const TransitionId t(i);
-    TransitionState& st = states_[i];
-    const bool now_eligible = compute_eligible(t);
-
-    if (now_eligible && !st.eligible) {
-      // Became enabled: arm the enabling timer (or mark ready immediately).
-      st.eligible = true;
-      st.enabled_since = now_;
-      ++st.generation;
-      const Transition& tr = net_->transition(t);
-      if (tr.enabling_time.is_statically_zero()) {
-        st.ready = true;
-      } else {
-        const Time delay = tr.enabling_time.sample(data_, rng_);
-        if (delay <= 0) {
-          st.ready = true;
-        } else {
-          st.ready = false;
-          schedule(QueuedEvent{now_ + delay, 0, EventKind::kEnablingExpiry, t, 0,
-                               st.generation});
-        }
-      }
-    } else if (!now_eligible && st.eligible) {
-      // Disabled: the continuous-enablement clock resets; any pending
-      // expiry event for the old generation becomes stale.
-      st.eligible = false;
-      st.ready = false;
-      ++st.generation;
-    }
-    // Still eligible (or still not): leave the running timer untouched —
-    // that is precisely the "continuously enabled" requirement.
+void Simulator::mark_dirty(TransitionId t) {
+  if (!dirty_flag_[t.value]) {
+    dirty_flag_[t.value] = 1;
+    dirty_.push_back(t.value);
   }
 }
 
+void Simulator::mark_place_dirty(PlaceId p) {
+  for (const TransitionId t : net_->eligibility_watchers(p)) mark_dirty(t);
+}
+
+void Simulator::mark_predicated_dirty() {
+  for (const TransitionId t : net_->predicated_transitions()) mark_dirty(t);
+}
+
+void Simulator::mark_all_dirty() {
+  dirty_.clear();
+  dirty_.reserve(states_.size());
+  for (std::uint32_t i = 0; i < states_.size(); ++i) {
+    dirty_flag_[i] = 1;
+    dirty_.push_back(i);
+  }
+}
+
+void Simulator::refresh_one(TransitionId t) {
+  TransitionState& st = states_[t.value];
+  const bool now_eligible = compute_eligible(t);
+
+  if (now_eligible && !st.eligible) {
+    // Became enabled: arm the enabling timer (or mark ready immediately).
+    st.eligible = true;
+    st.enabled_since = now_;
+    ++st.generation;
+    if (net_->has_zero_enabling_time(t)) {
+      st.ready = true;
+    } else {
+      const Time delay = net_->enabling_time(t).sample(data_, rng_);
+      if (delay <= 0) {
+        st.ready = true;
+      } else {
+        st.ready = false;
+        schedule(QueuedEvent{now_ + delay, 0, EventKind::kEnablingExpiry, t, 0,
+                             st.generation});
+      }
+    }
+  } else if (!now_eligible && st.eligible) {
+    // Disabled: the continuous-enablement clock resets; any pending
+    // expiry event for the old generation becomes stale.
+    st.eligible = false;
+    st.ready = false;
+    ++st.generation;
+  }
+  // Still eligible (or still not): leave the running timer untouched —
+  // that is precisely the "continuously enabled" requirement.
+}
+
+void Simulator::refresh_eligibility() {
+  if (!options_.incremental_eligibility) {
+    // Reference mode: the historical whole-net rescan.
+    for (std::uint32_t i = 0; i < states_.size(); ++i) {
+      dirty_flag_[i] = 0;
+      refresh_one(TransitionId(i));
+    }
+    dirty_.clear();
+    return;
+  }
+  if (dirty_.empty()) return;
+  // Ascending id order keeps the RNG draw order of newly-eligible
+  // transitions identical to the whole-net rescan.
+  std::sort(dirty_.begin(), dirty_.end());
+  for (const std::uint32_t i : dirty_) {
+    dirty_flag_[i] = 0;
+    refresh_one(TransitionId(i));
+  }
+  dirty_.clear();
+}
+
 void Simulator::start_firing(TransitionId t) {
-  const Transition& tr = net_->transition(t);
   TransitionState& st = states_[t.value];
 
   TraceEvent start;
@@ -88,16 +134,18 @@ void Simulator::start_firing(TransitionId t) {
   start.transition = t;
   start.firing_id = next_firing_id_++;
 
-  for (const Arc& a : tr.inputs) {
+  for (const Arc& a : net_->inputs(t)) {
     marking_.remove(a.place, a.weight);
+    mark_place_dirty(a.place);
     start.consumed.push_back(TokenDelta{a.place, a.weight});
   }
 
-  if (tr.action) {
+  if (net_->has_action(t)) {
     // Diff the (small) data context around the action so the trace carries
     // the exact variable updates the firing performed.
     const DataContext before = data_;
-    tr.action(data_, rng_);
+    net_->action(t)(data_, rng_);
+    mark_predicated_dirty();
     for (const auto& [name, value] : data_.scalars()) {
       if (!before.has(name) || before.get(name) != value) {
         start.scalar_updates.push_back(ScalarUpdate{name, value});
@@ -118,15 +166,16 @@ void Simulator::start_firing(TransitionId t) {
     }
   }
 
-  const Time firing_time = tr.firing_time.sample(data_, rng_);
+  const Time firing_time = net_->firing_time(t).sample(data_, rng_);
 
   if (firing_time <= 0) {
     // Zero-duration firing: consume + produce in one atomic state delta
     // (Section 4.2 relies on instantaneous moves being atomic for the
     // Bus_busy + Bus_free = 1 style invariants to hold in every state).
     start.kind = TraceEvent::Kind::kAtomic;
-    for (const Arc& a : tr.outputs) {
+    for (const Arc& a : net_->outputs(t)) {
       marking_.add(a.place, a.weight);
+      mark_place_dirty(a.place);
       start.produced.push_back(TokenDelta{a.place, a.weight});
     }
     st.completions += 1;
@@ -135,13 +184,13 @@ void Simulator::start_firing(TransitionId t) {
   }
 
   st.in_flight += 1;
+  mark_dirty(t);  // in_flight gates single-server eligibility
   if (sink_ != nullptr) sink_->event(start);
   schedule(QueuedEvent{now_ + firing_time, 0, EventKind::kFiringComplete, t,
                        start.firing_id, 0});
 }
 
 void Simulator::complete_firing(TransitionId t, std::uint64_t firing_id) {
-  const Transition& tr = net_->transition(t);
   TransitionState& st = states_[t.value];
 
   TraceEvent end;
@@ -149,11 +198,13 @@ void Simulator::complete_firing(TransitionId t, std::uint64_t firing_id) {
   end.time = now_;
   end.transition = t;
   end.firing_id = firing_id;
-  for (const Arc& a : tr.outputs) {
+  for (const Arc& a : net_->outputs(t)) {
     marking_.add(a.place, a.weight);
+    mark_place_dirty(a.place);
     end.produced.push_back(TokenDelta{a.place, a.weight});
   }
   st.in_flight -= 1;
+  mark_dirty(t);
   st.completions += 1;
   if (sink_ != nullptr) sink_->event(end);
 }
@@ -167,7 +218,7 @@ void Simulator::fire_ready_transitions() {
     for (std::uint32_t i = 0; i < states_.size(); ++i) {
       if (states_[i].ready && states_[i].eligible) {
         ready.push_back(TransitionId(i));
-        weights.push_back(net_->transition(TransitionId(i)).frequency);
+        weights.push_back(net_->frequency(TransitionId(i)));
       }
     }
     if (ready.empty()) return;
@@ -189,10 +240,13 @@ void Simulator::fire_ready_transitions() {
     const TransitionId chosen = ready[pick];
 
     // Firing consumes this transition's readiness; it must wait out a full
-    // enabling delay again before its next firing.
+    // enabling delay again before its next firing. Mark it dirty so the
+    // refresh re-evaluates it even if no watched place changed (e.g. a
+    // source transition with no input arcs).
     states_[chosen.value].ready = false;
     states_[chosen.value].eligible = false;
     ++states_[chosen.value].generation;
+    mark_dirty(chosen);
 
     start_firing(chosen);
     refresh_eligibility();

@@ -32,16 +32,30 @@
 //    livelock (a zero-delay cycle that never disables itself) into an error
 //    instead of a hang.
 //
+// The engine runs on a CompiledNet (src/petri/compiled_net.h), the
+// immutable flat view of the model, and keeps eligibility *incrementally*:
+// instead of rescanning every transition after each firing, it marks dirty
+// exactly the transitions adjacent (via the compiled inverse place->
+// transition adjacency) to places whose token count changed — plus the
+// fired transition itself and, when an action ran, every predicated
+// transition — and re-evaluates only those. Dirty transitions are processed
+// in ascending id order, so the RNG consumption order (and therefore the
+// trace) is bit-for-bit identical to the historical whole-net rescan, which
+// remains available as SimOptions::incremental_eligibility = false for
+// equivalence testing.
+//
 // The engine is deterministic: one seeded Rng drives every random choice,
 // and the event queue breaks time ties by insertion order, so (net, seed,
 // length) reproduces a trace bit-for-bit.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <queue>
 #include <vector>
 
+#include "petri/compiled_net.h"
 #include "petri/marking.h"
 #include "petri/net.h"
 #include "petri/rng.h"
@@ -54,6 +68,10 @@ struct SimOptions {
   Time start_time = 0;
   /// Abort threshold for zero-delay firing cascades at a single instant.
   std::uint64_t max_immediate_firings_per_instant = 1'000'000;
+  /// When false, fall back to the historical whole-net eligibility rescan
+  /// after every firing. Produces bit-identical traces to the incremental
+  /// update; kept as the reference implementation for equivalence tests.
+  bool incremental_eligibility = true;
 };
 
 /// Why a run call returned.
@@ -65,8 +83,12 @@ enum class StopReason : std::uint8_t {
 
 class Simulator {
  public:
-  /// The net must outlive the simulator and pass validation.
+  /// Compiles the net internally (the net may be discarded afterwards).
   explicit Simulator(const Net& net, SimOptions options = {});
+
+  /// Shares an already-compiled net: any number of simulators (and
+  /// analyzers) may run off one immutable CompiledNet concurrently.
+  explicit Simulator(std::shared_ptr<const CompiledNet> net, SimOptions options = {});
 
   /// Attach a sink receiving the trace (may be null to run silently).
   /// Call before reset(); the sink's begin() fires on reset.
@@ -94,17 +116,20 @@ class Simulator {
   [[nodiscard]] Time now() const { return now_; }
   [[nodiscard]] const Marking& marking() const { return marking_; }
   [[nodiscard]] const DataContext& data() const { return data_; }
-  [[nodiscard]] const Net& net() const { return *net_; }
+  [[nodiscard]] const Net& net() const { return net_->net(); }
+  [[nodiscard]] const CompiledNet& compiled() const { return *net_; }
   [[nodiscard]] Rng& rng() { return rng_; }
 
-  /// Firings of `t` currently in flight.
+  /// Firings of `t` currently in flight. `t` must be a valid id of the
+  /// compiled net (unchecked: ids are validated at compile time, and the
+  /// inspection path is hot in stat/tracer pipelines).
   [[nodiscard]] std::uint32_t active_firings(TransitionId t) const {
-    return states_.at(t.value).in_flight;
+    return states_[t.value].in_flight;
   }
 
-  /// Completed firings of `t` since reset.
+  /// Completed firings of `t` since reset (unchecked, see active_firings).
   [[nodiscard]] std::uint64_t completed_firings(TransitionId t) const {
-    return states_.at(t.value).completions;
+    return states_[t.value].completions;
   }
 
   /// Total firing starts since reset.
@@ -133,7 +158,6 @@ class Simulator {
     TransitionId transition;
     std::uint64_t firing_id = 0;    ///< kFiringComplete
     std::uint64_t generation = 0;   ///< kEnablingExpiry
-
     /// Min-heap on (time, sequence).
     friend bool operator>(const QueuedEvent& a, const QueuedEvent& b) {
       if (a.time != b.time) return a.time > b.time;
@@ -141,9 +165,23 @@ class Simulator {
     }
   };
 
-  /// Re-evaluate eligibility of every transition after a state change;
-  /// arms/disarms enabling timers and marks zero-delay transitions ready.
+  // --- incremental eligibility ----------------------------------------------
+
+  /// Queue `t` for re-evaluation at the next refresh.
+  void mark_dirty(TransitionId t);
+  /// Queue every transition whose enablement can depend on `p`'s tokens.
+  void mark_place_dirty(PlaceId p);
+  /// Queue every transition with a data predicate (an action ran).
+  void mark_predicated_dirty();
+  void mark_all_dirty();
+
+  /// Re-evaluate eligibility of the queued (or, in full-rescan mode, all)
+  /// transitions; arms/disarms enabling timers and marks zero-delay
+  /// transitions ready. Processes ids in ascending order so RNG draws for
+  /// newly-eligible transitions happen in the same order in both modes.
   void refresh_eligibility();
+  /// The per-transition state machine shared by both modes.
+  void refresh_one(TransitionId t);
 
   [[nodiscard]] bool compute_eligible(TransitionId t) const;
 
@@ -160,7 +198,7 @@ class Simulator {
 
   void schedule(QueuedEvent ev);
 
-  const Net* net_;
+  std::shared_ptr<const CompiledNet> net_;
   SimOptions options_;
   TraceSink* sink_ = nullptr;
   Rng rng_;
@@ -169,6 +207,8 @@ class Simulator {
   Marking marking_;
   DataContext data_;
   std::vector<TransitionState> states_;
+  std::vector<std::uint32_t> dirty_;       ///< transition ids queued for refresh
+  std::vector<std::uint8_t> dirty_flag_;   ///< membership bitmap for dirty_
   std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, std::greater<>> queue_;
   std::uint64_t next_sequence_ = 0;
   std::uint64_t next_firing_id_ = 0;

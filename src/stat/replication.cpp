@@ -14,7 +14,9 @@ ReplicationResult run_replications(const Net& net, Time horizon,
   ReplicationResult result;
   result.runs.reserve(num_replications);
 
-  Simulator sim(net);
+  // Compile once; every replication runs off the same immutable view (and
+  // future parallel replication runners can share it across threads).
+  Simulator sim(CompiledNet::compile(net));
   for (std::size_t k = 0; k < num_replications; ++k) {
     StatCollector collector;
     collector.set_run_number(static_cast<int>(k + 1));
