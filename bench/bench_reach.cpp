@@ -1,0 +1,194 @@
+// Reachability-graph throughput: states/second and bytes/state.
+//
+// Not a paper artifact — this is the repository's perf harness for the
+// arena-interned exploration core (analysis/state_store.h) that replaced
+// the string-keyed unordered_map state sets. The artifact pass builds the
+// graph of the Figure 1 / Figure 4 models and a generated stress net,
+// checks the state/edge/deadlock counts against the pre-refactor goldens,
+// and writes BENCH_reach.json with the committed string-key baseline kept
+// inline so the trajectory stays visible (same convention as
+// BENCH_engine.json).
+#include "bench_util.h"
+
+#include <chrono>
+
+#include "analysis/reachability.h"
+#include "analysis/state_store.h"
+#include "analysis/timed_reachability.h"
+#include "pipeline/interpreted.h"
+#include "reach_models.h"
+
+namespace pnut::bench {
+namespace {
+
+using reach_models::Golden;
+using reach_models::stress_ring;
+
+struct GraphRun {
+  double states_per_second = 0;
+  double bytes_per_state = 0;
+  bool counts_ok = false;
+};
+
+/// Build the graph `reps` times; report construction throughput, the
+/// arena + edge-pool footprint per state, and whether the counts match the
+/// pre-refactor goldens.
+GraphRun measure(const Net& net, int reps, const Golden& golden) {
+  GraphRun run;
+  analysis::ReachOptions options;
+  options.max_states = 1'000'000;
+  std::size_t states = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int k = 0; k < reps; ++k) {
+    const analysis::ReachabilityGraph graph(net, options);
+    states += graph.num_states();
+    if (k == 0) {
+      run.bytes_per_state =
+          static_cast<double>(graph.memory_bytes()) / static_cast<double>(graph.num_states());
+      run.counts_ok = graph.status() == analysis::ReachStatus::kComplete &&
+                      graph.num_states() == golden.states &&
+                      graph.num_edges() == golden.edges &&
+                      graph.deadlock_states().size() == golden.deadlocks;
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  run.states_per_second =
+      static_cast<double>(states) / std::chrono::duration<double>(t1 - t0).count();
+  return run;
+}
+
+/// Pre-refactor throughput (string-keyed unordered_map interning,
+/// per-state Marking + edge vectors), measured on the reference machine in
+/// the PR that introduced the StateStore core. The golden counts are from
+/// the same run; the refactor must reproduce them exactly.
+struct Model {
+  const char* key;
+  const char* label;
+  Net net;
+  int reps;
+  double baseline_states_per_second;
+  Golden golden;
+};
+
+std::vector<Model> make_models() {
+  std::vector<Model> models;
+  models.push_back({"fig1_prefetch_model", "Figure 1 prefetch",
+                    pipeline::build_prefetch_model(), 2000, 8.88e5,
+                    reach_models::kFig1Prefetch});
+  models.push_back({"fig4_interpreted_pipeline", "Figure 4 interpreted",
+                    pipeline::build_interpreted_pipeline(), 10, 3.67e4,
+                    reach_models::kFig4Interpreted});
+  models.push_back({"full_pipeline_model", "full pipeline",
+                    pipeline::build_full_model(), 100, 6.41e5,
+                    reach_models::kFullModel});
+  models.push_back({"stress_ring_38x5", "stress ring 38x5", stress_ring(38, 5), 1,
+                    2.63e5, reach_models::kStressRing38x5});
+  return models;
+}
+
+void print_artifact() {
+  print_header("bench_reach", "exploration-core throughput (not a paper artifact)");
+  const std::vector<Model> models = make_models();
+
+  std::vector<GraphRun> runs;
+  for (const Model& model : models) {
+    const GraphRun run = measure(model.net, model.reps, model.golden);
+    runs.push_back(run);
+    std::printf("%-22s %10.3g states/s  (%+.0f%% vs string-key baseline)  "
+                "%5.1f bytes/state  counts %s\n",
+                model.label, run.states_per_second,
+                100.0 * (run.states_per_second / model.baseline_states_per_second - 1.0),
+                run.bytes_per_state, run.counts_ok ? "match golden" : "MISMATCH");
+  }
+  std::printf("\n");
+
+  FILE* json = std::fopen("BENCH_reach.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"bench\": \"bench_reach\",\n"
+                 "  \"metric\": \"reachability_graph_construction\",\n"
+                 "  \"models\": {\n");
+    for (std::size_t i = 0; i < models.size(); ++i) {
+      const Model& model = models[i];
+      const GraphRun& run = runs[i];
+      std::fprintf(json,
+                   "    \"%s\": {\n"
+                   "      \"states\": %zu,\n"
+                   "      \"edges\": %zu,\n"
+                   "      \"deadlocks\": %zu,\n"
+                   "      \"counts_match_golden\": %s,\n"
+                   "      \"states_per_second\": %.0f,\n"
+                   "      \"bytes_per_state\": %.1f\n"
+                   "    }%s\n",
+                   model.key, model.golden.states, model.golden.edges,
+                   model.golden.deadlocks, run.counts_ok ? "true" : "false",
+                   run.states_per_second, run.bytes_per_state,
+                   i + 1 < models.size() ? "," : "");
+    }
+    std::fprintf(json,
+                 "  },\n"
+                 "  \"pre_refactor_baseline\": {\n");
+    for (const Model& model : models) {
+      std::fprintf(json, "    \"%s\": %.0f,\n", model.key,
+                   model.baseline_states_per_second);
+    }
+    std::fprintf(json,
+                 "    \"note\": \"states/second with string-keyed unordered_map "
+                 "interning and per-state heap objects, before the StateStore "
+                 "arena core\"\n"
+                 "  }\n"
+                 "}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_reach.json\n\n");
+  }
+}
+
+void BM_ReachStressRing(benchmark::State& state) {
+  const Net net = stress_ring(static_cast<std::size_t>(state.range(0)), 4);
+  analysis::ReachOptions options;
+  options.max_states = 1'000'000;
+  std::size_t states = 0;
+  for (auto _ : state) {
+    const analysis::ReachabilityGraph graph(net, options);
+    states = graph.num_states();
+    benchmark::DoNotOptimize(states);
+  }
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["states_per_s"] = benchmark::Counter(
+      static_cast<double>(states) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ReachStressRing)->Arg(8)->Arg(16)->Arg(24)->Arg(32);
+
+void BM_TimedReachFullModel(benchmark::State& state) {
+  const Net net = pipeline::build_full_model();
+  for (auto _ : state) {
+    const analysis::TimedReachabilityGraph graph(net);
+    benchmark::DoNotOptimize(graph.num_states());
+  }
+}
+BENCHMARK(BM_TimedReachFullModel);
+
+void BM_StateStoreIntern(benchmark::State& state) {
+  // Raw interning throughput at the bench's word width: first insertion of
+  // 64k distinct states, then a re-intern pass (the hot hit path).
+  const std::size_t width = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint32_t> words(width, 0);
+  for (auto _ : state) {
+    analysis::StateStore store(width);
+    for (std::uint32_t i = 0; i < 65536; ++i) {
+      words[i % width] = i;
+      store.intern(words);
+    }
+    benchmark::DoNotOptimize(store.size());
+  }
+  state.counters["interns_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 65536, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_StateStoreIntern)->Arg(8)->Arg(32);
+
+}  // namespace
+}  // namespace pnut::bench
+
+PNUT_BENCH_MAIN(pnut::bench::print_artifact)

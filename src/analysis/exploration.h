@@ -1,0 +1,121 @@
+// The frontier-BFS exploration driver shared by the graph analyzers.
+//
+// Both reachability builders follow the same outline: intern the initial
+// state into a StateStore, then repeatedly pop an unexpanded state from a
+// frontier deque, enumerate its successor states (interning each), and
+// record the edges. What differs is only the successor rule — untimed
+// firing vs. timed firing-or-tick — so that rule is the one callback
+// (`expand`) the driver takes.
+//
+// Edges are stored in CSR form as they are produced: each state is expanded
+// exactly once, so all of its out-edges land contiguously in one flat pool
+// and the per-state row is just (first, count) — no per-state edge vector,
+// and the flat pool doubles as the scan target for whole-graph queries
+// (dead transitions, total edge count).
+//
+// The frontier supports both plain FIFO BFS (untimed graph: push_back) and
+// 0-1 BFS (timed graph: cost-0 firing edges push_front, cost-1 tick edges
+// push_back, so states are first expanded at their earliest time).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace pnut::analysis {
+
+/// Flat CSR out-edge storage, filled one source row at a time.
+template <typename EdgeT>
+class EdgeCsr {
+ public:
+  /// Open state `s`'s row; all add() calls until the next begin_source()
+  /// append to it. Each source may be opened at most once.
+  void begin_source(std::uint32_t s) {
+    if (first_.size() <= s) {
+      first_.resize(s + 1, 0);
+      count_.resize(s + 1, 0);
+    }
+    first_[s] = static_cast<std::uint32_t>(pool_.size());
+    current_ = s;
+  }
+
+  void add(const EdgeT& edge) {
+    if (pool_.size() >= UINT32_MAX) {
+      throw std::length_error("EdgeCsr: edge offset space exhausted");
+    }
+    pool_.push_back(edge);
+    ++count_[current_];
+  }
+
+  /// Size the row tables to the final state count (states never expanded —
+  /// frontier leftovers after truncation — get empty rows).
+  void finalize(std::size_t num_states) {
+    first_.resize(num_states, 0);
+    count_.resize(num_states, 0);
+  }
+
+  [[nodiscard]] std::span<const EdgeT> out(std::size_t s) const {
+    return {pool_.data() + first_[s], count_[s]};
+  }
+  [[nodiscard]] std::size_t out_degree(std::size_t s) const { return count_[s]; }
+  [[nodiscard]] std::size_t num_edges() const { return pool_.size(); }
+  /// All edges of all states, for whole-graph scans.
+  [[nodiscard]] const std::vector<EdgeT>& flat() const { return pool_; }
+
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return pool_.capacity() * sizeof(EdgeT) +
+           (first_.capacity() + count_.capacity()) * sizeof(std::uint32_t);
+  }
+
+ private:
+  std::vector<EdgeT> pool_;
+  std::vector<std::uint32_t> first_, count_;
+  std::uint32_t current_ = 0;
+};
+
+/// Deque of state indices with an expanded bitmap (0-1 BFS capable).
+class Frontier {
+ public:
+  void push_back(std::uint32_t s) { queue_.push_back(s); }
+  void push_front(std::uint32_t s) { queue_.push_front(s); }
+
+  [[nodiscard]] bool expanded(std::uint32_t s) const {
+    return s < expanded_.size() && expanded_[s] != 0;
+  }
+
+  /// Pop the next not-yet-expanded state and mark it expanded; nullopt when
+  /// the frontier is exhausted. (0-1 BFS pushes a state once per discovered
+  /// edge; duplicates are skipped here.)
+  std::optional<std::uint32_t> pop_unexpanded() {
+    while (!queue_.empty()) {
+      const std::uint32_t s = queue_.front();
+      queue_.pop_front();
+      if (expanded(s)) continue;
+      if (expanded_.size() <= s) expanded_.resize(s + 1, 0);
+      expanded_[s] = 1;
+      return s;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::deque<std::uint32_t> queue_;
+  std::vector<std::uint8_t> expanded_;
+};
+
+/// The common driver: expand frontier states in order, opening each state's
+/// CSR edge row first. `expand(s)` enumerates successors (interning states,
+/// adding edges, pushing newly discovered states); returning false stops
+/// the whole exploration (state cap hit, unbounded place found).
+template <typename EdgeT, typename ExpandFn>
+void drive_frontier_bfs(Frontier& frontier, EdgeCsr<EdgeT>& edges, ExpandFn&& expand) {
+  while (const std::optional<std::uint32_t> s = frontier.pop_unexpanded()) {
+    edges.begin_source(*s);
+    if (!expand(*s)) return;
+  }
+}
+
+}  // namespace pnut::analysis

@@ -257,8 +257,22 @@ class TemporalNode final : public QNode {
     if (saved_c) env.vars["C"] = *saved_c;
     else env.vars.erase("C");
 
-    std::vector<std::vector<std::size_t>> succ(n);
-    for (std::size_t i = 0; i < n; ++i) succ[i] = space.successors(i);
+    // Successor relation flattened to CSR once (two passes over
+    // for_each_successor — no per-state vectors), so each fixpoint sweep
+    // below is a scan of two flat arrays.
+    std::vector<std::size_t> succ_off(n + 1, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      space.for_each_successor(i, [&](std::size_t) { ++succ_off[i + 1]; });
+    }
+    for (std::size_t i = 0; i < n; ++i) succ_off[i + 1] += succ_off[i];
+    std::vector<std::uint32_t> succ(succ_off[n]);
+    {
+      std::size_t cursor = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        space.for_each_successor(
+            i, [&](std::size_t j) { succ[cursor++] = static_cast<std::uint32_t>(j); });
+      }
+    }
 
     // Until fixpoint: AU needs all successors satisfied (and at least one),
     // EU needs some successor satisfied.
@@ -269,14 +283,15 @@ class TemporalNode final : public QNode {
       changed = false;
       for (std::size_t i = 0; i < n; ++i) {
         if (sat[i] || !guard_v[i]) continue;
+        const auto first = succ.begin() + static_cast<std::ptrdiff_t>(succ_off[i]);
+        const auto last = succ.begin() + static_cast<std::ptrdiff_t>(succ_off[i + 1]);
         bool next_sat;
         if (universal_paths_) {
-          next_sat = !succ[i].empty() &&
-                     std::all_of(succ[i].begin(), succ[i].end(),
-                                 [&](std::size_t j) { return sat[j] != 0; });
+          next_sat = first != last &&
+                     std::all_of(first, last, [&](std::uint32_t j) { return sat[j] != 0; });
         } else {
-          next_sat = std::any_of(succ[i].begin(), succ[i].end(),
-                                 [&](std::size_t j) { return sat[j] != 0; });
+          next_sat =
+              std::any_of(first, last, [&](std::uint32_t j) { return sat[j] != 0; });
         }
         if (next_sat) {
           sat[i] = 1;

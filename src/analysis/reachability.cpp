@@ -1,34 +1,131 @@
 #include "analysis/reachability.h"
 
-#include <deque>
-#include <set>
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
 
 namespace pnut::analysis {
 
 namespace {
 
-/// Stable textual key for a (marking, data) pair.
-std::string state_key(const Marking& m, const DataContext& d) {
-  std::string key;
-  key.reserve(m.size() * 4 + 16);
-  for (TokenCount t : m.tokens()) {
-    key += std::to_string(t);
-    key += ',';
+/// Fixed-width word encoding of a DataContext.
+///
+/// The layout is derived from the names the exploration has seen so far:
+/// scalars and table entries, each encoded as three words
+/// [present, low32, high32] so that "variable absent" and "variable = 0"
+/// intern differently. Actions may create scalars at runtime; when a data
+/// context carries a name outside the layout, the caller widens the layout
+/// (extend) and re-interns the states seen so far — rare, and O(states).
+class DataLayout {
+ public:
+  void init(const DataContext& d) {
+    scalars_.clear();
+    tables_.clear();
+    extend(d);
   }
-  const std::string data = d.to_string();
-  if (!data.empty()) {
-    key += '|';
-    key += data;
-  }
-  return key;
-}
 
-/// Would firing `t` from `m` overflow any capacity?
-bool overflows_capacity(const CompiledNet& net, const Marking& m, TransitionId t) {
+  /// Union the layout with `d`'s names and table sizes. Returns true if the
+  /// layout changed (i.e. encodings widen).
+  bool extend(const DataContext& d) {
+    bool changed = false;
+    for (const auto& [name, value] : d.scalars()) {
+      (void)value;
+      const auto it = std::lower_bound(scalars_.begin(), scalars_.end(), name);
+      if (it == scalars_.end() || *it != name) {
+        scalars_.insert(it, name);
+        changed = true;
+      }
+    }
+    for (const auto& [name, values] : d.tables()) {
+      const auto it = std::lower_bound(
+          tables_.begin(), tables_.end(), name,
+          [](const auto& entry, const std::string& n) { return entry.first < n; });
+      if (it == tables_.end() || it->first != name) {
+        tables_.insert(it, {name, values.size()});
+        changed = true;
+      } else if (it->second < values.size()) {
+        it->second = values.size();
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  [[nodiscard]] std::size_t words() const {
+    // 3 words per scalar slot; per table one presence word (so an empty
+    // table and an absent table intern differently) plus 3 per entry slot.
+    std::size_t count = 3 * scalars_.size();
+    for (const auto& [name, size] : tables_) {
+      (void)name;
+      count += 1 + 3 * size;
+    }
+    return count;
+  }
+
+  /// Encode `d` into `out[0 .. words())`. Returns false — with `out` in an
+  /// unspecified partial state — if `d` carries a name or table extent the
+  /// layout does not cover yet (caller widens and retries). One merge-walk
+  /// over the name-sorted layout and DataContext maps does coverage check
+  /// and encoding together.
+  [[nodiscard]] bool try_encode(const DataContext& d, std::uint32_t* out) const {
+    auto put = [&out](bool present, std::int64_t value) {
+      const auto u = static_cast<std::uint64_t>(value);
+      *out++ = present ? 1u : 0u;
+      *out++ = present ? static_cast<std::uint32_t>(u) : 0u;
+      *out++ = present ? static_cast<std::uint32_t>(u >> 32) : 0u;
+    };
+    auto scalar_it = d.scalars().begin();
+    for (const std::string& name : scalars_) {
+      // A data name sorting before the next layout name matches no layout
+      // slot: the layout does not cover it.
+      if (scalar_it != d.scalars().end() && scalar_it->first < name) return false;
+      if (scalar_it != d.scalars().end() && scalar_it->first == name) {
+        put(true, scalar_it->second);
+        ++scalar_it;
+      } else {
+        put(false, 0);
+      }
+    }
+    if (scalar_it != d.scalars().end()) return false;
+    auto table_it = d.tables().begin();
+    for (const auto& [name, size] : tables_) {
+      if (table_it != d.tables().end() && table_it->first < name) return false;
+      if (table_it != d.tables().end() && table_it->first == name) {
+        if (table_it->second.size() > size) return false;
+        *out++ = 1;  // table present (distinguishes empty from absent)
+        for (std::size_t j = 0; j < size; ++j) {
+          const bool present = j < table_it->second.size();
+          put(present, present ? table_it->second[j] : 0);
+        }
+        ++table_it;
+      } else {
+        *out++ = 0;
+        for (std::size_t j = 0; j < size; ++j) put(false, 0);
+      }
+    }
+    return table_it == d.tables().end();
+  }
+
+  /// Encode a context the layout is known to cover (initial data, contexts
+  /// already accepted by try_encode).
+  void encode(const DataContext& d, std::uint32_t* out) const {
+    if (!try_encode(d, out)) {
+      throw std::logic_error("DataLayout: context not covered by layout");
+    }
+  }
+
+ private:
+  std::vector<std::string> scalars_;                       // sorted
+  std::vector<std::pair<std::string, std::size_t>> tables_;  // sorted by name
+};
+
+/// Would firing `t` from marking `tokens` overflow any capacity?
+bool overflows_capacity(const CompiledNet& net, std::span<const TokenCount> tokens,
+                        TransitionId t) {
   for (const Arc& a : net.outputs(t)) {
     const auto capacity = net.capacity(a.place);
     if (!capacity) continue;
-    TokenCount after = m[a.place] + a.weight;
+    TokenCount after = tokens[a.place.value] + a.weight;
     // Tokens consumed from the same place by this firing offset the gain.
     for (const Arc& in : net.inputs(t)) {
       if (in.place == a.place) after -= std::min(after, in.weight);
@@ -50,54 +147,115 @@ ReachabilityGraph::ReachabilityGraph(std::shared_ptr<const CompiledNet> net,
   explore(options);
 }
 
-std::size_t ReachabilityGraph::intern(const Marking& m, const DataContext& d) {
-  const std::string key = state_key(m, d);
-  const auto [it, inserted] = index_.emplace(key, markings_.size());
-  if (inserted) {
-    markings_.push_back(m);
-    data_.push_back(d);
-    edges_.emplace_back();
-  }
-  return it->second;
-}
-
 void ReachabilityGraph::explore(ReachOptions options) {
-  const Marking initial = Marking::initial(net_->net());
+  const std::size_t num_places = net_->num_places();
   const DataContext initial_data = net_->net().initial_data();
-  intern(initial, initial_data);
+  // Data words join the intern key only when an action can change them.
+  track_data_ = net_->net_has_actions();
 
-  std::deque<std::size_t> frontier{0};
-  while (!frontier.empty()) {
-    const std::size_t state = frontier.front();
-    frontier.pop_front();
+  DataLayout layout;
+  if (track_data_) layout.init(initial_data);
+  std::size_t width = num_places + (track_data_ ? layout.words() : 0);
+  store_ = StateStore(width);
 
-    // Copy: intern() may reallocate the state vectors while we expand.
-    const Marking m = markings_[state];
-    const DataContext d = data_[state];
+  // The expansion loop works in place on one scratch word vector: the
+  // parent state's words are copied in once, each firing's token delta is
+  // applied, interned, and undone — no Marking, key string, or successor
+  // vector is allocated per edge.
+  std::vector<std::uint32_t> scratch(width);
+
+  /// An action introduced a new variable: widen the layout and re-intern
+  /// every state seen so far (indices are preserved — re-encoding extends
+  /// each key, so distinct states stay distinct and order is unchanged).
+  /// The marking words of the in-flight scratch survive the resize.
+  const auto widen_layout = [&](const DataContext& d) {
+    layout.extend(d);
+    width = num_places + layout.words();
+    scratch.resize(width);
+    StateStore fresh(width);
+    fresh.reserve(store_.size());
+    std::vector<std::uint32_t> rebuilt(width);
+    for (std::size_t i = 0; i < store_.size(); ++i) {
+      std::memcpy(rebuilt.data(), store_.state(i).data(),
+                  num_places * sizeof(std::uint32_t));
+      layout.encode(data_[i], rebuilt.data() + num_places);
+      const auto r = fresh.intern(rebuilt);
+      if (!r.inserted || r.index != i) {
+        throw std::logic_error("ReachabilityGraph: state re-interning diverged");
+      }
+    }
+    store_ = std::move(fresh);
+  };
+
+  {
+    const Marking initial = Marking::initial(net_->net());
+    std::memcpy(scratch.data(), initial.tokens().data(),
+                num_places * sizeof(std::uint32_t));
+    if (track_data_) layout.encode(initial_data, scratch.data() + num_places);
+    store_.intern(scratch);
+    if (track_data_) data_.push_back(initial_data);
+  }
+
+  Frontier frontier;
+  frontier.push_back(0);
+
+  // Reused sampling buffers (interpreted transitions only).
+  std::vector<DataContext> outcomes;
+  std::vector<std::vector<std::uint32_t>> outcome_keys;
+  std::vector<std::uint32_t> sample_key;
+
+  drive_frontier_bfs(frontier, edges_, [&](std::uint32_t state) {
+    // Copies: interning may grow the arena / data vector while we expand.
+    std::copy(store_.state(state).begin(), store_.state(state).end(), scratch.begin());
+    const DataContext parent_data = track_data_ ? data_[state] : DataContext{};
+    const DataContext& d = track_data_ ? parent_data : initial_data;
+    // Rebuilt per use: widen_layout may resize (and so move) scratch.
+    const auto tokens = [&] {
+      return std::span<const TokenCount>(scratch.data(), num_places);
+    };
 
     for (std::uint32_t ti = 0; ti < net_->num_transitions(); ++ti) {
       const TransitionId t(ti);
-      if (!net_->is_enabled(m, t, d)) continue;
-      if (options.respect_capacities && overflows_capacity(*net_, m, t)) continue;
+      if (!net_->is_enabled(tokens(), t, d)) continue;
+      if (options.respect_capacities && overflows_capacity(*net_, tokens(), t)) continue;
 
-      Marking next = m;
-      for (const Arc& a : net_->inputs(t)) next.remove(a.place, a.weight);
-      for (const Arc& a : net_->outputs(t)) next.add(a.place, a.weight);
+      // Fire in place (is_enabled guarantees no underflow); undone below.
+      for (const Arc& a : net_->inputs(t)) scratch[a.place.value] -= a.weight;
+      for (const Arc& a : net_->outputs(t)) scratch[a.place.value] += a.weight;
 
-      for (TokenCount tokens : next.tokens()) {
-        if (tokens > options.place_bound) {
-          status_ = ReachStatus::kUnbounded;
-          return;
+      // Boundedness: only output places can newly exceed the bound — every
+      // interned state already passed this check — except when expanding
+      // the initial state, whose marking is the model's to declare.
+      bool over = false;
+      if (state == 0) {
+        for (std::size_t i = 0; i < num_places; ++i) over |= scratch[i] > options.place_bound;
+      } else {
+        for (const Arc& a : net_->outputs(t)) {
+          over |= scratch[a.place.value] > options.place_bound;
         }
       }
+      if (over) {
+        status_ = ReachStatus::kUnbounded;
+        return false;
+      }
 
-      // Deterministic action: one successor. Stochastic action: sample
-      // distinct outcomes (see header).
-      std::vector<DataContext> outcomes;
       if (!net_->has_action(t)) {
-        outcomes.push_back(d);
+        // Deterministic data: the parent's data words are still in scratch.
+        const auto interned = store_.intern(scratch);
+        edges_.add(Edge{t, interned.index});
+        if (interned.inserted) {
+          if (track_data_) data_.push_back(d);
+          if (store_.size() > options.max_states) {
+            status_ = ReachStatus::kTruncated;
+            return false;
+          }
+          frontier.push_back(interned.index);
+        }
       } else {
-        std::set<std::string> seen;
+        // Stochastic action: sample distinct outcomes (see header),
+        // deduplicated on their word encoding, first occurrence kept.
+        outcomes.clear();
+        outcome_keys.clear();
         const std::size_t samples = std::max<std::size_t>(options.irand_fanout_limit, 1);
         for (std::size_t k = 0; k < samples; ++k) {
           DataContext candidate = d;
@@ -106,71 +264,120 @@ void ReachabilityGraph::explore(ReachOptions options) {
           Rng rng(0x9e3779b97f4a7c15ULL ^ (state * 0x100000001b3ULL) ^
                   (static_cast<std::uint64_t>(ti) << 32) ^ k);
           net_->action(t)(candidate, rng);
-          if (seen.insert(candidate.to_string()).second) {
+          sample_key.resize(layout.words());
+          if (!layout.try_encode(candidate, sample_key.data())) {
+            widen_layout(candidate);
+            for (std::size_t i = 0; i < outcomes.size(); ++i) {
+              outcome_keys[i].resize(layout.words());
+              layout.encode(outcomes[i], outcome_keys[i].data());
+            }
+            sample_key.resize(layout.words());
+            layout.encode(candidate, sample_key.data());
+          }
+          if (std::find(outcome_keys.begin(), outcome_keys.end(), sample_key) ==
+              outcome_keys.end()) {
+            outcome_keys.push_back(sample_key);
             outcomes.push_back(std::move(candidate));
           }
         }
+
+        for (std::size_t i = 0; i < outcomes.size(); ++i) {
+          // The outcome's data words are already encoded in its dedup key.
+          std::memcpy(scratch.data() + num_places, outcome_keys[i].data(),
+                      outcome_keys[i].size() * sizeof(std::uint32_t));
+          const auto interned = store_.intern(scratch);
+          edges_.add(Edge{t, interned.index});
+          if (interned.inserted) {
+            data_.push_back(outcomes[i]);
+            if (store_.size() > options.max_states) {
+              status_ = ReachStatus::kTruncated;
+              return false;
+            }
+            frontier.push_back(interned.index);
+          }
+        }
+        // Restore the parent's data words for the next transition (the
+        // parent's stored words are valid at the current layout width even
+        // after a widen — the rebuild re-encoded them).
+        std::memcpy(scratch.data() + num_places, store_.state(state).data() + num_places,
+                    (width - num_places) * sizeof(std::uint32_t));
       }
 
-      for (const DataContext& outcome : outcomes) {
-        const std::size_t before = markings_.size();
-        const std::size_t target = intern(next, outcome);
-        edges_[state].push_back(Edge{t, target});
-        if (target == before) {  // newly discovered
-          if (markings_.size() > options.max_states) {
-            status_ = ReachStatus::kTruncated;
-            return;
-          }
-          frontier.push_back(target);
-        }
-      }
+      // Undo the firing.
+      for (const Arc& a : net_->outputs(t)) scratch[a.place.value] -= a.weight;
+      for (const Arc& a : net_->inputs(t)) scratch[a.place.value] += a.weight;
     }
-  }
+    return true;
+  });
+
+  edges_.finalize(store_.size());
 }
 
 std::int64_t ReachabilityGraph::transition_activity(std::size_t state, TransitionId t) const {
-  return net_->is_enabled(markings_.at(state), t, data_.at(state)) ? 1 : 0;
+  const DataContext& d = track_data_ ? data_.at(state) : net_->net().initial_data();
+  return net_->is_enabled(tokens(state), t, d) ? 1 : 0;
 }
 
 std::optional<std::int64_t> ReachabilityGraph::variable(std::size_t state,
                                                         std::string_view name) const {
-  const DataContext& d = data_.at(state);
+  const DataContext& d = track_data_ ? data_.at(state) : net_->net().initial_data();
   if (d.has(name)) return d.get(name);
   return std::nullopt;
 }
 
 std::vector<std::size_t> ReachabilityGraph::successors(std::size_t state) const {
-  std::vector<std::size_t> out;
-  out.reserve(edges_.at(state).size());
-  for (const Edge& e : edges_.at(state)) out.push_back(e.target);
-  return out;
+  const auto out = edges_.out(state);
+  std::vector<std::size_t> result;
+  result.reserve(out.size());
+  for (const Edge& e : out) result.push_back(e.target);
+  return result;
 }
 
-std::size_t ReachabilityGraph::num_edges() const {
-  std::size_t n = 0;
-  for (const auto& e : edges_) n += e.size();
-  return n;
+void ReachabilityGraph::for_each_successor(
+    std::size_t state, const std::function<void(std::size_t)>& fn) const {
+  for (const Edge& e : edges_.out(state)) fn(e.target);
+}
+
+std::size_t ReachabilityGraph::memory_bytes() const {
+  std::size_t bytes = store_.memory_bytes() + edges_.memory_bytes();
+  // Interpreted nets keep one DataContext per state for variable() and
+  // action sampling; estimate the map nodes (~3 pointers + color + payload
+  // per rb-tree node) so the reported bytes/state stays honest about the
+  // per-state allocations that remain.
+  constexpr std::size_t kMapNodeOverhead = 64;
+  bytes += data_.capacity() * sizeof(DataContext);
+  for (const DataContext& d : data_) {
+    for (const auto& [name, value] : d.scalars()) {
+      (void)value;
+      bytes += kMapNodeOverhead + name.capacity();
+    }
+    for (const auto& [name, values] : d.tables()) {
+      bytes += kMapNodeOverhead + name.capacity() +
+               values.capacity() * sizeof(std::int64_t);
+    }
+  }
+  return bytes;
 }
 
 std::vector<std::size_t> ReachabilityGraph::deadlock_states() const {
   std::vector<std::size_t> out;
-  for (std::size_t s = 0; s < edges_.size(); ++s) {
-    if (edges_[s].empty()) out.push_back(s);
+  for (std::size_t s = 0; s < store_.size(); ++s) {
+    if (edges_.out_degree(s) == 0) out.push_back(s);
   }
   return out;
 }
 
 TokenCount ReachabilityGraph::place_bound(PlaceId p) const {
   TokenCount bound = 0;
-  for (const Marking& m : markings_) bound = std::max(bound, m[p]);
+  for (std::size_t s = 0; s < store_.size(); ++s) {
+    bound = std::max(bound, static_cast<TokenCount>(store_.state(s)[p.value]));
+  }
   return bound;
 }
 
 std::vector<TransitionId> ReachabilityGraph::dead_transitions() const {
   std::vector<bool> fired(net_->num_transitions(), false);
-  for (const auto& state_edges : edges_) {
-    for (const Edge& e : state_edges) fired[e.transition.value] = true;
-  }
+  for (const Edge& e : edges_.flat()) fired[e.transition.value] = true;
   std::vector<TransitionId> out;
   for (std::uint32_t i = 0; i < fired.size(); ++i) {
     if (!fired[i]) out.push_back(TransitionId(i));
@@ -179,28 +386,38 @@ std::vector<TransitionId> ReachabilityGraph::dead_transitions() const {
 }
 
 bool ReachabilityGraph::is_reversible() const {
-  // Backward BFS from state 0 over reversed edges.
-  std::vector<std::vector<std::size_t>> reverse(markings_.size());
-  for (std::size_t s = 0; s < edges_.size(); ++s) {
-    for (const Edge& e : edges_[s]) reverse[e.target].push_back(s);
-  }
-  std::vector<bool> can_reach_initial(markings_.size(), false);
-  std::deque<std::size_t> frontier{0};
-  can_reach_initial[0] = true;
-  while (!frontier.empty()) {
-    const std::size_t s = frontier.front();
-    frontier.pop_front();
-    for (std::size_t pred : reverse[s]) {
-      if (!can_reach_initial[pred]) {
-        can_reach_initial[pred] = true;
-        frontier.push_back(pred);
+  // Backward BFS from state 0 over a counting-sorted reverse CSR.
+  const std::size_t n = store_.size();
+  std::vector<std::uint32_t> in_off(n + 1, 0);
+  for (const Edge& e : edges_.flat()) ++in_off[e.target + 1];
+  for (std::size_t i = 1; i <= n; ++i) in_off[i] += in_off[i - 1];
+  std::vector<std::uint32_t> pred(edges_.num_edges());
+  {
+    std::vector<std::uint32_t> cursor(in_off.begin(), in_off.end() - 1);
+    for (std::size_t s = 0; s < n; ++s) {
+      for (const Edge& e : edges_.out(s)) {
+        pred[cursor[e.target]++] = static_cast<std::uint32_t>(s);
       }
     }
   }
-  for (bool b : can_reach_initial) {
-    if (!b) return false;
+
+  std::vector<std::uint8_t> can_reach_initial(n, 0);
+  std::vector<std::uint32_t> stack{0};
+  can_reach_initial[0] = 1;
+  std::size_t reached = 1;
+  while (!stack.empty()) {
+    const std::uint32_t s = stack.back();
+    stack.pop_back();
+    for (std::uint32_t i = in_off[s]; i < in_off[s + 1]; ++i) {
+      const std::uint32_t p = pred[i];
+      if (!can_reach_initial[p]) {
+        can_reach_initial[p] = 1;
+        ++reached;
+        stack.push_back(p);
+      }
+    }
   }
-  return true;
+  return reached == n;
 }
 
 }  // namespace pnut::analysis

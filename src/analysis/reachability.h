@@ -8,6 +8,13 @@
 // *verifying* invariants like `Bus_busy + Bus_free = 1` rather than testing
 // them on one trace.
 //
+// Storage: states are interned as fixed-width word vectors (marking tokens,
+// plus encoded data words for interpreted nets) in a StateStore arena, and
+// edges live in one flat CSR pool (see state_store.h / exploration.h) — no
+// per-state strings, maps, or vectors. The graph queries below are scans
+// over those flat arrays, which is what lets `max_states` in the millions
+// fit in memory and cache.
+//
 // Interpreted-net caveat: an action calling `irand` makes the data
 // successor nondeterministic, and actions are opaque functions that cannot
 // be enumerated symbolically. The builder samples each stochastic action
@@ -21,11 +28,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "analysis/exploration.h"
 #include "analysis/state_space.h"
+#include "analysis/state_store.h"
 #include "petri/compiled_net.h"
 #include "petri/marking.h"
 #include "petri/net.h"
@@ -52,7 +61,7 @@ class ReachabilityGraph final : public StateSpace {
  public:
   struct Edge {
     TransitionId transition;
-    std::size_t target;
+    std::uint32_t target;
   };
 
   /// Build the graph by breadth-first exploration from the initial state.
@@ -65,9 +74,9 @@ class ReachabilityGraph final : public StateSpace {
   [[nodiscard]] ReachStatus status() const { return status_; }
 
   // --- StateSpace interface ----------------------------------------------------
-  [[nodiscard]] std::size_t num_states() const override { return markings_.size(); }
+  [[nodiscard]] std::size_t num_states() const override { return store_.size(); }
   [[nodiscard]] std::int64_t place_tokens(std::size_t state, PlaceId p) const override {
-    return markings_.at(state)[p];
+    return store_.state(state)[p.value];
   }
   /// 1 if `t` is enabled in the state, else 0.
   [[nodiscard]] std::int64_t transition_activity(std::size_t state,
@@ -75,6 +84,8 @@ class ReachabilityGraph final : public StateSpace {
   [[nodiscard]] std::optional<std::int64_t> variable(std::size_t state,
                                                      std::string_view name) const override;
   [[nodiscard]] std::vector<std::size_t> successors(std::size_t state) const override;
+  void for_each_successor(std::size_t state,
+                          const std::function<void(std::size_t)>& fn) const override;
   [[nodiscard]] std::optional<PlaceId> find_place(std::string_view name) const override {
     return net_->find_place(name);  // hashed index of the compiled net
   }
@@ -85,38 +96,51 @@ class ReachabilityGraph final : public StateSpace {
 
   // --- graph-specific queries ---------------------------------------------------
 
-  [[nodiscard]] const Marking& marking(std::size_t state) const {
-    return markings_.at(state);
+  /// Token counts of `state` as an arena slice (the first num_places words).
+  [[nodiscard]] std::span<const TokenCount> tokens(std::size_t state) const {
+    return store_.state(state).first(net_->num_places());
   }
-  [[nodiscard]] const std::vector<Edge>& edges(std::size_t state) const {
-    return edges_.at(state);
+  /// Materialized copy of the state's marking (decoded from the arena).
+  [[nodiscard]] Marking marking(std::size_t state) const {
+    return Marking::from_tokens(tokens(state));
   }
-  [[nodiscard]] std::size_t num_edges() const;
+  [[nodiscard]] std::span<const Edge> edges(std::size_t state) const {
+    return edges_.out(state);
+  }
+  [[nodiscard]] std::size_t num_edges() const { return edges_.num_edges(); }
 
   /// States with no enabled transition.
   [[nodiscard]] std::vector<std::size_t> deadlock_states() const;
 
   /// Max tokens observed on `p` across all reachable states (the place's
-  /// bound, exact when status() == kComplete).
+  /// bound, exact when status() == kComplete). A flat strided arena scan.
   [[nodiscard]] TokenCount place_bound(PlaceId p) const;
 
-  /// Transitions that never appear on any edge (dead transitions).
+  /// Transitions that never appear on any edge (dead transitions). One scan
+  /// of the flat edge pool.
   [[nodiscard]] std::vector<TransitionId> dead_transitions() const;
 
   /// True if from every reachable state the initial state is reachable
-  /// again (the net is reversible / cyclic). Uses one backward BFS.
+  /// again (the net is reversible / cyclic). Uses one backward BFS over a
+  /// counting-sorted reverse CSR.
   [[nodiscard]] bool is_reversible() const;
+
+  /// Approximate heap footprint of the graph: arena + intern table + edge
+  /// pool, plus (for interpreted nets) an estimate of the per-state
+  /// DataContext snapshots. The bench reports this as bytes/state.
+  [[nodiscard]] std::size_t memory_bytes() const;
 
  private:
   void explore(ReachOptions options);
-  std::size_t intern(const Marking& m, const DataContext& d);
 
   std::shared_ptr<const CompiledNet> net_;
   ReachStatus status_ = ReachStatus::kComplete;
-  std::vector<Marking> markings_;
+  StateStore store_;
+  EdgeCsr<Edge> edges_;
+  /// Per-state data snapshots, kept only when the net has actions (data can
+  /// change); queries on action-free nets read the initial data.
   std::vector<DataContext> data_;
-  std::vector<std::vector<Edge>> edges_;
-  std::unordered_map<std::string, std::size_t> index_;  ///< state key -> index
+  bool track_data_ = false;
 };
 
 }  // namespace pnut::analysis

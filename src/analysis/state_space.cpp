@@ -2,33 +2,41 @@
 
 namespace pnut::analysis {
 
-TraceStateSpace::TraceStateSpace(const RecordedTrace& trace) : trace_(&trace) {
+TraceStateSpace::TraceStateSpace(const RecordedTrace& trace)
+    : trace_(&trace),
+      num_places_(trace.header().place_names.size()),
+      arena_(trace.header().place_names.size() + trace.header().transition_names.size()) {
   TraceCursor cursor(trace);
   const std::size_t n = trace.num_states();
-  markings_.reserve(n);
-  active_.reserve(n);
+  arena_.reserve(n);
   data_.reserve(n);
   times_.reserve(n);
 
-  markings_.push_back(cursor.marking());
-  active_.push_back(cursor.all_active_firings());
-  data_.push_back(cursor.data());
-  times_.push_back(cursor.time());
-  while (!cursor.at_end()) {
-    cursor.step();
-    markings_.push_back(cursor.marking());
-    active_.push_back(cursor.all_active_firings());
+  std::vector<std::uint32_t> scratch(arena_.width());
+  const auto snapshot = [&] {
+    const auto& tokens = cursor.marking().tokens();
+    std::copy(tokens.begin(), tokens.end(), scratch.begin());
+    const auto active = cursor.all_active_firings();
+    std::copy(active.begin(), active.end(),
+              scratch.begin() + static_cast<std::ptrdiff_t>(num_places_));
+    arena_.push(scratch);
     data_.push_back(cursor.data());
     times_.push_back(cursor.time());
+  };
+
+  snapshot();
+  while (!cursor.at_end()) {
+    cursor.step();
+    snapshot();
   }
 }
 
 std::int64_t TraceStateSpace::place_tokens(std::size_t state, PlaceId p) const {
-  return markings_.at(state)[p];
+  return arena_[state][p.value];
 }
 
 std::int64_t TraceStateSpace::transition_activity(std::size_t state, TransitionId t) const {
-  return active_.at(state).at(t.value);
+  return arena_[state][num_places_ + t.value];
 }
 
 std::optional<std::int64_t> TraceStateSpace::variable(std::size_t state,
@@ -39,8 +47,13 @@ std::optional<std::int64_t> TraceStateSpace::variable(std::size_t state,
 }
 
 std::vector<std::size_t> TraceStateSpace::successors(std::size_t state) const {
-  if (state + 1 < markings_.size()) return {state + 1};
+  if (state + 1 < arena_.size()) return {state + 1};
   return {};
+}
+
+void TraceStateSpace::for_each_successor(std::size_t state,
+                                         const std::function<void(std::size_t)>& fn) const {
+  if (state + 1 < arena_.size()) fn(state + 1);
 }
 
 std::optional<PlaceId> TraceStateSpace::find_place(std::string_view name) const {

@@ -12,10 +12,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string_view>
 #include <vector>
 
+#include "analysis/state_store.h"
 #include "petri/ids.h"
 #include "trace/trace.h"
 
@@ -42,6 +44,14 @@ class StateSpace {
   /// Successor state indices (a trace has at most one; a graph, many).
   [[nodiscard]] virtual std::vector<std::size_t> successors(std::size_t state) const = 0;
 
+  /// Allocation-free successor iteration for bulk consumers (the query
+  /// engine's temporal fixpoints). Default delegates to successors();
+  /// concrete spaces override with direct scans of their edge storage.
+  virtual void for_each_successor(std::size_t state,
+                                  const std::function<void(std::size_t)>& fn) const {
+    for (const std::size_t s : successors(state)) fn(s);
+  }
+
   /// Name resolution for query formulas.
   [[nodiscard]] virtual std::optional<PlaceId> find_place(std::string_view name) const = 0;
   [[nodiscard]] virtual std::optional<TransitionId> find_transition(
@@ -50,19 +60,26 @@ class StateSpace {
 
 /// A recorded trace materialized as a state space: state 0 is the initial
 /// state, state k the state after event k-1 (what the paper's `#0` denotes).
+///
+/// Snapshots live in one flat StateArena — per state the word layout is
+/// [ place tokens | per-transition in-flight counts ] — instead of a
+/// Marking plus an activity vector per state, so long traces materialize
+/// with two allocations, not two per state.
 class TraceStateSpace final : public StateSpace {
  public:
   /// Materializes all states (markings, in-flight counts, data snapshots)
   /// by replaying the trace once.
   explicit TraceStateSpace(const RecordedTrace& trace);
 
-  [[nodiscard]] std::size_t num_states() const override { return markings_.size(); }
+  [[nodiscard]] std::size_t num_states() const override { return arena_.size(); }
   [[nodiscard]] std::int64_t place_tokens(std::size_t state, PlaceId p) const override;
   [[nodiscard]] std::int64_t transition_activity(std::size_t state,
                                                  TransitionId t) const override;
   [[nodiscard]] std::optional<std::int64_t> variable(std::size_t state,
                                                      std::string_view name) const override;
   [[nodiscard]] std::vector<std::size_t> successors(std::size_t state) const override;
+  void for_each_successor(std::size_t state,
+                          const std::function<void(std::size_t)>& fn) const override;
   [[nodiscard]] std::optional<PlaceId> find_place(std::string_view name) const override;
   [[nodiscard]] std::optional<TransitionId> find_transition(
       std::string_view name) const override;
@@ -72,8 +89,8 @@ class TraceStateSpace final : public StateSpace {
 
  private:
   const RecordedTrace* trace_;
-  std::vector<Marking> markings_;
-  std::vector<std::vector<std::uint32_t>> active_;
+  std::size_t num_places_ = 0;
+  StateArena arena_;
   std::vector<DataContext> data_;
   std::vector<Time> times_;
 };

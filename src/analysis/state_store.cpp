@@ -1,0 +1,56 @@
+#include "analysis/state_store.h"
+
+#include <stdexcept>
+
+namespace pnut::analysis {
+
+namespace {
+constexpr std::size_t kInitialTableSize = 1024;  // power of two
+}
+
+StateStore::StateStore(std::size_t width) : arena_(width) {
+  grow_table(kInitialTableSize);
+}
+
+StateStore::Interned StateStore::intern(std::span<const std::uint32_t> words) {
+  // Grow at 70% load so probe chains stay short.
+  if ((arena_.size() + 1) * 10 > (mask_ + 1) * 7) {
+    grow_table((mask_ + 1) * 2);
+  }
+
+  const std::uint64_t h = hash_words(words.data(), words.size());
+  std::size_t slot = h & mask_;
+  while (true) {
+    const std::uint32_t occupant = table_[slot];
+    if (occupant == kEmpty) {
+      if (arena_.size() >= kEmpty) {
+        throw std::length_error("StateStore: state index space exhausted");
+      }
+      const std::uint32_t index = arena_.push(words);
+      table_[slot] = index;
+      return Interned{index, true};
+    }
+    if (equals(occupant, words.data())) return Interned{occupant, false};
+    slot = (slot + 1) & mask_;
+  }
+}
+
+void StateStore::reserve(std::size_t states) {
+  arena_.reserve(states);
+  std::size_t capacity = kInitialTableSize;
+  while (states * 10 > capacity * 7) capacity *= 2;
+  if (capacity > mask_ + 1) grow_table(capacity);
+}
+
+void StateStore::grow_table(std::size_t capacity) {
+  table_.assign(capacity, kEmpty);
+  mask_ = capacity - 1;
+  for (std::size_t i = 0; i < arena_.size(); ++i) {
+    const auto words = arena_[i];
+    std::size_t slot = hash_words(words.data(), words.size()) & mask_;
+    while (table_[slot] != kEmpty) slot = (slot + 1) & mask_;
+    table_[slot] = static_cast<std::uint32_t>(i);
+  }
+}
+
+}  // namespace pnut::analysis

@@ -1,0 +1,113 @@
+// StateStore: the arena-interned state set shared by every graph analyzer.
+//
+// Every exploration tool in the suite — the untimed reachability graph, the
+// timed reachability graph, and the trace state space — needs the same two
+// things: a place to keep millions of fixed-width state vectors, and (for
+// the graph builders) a way to ask "have I seen this state before?" fast.
+// The historical implementations answered both with per-state heap objects:
+// a std::string key per state inside an unordered_map, a Marking (its own
+// vector) per state, a std::vector<Edge> per state. At controller scale
+// that is invisible; at the ROADMAP's million-state scale the allocator and
+// the pointer-chasing dominate everything.
+//
+// The exploration core stores a state as `width` contiguous 32-bit words:
+//
+//   [ marking tokens ... | analyzer-specific words ... ]
+//
+// where the analyzer-specific tail is empty for a plain reachability state,
+// timer/in-flight words for a timed state, and in-flight activity for a
+// trace state. All states live back-to-back in ONE flat arena vector
+// (StateArena), so state i is the word slice [i*width, (i+1)*width) — no
+// per-state allocation, perfect locality for the whole-column scans the
+// graph queries (place bounds, deadlock sets) do.
+//
+// StateStore adds interning on top: an open-addressed, linear-probed hash
+// table of state indices (power-of-two capacity, word-compare on probe)
+// keyed by pnut::hash_words over the slice. Interning an already-present
+// state costs one hash + one or two probes and allocates nothing.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "petri/marking.h"
+
+namespace pnut::analysis {
+
+/// Flat fixed-width storage: state i is words [i*width, (i+1)*width).
+class StateArena {
+ public:
+  explicit StateArena(std::size_t width) : width_(width) {}
+
+  [[nodiscard]] std::size_t width() const { return width_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Append one state; returns its index. `words.size()` must equal width().
+  std::uint32_t push(std::span<const std::uint32_t> words) {
+    words_.insert(words_.end(), words.begin(), words.end());
+    return static_cast<std::uint32_t>(size_++);
+  }
+
+  [[nodiscard]] std::span<const std::uint32_t> operator[](std::size_t i) const {
+    return {words_.data() + i * width_, width_};
+  }
+
+  void reserve(std::size_t states) { words_.reserve(states * width_); }
+
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return words_.capacity() * sizeof(std::uint32_t);
+  }
+
+ private:
+  std::size_t width_;
+  std::size_t size_ = 0;
+  std::vector<std::uint32_t> words_;
+};
+
+/// StateArena plus open-addressed interning (see file comment).
+class StateStore {
+ public:
+  /// Empty store of zero-width states; reassign once the width is known.
+  StateStore() : StateStore(0) {}
+  explicit StateStore(std::size_t width);
+
+  struct Interned {
+    std::uint32_t index = 0;
+    bool inserted = false;  ///< true if the state was new
+  };
+
+  /// Return the index of `words`, appending it to the arena if unseen.
+  /// Throws std::length_error past ~4 billion states (index width).
+  Interned intern(std::span<const std::uint32_t> words);
+
+  [[nodiscard]] std::span<const std::uint32_t> state(std::size_t i) const {
+    return arena_[i];
+  }
+  [[nodiscard]] std::size_t size() const { return arena_.size(); }
+  [[nodiscard]] std::size_t width() const { return arena_.width(); }
+
+  void reserve(std::size_t states);
+
+  /// Arena + hash table footprint (the number the bench reports as
+  /// bytes/state).
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return arena_.memory_bytes() + table_.capacity() * sizeof(std::uint32_t);
+  }
+
+ private:
+  static constexpr std::uint32_t kEmpty = UINT32_MAX;
+
+  void grow_table(std::size_t capacity);
+  [[nodiscard]] bool equals(std::size_t index, const std::uint32_t* words) const {
+    return std::memcmp(arena_[index].data(), words,
+                       arena_.width() * sizeof(std::uint32_t)) == 0;
+  }
+
+  StateArena arena_;
+  std::vector<std::uint32_t> table_;  ///< state index per slot, kEmpty if free
+  std::size_t mask_ = 0;              ///< table size - 1 (power of two)
+};
+
+}  // namespace pnut::analysis

@@ -2,11 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
-#include <functional>
-#include <sstream>
+#include <cstring>
 #include <stdexcept>
-#include <unordered_map>
+#include <string>
 
 namespace pnut::analysis {
 
@@ -28,36 +26,39 @@ std::uint32_t integer_delay(const DelaySpec& spec, const std::string& transition
   return static_cast<std::uint32_t>(value);
 }
 
-}  // namespace
+/// Working form of a timed state during expansion; interned states live as
+/// fixed-width word vectors in the arena (see header for the layout).
+struct TimedState {
+  Marking marking;
+  /// Remaining enabling delay per transition (0 = ready or not enabled).
+  std::vector<std::uint32_t> enabling_left;
+  /// In-flight firings: (transition, remaining cycles), sorted.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> in_flight;
+};
 
-std::string TimedReachabilityGraph::TimedState::key() const {
-  std::ostringstream out;
-  for (TokenCount t : marking.tokens()) out << t << ',';
-  out << '|';
-  for (std::uint32_t e : enabling_left) out << e << ',';
-  out << '|';
-  for (const auto& [t, left] : in_flight) out << t << ':' << left << ',';
-  return out.str();
-}
+}  // namespace
 
 TimedReachabilityGraph::TimedReachabilityGraph(const Net& net, TimedReachOptions options)
     : TimedReachabilityGraph(CompiledNet::compile(net), options) {}
 
 TimedReachabilityGraph::TimedReachabilityGraph(std::shared_ptr<const CompiledNet> net,
-                                               TimedReachOptions options) {
-  if (!net) throw std::invalid_argument("TimedReachabilityGraph: null CompiledNet");
-  for (std::uint32_t i = 0; i < net->num_transitions(); ++i) {
-    if (net->is_interpreted(TransitionId(i))) {
+                                               TimedReachOptions options)
+    : net_(std::move(net)) {
+  if (!net_) throw std::invalid_argument("TimedReachabilityGraph: null CompiledNet");
+  for (std::uint32_t i = 0; i < net_->num_transitions(); ++i) {
+    if (net_->is_interpreted(TransitionId(i))) {
       throw std::invalid_argument("TimedReachabilityGraph: transition '" +
-                                  net->transition_name(TransitionId(i)) +
+                                  net_->transition_name(TransitionId(i)) +
                                   "' has predicates/actions; timed analysis works on the "
                                   "uninterpreted timing skeleton");
     }
   }
-  explore(*net, options);
+  explore(options);
 }
 
-void TimedReachabilityGraph::explore(const CompiledNet& net, TimedReachOptions options) {
+void TimedReachabilityGraph::explore(TimedReachOptions options) {
+  const CompiledNet& net = *net_;
+  const std::size_t np = net.num_places();
   const std::size_t nt = net.num_transitions();
   std::vector<std::uint32_t> enabling_delay(nt);
   std::vector<std::uint32_t> firing_delay(nt);
@@ -66,6 +67,38 @@ void TimedReachabilityGraph::explore(const CompiledNet& net, TimedReachOptions o
     enabling_delay[i] = integer_delay(net.enabling_time(t), net.transition_name(t), "enabling");
     firing_delay[i] = integer_delay(net.firing_time(t), net.transition_name(t), "firing");
   }
+
+  // Word layout: [marking | enabling_left | in-flight counts], where the
+  // in-flight region has one count slot per (transition, remaining-cycles)
+  // pair — a canonical fixed-width encoding of the in-flight multiset.
+  std::vector<std::uint32_t> inflight_off(nt + 1);
+  inflight_off[0] = static_cast<std::uint32_t>(np + nt);
+  for (std::size_t i = 0; i < nt; ++i) inflight_off[i + 1] = inflight_off[i] + firing_delay[i];
+  const std::size_t width = inflight_off[nt];
+  store_ = StateStore(width);
+  std::vector<std::uint32_t> scratch(width);
+
+  const auto encode = [&](const TimedState& s) {
+    std::memcpy(scratch.data(), s.marking.tokens().data(), np * sizeof(std::uint32_t));
+    std::memcpy(scratch.data() + np, s.enabling_left.data(), nt * sizeof(std::uint32_t));
+    std::fill(scratch.begin() + static_cast<std::ptrdiff_t>(np + nt), scratch.end(), 0u);
+    for (const auto& [t, left] : s.in_flight) ++scratch[inflight_off[t] + left - 1];
+  };
+  const auto decode = [&](std::size_t index) {
+    const auto words = store_.state(index);
+    TimedState s;
+    s.marking = Marking::from_tokens(words.first(np));
+    s.enabling_left.assign(words.begin() + static_cast<std::ptrdiff_t>(np),
+                           words.begin() + static_cast<std::ptrdiff_t>(np + nt));
+    for (std::uint32_t t = 0; t < nt; ++t) {
+      for (std::uint32_t left = 1; left <= firing_delay[t]; ++left) {
+        for (std::uint32_t c = words[inflight_off[t] + left - 1]; c > 0; --c) {
+          s.in_flight.emplace_back(t, left);
+        }
+      }
+    }
+    return s;
+  };
 
   // Eligibility under timed semantics: token-enabled, and single-server
   // transitions must not have a firing of their own in flight.
@@ -96,40 +129,22 @@ void TimedReachabilityGraph::explore(const CompiledNet& net, TimedReachOptions o
     std::sort(s.in_flight.begin(), s.in_flight.end());
   };
 
-  std::unordered_map<std::string, std::size_t> index;
-  std::vector<TimedState> states;
-
-  auto intern = [&](TimedState s) -> std::size_t {
-    const std::string key = s.key();
-    const auto [it, inserted] = index.emplace(key, states.size());
-    if (inserted) {
-      markings_.push_back(s.marking);
-      earliest_time_.push_back(UINT64_MAX);
-      edges_.emplace_back();
-      states.push_back(std::move(s));
-    }
-    return it->second;
-  };
-
   TimedState initial;
   initial.marking = Marking::initial(net.net());
   initial.enabling_left.assign(nt, 0);
   for (std::uint32_t t = 0; t < nt; ++t) initial.enabling_left[t] = enabling_delay[t];
   normalize(initial, nullptr);
-  intern(initial);
-  earliest_time_[0] = 0;
+  encode(initial);
+  store_.intern(scratch);
+  earliest_time_.push_back(0);
+
+  Frontier frontier;
+  frontier.push_back(0);
 
   // 0-1 BFS: firing edges cost 0 (push front), tick edges cost 1 (push
   // back), so the first expansion of a state uses its earliest time.
-  std::deque<std::size_t> frontier{0};
-  std::vector<bool> expanded(1, false);
-
-  while (!frontier.empty()) {
-    const std::size_t si = frontier.front();
-    frontier.pop_front();
-    if (expanded[si]) continue;
-    expanded[si] = true;
-    const TimedState s = states[si];  // copy: interning may reallocate
+  drive_frontier_bfs(frontier, edges_, [&](std::uint32_t si) {
+    const TimedState s = decode(si);
     const std::uint64_t now = earliest_time_[si];
 
     // Ready transitions fire before time may pass (maximal progress).
@@ -138,16 +153,17 @@ void TimedReachabilityGraph::explore(const CompiledNet& net, TimedReachOptions o
       if (s.enabling_left[t] == 0 && eligible(s, t)) ready.push_back(t);
     }
 
-    auto add_edge = [&](std::optional<TransitionId> label, TimedState next,
+    auto add_edge = [&](std::optional<TransitionId> label, const TimedState& next,
                         std::uint64_t cost) {
-      const std::size_t before = states.size();
-      const std::size_t target = intern(std::move(next));
-      edges_[si].push_back(Edge{label, target});
-      if (target >= expanded.size()) expanded.resize(target + 1, false);
+      encode(next);
+      const auto interned = store_.intern(scratch);
+      const std::uint32_t target = interned.index;
+      edges_.add(Edge{label, target});
+      if (interned.inserted) earliest_time_.push_back(UINT64_MAX);
       const std::uint64_t arrival = now + cost;
       if (arrival < earliest_time_[target]) earliest_time_[target] = arrival;
-      if (target == before) {  // newly discovered
-        if (states.size() > options.max_states) {
+      if (interned.inserted) {
+        if (store_.size() > options.max_states) {
           status_ = TimedReachStatus::kTruncated;
           return false;
         }
@@ -156,7 +172,7 @@ void TimedReachabilityGraph::explore(const CompiledNet& net, TimedReachOptions o
           return true;  // state recorded but not explored further
         }
       }
-      if (!expanded[target]) {
+      if (!frontier.expanded(target)) {
         if (cost == 0) {
           frontier.push_front(target);
         } else {
@@ -181,9 +197,9 @@ void TimedReachabilityGraph::explore(const CompiledNet& net, TimedReachOptions o
         // A fired transition must re-earn its enabling delay even if still
         // eligible (normalize would otherwise carry the old 0 over).
         if (eligible(next, t)) next.enabling_left[t] = enabling_delay[t];
-        if (!add_edge(TransitionId(t), std::move(next), 0)) return;
+        if (!add_edge(TransitionId(t), next, 0)) return false;
       }
-      continue;  // time may not pass while something is ready
+      return true;  // time may not pass while something is ready
     }
 
     // Tick: possible iff something is waiting (an armed timer or an
@@ -192,7 +208,7 @@ void TimedReachabilityGraph::explore(const CompiledNet& net, TimedReachOptions o
     for (std::uint32_t t = 0; t < nt && !anything_waiting; ++t) {
       anything_waiting = eligible(s, t);  // armed enabling timer
     }
-    if (!anything_waiting) continue;  // deadlock: no outgoing edges
+    if (!anything_waiting) return true;  // deadlock: no outgoing edges
 
     TimedState next = s;
     for (std::uint32_t t = 0; t < nt; ++t) {
@@ -215,8 +231,10 @@ void TimedReachabilityGraph::explore(const CompiledNet& net, TimedReachOptions o
       carry.enabling_left = next.enabling_left;
       normalize(next, &carry);
     }
-    if (!add_edge(std::nullopt, std::move(next), 1)) return;
-  }
+    return add_edge(std::nullopt, next, 1);
+  });
+
+  edges_.finalize(store_.size());
 }
 
 std::optional<TimedReachabilityGraph::TimeBounds> TimedReachabilityGraph::time_bounds(
@@ -225,7 +243,7 @@ std::optional<TimedReachabilityGraph::TimeBounds> TimedReachabilityGraph::time_b
   std::vector<char> hit(n, 0);
   bool any = false;
   for (std::size_t s = 0; s < n; ++s) {
-    hit[s] = predicate(markings_[s]) ? 1 : 0;
+    hit[s] = predicate(marking(s)) ? 1 : 0;
     any |= (hit[s] != 0);
   }
   if (!any) return std::nullopt;
@@ -258,7 +276,7 @@ std::optional<TimedReachabilityGraph::TimeBounds> TimedReachabilityGraph::time_b
   while (!stack.empty() && !unbounded) {
     Frame& frame = stack.back();
     const std::size_t s = frame.state;
-    const auto& out_edges = edges_[s];
+    const auto out_edges = edges_.out(s);
     if (out_edges.empty()) {
       // Timed deadlock without hitting the predicate: avoided forever.
       unbounded = true;
@@ -286,7 +304,7 @@ std::optional<TimedReachabilityGraph::TimeBounds> TimedReachabilityGraph::time_b
       stack.pop_back();
       if (!stack.empty()) {
         Frame& parent = stack.back();
-        const Edge& e = edges_[parent.state][parent.edge - 1];
+        const Edge& e = edges_.out(parent.state)[parent.edge - 1];
         const std::uint64_t cost = e.transition ? 0 : 1;
         worst[parent.state] = std::max(worst[parent.state], cost + worst[s]);
       }
@@ -298,8 +316,8 @@ std::optional<TimedReachabilityGraph::TimeBounds> TimedReachabilityGraph::time_b
 
 std::vector<std::size_t> TimedReachabilityGraph::deadlock_states() const {
   std::vector<std::size_t> out;
-  for (std::size_t s = 0; s < edges_.size(); ++s) {
-    if (edges_[s].empty()) out.push_back(s);
+  for (std::size_t s = 0; s < store_.size(); ++s) {
+    if (edges_.out_degree(s) == 0) out.push_back(s);
   }
   return out;
 }

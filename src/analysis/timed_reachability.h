@@ -17,18 +17,28 @@
 //   * whether a timing race exists at all (branching in the timed graph),
 //   * cycle-accurate state counts for small controllers.
 //
-// State-space caveat: timers multiply states; this analyzer is meant for
+// Storage: a timed state is interned as a fixed-width word vector in the
+// shared StateStore arena —
+//   [ marking tokens | per-transition remaining enabling delay |
+//     per-(transition, remaining-cycles) in-flight firing counts ]
+// — a canonical encoding (the in-flight multiset becomes counts indexed by
+// remaining time), so interning needs no strings and no sorting. Edges are
+// one flat CSR pool. Width grows with the sum of firing delays; together
+// with the timer words this keeps the analyzer's practical envelope at
 // controller-sized nets (tens of places, delays up to ~10) — the paper's
-// [RP84] tool had the same practical envelope. Exploration is bounded by
-// max_states and max_time.
+// [RP84] tool had the same envelope. Exploration is bounded by max_states
+// and max_time.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
-#include <string>
+#include <span>
 #include <vector>
 
+#include "analysis/exploration.h"
+#include "analysis/state_store.h"
 #include "petri/compiled_net.h"
 #include "petri/marking.h"
 #include "petri/net.h"
@@ -49,7 +59,7 @@ class TimedReachabilityGraph {
   struct Edge {
     /// Fired transition, or nullopt for a one-cycle tick.
     std::optional<TransitionId> transition;
-    std::size_t target = 0;
+    std::uint32_t target = 0;
   };
 
   /// Throws std::invalid_argument if any delay is not a non-negative
@@ -60,16 +70,21 @@ class TimedReachabilityGraph {
                                   TimedReachOptions options = {});
 
   [[nodiscard]] TimedReachStatus status() const { return status_; }
-  [[nodiscard]] std::size_t num_states() const { return markings_.size(); }
-  [[nodiscard]] const Marking& marking(std::size_t state) const {
-    return markings_.at(state);
+  [[nodiscard]] std::size_t num_states() const { return store_.size(); }
+  /// Token counts of `state` as an arena slice (the first num_places words).
+  [[nodiscard]] std::span<const TokenCount> tokens(std::size_t state) const {
+    return store_.state(state).first(net_->num_places());
+  }
+  /// Materialized copy of the state's marking (decoded from the arena).
+  [[nodiscard]] Marking marking(std::size_t state) const {
+    return Marking::from_tokens(tokens(state));
   }
   /// Time elapsed from the initial state (shortest path in ticks).
   [[nodiscard]] std::uint64_t earliest_time(std::size_t state) const {
     return earliest_time_.at(state);
   }
-  [[nodiscard]] const std::vector<Edge>& edges(std::size_t state) const {
-    return edges_.at(state);
+  [[nodiscard]] std::span<const Edge> edges(std::size_t state) const {
+    return edges_.out(state);
   }
 
   /// Earliest and latest (over timing-feasible paths, up to the horizon)
@@ -87,23 +102,19 @@ class TimedReachabilityGraph {
   /// now or ever, not even after ticks).
   [[nodiscard]] std::vector<std::size_t> deadlock_states() const;
 
+  /// Approximate heap footprint (arena + intern table + edge pool).
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return store_.memory_bytes() + edges_.memory_bytes();
+  }
+
  private:
-  struct TimedState {
-    Marking marking;
-    /// Remaining enabling delay per transition (0 = ready or not enabled).
-    std::vector<std::uint32_t> enabling_left;
-    /// In-flight firings: (transition, remaining cycles), sorted.
-    std::vector<std::pair<std::uint32_t, std::uint32_t>> in_flight;
+  void explore(TimedReachOptions options);
 
-    [[nodiscard]] std::string key() const;
-  };
-
-  void explore(const CompiledNet& net, TimedReachOptions options);
-
+  std::shared_ptr<const CompiledNet> net_;
   TimedReachStatus status_ = TimedReachStatus::kComplete;
-  std::vector<Marking> markings_;
+  StateStore store_;
+  EdgeCsr<Edge> edges_;
   std::vector<std::uint64_t> earliest_time_;
-  std::vector<std::vector<Edge>> edges_;
 };
 
 }  // namespace pnut::analysis

@@ -310,6 +310,11 @@ int cmd_analyze(const Args& args, std::ostream& out) {
     case analysis::ReachStatus::kTruncated: out << " (TRUNCATED at limit)\n"; break;
     case analysis::ReachStatus::kUnbounded: out << " (UNBOUNDED place found)\n"; break;
   }
+  if (graph.num_states() > 0) {
+    const std::size_t bytes = graph.memory_bytes();
+    out << "  state storage: " << bytes / graph.num_states() << " bytes/state ("
+        << (bytes + 1023) / 1024 << " KiB)\n";
+  }
   if (graph.status() == analysis::ReachStatus::kComplete) {
     out << "  deadlock states: " << graph.deadlock_states().size() << '\n';
     out << "  dead transitions:";

@@ -133,6 +133,7 @@ class CompiledNet {
   }
   /// Whole-net summaries.
   [[nodiscard]] bool net_has_inhibitors() const { return net_has_inhibitors_; }
+  [[nodiscard]] bool net_has_actions() const { return net_has_actions_; }
   [[nodiscard]] bool net_is_interpreted() const { return !predicated_.empty() || net_has_actions_; }
 
   [[nodiscard]] double frequency(TransitionId t) const { return freq_[t.value]; }
@@ -178,9 +179,11 @@ class CompiledNet {
 
   // --- enablement over the CSR arrays (unchecked hot path) ------------------
 
-  /// Token-availability test (input weights satisfied, inhibitors clear).
-  [[nodiscard]] bool tokens_available(const Marking& m, TransitionId t) const {
-    const auto& tokens = m.tokens();
+  /// Token-availability test (input weights satisfied, inhibitors clear)
+  /// over any flat token-count view — a Marking's vector or a StateStore
+  /// arena slice.
+  [[nodiscard]] bool tokens_available(std::span<const TokenCount> tokens,
+                                      TransitionId t) const {
     for (const Arc& a : inputs(t)) {
       if (tokens[a.place.value] < a.weight) return false;
     }
@@ -189,13 +192,20 @@ class CompiledNet {
     }
     return true;
   }
+  [[nodiscard]] bool tokens_available(const Marking& m, TransitionId t) const {
+    return tokens_available(std::span<const TokenCount>(m.tokens()), t);
+  }
 
   /// Full enablement: tokens available AND the predicate (if any) holds.
-  [[nodiscard]] bool is_enabled(const Marking& m, TransitionId t,
+  [[nodiscard]] bool is_enabled(std::span<const TokenCount> tokens, TransitionId t,
                                 const DataContext& data) const {
-    if (!tokens_available(m, t)) return false;
+    if (!tokens_available(tokens, t)) return false;
     if (has_predicate(t) && !predicate(t)(data)) return false;
     return true;
+  }
+  [[nodiscard]] bool is_enabled(const Marking& m, TransitionId t,
+                                const DataContext& data) const {
+    return is_enabled(std::span<const TokenCount>(m.tokens()), t, data);
   }
 
   /// Concurrent enablement degree on token counts alone (see

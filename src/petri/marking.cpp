@@ -53,12 +53,7 @@ std::string Marking::to_string(const Net& net) const {
 }
 
 std::size_t MarkingHash::operator()(const Marking& m) const noexcept {
-  std::size_t h = 14695981039346656037ULL;
-  for (TokenCount t : m.tokens()) {
-    h ^= t;
-    h *= 1099511628211ULL;
-  }
-  return h;
+  return static_cast<std::size_t>(hash_words(m.tokens().data(), m.tokens().size()));
 }
 
 bool tokens_available(const Net& net, const Marking& m, TransitionId t) {

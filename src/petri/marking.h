@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -23,6 +25,14 @@ class Marking {
 
   /// The net's initial marking.
   static Marking initial(const Net& net);
+
+  /// Rebuild a marking from a flat token-count span (the inverse of reading
+  /// tokens() into an arena word slice; see analysis::StateStore).
+  static Marking from_tokens(std::span<const TokenCount> tokens) {
+    Marking m;
+    m.tokens_.assign(tokens.begin(), tokens.end());
+    return m;
+  }
 
   [[nodiscard]] std::size_t size() const { return tokens_.size(); }
 
@@ -50,8 +60,27 @@ class Marking {
   std::vector<TokenCount> tokens_;
 };
 
-/// FNV-1a hash over token counts; used by the reachability analyzer's
-/// visited-set.
+/// FNV-1a over 32-bit words with a final avalanche; the one hash shared by
+/// MarkingHash and the analysis-layer StateStore, so a marking hashes the
+/// same whether it lives in a Marking or in a flat arena word slice.
+[[nodiscard]] constexpr std::uint64_t hash_words(const std::uint32_t* words,
+                                                 std::size_t count) noexcept {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (std::size_t i = 0; i < count; ++i) {
+    h ^= words[i];
+    h *= 1099511628211ULL;
+  }
+  // Finalization (splitmix64 tail): FNV alone leaves the low bits weak for
+  // power-of-two open-addressed tables.
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+/// Word hash over token counts; used by the exploration core's visited-set.
 struct MarkingHash {
   std::size_t operator()(const Marking& m) const noexcept;
 };

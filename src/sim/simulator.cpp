@@ -22,6 +22,8 @@ void Simulator::reset(std::optional<std::uint64_t> seed) {
   states_.assign(net_->num_transitions(), TransitionState{});
   dirty_.clear();
   dirty_flag_.assign(net_->num_transitions(), 0);
+  ready_set_.clear();
+  in_ready_.assign(net_->num_transitions(), 0);
   queue_ = {};
   next_sequence_ = 0;
   next_firing_id_ = 0;
@@ -46,6 +48,18 @@ bool Simulator::compute_eligible(TransitionId t) const {
 void Simulator::schedule(QueuedEvent ev) {
   ev.sequence = next_sequence_++;
   queue_.push(ev);
+}
+
+void Simulator::ready_insert(std::uint32_t t) {
+  if (in_ready_[t]) return;
+  in_ready_[t] = 1;
+  ready_set_.insert(std::lower_bound(ready_set_.begin(), ready_set_.end(), t), t);
+}
+
+void Simulator::ready_erase(std::uint32_t t) {
+  if (!in_ready_[t]) return;
+  in_ready_[t] = 0;
+  ready_set_.erase(std::lower_bound(ready_set_.begin(), ready_set_.end(), t));
 }
 
 void Simulator::mark_dirty(TransitionId t) {
@@ -83,10 +97,12 @@ void Simulator::refresh_one(TransitionId t) {
     ++st.generation;
     if (net_->has_zero_enabling_time(t)) {
       st.ready = true;
+      ready_insert(t.value);
     } else {
       const Time delay = net_->enabling_time(t).sample(data_, rng_);
       if (delay <= 0) {
         st.ready = true;
+        ready_insert(t.value);
       } else {
         st.ready = false;
         schedule(QueuedEvent{now_ + delay, 0, EventKind::kEnablingExpiry, t, 0,
@@ -99,6 +115,7 @@ void Simulator::refresh_one(TransitionId t) {
     st.eligible = false;
     st.ready = false;
     ++st.generation;
+    ready_erase(t.value);
   }
   // Still eligible (or still not): leave the running timer untouched —
   // that is precisely the "continuously enabled" requirement.
@@ -210,15 +227,27 @@ void Simulator::complete_firing(TransitionId t, std::uint64_t firing_id) {
 }
 
 void Simulator::fire_ready_transitions() {
+  std::vector<TransitionId> ready;
+  std::vector<double> weights;
   while (true) {
-    // Collect transitions that are ready *and still* eligible at this
+    // Candidates: transitions that are ready *and still* eligible at this
     // instant (an earlier firing in this loop may have stolen their tokens).
-    std::vector<TransitionId> ready;
-    std::vector<double> weights;
-    for (std::uint32_t i = 0; i < states_.size(); ++i) {
-      if (states_[i].ready && states_[i].eligible) {
+    // The incrementally-maintained ready set IS that list, in ascending id
+    // order; the historical O(T) rescan survives with the reference
+    // eligibility mode.
+    ready.clear();
+    weights.clear();
+    if (options_.incremental_eligibility) {
+      for (const std::uint32_t i : ready_set_) {
         ready.push_back(TransitionId(i));
         weights.push_back(net_->frequency(TransitionId(i)));
+      }
+    } else {
+      for (std::uint32_t i = 0; i < states_.size(); ++i) {
+        if (states_[i].ready && states_[i].eligible) {
+          ready.push_back(TransitionId(i));
+          weights.push_back(net_->frequency(TransitionId(i)));
+        }
       }
     }
     if (ready.empty()) return;
@@ -246,6 +275,7 @@ void Simulator::fire_ready_transitions() {
     states_[chosen.value].ready = false;
     states_[chosen.value].eligible = false;
     ++states_[chosen.value].generation;
+    ready_erase(chosen.value);
     mark_dirty(chosen);
 
     start_firing(chosen);
@@ -267,6 +297,8 @@ StopReason Simulator::run_until(Time t, std::optional<std::uint64_t> max_events)
       if (st.generation != ev.generation) continue;  // stale timer
       now_ = ev.time;
       states_[ev.transition.value].ready = true;
+      // A matching generation means continuously eligible since arming.
+      ready_insert(ev.transition.value);
     } else {
       now_ = ev.time;
       complete_firing(ev.transition, ev.firing_id);

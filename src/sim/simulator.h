@@ -42,7 +42,11 @@
 // in ascending id order, so the RNG consumption order (and therefore the
 // trace) is bit-for-bit identical to the historical whole-net rescan, which
 // remains available as SimOptions::incremental_eligibility = false for
-// equivalence testing.
+// equivalence testing. The ready set (ready && eligible transitions, the
+// candidates of each conflict draw) is maintained the same way: flips are
+// centralized in refresh_one and the firing path, kept in ascending id
+// order, so fire_ready_transitions reads the candidate list directly
+// instead of rescanning all T transitions per firing.
 //
 // The engine is deterministic: one seeded Rng drives every random choice,
 // and the event queue breaks time ties by insertion order, so (net, seed,
@@ -167,6 +171,13 @@ class Simulator {
 
   // --- incremental eligibility ----------------------------------------------
 
+  /// Keep the sorted ready-set in sync with a (ready && eligible) flip.
+  /// Called from the same places that flip the flags, so
+  /// fire_ready_transitions reads the candidate list directly instead of
+  /// rescanning all T transitions per firing.
+  void ready_insert(std::uint32_t t);
+  void ready_erase(std::uint32_t t);
+
   /// Queue `t` for re-evaluation at the next refresh.
   void mark_dirty(TransitionId t);
   /// Queue every transition whose enablement can depend on `p`'s tokens.
@@ -209,6 +220,8 @@ class Simulator {
   std::vector<TransitionState> states_;
   std::vector<std::uint32_t> dirty_;       ///< transition ids queued for refresh
   std::vector<std::uint8_t> dirty_flag_;   ///< membership bitmap for dirty_
+  std::vector<std::uint32_t> ready_set_;   ///< ids with ready && eligible, ascending
+  std::vector<std::uint8_t> in_ready_;     ///< membership bitmap for ready_set_
   std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, std::greater<>> queue_;
   std::uint64_t next_sequence_ = 0;
   std::uint64_t next_firing_id_ = 0;

@@ -1,30 +1,81 @@
 #include "stat/replication.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <sstream>
+#include <thread>
 
 namespace pnut {
+
+namespace {
+
+/// One replication: a pure function of (compiled net, seed, horizon).
+RunStats run_one(const std::shared_ptr<const CompiledNet>& compiled, Time horizon,
+                 std::uint64_t seed, int run_number) {
+  StatCollector collector;
+  collector.set_run_number(run_number);
+  Simulator sim(compiled);
+  sim.set_sink(&collector);
+  sim.reset(seed);
+  sim.run_until(horizon);
+  sim.finish();
+  return collector.stats();
+}
+
+}  // namespace
 
 ReplicationResult run_replications(const Net& net, Time horizon,
                                    std::size_t num_replications,
                                    const std::vector<MetricSpec>& metrics,
-                                   std::uint64_t base_seed) {
+                                   std::uint64_t base_seed, unsigned num_threads) {
   ReplicationResult result;
-  result.runs.reserve(num_replications);
 
-  // Compile once; every replication runs off the same immutable view (and
-  // future parallel replication runners can share it across threads).
-  Simulator sim(CompiledNet::compile(net));
-  for (std::size_t k = 0; k < num_replications; ++k) {
-    StatCollector collector;
-    collector.set_run_number(static_cast<int>(k + 1));
-    sim.set_sink(&collector);
-    sim.reset(base_seed + k);
-    sim.run_until(horizon);
-    sim.finish();
-    result.runs.push_back(collector.stats());
+  // Compile once; every replication runs off the same immutable view,
+  // shared read-only across the worker threads.
+  const auto compiled = CompiledNet::compile(net);
+
+  if (num_threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    num_threads = hw == 0 ? 1 : hw;
+  }
+  num_threads = static_cast<unsigned>(
+      std::min<std::size_t>(num_threads, std::max<std::size_t>(num_replications, 1)));
+
+  result.runs.resize(num_replications);
+  if (num_threads <= 1) {
+    for (std::size_t k = 0; k < num_replications; ++k) {
+      result.runs[k] = run_one(compiled, horizon, base_seed + k, static_cast<int>(k + 1));
+    }
+  } else {
+    // Work-stealing by atomic counter; run k always lands in slot k, so the
+    // merged result is independent of scheduling. A throwing run (zero-delay
+    // livelock, bad action) parks its exception in its slot; the lowest-k
+    // one is rethrown on the caller's thread after the pool drains — the
+    // same exception the sequential path would have surfaced first.
+    std::atomic<std::size_t> next{0};
+    std::vector<std::exception_ptr> errors(num_replications);
+    std::vector<std::thread> pool;
+    pool.reserve(num_threads);
+    for (unsigned w = 0; w < num_threads; ++w) {
+      pool.emplace_back([&] {
+        while (true) {
+          const std::size_t k = next.fetch_add(1);
+          if (k >= num_replications) return;
+          try {
+            result.runs[k] =
+                run_one(compiled, horizon, base_seed + k, static_cast<int>(k + 1));
+          } catch (...) {
+            errors[k] = std::current_exception();
+          }
+        }
+      });
+    }
+    for (std::thread& worker : pool) worker.join();
+    for (const std::exception_ptr& error : errors) {
+      if (error) std::rethrow_exception(error);
+    }
   }
 
   for (const MetricSpec& spec : metrics) {

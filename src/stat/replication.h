@@ -6,6 +6,11 @@
 // any scalar metric extracted from the per-run statistics, reporting sample
 // mean, sample standard deviation, and min/max — the standard way to put
 // confidence behind a single Figure-5-style run.
+//
+// Replications run on a small thread pool sharing one immutable
+// CompiledNet. Each run is a pure function of (net, base_seed + k, horizon)
+// and results merge in k order, so the output is bit-identical whatever the
+// thread count — including the sequential num_threads = 1 path.
 #pragma once
 
 #include <cstdint>
@@ -40,10 +45,20 @@ struct ReplicationResult {
 
 /// Run `num_replications` simulations of `net` to `horizon`, seeding run k
 /// with `base_seed + k`, and summarize `metrics` across runs.
+/// `num_threads` = 0 (the default) picks a pool size from the hardware;
+/// 1 forces the sequential path. Results are identical for every value.
+///
+/// Thread-safety contract: with more than one thread, the net's predicate,
+/// action and computed-delay callbacks run concurrently across
+/// replications. Callbacks that only touch their DataContext/Rng arguments
+/// (every model in this repository) are safe; a callback capturing shared
+/// mutable state needs its own synchronization — or pass num_threads = 1
+/// to keep the historical sequential behavior.
 ReplicationResult run_replications(const Net& net, Time horizon,
                                    std::size_t num_replications,
                                    const std::vector<MetricSpec>& metrics,
-                                   std::uint64_t base_seed = 1);
+                                   std::uint64_t base_seed = 1,
+                                   unsigned num_threads = 0);
 
 /// Aligned text table of metric summaries ("metric  mean ± stddev  [min, max]").
 std::string format_metric_summaries(const std::vector<MetricSummary>& metrics);

@@ -203,6 +203,43 @@ TEST(Reachability, PredicateLimitsStateSpace) {
   EXPECT_EQ(graph.variable(graph.deadlock_states()[0], "x"), 5);
 }
 
+TEST(Reachability, ActionCreatedVariableWidensLayout) {
+  // An action may create a variable mid-exploration; the data layout must
+  // widen and already-interned states stay distinct at their old indices.
+  Net net;
+  const PlaceId p = net.add_place("P", 1);
+  const TransitionId t = net.add_transition("t");
+  net.add_input(t, p);
+  net.add_output(t, p);
+  net.set_action(t, [](DataContext& d, Rng&) {
+    if (!d.has("y")) {
+      d.set("y", 0);
+    } else {
+      d.set("y", std::min<std::int64_t>(d.get("y") + 1, 2));
+    }
+  });
+  const ReachabilityGraph graph(net);
+  // States: {}, {y=0}, {y=1}, {y=2}.
+  EXPECT_EQ(graph.num_states(), 4u);
+  EXPECT_EQ(graph.variable(0, "y"), std::nullopt);
+  EXPECT_EQ(graph.variable(3, "y"), 2);
+}
+
+TEST(Reachability, RuntimeEmptyTableDistinguishedFromAbsent) {
+  // A created-but-empty table is a distinct data state from no table at
+  // all (the encoding carries a per-table presence word).
+  Net net;
+  const PlaceId p = net.add_place("P", 1);
+  const TransitionId t = net.add_transition("t");
+  net.add_input(t, p);
+  net.add_output(t, p);
+  net.set_action(t, [](DataContext& d, Rng&) {
+    if (!d.has_table("T")) d.set_table("T", {});
+  });
+  const ReachabilityGraph graph(net);
+  EXPECT_EQ(graph.num_states(), 2u);  // without T, with empty T
+}
+
 TEST(Reachability, InvalidNetRejected) {
   Net net;
   net.add_place("X", 0);

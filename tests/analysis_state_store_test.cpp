@@ -1,0 +1,156 @@
+// Unit tests for the arena-interned exploration core (state_store.h,
+// exploration.h): interning identity, collision handling under heavy load,
+// table growth, and the CSR edge buffer.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/exploration.h"
+#include "analysis/state_store.h"
+
+namespace pnut::analysis {
+namespace {
+
+TEST(StateStore, InternReturnsStableIndices) {
+  StateStore store(3);
+  const std::vector<std::uint32_t> a{1, 2, 3};
+  const std::vector<std::uint32_t> b{1, 2, 4};
+
+  const auto first = store.intern(a);
+  EXPECT_TRUE(first.inserted);
+  EXPECT_EQ(first.index, 0u);
+
+  const auto second = store.intern(b);
+  EXPECT_TRUE(second.inserted);
+  EXPECT_EQ(second.index, 1u);
+
+  // Re-interning returns the original index without growing the arena.
+  const auto again = store.intern(a);
+  EXPECT_FALSE(again.inserted);
+  EXPECT_EQ(again.index, 0u);
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(StateStore, StateReadsBackExactWords) {
+  StateStore store(4);
+  const std::vector<std::uint32_t> words{7, 0, UINT32_MAX, 42};
+  const auto r = store.intern(words);
+  const auto read = store.state(r.index);
+  ASSERT_EQ(read.size(), 4u);
+  EXPECT_TRUE(std::equal(words.begin(), words.end(), read.begin()));
+}
+
+TEST(StateStore, DistinguishesZeroFromAbsentPattern) {
+  // Two states differing only in one word must never alias.
+  StateStore store(2);
+  EXPECT_TRUE(store.intern(std::vector<std::uint32_t>{0, 0}).inserted);
+  EXPECT_TRUE(store.intern(std::vector<std::uint32_t>{0, 1}).inserted);
+  EXPECT_TRUE(store.intern(std::vector<std::uint32_t>{1, 0}).inserted);
+  EXPECT_EQ(store.size(), 3u);
+}
+
+TEST(StateStore, GrowthPreservesIndicesAndIdentity) {
+  // Push far past the initial table size to force several rehashes, then
+  // verify every state still interns to its original index.
+  constexpr std::size_t kStates = 50'000;
+  StateStore store(2);
+  for (std::uint32_t i = 0; i < kStates; ++i) {
+    const auto r = store.intern(std::vector<std::uint32_t>{i, i * 2654435761u});
+    ASSERT_TRUE(r.inserted);
+    ASSERT_EQ(r.index, i);
+  }
+  EXPECT_EQ(store.size(), kStates);
+  for (std::uint32_t i = 0; i < kStates; i += 97) {
+    const auto r = store.intern(std::vector<std::uint32_t>{i, i * 2654435761u});
+    EXPECT_FALSE(r.inserted);
+    EXPECT_EQ(r.index, i);
+  }
+}
+
+TEST(StateStore, RandomizedAgainstUnorderedMap) {
+  // Collision behavior: random states drawn from a small value domain so
+  // duplicates and probe chains are common; the store must agree with a
+  // reference map exactly.
+  std::mt19937 rng(42);
+  std::uniform_int_distribution<std::uint32_t> dist(0, 7);
+  StateStore store(4);
+  std::unordered_map<std::string, std::uint32_t> reference;
+  for (int trial = 0; trial < 20'000; ++trial) {
+    std::vector<std::uint32_t> words(4);
+    std::string key;
+    for (auto& w : words) {
+      w = dist(rng);
+      key += static_cast<char>('a' + w);
+    }
+    const auto r = store.intern(words);
+    const auto [it, inserted] =
+        reference.emplace(key, static_cast<std::uint32_t>(reference.size()));
+    EXPECT_EQ(r.inserted, inserted);
+    EXPECT_EQ(r.index, it->second);
+  }
+  EXPECT_EQ(store.size(), reference.size());
+}
+
+TEST(StateStore, ReserveDoesNotDisturbContents) {
+  StateStore store(2);
+  store.intern(std::vector<std::uint32_t>{9, 9});
+  store.reserve(100'000);
+  const auto r = store.intern(std::vector<std::uint32_t>{9, 9});
+  EXPECT_FALSE(r.inserted);
+  EXPECT_EQ(r.index, 0u);
+}
+
+TEST(StateStore, MemoryScalesWithWidthNotStateObjects) {
+  StateStore store(8);
+  for (std::uint32_t i = 0; i < 10'000; ++i) {
+    store.intern(std::vector<std::uint32_t>{i, 0, 0, 0, 0, 0, 0, i});
+  }
+  // 8 words = 32 bytes of arena per state; the intern table adds a few
+  // bytes per state. Anything above ~3x the raw payload means per-state
+  // heap objects crept back in.
+  const double bytes_per_state =
+      static_cast<double>(store.memory_bytes()) / static_cast<double>(store.size());
+  EXPECT_GE(bytes_per_state, 32.0);
+  EXPECT_LE(bytes_per_state, 96.0);
+}
+
+TEST(EdgeCsr, RowsAreContiguousAndComplete) {
+  struct E {
+    std::uint32_t target;
+  };
+  EdgeCsr<E> csr;
+  csr.begin_source(0);
+  csr.add(E{1});
+  csr.add(E{2});
+  csr.begin_source(2);  // source 1 never expanded
+  csr.add(E{0});
+  csr.finalize(4);
+
+  ASSERT_EQ(csr.out(0).size(), 2u);
+  EXPECT_EQ(csr.out(0)[0].target, 1u);
+  EXPECT_EQ(csr.out(0)[1].target, 2u);
+  EXPECT_EQ(csr.out_degree(1), 0u);
+  ASSERT_EQ(csr.out(2).size(), 1u);
+  EXPECT_EQ(csr.out(2)[0].target, 0u);
+  EXPECT_EQ(csr.out_degree(3), 0u);
+  EXPECT_EQ(csr.num_edges(), 3u);
+}
+
+TEST(Frontier, ZeroOneBfsOrderAndDeduplication) {
+  Frontier frontier;
+  frontier.push_back(0);
+  frontier.push_back(1);
+  frontier.push_front(2);  // cost-0 discovery jumps the queue
+  frontier.push_back(1);   // duplicate: skipped on pop
+
+  EXPECT_EQ(frontier.pop_unexpanded(), 2u);
+  EXPECT_EQ(frontier.pop_unexpanded(), 0u);
+  EXPECT_EQ(frontier.pop_unexpanded(), 1u);
+  EXPECT_EQ(frontier.pop_unexpanded(), std::nullopt);
+  EXPECT_TRUE(frontier.expanded(2));
+}
+
+}  // namespace
+}  // namespace pnut::analysis

@@ -260,5 +260,44 @@ TEST(Replication, AggregatesAcrossSeeds) {
   EXPECT_NE(table.find("+/-"), std::string::npos);
 }
 
+TEST(Replication, ParallelRunsAreBitIdenticalToSequential) {
+  // Each replication is a pure function of (net, base_seed + k, horizon)
+  // and results merge in k order, so the thread count must not change a
+  // single bit of the output.
+  Net net;
+  const PlaceId p = net.add_place("P", 2);
+  const PlaceId q = net.add_place("Q");
+  const TransitionId t = net.add_transition("T");
+  net.add_input(t, p);
+  net.add_output(t, q);
+  const TransitionId u = net.add_transition("U");
+  net.add_input(u, q);
+  net.add_output(u, p);
+  net.set_firing_time(t, DelaySpec::uniform_int(1, 4));
+  net.set_enabling_time(u, DelaySpec::uniform_int(0, 2));
+
+  const std::vector<MetricSpec> metrics = {
+      {"throughput", [](const RunStats& r) { return r.transition("T").throughput; }},
+      {"mean_q", [](const RunStats& r) { return r.place("Q").avg_tokens; }},
+  };
+  const ReplicationResult sequential = run_replications(net, 3000, 12, metrics, 7, 1);
+  for (const unsigned threads : {2u, 4u, 16u}) {
+    const ReplicationResult parallel = run_replications(net, 3000, 12, metrics, 7, threads);
+    ASSERT_EQ(parallel.runs.size(), sequential.runs.size());
+    for (std::size_t k = 0; k < sequential.runs.size(); ++k) {
+      EXPECT_EQ(parallel.runs[k].run_number, sequential.runs[k].run_number);
+      EXPECT_EQ(parallel.runs[k].events_started, sequential.runs[k].events_started);
+      EXPECT_EQ(parallel.runs[k].transition("T").throughput,
+                sequential.runs[k].transition("T").throughput);
+      EXPECT_EQ(parallel.runs[k].place("Q").avg_tokens,
+                sequential.runs[k].place("Q").avg_tokens);
+    }
+    for (std::size_t m = 0; m < sequential.metrics.size(); ++m) {
+      EXPECT_EQ(parallel.metrics[m].mean, sequential.metrics[m].mean);
+      EXPECT_EQ(parallel.metrics[m].stddev, sequential.metrics[m].stddev);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace pnut
