@@ -11,6 +11,7 @@
 #include "bench_util.h"
 
 #include <chrono>
+#include <thread>
 
 #include "analysis/reachability.h"
 #include "analysis/state_store.h"
@@ -86,6 +87,28 @@ std::vector<Model> make_models() {
   return models;
 }
 
+/// One parallel-scaling point: build the graph once at `threads` workers.
+GraphRun measure_parallel(const Net& net, unsigned threads, const Golden& golden) {
+  analysis::ReachOptions options;
+  options.max_states = 1'000'000;
+  options.threads = threads;
+  GraphRun run;
+  const auto t0 = std::chrono::steady_clock::now();
+  const analysis::ReachabilityGraph graph(net, options);
+  const auto t1 = std::chrono::steady_clock::now();
+  run.states_per_second = static_cast<double>(graph.num_states()) /
+                          std::chrono::duration<double>(t1 - t0).count();
+  run.bytes_per_state =
+      static_cast<double>(graph.memory_bytes()) / static_cast<double>(graph.num_states());
+  run.counts_ok = graph.status() == analysis::ReachStatus::kComplete &&
+                  graph.num_states() == golden.states &&
+                  graph.num_edges() == golden.edges &&
+                  graph.deadlock_states().size() == golden.deadlocks;
+  return run;
+}
+
+constexpr unsigned kScalingThreads[] = {1, 2, 4, 8};
+
 void print_artifact() {
   print_header("bench_reach", "exploration-core throughput (not a paper artifact)");
   const std::vector<Model> models = make_models();
@@ -99,6 +122,23 @@ void print_artifact() {
                 model.label, run.states_per_second,
                 100.0 * (run.states_per_second / model.baseline_states_per_second - 1.0),
                 run.bytes_per_state, run.counts_ok ? "match golden" : "MISMATCH");
+  }
+  std::printf("\n");
+
+  // Parallel exploration scaling on the million-state-class ring. The
+  // graphs are byte-identical across thread counts (the differential tests
+  // pin that); here we also re-check the frozen golden counts per point.
+  const Net scaling_net = stress_ring(38, 5);
+  std::vector<GraphRun> scaling;
+  for (const unsigned threads : kScalingThreads) {
+    const GraphRun run =
+        measure_parallel(scaling_net, threads, reach_models::kStressRing38x5);
+    scaling.push_back(run);
+    std::printf("stress ring @%u thread%s %10.3g states/s  (%.2fx vs 1 thread)  "
+                "counts %s\n",
+                threads, threads == 1 ? " " : "s", run.states_per_second,
+                run.states_per_second / scaling.front().states_per_second,
+                run.counts_ok ? "match golden" : "MISMATCH");
   }
   std::printf("\n");
 
@@ -128,6 +168,24 @@ void print_artifact() {
     }
     std::fprintf(json,
                  "  },\n"
+                 "  \"parallel_scaling\": {\n"
+                 "    \"model\": \"stress_ring_38x5\",\n"
+                 "    \"note\": \"ReachOptions::threads sweep; graphs are "
+                 "byte-identical across thread counts\",\n"
+                 "    \"host_hardware_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
+    bool scaling_counts_ok = true;
+    for (std::size_t i = 0; i < scaling.size(); ++i) {
+      scaling_counts_ok = scaling_counts_ok && scaling[i].counts_ok;
+      std::fprintf(json,
+                   "    \"threads_%u\": {\"states_per_second\": %.0f, "
+                   "\"speedup_vs_1_thread\": %.2f},\n",
+                   kScalingThreads[i], scaling[i].states_per_second,
+                   scaling[i].states_per_second / scaling[0].states_per_second);
+    }
+    std::fprintf(json, "    \"counts_match_golden\": %s\n  },\n",
+                 scaling_counts_ok ? "true" : "false");
+    std::fprintf(json,
                  "  \"pre_refactor_baseline\": {\n");
     for (const Model& model : models) {
       std::fprintf(json, "    \"%s\": %.0f,\n", model.key,
@@ -160,6 +218,24 @@ void BM_ReachStressRing(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_ReachStressRing)->Arg(8)->Arg(16)->Arg(24)->Arg(32);
+
+void BM_ReachStressRingParallel(benchmark::State& state) {
+  // Thread sweep at fixed model size (24 places x 4 tokens, 17,550 states).
+  const Net net = stress_ring(24, 4);
+  analysis::ReachOptions options;
+  options.max_states = 1'000'000;
+  options.threads = static_cast<unsigned>(state.range(0));
+  std::size_t states = 0;
+  for (auto _ : state) {
+    const analysis::ReachabilityGraph graph(net, options);
+    states = graph.num_states();
+    benchmark::DoNotOptimize(states);
+  }
+  state.counters["states_per_s"] = benchmark::Counter(
+      static_cast<double>(states) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ReachStressRingParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_TimedReachFullModel(benchmark::State& state) {
   const Net net = pipeline::build_full_model();

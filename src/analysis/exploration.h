@@ -57,6 +57,33 @@ class EdgeCsr {
     count_.resize(num_states, 0);
   }
 
+  /// Bulk row appending for stitched parallel segments: open rows for
+  /// states [first_state, first_state + counts.size()) where row r holds
+  /// counts[r] edges, grow the pool by the total, and return a mutable
+  /// span over the new region (rows back-to-back, same layout the
+  /// begin_source/add path produces). The caller fills the span — from
+  /// several threads if it likes; the row bookkeeping is already done.
+  /// The span is invalidated by the next mutation of this EdgeCsr.
+  std::span<EdgeT> append_rows(std::uint32_t first_state,
+                               std::span<const std::uint32_t> counts) {
+    if (first_.size() < first_state) {
+      first_.resize(first_state, 0);
+      count_.resize(first_state, 0);
+    }
+    std::size_t total = 0;
+    for (const std::uint32_t c : counts) {
+      first_.push_back(static_cast<std::uint32_t>(pool_.size() + total));
+      count_.push_back(c);
+      total += c;
+    }
+    if (pool_.size() + total > UINT32_MAX) {
+      throw std::length_error("EdgeCsr: edge offset space exhausted");
+    }
+    const std::size_t base = pool_.size();
+    pool_.resize(base + total);
+    return {pool_.data() + base, total};
+  }
+
   [[nodiscard]] std::span<const EdgeT> out(std::size_t s) const {
     return {pool_.data() + first_[s], count_[s]};
   }
@@ -68,6 +95,18 @@ class EdgeCsr {
   [[nodiscard]] std::size_t memory_bytes() const {
     return pool_.capacity() * sizeof(EdgeT) +
            (first_.capacity() + count_.capacity()) * sizeof(std::uint32_t);
+  }
+
+  /// Pre-size the pool and row tables (the parallel seal pass knows each
+  /// level's edge and state counts before stitching it in). Grows
+  /// geometrically: repeated slightly-larger reserves must not degrade
+  /// into a full realloc+copy per call.
+  void reserve(std::size_t edges, std::size_t states) {
+    if (edges > pool_.capacity()) pool_.reserve(std::max(edges, pool_.capacity() * 2));
+    if (states > first_.capacity()) {
+      first_.reserve(std::max(states, first_.capacity() * 2));
+      count_.reserve(std::max(states, count_.capacity() * 2));
+    }
   }
 
  private:

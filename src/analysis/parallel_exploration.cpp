@@ -1,0 +1,723 @@
+#include "analysis/parallel_exploration.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "analysis/reach_encode.h"
+#include "petri/rng.h"
+
+namespace pnut::analysis {
+
+namespace {
+
+constexpr std::uint32_t kUnassigned = UINT32_MAX;
+
+/// One provisional-edge record produced by a worker: the fired transition
+/// and the successor's provisional identity (shard, slot). Slots are
+/// interleaving-dependent; the seal pass translates them to canonical ids.
+struct Item {
+  std::uint32_t transition;
+  std::uint32_t shard;
+  std::uint32_t slot;
+};
+
+/// First batch-local sighting of a state minted this level (plain nets):
+/// the only places the sequential seal walk has to look at. Its words are
+/// captured next to it (Batch::fresh_words) while they are hot in the
+/// worker's scratch, so sealing copies linearly instead of chasing shard
+/// arenas.
+struct Candidate {
+  std::uint32_t slot;
+  std::uint32_t shard;
+  std::uint32_t item_in_batch;
+};
+
+/// A hash shard of the provisional state set: its own arena + intern table
+/// behind its own mutex (striped locking — two workers contend only when
+/// their successors hash to the same shard).
+struct Shard {
+  std::mutex mutex;
+  StateStore store;
+  std::vector<std::uint32_t> canonical;  ///< slot -> canonical id (seal only)
+};
+
+/// Persistent worker pool: `threads` parked threads, one dispatch() per
+/// parallel phase. Spawning fresh std::threads per BFS level would cost
+/// hundreds of spawn+join cycles per million-state build; this pool pays
+/// for thread creation once per exploration.
+class WorkerPool {
+ public:
+  explicit WorkerPool(unsigned threads) {
+    workers_.reserve(threads);
+    for (unsigned w = 0; w < threads; ++w) {
+      workers_.emplace_back([this, w] { worker_loop(w); });
+    }
+  }
+
+  ~WorkerPool() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  /// Run `job(worker_index)` once on every pool thread; returns when all
+  /// are done. Jobs must not throw (workers record failures out of band).
+  void dispatch(const std::function<void(unsigned)>& job) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    job_ = &job;
+    ++generation_;
+    running_ = workers_.size();
+    wake_.notify_all();
+    done_.wait(lock, [this] { return running_ == 0; });
+    job_ = nullptr;
+  }
+
+ private:
+  void worker_loop(unsigned index) {
+    std::uint64_t seen = 0;
+    while (true) {
+      const std::function<void(unsigned)>* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        job = job_;
+      }
+      (*job)(index);
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (--running_ == 0) done_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable wake_, done_;
+  const std::function<void(unsigned)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  std::size_t running_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;  ///< last: threads see built members
+};
+
+/// Open-addressed (shard, slot) set with O(1) generation clearing: the
+/// per-worker "first occurrence in this batch" filter for candidates.
+class SlotSet {
+ public:
+  void begin_batch() {
+    if (slots_.empty()) grow(1024);
+    if (++gen_ == 0) {  // generation counter wrapped: stamp everything stale
+      std::fill(gens_.begin(), gens_.end(), 0);
+      gen_ = 1;
+    }
+    used_ = 0;
+  }
+
+  /// True when `key` was not yet inserted since begin_batch().
+  bool insert(std::uint64_t key) {
+    if ((used_ + 1) * 10 > slots_.size() * 7) grow(slots_.size() * 2);
+    std::size_t i = mix(key) & (slots_.size() - 1);
+    while (true) {
+      if (gens_[i] != gen_) {
+        gens_[i] = gen_;
+        slots_[i] = key;
+        ++used_;
+        return true;
+      }
+      if (slots_[i] == key) return false;
+      i = (i + 1) & (slots_.size() - 1);
+    }
+  }
+
+ private:
+  static std::uint64_t mix(std::uint64_t h) {
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebULL;
+    h ^= h >> 31;
+    return h;
+  }
+
+  void grow(std::size_t capacity) {
+    const std::vector<std::uint64_t> old_slots = std::move(slots_);
+    const std::vector<std::uint32_t> old_gens = std::move(gens_);
+    slots_.assign(capacity, 0);
+    gens_.assign(capacity, 0);
+    for (std::size_t i = 0; i < old_slots.size(); ++i) {
+      if (old_gens[i] != gen_) continue;
+      std::size_t j = mix(old_slots[i]) & (capacity - 1);
+      while (gens_[j] == gen_) j = (j + 1) & (capacity - 1);
+      gens_[j] = gen_;
+      slots_[j] = old_slots[i];
+    }
+  }
+
+  std::vector<std::uint64_t> slots_;
+  std::vector<std::uint32_t> gens_;
+  std::uint32_t gen_ = 0;
+  std::size_t used_ = 0;
+};
+
+/// Dense interning of DataContexts for interpreted nets: a provisional
+/// state is [marking | context id], so context identity (which the word
+/// encoding is injective over) stands in for the encoded data words until
+/// the seal pass encodes them canonically. One table, one mutex — the
+/// interpreted models this serves are orders of magnitude smaller than the
+/// uninterpreted stress graphs.
+class ContextTable {
+ public:
+  std::uint32_t intern(const DataContext& d) {
+    std::string key = serialize(d);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto [it, inserted] =
+        index_.try_emplace(std::move(key), static_cast<std::uint32_t>(by_id_.size()));
+    if (inserted) by_id_.push_back(d);
+    return it->second;
+  }
+
+  /// Seal phase only (workers idle — joined before seal reads).
+  [[nodiscard]] const DataContext& operator[](std::size_t id) const { return by_id_[id]; }
+
+ private:
+  /// Injective byte serialization (length-prefixed names, fixed-width
+  /// values) so the hash map key equality is exactly context equality.
+  static std::string serialize(const DataContext& d) {
+    std::string key;
+    auto put = [&key](std::uint64_t v) {
+      for (int i = 0; i < 8; ++i) key.push_back(static_cast<char>(v >> (8 * i)));
+    };
+    put(d.scalars().size());
+    for (const auto& [name, value] : d.scalars()) {
+      put(name.size());
+      key += name;
+      put(static_cast<std::uint64_t>(value));
+    }
+    for (const auto& [name, values] : d.tables()) {
+      put(name.size());
+      key += name;
+      put(values.size());
+      for (const std::int64_t v : values) put(static_cast<std::uint64_t>(v));
+    }
+    return key;
+  }
+
+  std::mutex mutex_;
+  std::unordered_map<std::string, std::uint32_t> index_;
+  std::vector<DataContext> by_id_;
+};
+
+/// One batch of consecutive parents and the flat edge segment its worker
+/// produced — the "per-worker EdgeCsr segment" that the seal pass stitches
+/// into the single canonical pool.
+struct Batch {
+  std::uint32_t first_parent = 0;
+  std::uint32_t num_parents = 0;
+  std::vector<Item> items;                 ///< all parents' edges, in order
+  std::vector<std::uint32_t> item_count;   ///< per parent
+  std::vector<std::uint8_t> over;          ///< per parent: place bound blew here
+  std::vector<Candidate> candidates;       ///< fast seal: fresh-state sightings
+  std::vector<std::uint32_t> fresh_words;  ///< candidate words, back-to-back
+  /// A model callback (predicate/action) threw while expanding parent
+  /// `error_parent`; the parent's partial output was rolled back. The seal
+  /// rethrows it if and only if its walk reaches that parent — a stop rule
+  /// firing canonically earlier wins, exactly as it would sequentially.
+  std::exception_ptr error;
+  std::uint32_t error_parent = 0;
+};
+
+/// Reused per-worker buffers: no allocation per expanded state.
+struct WorkerScratch {
+  std::vector<std::uint32_t> words;     ///< provisional state under construction
+  std::vector<std::uint32_t> seen_ids;  ///< context-id dedup per action firing
+  SlotSet seen_slots;                   ///< candidate filter (fast seal)
+};
+
+class ParallelExplorer {
+ public:
+  ParallelExplorer(std::shared_ptr<const CompiledNet> net, const ReachOptions& options,
+                   unsigned threads)
+      : net_(std::move(net)),
+        options_(options),
+        threads_(threads),
+        num_places_(net_->num_places()),
+        initial_data_(net_->net().initial_data()),
+        track_data_(net_->net_has_actions()),
+        prov_width_(num_places_ + (track_data_ ? 1 : 0)) {
+    // Shard count: a few shards per worker keeps striped-lock contention
+    // low; power of two so the pick is a mask over the hash's top bits
+    // (the intern tables consume the low bits).
+    num_shards_ = 8;
+    while (num_shards_ < static_cast<std::size_t>(threads_) * 4 && num_shards_ < 128) {
+      num_shards_ *= 2;
+    }
+    shards_ = std::vector<Shard>(num_shards_);
+    for (Shard& s : shards_) s.store = StateStore(prov_width_);
+  }
+
+  ParallelReachResult run() {
+    bootstrap();
+    std::vector<Batch> batches;
+    std::uint32_t expanded_end = 0;
+    while (expanded_end < canonical_.size()) {
+      const std::uint32_t level_begin = expanded_end;
+      const auto level_end = static_cast<std::uint32_t>(canonical_.size());
+      expand_level(level_begin, level_end, batches);
+      expanded_end = level_end;
+      const bool keep_going =
+          track_data_ ? seal_exact(batches) : seal_fast(batches, level_begin);
+      if (!keep_going) break;  // truncated or unbounded: stop, keep the prefix
+    }
+    edges_.finalize(canonical_.size());
+
+    ParallelReachResult result;
+    result.store = std::move(canonical_);
+    result.edges = std::move(edges_);
+    result.data = std::move(data_);
+    result.track_data = track_data_;
+    result.status = status_;
+    return result;
+  }
+
+ private:
+  // --- bootstrap -------------------------------------------------------------
+
+  void bootstrap() {
+    if (track_data_) layout_.init(initial_data_);
+    const std::size_t width = num_places_ + (track_data_ ? layout_.words() : 0);
+    canonical_ = StateStore(width);
+    seal_scratch_.resize(width);
+
+    const Marking initial = Marking::initial(net_->net());
+    std::memcpy(seal_scratch_.data(), initial.tokens().data(),
+                num_places_ * sizeof(std::uint32_t));
+    if (track_data_) layout_.encode(initial_data_, seal_scratch_.data() + num_places_);
+    canonical_.intern(seal_scratch_);
+
+    // The provisional twin, so successors that return to the initial state
+    // dedup against it.
+    std::vector<std::uint32_t> prov(prov_width_);
+    std::memcpy(prov.data(), initial.tokens().data(), num_places_ * sizeof(std::uint32_t));
+    if (track_data_) {
+      const std::uint32_t id = contexts_.intern(initial_data_);
+      prov[num_places_] = id;
+      data_.push_back(initial_data_);
+      data_id_.push_back(id);
+    }
+    const std::uint64_t h = hash_words(prov.data(), prov_width_);
+    Shard& shard = shards_[shard_of(h)];
+    const auto r = shard.store.intern(prov, h);
+    shard.canonical.resize(shard.store.size(), kUnassigned);
+    shard.canonical[r.index] = 0;
+  }
+
+  // --- expand (parallel) -----------------------------------------------------
+
+  [[nodiscard]] std::size_t shard_of(std::uint64_t hash) const {
+    return (hash >> 57) & (num_shards_ - 1);
+  }
+
+  void expand_level(std::uint32_t begin, std::uint32_t end, std::vector<Batch>& batches) {
+    const std::uint32_t count = end - begin;
+    const std::uint32_t batch_size =
+        std::clamp<std::uint32_t>(count / (threads_ * 4), 16, 1024);
+    const std::uint32_t num_batches = (count + batch_size - 1) / batch_size;
+    // Reuse the batch buffers across levels: clear() keeps the vectors'
+    // capacity, so steady-state expansion allocates nothing.
+    batches.resize(num_batches);
+    for (std::uint32_t b = 0; b < num_batches; ++b) {
+      batches[b].first_parent = begin + b * batch_size;
+      batches[b].num_parents = std::min(batch_size, end - batches[b].first_parent);
+      batches[b].items.clear();
+      batches[b].candidates.clear();
+      batches[b].fresh_words.clear();
+    }
+
+    if (worker_scratch_.empty()) {
+      worker_scratch_.resize(threads_);
+      for (WorkerScratch& scratch : worker_scratch_) scratch.words.resize(prov_width_);
+    }
+    if (num_batches <= 1) {
+      for (Batch& batch : batches) expand_batch(batch, worker_scratch_[0]);
+      return;
+    }
+
+    if (!pool_) pool_.emplace(threads_);
+    std::atomic<std::uint32_t> cursor{0};
+    pool_->dispatch([&](unsigned worker) {
+      WorkerScratch& scratch = worker_scratch_[worker];
+      while (true) {
+        const std::uint32_t b = cursor.fetch_add(1);
+        if (b >= num_batches) return;
+        try {
+          expand_batch(batches[b], scratch);
+        } catch (...) {  // allocation failure in batch setup
+          batches[b].error = std::current_exception();
+          batches[b].error_parent = 0;
+        }
+      }
+    });
+  }
+
+  /// Expand one batch. A throwing model callback rolls the failing
+  /// parent's partial output back and parks the exception on the batch —
+  /// never escapes the worker. The seal decides whether it is ever
+  /// surfaced (see Batch::error).
+  void expand_batch(Batch& batch, WorkerScratch& scratch) {
+    batch.item_count.assign(batch.num_parents, 0);
+    batch.over.assign(batch.num_parents, 0);
+    batch.error = nullptr;
+    scratch.seen_slots.begin_batch();
+    for (std::uint32_t i = 0; i < batch.num_parents; ++i) {
+      const std::size_t items_before = batch.items.size();
+      const std::size_t cands_before = batch.candidates.size();
+      const std::size_t words_before = batch.fresh_words.size();
+      try {
+        expand_parent(batch.first_parent + i, i, batch, scratch);
+      } catch (...) {
+        batch.items.resize(items_before);
+        batch.candidates.resize(cands_before);
+        batch.fresh_words.resize(words_before);
+        batch.item_count[i] = 0;
+        batch.error = std::current_exception();
+        batch.error_parent = i;
+        return;
+      }
+    }
+  }
+
+  /// One parent, mirroring the sequential expansion loop firing for firing.
+  /// Reads only sealed data (canonical arena, data_, data_id_ — frozen
+  /// during the expand phase); writes only the batch and the shards.
+  void expand_parent(std::uint32_t p, std::uint32_t slot_in_batch, Batch& batch,
+                     WorkerScratch& scratch) {
+    // Copy, per the intern contract: the canonical span itself stays valid
+    // during expansion, but the provisional words must be mutable anyway.
+    const auto parent = canonical_.state(p);
+    std::copy_n(parent.begin(), num_places_, scratch.words.begin());
+    if (track_data_) scratch.words[num_places_] = data_id_[p];
+    const DataContext& d = track_data_ ? data_[p] : initial_data_;
+    const std::span<const TokenCount> tokens(scratch.words.data(), num_places_);
+
+    const auto items_before = static_cast<std::uint32_t>(batch.items.size());
+    for (std::uint32_t ti = 0; ti < net_->num_transitions(); ++ti) {
+      const TransitionId t(ti);
+      if (!net_->is_enabled(tokens, t, d)) continue;
+      if (options_.respect_capacities &&
+          detail::overflows_capacity(*net_, tokens, t)) {
+        continue;
+      }
+
+      for (const Arc& a : net_->inputs(t)) scratch.words[a.place.value] -= a.weight;
+      for (const Arc& a : net_->outputs(t)) scratch.words[a.place.value] += a.weight;
+
+      // Same boundedness rule as the sequential builder, including the
+      // whole-marking check when expanding the initial state.
+      bool over = false;
+      if (p == 0) {
+        for (std::size_t i = 0; i < num_places_; ++i) {
+          over |= scratch.words[i] > options_.place_bound;
+        }
+      } else {
+        for (const Arc& a : net_->outputs(t)) {
+          over |= scratch.words[a.place.value] > options_.place_bound;
+        }
+      }
+      if (over) {
+        // Sequentially this stops the whole exploration with no edge for
+        // the over firing; here it ends this parent's segment, and the
+        // seal pass stops the world when (if) it reaches this position.
+        batch.over[slot_in_batch] = 1;
+        for (const Arc& a : net_->outputs(t)) scratch.words[a.place.value] -= a.weight;
+        for (const Arc& a : net_->inputs(t)) scratch.words[a.place.value] += a.weight;
+        break;
+      }
+
+      if (!net_->has_action(t)) {
+        intern_successor(scratch, ti, batch);
+      } else {
+        // Stochastic action: identical sample sequence to the sequential
+        // builder (seeds are a pure function of the canonical parent id),
+        // deduplicated on context identity, first occurrence kept.
+        scratch.seen_ids.clear();
+        const std::size_t samples = std::max<std::size_t>(options_.irand_fanout_limit, 1);
+        for (std::size_t k = 0; k < samples; ++k) {
+          DataContext candidate = d;
+          Rng rng(detail::action_sample_seed(p, ti, k));
+          net_->action(t)(candidate, rng);
+          const std::uint32_t id = contexts_.intern(candidate);
+          if (std::find(scratch.seen_ids.begin(), scratch.seen_ids.end(), id) ==
+              scratch.seen_ids.end()) {
+            scratch.seen_ids.push_back(id);
+            scratch.words[num_places_] = id;
+            intern_successor(scratch, ti, batch);
+          }
+        }
+        scratch.words[num_places_] = data_id_[p];
+      }
+
+      for (const Arc& a : net_->outputs(t)) scratch.words[a.place.value] -= a.weight;
+      for (const Arc& a : net_->inputs(t)) scratch.words[a.place.value] += a.weight;
+    }
+    batch.item_count[slot_in_batch] =
+        static_cast<std::uint32_t>(batch.items.size()) - items_before;
+  }
+
+  void intern_successor(WorkerScratch& scratch, std::uint32_t ti, Batch& batch) {
+    const std::vector<std::uint32_t>& words = scratch.words;
+    const std::uint64_t h = hash_words(words.data(), prov_width_);
+    const auto shard_idx = static_cast<std::uint32_t>(shard_of(h));
+    Shard& shard = shards_[shard_idx];
+    std::uint32_t slot;
+    {
+      const std::lock_guard<std::mutex> lock(shard.mutex);
+      slot = shard.store.intern(words, h).index;
+    }
+    batch.items.push_back(Item{ti, shard_idx, slot});
+    // Candidate capture for the fast seal (plain nets): slots >= the
+    // sealed-prefix size were minted this level — record the first
+    // batch-local sighting with its words. `shard.canonical` is only
+    // resized at seal, so its size is stable all through expansion.
+    if (!track_data_ && slot >= shard.canonical.size() &&
+        scratch.seen_slots.insert((static_cast<std::uint64_t>(shard_idx) << 32) | slot)) {
+      batch.candidates.push_back(
+          Candidate{slot, shard_idx, static_cast<std::uint32_t>(batch.items.size() - 1)});
+      batch.fresh_words.insert(batch.fresh_words.end(), words.begin(), words.end());
+    }
+  }
+
+  // --- seal ------------------------------------------------------------------
+  //
+  // Two implementations of the same sequential replay semantics:
+  //
+  //  * seal_fast — plain nets (no data tracking). Phase A walks only the
+  //    candidate lists (fresh-state sightings, a small fraction of all
+  //    edges) in canonical order, assigning ids and appending captured
+  //    words to the canonical arena; the stop rules fire at exactly the
+  //    sequential positions, falling back to fill_edges_prefix for the
+  //    truncated edge prefix. Phase B bulk-opens the level's CSR rows and
+  //    translates the edge segments to canonical ids on the worker pool.
+  //
+  //  * seal_exact — interpreted nets (contexts must be layout-encoded and
+  //    may widen the layout mid-seal). Walks every item sequentially;
+  //    these models are orders of magnitude smaller, so simplicity wins.
+
+  bool seal_fast(std::vector<Batch>& batches, std::uint32_t level_begin) {
+    for (Shard& s : shards_) s.canonical.resize(s.store.size(), kUnassigned);
+
+    // Phase A: ordered discovery over the candidate lists.
+    for (std::size_t b = 0; b < batches.size(); ++b) {
+      Batch& batch = batches[b];
+      std::size_t cand = 0;
+      std::uint32_t item_end = 0;
+      for (std::uint32_t i = 0; i < batch.num_parents; ++i) {
+        // The walk reached a parent whose expansion threw: the sequential
+        // builder would have hit the same exception here (every earlier
+        // parent sealed cleanly, no stop rule fired first) — surface it.
+        if (batch.error && i == batch.error_parent) {
+          std::rethrow_exception(batch.error);
+        }
+        item_end += batch.item_count[i];
+        while (cand < batch.candidates.size() &&
+               batch.candidates[cand].item_in_batch < item_end) {
+          const Candidate& c = batch.candidates[cand];
+          std::uint32_t& cid = shards_[c.shard].canonical[c.slot];
+          if (cid == kUnassigned) {
+            cid = canonical_.append_unchecked(
+                {batch.fresh_words.data() + cand * prov_width_, prov_width_});
+            if (canonical_.size() > options_.max_states) {
+              status_ = ReachStatus::kTruncated;
+              fill_edges_prefix(batches, b, i, c.item_in_batch + 1);
+              return false;
+            }
+          }
+          ++cand;
+        }
+        if (batch.over[i] != 0) {
+          status_ = ReachStatus::kUnbounded;
+          fill_edges_prefix(batches, b, i, item_end);
+          return false;
+        }
+      }
+    }
+
+    // Phase B: open the level's rows in one bulk append, then translate
+    // the per-batch segments into them in parallel.
+    row_counts_.clear();
+    for (const Batch& batch : batches) {
+      row_counts_.insert(row_counts_.end(), batch.item_count.begin(),
+                         batch.item_count.end());
+    }
+    translate_edges(batches, edges_.append_rows(level_begin, row_counts_));
+    return true;
+  }
+
+  void translate_edges(const std::vector<Batch>& batches,
+                       std::span<ReachabilityGraph::Edge> out) {
+    batch_offsets_.clear();
+    std::size_t offset = 0;
+    for (const Batch& batch : batches) {
+      batch_offsets_.push_back(offset);
+      offset += batch.items.size();
+    }
+    const auto translate_one = [&](std::size_t b) {
+      ReachabilityGraph::Edge* dst = out.data() + batch_offsets_[b];
+      for (const Item& item : batches[b].items) {
+        *dst++ = ReachabilityGraph::Edge{TransitionId(item.transition),
+                                         shards_[item.shard].canonical[item.slot]};
+      }
+    };
+    if (batches.size() <= 1 || out.size() < 8192) {
+      for (std::size_t b = 0; b < batches.size(); ++b) translate_one(b);
+      return;
+    }
+    if (!pool_) pool_.emplace(threads_);
+    std::atomic<std::size_t> cursor{0};
+    pool_->dispatch([&](unsigned) {
+      while (true) {
+        const std::size_t b = cursor.fetch_add(1);
+        if (b >= batches.size()) return;
+        translate_one(b);
+      }
+    });
+  }
+
+  /// Stop-rule fallback: sequentially emit the exact edge prefix the
+  /// sequential builder had produced when it stopped — batches before
+  /// `b_stop` in full, then parents up to `parent_stop_rel`, with items of
+  /// batch `b_stop` cut at `item_limit` (exclusive).
+  void fill_edges_prefix(const std::vector<Batch>& batches, std::size_t b_stop,
+                         std::uint32_t parent_stop_rel, std::uint32_t item_limit) {
+    for (std::size_t b = 0; b <= b_stop; ++b) {
+      const Batch& batch = batches[b];
+      const Item* item = batch.items.data();
+      std::uint32_t idx = 0;
+      const std::uint32_t parents = b == b_stop ? parent_stop_rel + 1 : batch.num_parents;
+      for (std::uint32_t i = 0; i < parents; ++i) {
+        edges_.begin_source(batch.first_parent + i);
+        for (std::uint32_t k = 0; k < batch.item_count[i]; ++k, ++idx, ++item) {
+          if (b == b_stop && idx >= item_limit) return;
+          edges_.add({TransitionId(item->transition),
+                      shards_[item->shard].canonical[item->slot]});
+        }
+      }
+    }
+  }
+
+  bool seal_exact(std::vector<Batch>& batches) {
+    for (Shard& s : shards_) s.canonical.resize(s.store.size(), kUnassigned);
+    std::size_t level_edges = 0;
+    for (const Batch& batch : batches) level_edges += batch.items.size();
+    edges_.reserve(edges_.num_edges() + level_edges, canonical_.size());
+    for (Batch& batch : batches) {
+      const Item* item = batch.items.data();
+      for (std::uint32_t i = 0; i < batch.num_parents; ++i) {
+        if (batch.error && i == batch.error_parent) {
+          std::rethrow_exception(batch.error);  // see seal_fast: same rule
+        }
+        edges_.begin_source(batch.first_parent + i);
+        for (std::uint32_t n = 0; n < batch.item_count[i]; ++n, ++item) {
+          std::uint32_t& cid = shards_[item->shard].canonical[item->slot];
+          const bool fresh = cid == kUnassigned;
+          if (fresh) cid = seal_new_state(*item);
+          edges_.add({TransitionId(item->transition), cid});
+          if (fresh && canonical_.size() > options_.max_states) {
+            status_ = ReachStatus::kTruncated;
+            return false;
+          }
+        }
+        if (batch.over[i] != 0) {
+          status_ = ReachStatus::kUnbounded;
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  /// First discovery of a provisional state (exact path): append it to the
+  /// canonical store, encoding its context at the evolving layout, and
+  /// return its canonical id — the exact id the sequential FIFO builder
+  /// assigns.
+  std::uint32_t seal_new_state(const Item& item) {
+    const Shard& shard = shards_[item.shard];
+    const auto words = shard.store.state(item.slot);
+    std::memcpy(seal_scratch_.data(), words.data(), num_places_ * sizeof(std::uint32_t));
+    const std::uint32_t ctx_id = words[num_places_];
+    const DataContext& ctx = contexts_[ctx_id];
+    if (!layout_.try_encode(ctx, seal_scratch_.data() + num_places_)) {
+      widen_layout(ctx);  // preserves seal_scratch_'s marking prefix
+      layout_.encode(ctx, seal_scratch_.data() + num_places_);
+    }
+    data_.push_back(ctx);
+    data_id_.push_back(ctx_id);
+    const auto r = canonical_.intern(seal_scratch_);
+    if (!r.inserted) {
+      throw std::logic_error(
+          "parallel exploration: distinct provisional states sealed identically");
+    }
+    return r.index;
+  }
+
+  /// An action introduced a new variable: widen and re-intern via the
+  /// logic shared with the sequential builder — and at the same discovery
+  /// point, since seal walks discoveries in canonical order.
+  void widen_layout(const DataContext& d) {
+    detail::widen_and_reintern(layout_, num_places_, d, canonical_, data_, seal_scratch_);
+  }
+
+  // --- members ---------------------------------------------------------------
+
+  std::shared_ptr<const CompiledNet> net_;
+  ReachOptions options_;
+  unsigned threads_;
+  std::size_t num_places_;
+  DataContext initial_data_;
+  bool track_data_;
+  std::size_t prov_width_;
+
+  std::size_t num_shards_ = 0;
+  std::vector<Shard> shards_;
+  ContextTable contexts_;
+
+  detail::DataLayout layout_;
+  StateStore canonical_;
+  EdgeCsr<ReachabilityGraph::Edge> edges_;
+  std::vector<DataContext> data_;       ///< canonical id -> context
+  std::vector<std::uint32_t> data_id_;  ///< canonical id -> context-table id
+  std::vector<std::uint32_t> seal_scratch_;
+  std::vector<std::uint32_t> row_counts_;   ///< reused per level (fast seal)
+  std::vector<std::size_t> batch_offsets_;  ///< reused per level (fast seal)
+  std::vector<WorkerScratch> worker_scratch_;  ///< persistent across levels
+  std::optional<WorkerPool> pool_;          ///< lazily spawned, reused per level
+  ReachStatus status_ = ReachStatus::kComplete;
+};
+
+}  // namespace
+
+ParallelReachResult explore_reachability_parallel(
+    const std::shared_ptr<const CompiledNet>& net, const ReachOptions& options,
+    unsigned threads) {
+  if (!net) throw std::invalid_argument("explore_reachability_parallel: null CompiledNet");
+  if (threads < 2) {
+    throw std::invalid_argument("explore_reachability_parallel: needs >= 2 threads");
+  }
+  return ParallelExplorer(net, options, threads).run();
+}
+
+}  // namespace pnut::analysis

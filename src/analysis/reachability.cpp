@@ -3,139 +3,15 @@
 #include <algorithm>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
+
+#include "analysis/parallel_exploration.h"
+#include "analysis/reach_encode.h"
 
 namespace pnut::analysis {
 
-namespace {
-
-/// Fixed-width word encoding of a DataContext.
-///
-/// The layout is derived from the names the exploration has seen so far:
-/// scalars and table entries, each encoded as three words
-/// [present, low32, high32] so that "variable absent" and "variable = 0"
-/// intern differently. Actions may create scalars at runtime; when a data
-/// context carries a name outside the layout, the caller widens the layout
-/// (extend) and re-interns the states seen so far — rare, and O(states).
-class DataLayout {
- public:
-  void init(const DataContext& d) {
-    scalars_.clear();
-    tables_.clear();
-    extend(d);
-  }
-
-  /// Union the layout with `d`'s names and table sizes. Returns true if the
-  /// layout changed (i.e. encodings widen).
-  bool extend(const DataContext& d) {
-    bool changed = false;
-    for (const auto& [name, value] : d.scalars()) {
-      (void)value;
-      const auto it = std::lower_bound(scalars_.begin(), scalars_.end(), name);
-      if (it == scalars_.end() || *it != name) {
-        scalars_.insert(it, name);
-        changed = true;
-      }
-    }
-    for (const auto& [name, values] : d.tables()) {
-      const auto it = std::lower_bound(
-          tables_.begin(), tables_.end(), name,
-          [](const auto& entry, const std::string& n) { return entry.first < n; });
-      if (it == tables_.end() || it->first != name) {
-        tables_.insert(it, {name, values.size()});
-        changed = true;
-      } else if (it->second < values.size()) {
-        it->second = values.size();
-        changed = true;
-      }
-    }
-    return changed;
-  }
-
-  [[nodiscard]] std::size_t words() const {
-    // 3 words per scalar slot; per table one presence word (so an empty
-    // table and an absent table intern differently) plus 3 per entry slot.
-    std::size_t count = 3 * scalars_.size();
-    for (const auto& [name, size] : tables_) {
-      (void)name;
-      count += 1 + 3 * size;
-    }
-    return count;
-  }
-
-  /// Encode `d` into `out[0 .. words())`. Returns false — with `out` in an
-  /// unspecified partial state — if `d` carries a name or table extent the
-  /// layout does not cover yet (caller widens and retries). One merge-walk
-  /// over the name-sorted layout and DataContext maps does coverage check
-  /// and encoding together.
-  [[nodiscard]] bool try_encode(const DataContext& d, std::uint32_t* out) const {
-    auto put = [&out](bool present, std::int64_t value) {
-      const auto u = static_cast<std::uint64_t>(value);
-      *out++ = present ? 1u : 0u;
-      *out++ = present ? static_cast<std::uint32_t>(u) : 0u;
-      *out++ = present ? static_cast<std::uint32_t>(u >> 32) : 0u;
-    };
-    auto scalar_it = d.scalars().begin();
-    for (const std::string& name : scalars_) {
-      // A data name sorting before the next layout name matches no layout
-      // slot: the layout does not cover it.
-      if (scalar_it != d.scalars().end() && scalar_it->first < name) return false;
-      if (scalar_it != d.scalars().end() && scalar_it->first == name) {
-        put(true, scalar_it->second);
-        ++scalar_it;
-      } else {
-        put(false, 0);
-      }
-    }
-    if (scalar_it != d.scalars().end()) return false;
-    auto table_it = d.tables().begin();
-    for (const auto& [name, size] : tables_) {
-      if (table_it != d.tables().end() && table_it->first < name) return false;
-      if (table_it != d.tables().end() && table_it->first == name) {
-        if (table_it->second.size() > size) return false;
-        *out++ = 1;  // table present (distinguishes empty from absent)
-        for (std::size_t j = 0; j < size; ++j) {
-          const bool present = j < table_it->second.size();
-          put(present, present ? table_it->second[j] : 0);
-        }
-        ++table_it;
-      } else {
-        *out++ = 0;
-        for (std::size_t j = 0; j < size; ++j) put(false, 0);
-      }
-    }
-    return table_it == d.tables().end();
-  }
-
-  /// Encode a context the layout is known to cover (initial data, contexts
-  /// already accepted by try_encode).
-  void encode(const DataContext& d, std::uint32_t* out) const {
-    if (!try_encode(d, out)) {
-      throw std::logic_error("DataLayout: context not covered by layout");
-    }
-  }
-
- private:
-  std::vector<std::string> scalars_;                       // sorted
-  std::vector<std::pair<std::string, std::size_t>> tables_;  // sorted by name
-};
-
-/// Would firing `t` from marking `tokens` overflow any capacity?
-bool overflows_capacity(const CompiledNet& net, std::span<const TokenCount> tokens,
-                        TransitionId t) {
-  for (const Arc& a : net.outputs(t)) {
-    const auto capacity = net.capacity(a.place);
-    if (!capacity) continue;
-    TokenCount after = tokens[a.place.value] + a.weight;
-    // Tokens consumed from the same place by this firing offset the gain.
-    for (const Arc& in : net.inputs(t)) {
-      if (in.place == a.place) after -= std::min(after, in.weight);
-    }
-    if (after > *capacity) return true;
-  }
-  return false;
-}
-
-}  // namespace
+using detail::DataLayout;
+using detail::overflows_capacity;
 
 ReachabilityGraph::ReachabilityGraph(const Net& net, ReachOptions options)
     : ReachabilityGraph(CompiledNet::compile(net), options) {}
@@ -148,6 +24,21 @@ ReachabilityGraph::ReachabilityGraph(std::shared_ptr<const CompiledNet> net,
 }
 
 void ReachabilityGraph::explore(ReachOptions options) {
+  unsigned threads = options.threads;
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : hw;
+  }
+  if (threads > 1) {
+    ParallelReachResult result = explore_reachability_parallel(net_, options, threads);
+    store_ = std::move(result.store);
+    edges_ = std::move(result.edges);
+    data_ = std::move(result.data);
+    track_data_ = result.track_data;
+    status_ = result.status;
+    return;
+  }
+
   const std::size_t num_places = net_->num_places();
   const DataContext initial_data = net_->net().initial_data();
   // Data words join the intern key only when an action can change them.
@@ -165,26 +56,11 @@ void ReachabilityGraph::explore(ReachOptions options) {
   std::vector<std::uint32_t> scratch(width);
 
   /// An action introduced a new variable: widen the layout and re-intern
-  /// every state seen so far (indices are preserved — re-encoding extends
-  /// each key, so distinct states stay distinct and order is unchanged).
-  /// The marking words of the in-flight scratch survive the resize.
+  /// every state seen so far (shared with the parallel seal — the marking
+  /// words of the in-flight scratch survive the resize).
   const auto widen_layout = [&](const DataContext& d) {
-    layout.extend(d);
+    detail::widen_and_reintern(layout, num_places, d, store_, data_, scratch);
     width = num_places + layout.words();
-    scratch.resize(width);
-    StateStore fresh(width);
-    fresh.reserve(store_.size());
-    std::vector<std::uint32_t> rebuilt(width);
-    for (std::size_t i = 0; i < store_.size(); ++i) {
-      std::memcpy(rebuilt.data(), store_.state(i).data(),
-                  num_places * sizeof(std::uint32_t));
-      layout.encode(data_[i], rebuilt.data() + num_places);
-      const auto r = fresh.intern(rebuilt);
-      if (!r.inserted || r.index != i) {
-        throw std::logic_error("ReachabilityGraph: state re-interning diverged");
-      }
-    }
-    store_ = std::move(fresh);
   };
 
   {
@@ -260,9 +136,8 @@ void ReachabilityGraph::explore(ReachOptions options) {
         for (std::size_t k = 0; k < samples; ++k) {
           DataContext candidate = d;
           // Deterministic per (state, transition, sample) seed so graph
-          // construction is reproducible.
-          Rng rng(0x9e3779b97f4a7c15ULL ^ (state * 0x100000001b3ULL) ^
-                  (static_cast<std::uint64_t>(ti) << 32) ^ k);
+          // construction is reproducible (shared with the parallel engine).
+          Rng rng(detail::action_sample_seed(state, ti, k));
           net_->action(t)(candidate, rng);
           sample_key.resize(layout.words());
           if (!layout.try_encode(candidate, sample_key.data())) {

@@ -53,6 +53,13 @@ struct ReachOptions {
   /// Samples drawn per stochastic action firing (distinct outcomes each
   /// become a successor).
   std::size_t irand_fanout_limit = 64;
+  /// Worker threads for graph construction. 1 (the default) keeps the
+  /// sequential builder; 0 means hardware_concurrency. Any value produces
+  /// byte-identical graphs — states are renumbered into canonical BFS
+  /// discovery order after every parallel level, so state ids, edge order,
+  /// deadlock sets and place bounds are thread-count-independent (see
+  /// analysis/parallel_exploration.h).
+  unsigned threads = 1;
 };
 
 enum class ReachStatus : std::uint8_t { kComplete, kTruncated, kUnbounded };

@@ -13,12 +13,16 @@ StateStore::StateStore(std::size_t width) : arena_(width) {
 }
 
 StateStore::Interned StateStore::intern(std::span<const std::uint32_t> words) {
+  return intern(words, hash_words(words.data(), words.size()));
+}
+
+StateStore::Interned StateStore::intern(std::span<const std::uint32_t> words,
+                                        std::uint64_t h) {
   // Grow at 70% load so probe chains stay short.
   if ((arena_.size() + 1) * 10 > (mask_ + 1) * 7) {
     grow_table((mask_ + 1) * 2);
   }
 
-  const std::uint64_t h = hash_words(words.data(), words.size());
   std::size_t slot = h & mask_;
   while (true) {
     const std::uint32_t occupant = table_[slot];

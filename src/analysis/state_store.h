@@ -80,7 +80,35 @@ class StateStore {
 
   /// Return the index of `words`, appending it to the arena if unseen.
   /// Throws std::length_error past ~4 billion states (index width).
+  ///
+  /// CONTRACT: `words` must not alias this store's own arena. Interning can
+  /// grow the arena, which reallocates it and invalidates every span
+  /// state() has ever returned — so a caller holding a state slice (e.g. an
+  /// expansion loop holding its parent state, or a parallel expander
+  /// reading a previously sealed state) must copy the slice into its own
+  /// buffer before interning anything. Pinned by
+  /// StateStore.InternInvalidatesPriorSpans in tests/.
   Interned intern(std::span<const std::uint32_t> words);
+
+  /// intern() with the pnut::hash_words hash of `words` already computed —
+  /// for callers (the sharded parallel explorer) that also use the hash to
+  /// pick a shard and must not pay for hashing twice. Same contract.
+  Interned intern(std::span<const std::uint32_t> words, std::uint64_t hash);
+
+  /// Append a state the caller GUARANTEES is not already present, without
+  /// touching the intern table: returns the new index. After any call to
+  /// this, intern() on this store may duplicate appended states — the
+  /// store becomes arena-plus-queries only. This is the adoption path for
+  /// states whose deduplication happened elsewhere (the parallel
+  /// explorer's shards dedup provisionally; the canonical store only needs
+  /// the arena in discovery order, and skipping the table probe + growth
+  /// rehashes is a large fraction of the serial seal cost).
+  std::uint32_t append_unchecked(std::span<const std::uint32_t> words) {
+    if (arena_.size() >= kEmpty) {
+      throw std::length_error("StateStore: state index space exhausted");
+    }
+    return arena_.push(words);
+  }
 
   [[nodiscard]] std::span<const std::uint32_t> state(std::size_t i) const {
     return arena_[i];

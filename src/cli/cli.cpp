@@ -299,9 +299,13 @@ int cmd_analyze(const Args& args, std::ostream& out) {
     out << "  " << analysis::format_transition_invariant(net, inv) << '\n';
   }
 
-  // Reachability.
+  // Reachability. --threads N explores in parallel (0 = all hardware
+  // threads); the graph is byte-identical for every thread count.
   analysis::ReachOptions options;
   options.max_states = static_cast<std::size_t>(args.get_number("max-states", 100000));
+  const double threads = args.get_number("threads", 1);
+  if (threads < 0) throw std::invalid_argument("--threads must be >= 0");
+  options.threads = static_cast<unsigned>(threads);
   const analysis::ReachabilityGraph graph(compiled, options);
   out << "\nreachability: " << graph.num_states() << " states, " << graph.num_edges()
       << " edges";
@@ -380,7 +384,7 @@ std::string usage() {
          "                [--from T] [--to T] [--columns N] [--unicode]\n"
          "                [--marker X=T]...\n"
          "  pnut animate  <trace.txt> [--steps N]\n"
-         "  pnut analyze  <model.pn> [--max-states N]\n";
+         "  pnut analyze  <model.pn> [--max-states N] [--threads N]\n";
 }
 
 int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {

@@ -116,6 +116,46 @@ TEST(StateStore, MemoryScalesWithWidthNotStateObjects) {
   EXPECT_LE(bytes_per_state, 96.0);
 }
 
+TEST(StateStore, InternInvalidatesPriorSpans) {
+  // The intern contract (state_store.h): spans returned by state() are
+  // views into the arena, and intern() can grow the arena — which
+  // reallocates it and invalidates every previously returned span. A
+  // caller that keeps a parent state across interning (every expansion
+  // loop, and every parallel expander reading sealed states) must copy the
+  // slice into its own buffer first. This test pins both halves: the arena
+  // genuinely moves under growth, and the copy-first pattern preserves
+  // identity across any number of reallocations and rehashes.
+  StateStore store(4);
+  const std::vector<std::uint32_t> first{11, 22, 33, 44};
+  store.intern(first);
+
+  // Record the arena address as an integer NOW — after growth the old
+  // pointer value is dangling and must not be dereferenced (or even read
+  // as a pointer).
+  const auto address_before = reinterpret_cast<std::uintptr_t>(store.state(0).data());
+
+  // The mandated pattern: copy the slice before interning anything else.
+  const std::vector<std::uint32_t> copy(store.state(0).begin(), store.state(0).end());
+
+  // Force many growth steps: arena reallocations and table rehashes.
+  for (std::uint32_t i = 0; i < 100'000; ++i) {
+    store.intern(std::vector<std::uint32_t>{i, i * 2654435761u, ~i, 5});
+  }
+
+  // The 16-byte initial block cannot survive growth to ~1.6 MB in place:
+  // the arena moved, so a span taken before the loop would now dangle.
+  const auto address_after = reinterpret_cast<std::uintptr_t>(store.state(0).data());
+  EXPECT_NE(address_before, address_after);
+
+  // The copy, not the span, is what stays valid — and it still interns to
+  // the original index with the original words.
+  const auto r = store.intern(copy);
+  EXPECT_FALSE(r.inserted);
+  EXPECT_EQ(r.index, 0u);
+  EXPECT_TRUE(std::equal(copy.begin(), copy.end(), store.state(0).begin()));
+  EXPECT_TRUE(std::equal(first.begin(), first.end(), copy.begin()));
+}
+
 TEST(EdgeCsr, RowsAreContiguousAndComplete) {
   struct E {
     std::uint32_t target;

@@ -209,6 +209,36 @@ TEST_F(CliTest, AnalyzeReportsInvariantsAndReachability) {
   EXPECT_NE(r.out.find("timed deadlocks: 0"), std::string::npos);
 }
 
+TEST_F(CliTest, AnalyzeThreadsFlagIsOutputInvariant) {
+  // Parallel exploration is canonically renumbered, so the whole analyze
+  // report — state ids, deadlock counts, place bounds, reversibility —
+  // must be character-identical for any --threads value. The one line
+  // exempted is the "state storage:" memory estimate: memory_bytes() is a
+  // capacity-based footprint, and the parallel builder's canonical store
+  // genuinely retains less (its intern table never grows past bootstrap).
+  const auto strip_storage_line = [](const std::string& report) {
+    std::string out;
+    std::size_t pos = 0;
+    while (pos < report.size()) {
+      const std::size_t eol = report.find('\n', pos);
+      const std::string line = report.substr(pos, eol - pos);
+      if (line.find("state storage:") == std::string::npos) out += line + '\n';
+      if (eol == std::string::npos) break;
+      pos = eol + 1;
+    }
+    return out;
+  };
+  const Result sequential = run_cli({"analyze", model_path_});
+  ASSERT_EQ(sequential.code, 0) << sequential.err;
+  for (const char* threads : {"2", "4", "8"}) {
+    const Result parallel = run_cli({"analyze", model_path_, "--threads", threads});
+    ASSERT_EQ(parallel.code, 0) << parallel.err;
+    EXPECT_EQ(strip_storage_line(parallel.out), strip_storage_line(sequential.out))
+        << "--threads " << threads;
+  }
+  EXPECT_EQ(run_cli({"analyze", model_path_, "--threads", "-1"}).code, 2);
+}
+
 TEST_F(CliTest, AnalyzeSkipsTimedSectionForStochasticDelays) {
   const std::string stochastic_path = (dir_ / "stochastic.pn").string();
   std::ofstream(stochastic_path) << "place P init 1\ntrans t in P out P firing uniform 1 3\n";
