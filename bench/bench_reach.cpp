@@ -109,6 +109,30 @@ GraphRun measure_parallel(const Net& net, unsigned threads, const Golden& golden
 
 constexpr unsigned kScalingThreads[] = {1, 2, 4, 8};
 
+/// One timed-graph scaling point: build the timed race ring's graph once
+/// at `threads` workers (threads == 1 runs the sequential two-bucket
+/// builder) and check the frozen golden counts.
+GraphRun measure_timed_parallel(const Net& net, unsigned threads, const Golden& golden) {
+  analysis::TimedReachOptions options;
+  options.max_states = 1'000'000;
+  options.max_time = 1'000'000;
+  options.threads = threads;
+  GraphRun run;
+  const auto t0 = std::chrono::steady_clock::now();
+  const analysis::TimedReachabilityGraph graph(net, options);
+  const auto t1 = std::chrono::steady_clock::now();
+  run.states_per_second = static_cast<double>(graph.num_states()) /
+                          std::chrono::duration<double>(t1 - t0).count();
+  run.bytes_per_state =
+      static_cast<double>(graph.memory_bytes()) / static_cast<double>(graph.num_states());
+  std::size_t edges = 0;
+  for (std::size_t s = 0; s < graph.num_states(); ++s) edges += graph.edges(s).size();
+  run.counts_ok = graph.status() == analysis::TimedReachStatus::kComplete &&
+                  graph.num_states() == golden.states && edges == golden.edges &&
+                  graph.deadlock_states().size() == golden.deadlocks;
+  return run;
+}
+
 void print_artifact() {
   print_header("bench_reach", "exploration-core throughput (not a paper artifact)");
   const std::vector<Model> models = make_models();
@@ -138,6 +162,24 @@ void print_artifact() {
                 "counts %s\n",
                 threads, threads == 1 ? " " : "s", run.states_per_second,
                 run.states_per_second / scaling.front().states_per_second,
+                run.counts_ok ? "match golden" : "MISMATCH");
+  }
+  std::printf("\n");
+
+  // Timed-graph scaling on the race ring (~420k timed states: same-instant
+  // races + in-flight desync; see reach_models.h). threads == 1 is the
+  // sequential two-bucket builder; the graphs are byte-identical across
+  // thread counts (the timed differential tests pin that).
+  const Net timed_net = reach_models::timed_race_ring(12, 3);
+  std::vector<GraphRun> timed_scaling;
+  for (const unsigned threads : kScalingThreads) {
+    const GraphRun run =
+        measure_timed_parallel(timed_net, threads, reach_models::kTimedRaceRing12x3);
+    timed_scaling.push_back(run);
+    std::printf("timed race ring @%u thread%s %10.3g states/s  (%.2fx vs 1 thread)  "
+                "counts %s\n",
+                threads, threads == 1 ? " " : "s", run.states_per_second,
+                run.states_per_second / timed_scaling.front().states_per_second,
                 run.counts_ok ? "match golden" : "MISMATCH");
   }
   std::printf("\n");
@@ -185,6 +227,30 @@ void print_artifact() {
     }
     std::fprintf(json, "    \"counts_match_golden\": %s\n  },\n",
                  scaling_counts_ok ? "true" : "false");
+    std::fprintf(json,
+                 "  \"timed_parallel_scaling\": {\n"
+                 "    \"model\": \"timed_race_ring_12x3\",\n"
+                 "    \"note\": \"TimedReachOptions::threads sweep; threads_1 is the "
+                 "sequential two-bucket builder, graphs byte-identical across "
+                 "thread counts\",\n"
+                 "    \"states\": %zu,\n"
+                 "    \"edges\": %zu,\n"
+                 "    \"host_hardware_threads\": %u,\n",
+                 reach_models::kTimedRaceRing12x3.states,
+                 reach_models::kTimedRaceRing12x3.edges,
+                 std::thread::hardware_concurrency());
+    bool timed_counts_ok = true;
+    for (std::size_t i = 0; i < timed_scaling.size(); ++i) {
+      timed_counts_ok = timed_counts_ok && timed_scaling[i].counts_ok;
+      std::fprintf(json,
+                   "    \"threads_%u\": {\"states_per_second\": %.0f, "
+                   "\"speedup_vs_1_thread\": %.2f},\n",
+                   kScalingThreads[i], timed_scaling[i].states_per_second,
+                   timed_scaling[i].states_per_second /
+                       timed_scaling[0].states_per_second);
+    }
+    std::fprintf(json, "    \"counts_match_golden\": %s\n  },\n",
+                 timed_counts_ok ? "true" : "false");
     std::fprintf(json,
                  "  \"pre_refactor_baseline\": {\n");
     for (const Model& model : models) {
@@ -245,6 +311,26 @@ void BM_TimedReachFullModel(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TimedReachFullModel);
+
+void BM_TimedReachRaceRingParallel(benchmark::State& state) {
+  // Thread sweep at fixed model size: the 12x4 race ring (31,928 timed
+  // states — smaller than the artifact pass's 12x3 to keep iterations sane).
+  const Net net = reach_models::timed_race_ring(12, 4);
+  analysis::TimedReachOptions options;
+  options.max_states = 1'000'000;
+  options.max_time = 1'000'000;
+  options.threads = static_cast<unsigned>(state.range(0));
+  std::size_t states = 0;
+  for (auto _ : state) {
+    const analysis::TimedReachabilityGraph graph(net, options);
+    states = graph.num_states();
+    benchmark::DoNotOptimize(states);
+  }
+  state.counters["states_per_s"] = benchmark::Counter(
+      static_cast<double>(states) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TimedReachRaceRingParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_StateStoreIntern(benchmark::State& state) {
   // Raw interning throughput at the bench's word width: first insertion of

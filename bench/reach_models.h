@@ -47,4 +47,40 @@ inline Net stress_ring(std::size_t places, TokenCount tokens) {
   return net;
 }
 
+/// Golden counts for timed_race_ring(12, 3), frozen from the sequential
+/// two-bucket builder the day the timed parallel engine landed: the
+/// builders are deterministic, so these are hard pins, not estimates.
+inline constexpr Golden kTimedRaceRing12x3{418'593, 817'242, 0};
+
+/// Timed stress net for the timed-graph scaling sweep and differential
+/// harness. A plain delayed ring is useless for this — maximal progress
+/// makes lockstep tokens march deterministically and the graph collapses
+/// to a few hundred states — so every place instead feeds TWO competitors
+/// with the *same* enabling delay (a same-instant race: both are ready on
+/// the same tick, and the timed graph must branch on who takes the token)
+/// whose firings travel different distances for different durations (hop 1
+/// in 1 cycle, hop 2 in 2): the in-flight completions desynchronize the
+/// tokens, so markings, enabling timers and in-flight counts all vary
+/// independently. A token every 3rd place of a 12-ring yields ~420k timed
+/// states — the million-state-class workload for the parallel engine.
+inline Net timed_race_ring(std::size_t places, std::size_t token_spread) {
+  Net net("timed_race_ring");
+  std::vector<PlaceId> ps;
+  ps.reserve(places);
+  for (std::size_t i = 0; i < places; ++i) {
+    ps.push_back(net.add_place("p" + std::to_string(i), i % token_spread == 0 ? 1 : 0));
+  }
+  for (std::size_t i = 0; i < places; ++i) {
+    for (const std::size_t hop : {std::size_t{1}, std::size_t{2}}) {
+      const TransitionId t =
+          net.add_transition("t" + std::to_string(i) + "_" + std::to_string(hop));
+      net.add_input(t, ps[i]);
+      net.add_output(t, ps[(i + hop) % places]);
+      net.set_enabling_time(t, DelaySpec::constant(1));
+      net.set_firing_time(t, DelaySpec::constant(static_cast<Time>(hop)));
+    }
+  }
+  return net;
+}
+
 }  // namespace pnut::reach_models

@@ -13,13 +13,13 @@
 // and the flat pool doubles as the scan target for whole-graph queries
 // (dead transitions, total edge count).
 //
-// The frontier supports both plain FIFO BFS (untimed graph: push_back) and
-// 0-1 BFS (timed graph: cost-0 firing edges push_front, cost-1 tick edges
-// push_back, so states are first expanded at their earliest time).
+// The frontier is plain FIFO BFS. The untimed reachability builder and the
+// trace state space run on it; the timed graph's 0-1 BFS uses the shared
+// two-bucket scheduler instead (detail::TimedSchedule in timed_encode.h),
+// which the parallel level engine can mirror round for round.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <span>
 #include <stdexcept>
@@ -64,20 +64,24 @@ class EdgeCsr {
   /// begin_source/add path produces). The caller fills the span — from
   /// several threads if it likes; the row bookkeeping is already done.
   /// The span is invalidated by the next mutation of this EdgeCsr.
+  /// Throws std::length_error — before touching any table, so the CSR
+  /// stays valid — if the pool would outgrow the 32-bit offset space.
   std::span<EdgeT> append_rows(std::uint32_t first_state,
                                std::span<const std::uint32_t> counts) {
+    std::size_t total = 0;
+    for (const std::uint32_t c : counts) total += c;
+    if (pool_.size() + total > UINT32_MAX) {
+      throw std::length_error("EdgeCsr: edge offset space exhausted");
+    }
     if (first_.size() < first_state) {
       first_.resize(first_state, 0);
       count_.resize(first_state, 0);
     }
-    std::size_t total = 0;
+    std::size_t offset = pool_.size();
     for (const std::uint32_t c : counts) {
-      first_.push_back(static_cast<std::uint32_t>(pool_.size() + total));
+      first_.push_back(static_cast<std::uint32_t>(offset));
       count_.push_back(c);
-      total += c;
-    }
-    if (pool_.size() + total > UINT32_MAX) {
-      throw std::length_error("EdgeCsr: edge offset space exhausted");
+      offset += c;
     }
     const std::size_t base = pool_.size();
     pool_.resize(base + total);
@@ -115,23 +119,24 @@ class EdgeCsr {
   std::uint32_t current_ = 0;
 };
 
-/// Deque of state indices with an expanded bitmap (0-1 BFS capable).
+/// FIFO queue of state indices with an expanded bitmap. A flat vector with
+/// a read cursor, not a deque: nothing is ever logically removed (the
+/// bitmap does the deduplication), and BFS pushes each state about once, so
+/// the retained tail costs ~4 bytes/state against the arena's hundreds.
 class Frontier {
  public:
   void push_back(std::uint32_t s) { queue_.push_back(s); }
-  void push_front(std::uint32_t s) { queue_.push_front(s); }
 
   [[nodiscard]] bool expanded(std::uint32_t s) const {
     return s < expanded_.size() && expanded_[s] != 0;
   }
 
   /// Pop the next not-yet-expanded state and mark it expanded; nullopt when
-  /// the frontier is exhausted. (0-1 BFS pushes a state once per discovered
+  /// the frontier is exhausted. (A state may be pushed once per discovered
   /// edge; duplicates are skipped here.)
   std::optional<std::uint32_t> pop_unexpanded() {
-    while (!queue_.empty()) {
-      const std::uint32_t s = queue_.front();
-      queue_.pop_front();
+    while (head_ < queue_.size()) {
+      const std::uint32_t s = queue_[head_++];
       if (expanded(s)) continue;
       if (expanded_.size() <= s) expanded_.resize(s + 1, 0);
       expanded_[s] = 1;
@@ -141,7 +146,8 @@ class Frontier {
   }
 
  private:
-  std::deque<std::uint32_t> queue_;
+  std::vector<std::uint32_t> queue_;
+  std::size_t head_ = 0;
   std::vector<std::uint8_t> expanded_;
 };
 
@@ -149,12 +155,21 @@ class Frontier {
 /// CSR edge row first. `expand(s)` enumerates successors (interning states,
 /// adding edges, pushing newly discovered states); returning false stops
 /// the whole exploration (state cap hit, unbounded place found).
+///
+/// Returns the number of states whose expansion ran to completion — the
+/// state whose expand() returned false has only a partial edge row, and
+/// states still on the frontier have none at all. Graph queries use this to
+/// avoid reporting never-expanded truncation leftovers as deadlocks.
 template <typename EdgeT, typename ExpandFn>
-void drive_frontier_bfs(Frontier& frontier, EdgeCsr<EdgeT>& edges, ExpandFn&& expand) {
+std::size_t drive_frontier_bfs(Frontier& frontier, EdgeCsr<EdgeT>& edges,
+                               ExpandFn&& expand) {
+  std::size_t completed = 0;
   while (const std::optional<std::uint32_t> s = frontier.pop_unexpanded()) {
     edges.begin_source(*s);
-    if (!expand(*s)) return;
+    if (!expand(*s)) return completed;
+    ++completed;
   }
+  return completed;
 }
 
 }  // namespace pnut::analysis

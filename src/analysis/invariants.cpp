@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <span>
 #include <sstream>
 
 namespace pnut::analysis {
@@ -226,6 +227,41 @@ bool covered_by_place_invariants(const Net& net, const std::vector<Invariant>& i
     if (!covered) return false;
   }
   return true;
+}
+
+std::vector<InvariantViolation> check_place_invariants_on_graph(
+    const ReachabilityGraph& graph, const std::vector<Invariant>& invariants) {
+  std::vector<InvariantViolation> violations;
+  if (graph.num_states() == 0) return violations;
+
+  // Expected values from state 0 (the initial marking by construction).
+  std::vector<std::uint64_t> expected(invariants.size(), 0);
+  const auto weighted_sum = [](const Invariant& inv, std::span<const TokenCount> tokens) {
+    std::uint64_t sum = 0;
+    const std::size_t n = std::min(inv.weights.size(), tokens.size());
+    for (std::size_t p = 0; p < n; ++p) {
+      sum += inv.weights[p] * static_cast<std::uint64_t>(tokens[p]);
+    }
+    return sum;
+  };
+  for (std::size_t i = 0; i < invariants.size(); ++i) {
+    expected[i] = weighted_sum(invariants[i], graph.tokens(0));
+  }
+
+  // One pass over the flat arena; first deviation per invariant reported.
+  std::vector<std::uint8_t> violated(invariants.size(), 0);
+  for (std::size_t s = 1; s < graph.num_states(); ++s) {
+    const auto tokens = graph.tokens(s);
+    for (std::size_t i = 0; i < invariants.size(); ++i) {
+      if (violated[i] != 0) continue;
+      const std::uint64_t value = weighted_sum(invariants[i], tokens);
+      if (value != expected[i]) {
+        violated[i] = 1;
+        violations.push_back(InvariantViolation{i, s, value, expected[i]});
+      }
+    }
+  }
+  return violations;
 }
 
 }  // namespace pnut::analysis

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/reachability.h"
 #include "petri/compiled_net.h"
 #include "petri/marking.h"
 #include "petri/net.h"
@@ -65,5 +66,25 @@ std::string format_transition_invariant(const Net& net, const Invariant& inv);
 /// True if every place appears in the support of some place invariant —
 /// a sufficient condition for structural boundedness.
 bool covered_by_place_invariants(const Net& net, const std::vector<Invariant>& invariants);
+
+/// A P-invariant whose weighted token sum deviated from its initial value
+/// on a reachable state — structurally impossible for a true invariant, so
+/// a non-empty result means the invariant derivation and the exploration
+/// disagree (a modelling or tooling bug worth surfacing loudly).
+struct InvariantViolation {
+  std::size_t invariant = 0;  ///< index into the checked invariant list
+  std::size_t state = 0;      ///< graph state where the value deviated
+  std::uint64_t value = 0;    ///< observed weighted sum
+  std::uint64_t expected = 0; ///< weighted sum of the initial marking
+};
+
+/// The invariant engine's reachability pass: check yᵀM = yᵀM₀ for each
+/// P-invariant over every state of an explored reachability graph — one
+/// flat scan of the state arena. Sound on truncated graphs too: every
+/// discovered marking is reachable, so any deviation found is real (the
+/// check just cannot be exhaustive there). The graph inherits whatever
+/// ReachOptions::threads it was built with; this pass is a read-only scan.
+std::vector<InvariantViolation> check_place_invariants_on_graph(
+    const ReachabilityGraph& graph, const std::vector<Invariant>& invariants);
 
 }  // namespace pnut::analysis

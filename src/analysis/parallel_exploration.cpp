@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstring>
 #include <functional>
 #include <mutex>
@@ -10,10 +9,10 @@
 #include <span>
 #include <stdexcept>
 #include <string>
-#include <thread>
 #include <unordered_map>
 #include <utility>
 
+#include "analysis/parallel_support.h"
 #include "analysis/reach_encode.h"
 #include "petri/rng.h"
 
@@ -52,127 +51,8 @@ struct Shard {
   std::vector<std::uint32_t> canonical;  ///< slot -> canonical id (seal only)
 };
 
-/// Persistent worker pool: `threads` parked threads, one dispatch() per
-/// parallel phase. Spawning fresh std::threads per BFS level would cost
-/// hundreds of spawn+join cycles per million-state build; this pool pays
-/// for thread creation once per exploration.
-class WorkerPool {
- public:
-  explicit WorkerPool(unsigned threads) {
-    workers_.reserve(threads);
-    for (unsigned w = 0; w < threads; ++w) {
-      workers_.emplace_back([this, w] { worker_loop(w); });
-    }
-  }
-
-  ~WorkerPool() {
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      stop_ = true;
-    }
-    wake_.notify_all();
-    for (std::thread& worker : workers_) worker.join();
-  }
-
-  /// Run `job(worker_index)` once on every pool thread; returns when all
-  /// are done. Jobs must not throw (workers record failures out of band).
-  void dispatch(const std::function<void(unsigned)>& job) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    job_ = &job;
-    ++generation_;
-    running_ = workers_.size();
-    wake_.notify_all();
-    done_.wait(lock, [this] { return running_ == 0; });
-    job_ = nullptr;
-  }
-
- private:
-  void worker_loop(unsigned index) {
-    std::uint64_t seen = 0;
-    while (true) {
-      const std::function<void(unsigned)>* job = nullptr;
-      {
-        std::unique_lock<std::mutex> lock(mutex_);
-        wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
-        if (stop_) return;
-        seen = generation_;
-        job = job_;
-      }
-      (*job)(index);
-      {
-        const std::lock_guard<std::mutex> lock(mutex_);
-        if (--running_ == 0) done_.notify_all();
-      }
-    }
-  }
-
-  std::mutex mutex_;
-  std::condition_variable wake_, done_;
-  const std::function<void(unsigned)>* job_ = nullptr;
-  std::uint64_t generation_ = 0;
-  std::size_t running_ = 0;
-  bool stop_ = false;
-  std::vector<std::thread> workers_;  ///< last: threads see built members
-};
-
-/// Open-addressed (shard, slot) set with O(1) generation clearing: the
-/// per-worker "first occurrence in this batch" filter for candidates.
-class SlotSet {
- public:
-  void begin_batch() {
-    if (slots_.empty()) grow(1024);
-    if (++gen_ == 0) {  // generation counter wrapped: stamp everything stale
-      std::fill(gens_.begin(), gens_.end(), 0);
-      gen_ = 1;
-    }
-    used_ = 0;
-  }
-
-  /// True when `key` was not yet inserted since begin_batch().
-  bool insert(std::uint64_t key) {
-    if ((used_ + 1) * 10 > slots_.size() * 7) grow(slots_.size() * 2);
-    std::size_t i = mix(key) & (slots_.size() - 1);
-    while (true) {
-      if (gens_[i] != gen_) {
-        gens_[i] = gen_;
-        slots_[i] = key;
-        ++used_;
-        return true;
-      }
-      if (slots_[i] == key) return false;
-      i = (i + 1) & (slots_.size() - 1);
-    }
-  }
-
- private:
-  static std::uint64_t mix(std::uint64_t h) {
-    h ^= h >> 30;
-    h *= 0xbf58476d1ce4e5b9ULL;
-    h ^= h >> 27;
-    h *= 0x94d049bb133111ebULL;
-    h ^= h >> 31;
-    return h;
-  }
-
-  void grow(std::size_t capacity) {
-    const std::vector<std::uint64_t> old_slots = std::move(slots_);
-    const std::vector<std::uint32_t> old_gens = std::move(gens_);
-    slots_.assign(capacity, 0);
-    gens_.assign(capacity, 0);
-    for (std::size_t i = 0; i < old_slots.size(); ++i) {
-      if (old_gens[i] != gen_) continue;
-      std::size_t j = mix(old_slots[i]) & (capacity - 1);
-      while (gens_[j] == gen_) j = (j + 1) & (capacity - 1);
-      gens_[j] = gen_;
-      slots_[j] = old_slots[i];
-    }
-  }
-
-  std::vector<std::uint64_t> slots_;
-  std::vector<std::uint32_t> gens_;
-  std::uint32_t gen_ = 0;
-  std::size_t used_ = 0;
-};
+using detail::SlotSet;
+using detail::WorkerPool;
 
 /// Dense interning of DataContexts for interpreted nets: a provisional
 /// state is [marking | context id], so context identity (which the word
@@ -282,6 +162,7 @@ class ParallelExplorer {
       const bool keep_going =
           track_data_ ? seal_exact(batches) : seal_fast(batches, level_begin);
       if (!keep_going) break;  // truncated or unbounded: stop, keep the prefix
+      num_expanded_ = level_end;  // the whole level sealed cleanly
     }
     edges_.finalize(canonical_.size());
 
@@ -291,6 +172,7 @@ class ParallelExplorer {
     result.data = std::move(data_);
     result.track_data = track_data_;
     result.status = status_;
+    result.num_expanded = num_expanded_;
     return result;
   }
 
@@ -542,6 +424,7 @@ class ParallelExplorer {
                 {batch.fresh_words.data() + cand * prov_width_, prov_width_});
             if (canonical_.size() > options_.max_states) {
               status_ = ReachStatus::kTruncated;
+              num_expanded_ = batch.first_parent + i;  // parent i stops mid-row
               fill_edges_prefix(batches, b, i, c.item_in_batch + 1);
               return false;
             }
@@ -550,6 +433,7 @@ class ParallelExplorer {
         }
         if (batch.over[i] != 0) {
           status_ = ReachStatus::kUnbounded;
+          num_expanded_ = batch.first_parent + i;
           fill_edges_prefix(batches, b, i, item_end);
           return false;
         }
@@ -638,11 +522,13 @@ class ParallelExplorer {
           edges_.add({TransitionId(item->transition), cid});
           if (fresh && canonical_.size() > options_.max_states) {
             status_ = ReachStatus::kTruncated;
+            num_expanded_ = batch.first_parent + i;
             return false;
           }
         }
         if (batch.over[i] != 0) {
           status_ = ReachStatus::kUnbounded;
+          num_expanded_ = batch.first_parent + i;
           return false;
         }
       }
@@ -706,6 +592,7 @@ class ParallelExplorer {
   std::vector<WorkerScratch> worker_scratch_;  ///< persistent across levels
   std::optional<WorkerPool> pool_;          ///< lazily spawned, reused per level
   ReachStatus status_ = ReachStatus::kComplete;
+  std::size_t num_expanded_ = 0;  ///< fully-expanded prefix (see header)
 };
 
 }  // namespace

@@ -69,6 +69,11 @@ struct ParallelReachResult {
   std::vector<DataContext> data;         ///< per-state contexts (interpreted nets)
   bool track_data = false;
   ReachStatus status = ReachStatus::kComplete;
+  /// States [0, num_expanded) were fully expanded — the same prefix the
+  /// sequential builder expands (BFS expansion order is canonical id
+  /// order). Later states are truncation leftovers with empty or partial
+  /// edge rows; graph queries must not read those rows as deadlocks.
+  std::size_t num_expanded = 0;
 };
 
 /// Explore with `threads` workers (>= 2; callers resolve 0/1 themselves).

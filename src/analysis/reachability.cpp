@@ -36,6 +36,7 @@ void ReachabilityGraph::explore(ReachOptions options) {
     data_ = std::move(result.data);
     track_data_ = result.track_data;
     status_ = result.status;
+    num_expanded_ = result.num_expanded;
     return;
   }
 
@@ -80,7 +81,7 @@ void ReachabilityGraph::explore(ReachOptions options) {
   std::vector<std::vector<std::uint32_t>> outcome_keys;
   std::vector<std::uint32_t> sample_key;
 
-  drive_frontier_bfs(frontier, edges_, [&](std::uint32_t state) {
+  num_expanded_ = drive_frontier_bfs(frontier, edges_, [&](std::uint32_t state) {
     // Copies: interning may grow the arena / data vector while we expand.
     std::copy(store_.state(state).begin(), store_.state(state).end(), scratch.begin());
     const DataContext parent_data = track_data_ ? data_[state] : DataContext{};
@@ -236,7 +237,9 @@ std::size_t ReachabilityGraph::memory_bytes() const {
 
 std::vector<std::size_t> ReachabilityGraph::deadlock_states() const {
   std::vector<std::size_t> out;
-  for (std::size_t s = 0; s < store_.size(); ++s) {
+  // Only the expanded prefix: a frontier leftover's empty row says
+  // "unexplored", not "stuck".
+  for (std::size_t s = 0; s < num_expanded_; ++s) {
     if (edges_.out_degree(s) == 0) out.push_back(s);
   }
   return out;
@@ -292,7 +295,14 @@ bool ReachabilityGraph::is_reversible() const {
       }
     }
   }
-  return reached == n;
+  if (reached == n) return true;
+  // Truncation honesty: only expanded states count against reversibility —
+  // a frontier leftover's onward edges are unknown, so its failure to
+  // reach the initial state within the prefix proves nothing.
+  for (std::size_t s = 0; s < num_expanded_; ++s) {
+    if (!can_reach_initial[s]) return false;
+  }
+  return true;
 }
 
 }  // namespace pnut::analysis

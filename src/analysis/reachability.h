@@ -116,7 +116,19 @@ class ReachabilityGraph final : public StateSpace {
   }
   [[nodiscard]] std::size_t num_edges() const { return edges_.num_edges(); }
 
-  /// States with no enabled transition.
+  /// True if `state` was fully expanded (its edge row is complete). BFS
+  /// expansion order is canonical id order, so the expanded states are the
+  /// prefix [0, num_expanded()). On a truncated or unbounded graph the
+  /// states past that prefix are frontier leftovers whose empty (or, for
+  /// the stopping state, partial) edge rows mean "unexplored", not "stuck".
+  [[nodiscard]] bool state_expanded(std::size_t state) const {
+    return state < num_expanded_;
+  }
+  /// Number of fully expanded states (== num_states() iff kComplete).
+  [[nodiscard]] std::size_t num_expanded() const { return num_expanded_; }
+
+  /// Fully-expanded states with no enabled transition. Never-expanded
+  /// truncation leftovers are excluded — they are not known deadlocks.
   [[nodiscard]] std::vector<std::size_t> deadlock_states() const;
 
   /// Max tokens observed on `p` across all reachable states (the place's
@@ -124,12 +136,16 @@ class ReachabilityGraph final : public StateSpace {
   [[nodiscard]] TokenCount place_bound(PlaceId p) const;
 
   /// Transitions that never appear on any edge (dead transitions). One scan
-  /// of the flat edge pool.
+  /// of the flat edge pool. On a truncated graph this over-approximates:
+  /// a listed transition may still fire beyond the explored prefix.
   [[nodiscard]] std::vector<TransitionId> dead_transitions() const;
 
-  /// True if from every reachable state the initial state is reachable
-  /// again (the net is reversible / cyclic). Uses one backward BFS over a
-  /// counting-sorted reverse CSR.
+  /// True if from every *expanded* state the initial state is reachable
+  /// again (the net is reversible / cyclic) — a proof when status() ==
+  /// kComplete; on a truncated graph never-expanded leftovers are not
+  /// counted against reversibility (their onward edges are unknown), so
+  /// "false" means "not provable on this prefix". Uses one backward BFS
+  /// over a counting-sorted reverse CSR.
   [[nodiscard]] bool is_reversible() const;
 
   /// Approximate heap footprint of the graph: arena + intern table + edge
@@ -148,6 +164,7 @@ class ReachabilityGraph final : public StateSpace {
   /// change); queries on action-free nets read the initial data.
   std::vector<DataContext> data_;
   bool track_data_ = false;
+  std::size_t num_expanded_ = 0;  ///< fully-expanded prefix length
 };
 
 }  // namespace pnut::analysis

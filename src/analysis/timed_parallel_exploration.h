@@ -1,0 +1,69 @@
+// Parallel timed reachability on the StateStore core.
+//
+// The timed graph is a 0-1 BFS (firing edges cost 0 ticks, the tick edge
+// costs 1), so the untimed engine's "one BFS level = one contiguous
+// canonical id range" assumption does not hold: the unit of parallelism
+// here is one *round* of the two-bucket scheduler the sequential builder
+// runs (timed_reachability.cpp). `current` holds the cost-0 closure of the
+// instant `now` as an append-only pending list; each round EXPANDs the
+// not-yet-expanded tail of that list in parallel and SEALs the discoveries
+// sequentially:
+//
+//   EXPAND (parallel) — the round's pending states are chopped into batches
+//   handed to worker threads by an atomic cursor. Each worker decodes its
+//   parent from the canonical arena, enumerates successors with the exact
+//   sequential rule (analysis/timed_encode.h: ready firings in transition
+//   order under maximal progress, else one tick), and interns each into one
+//   of S hash-sharded provisional StateStores under striped locks. Edges
+//   are recorded per batch as flat (label, shard, slot) segments; the first
+//   batch-local sighting of a freshly minted slot is captured with its
+//   words (candidates), so sealing copies linearly.
+//
+//   SEAL (sequential, cheap) — replays the batch segments in pending-list
+//   order, edges in firing order. First canonical appearance of a
+//   provisional slot gets the next canonical id — exactly the sequential
+//   builder's discovery order — with its earliest time assigned from the
+//   replay position (`now` + edge cost, min-updated on later sightings:
+//   a state staged for the next tick bucket can be *promoted* into the
+//   current closure when a firing path reaches it one tick earlier).
+//   Scheduling into current/next and the stop rules (max_states truncation
+//   at the exact sequential edge position, max_time horizon gating) run at
+//   the same event positions they would fire sequentially.
+//
+// When a round discovers nothing more at cost 0, the closure is complete:
+// the staged bucket (minus promoted states) becomes the next `current` and
+// `now` advances one tick. The result is byte-identical to the sequential
+// builder for every thread count — state ids, edge pool order, earliest
+// times, expanded flags, status, and the truncated prefix when limits hit
+// (differentially pinned by tests/analysis_timed_parallel_equivalence_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/exploration.h"
+#include "analysis/state_store.h"
+#include "analysis/timed_encode.h"
+#include "analysis/timed_reachability.h"
+#include "petri/compiled_net.h"
+
+namespace pnut::analysis {
+
+/// Everything TimedReachabilityGraph needs to adopt a finished exploration.
+struct TimedParallelResult {
+  StateStore store;  ///< canonical: state i = sequential discovery i
+  EdgeCsr<TimedReachabilityGraph::Edge> edges;  ///< canonical flat pool
+  std::vector<std::uint64_t> earliest_time;     ///< per state, in ticks
+  std::vector<std::uint8_t> expanded;           ///< per state: row complete
+  TimedReachStatus status = TimedReachStatus::kComplete;
+};
+
+/// Explore with `threads` workers (>= 2; callers resolve 0/1 themselves).
+/// `layout` must be TimedLayout::build(net) — the caller already validated
+/// the net for timed analysis while deriving it.
+TimedParallelResult explore_timed_parallel(const CompiledNet& net,
+                                           const detail::TimedLayout& layout,
+                                           const TimedReachOptions& options,
+                                           unsigned threads);
+
+}  // namespace pnut::analysis

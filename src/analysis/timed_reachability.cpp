@@ -1,42 +1,13 @@
 #include "analysis/timed_reachability.h"
 
 #include <algorithm>
-#include <cmath>
-#include <cstring>
 #include <stdexcept>
-#include <string>
+#include <thread>
+
+#include "analysis/timed_encode.h"
+#include "analysis/timed_parallel_exploration.h"
 
 namespace pnut::analysis {
-
-namespace {
-
-/// Integer constant value of a delay, or throw.
-std::uint32_t integer_delay(const DelaySpec& spec, const std::string& transition,
-                            const char* kind) {
-  if (spec.kind() != DelaySpec::Kind::kConstant) {
-    throw std::invalid_argument("TimedReachabilityGraph: transition '" + transition +
-                                "' has a non-constant " + kind +
-                                " time; timed analysis needs integer constants");
-  }
-  const Time value = spec.constant_value();
-  if (value < 0 || value != std::floor(value)) {
-    throw std::invalid_argument("TimedReachabilityGraph: transition '" + transition +
-                                "' has a non-integer " + kind + " time");
-  }
-  return static_cast<std::uint32_t>(value);
-}
-
-/// Working form of a timed state during expansion; interned states live as
-/// fixed-width word vectors in the arena (see header for the layout).
-struct TimedState {
-  Marking marking;
-  /// Remaining enabling delay per transition (0 = ready or not enabled).
-  std::vector<std::uint32_t> enabling_left;
-  /// In-flight firings: (transition, remaining cycles), sorted.
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> in_flight;
-};
-
-}  // namespace
 
 TimedReachabilityGraph::TimedReachabilityGraph(const Net& net, TimedReachOptions options)
     : TimedReachabilityGraph(CompiledNet::compile(net), options) {}
@@ -45,196 +16,78 @@ TimedReachabilityGraph::TimedReachabilityGraph(std::shared_ptr<const CompiledNet
                                                TimedReachOptions options)
     : net_(std::move(net)) {
   if (!net_) throw std::invalid_argument("TimedReachabilityGraph: null CompiledNet");
-  for (std::uint32_t i = 0; i < net_->num_transitions(); ++i) {
-    if (net_->is_interpreted(TransitionId(i))) {
-      throw std::invalid_argument("TimedReachabilityGraph: transition '" +
-                                  net_->transition_name(TransitionId(i)) +
-                                  "' has predicates/actions; timed analysis works on the "
-                                  "uninterpreted timing skeleton");
-    }
-  }
   explore(options);
 }
 
-void TimedReachabilityGraph::explore(TimedReachOptions options) {
+// The timed graph is a 0-1 BFS: firing edges cost 0 ticks, the tick edge
+// costs 1. It runs on the two-bucket FIFO scheduler both builders share
+// (detail::TimedSchedule — not a deque with push_front): the parallel
+// engine reproduces this exact expansion order round for round, so
+// canonical state ids are its discovery order for both builders.
+void TimedReachabilityGraph::explore(const TimedReachOptions& options) {
   const CompiledNet& net = *net_;
-  const std::size_t np = net.num_places();
-  const std::size_t nt = net.num_transitions();
-  std::vector<std::uint32_t> enabling_delay(nt);
-  std::vector<std::uint32_t> firing_delay(nt);
-  for (std::uint32_t i = 0; i < nt; ++i) {
-    const TransitionId t(i);
-    enabling_delay[i] = integer_delay(net.enabling_time(t), net.transition_name(t), "enabling");
-    firing_delay[i] = integer_delay(net.firing_time(t), net.transition_name(t), "firing");
+  const detail::TimedLayout layout = detail::TimedLayout::build(net);
+
+  unsigned threads = options.threads;
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : hw;
+  }
+  if (threads > 1) {
+    TimedParallelResult result = explore_timed_parallel(net, layout, options, threads);
+    store_ = std::move(result.store);
+    edges_ = std::move(result.edges);
+    earliest_time_ = std::move(result.earliest_time);
+    expanded_ = std::move(result.expanded);
+    status_ = result.status;
+    for (const std::uint8_t e : expanded_) num_expanded_ += e;
+    return;
   }
 
-  // Word layout: [marking | enabling_left | in-flight counts], where the
-  // in-flight region has one count slot per (transition, remaining-cycles)
-  // pair — a canonical fixed-width encoding of the in-flight multiset.
-  std::vector<std::uint32_t> inflight_off(nt + 1);
-  inflight_off[0] = static_cast<std::uint32_t>(np + nt);
-  for (std::size_t i = 0; i < nt; ++i) inflight_off[i + 1] = inflight_off[i] + firing_delay[i];
-  const std::size_t width = inflight_off[nt];
-  store_ = StateStore(width);
-  std::vector<std::uint32_t> scratch(width);
+  store_ = StateStore(layout.width());
+  std::vector<std::uint32_t> scratch(layout.width());
 
-  const auto encode = [&](const TimedState& s) {
-    std::memcpy(scratch.data(), s.marking.tokens().data(), np * sizeof(std::uint32_t));
-    std::memcpy(scratch.data() + np, s.enabling_left.data(), nt * sizeof(std::uint32_t));
-    std::fill(scratch.begin() + static_cast<std::ptrdiff_t>(np + nt), scratch.end(), 0u);
-    for (const auto& [t, left] : s.in_flight) ++scratch[inflight_off[t] + left - 1];
-  };
-  const auto decode = [&](std::size_t index) {
-    const auto words = store_.state(index);
-    TimedState s;
-    s.marking = Marking::from_tokens(words.first(np));
-    s.enabling_left.assign(words.begin() + static_cast<std::ptrdiff_t>(np),
-                           words.begin() + static_cast<std::ptrdiff_t>(np + nt));
-    for (std::uint32_t t = 0; t < nt; ++t) {
-      for (std::uint32_t left = 1; left <= firing_delay[t]; ++left) {
-        for (std::uint32_t c = words[inflight_off[t] + left - 1]; c > 0; --c) {
-          s.in_flight.emplace_back(t, left);
-        }
-      }
+  {
+    const detail::TimedState initial = detail::timed_initial_state(net, layout);
+    detail::encode_timed(layout, initial, scratch);
+    store_.intern(scratch);
+  }
+
+  detail::TimedSchedule schedule;
+  schedule.bootstrap();
+  bool stopped = false;
+
+  for (std::size_t head = 0; !stopped;) {
+    if (head == schedule.current.size()) {
+      if (!schedule.advance_tick()) break;
+      head = 0;
     }
-    return s;
-  };
-
-  // Eligibility under timed semantics: token-enabled, and single-server
-  // transitions must not have a firing of their own in flight.
-  auto eligible = [&](const TimedState& s, std::uint32_t t) {
-    if (net.is_single_server(TransitionId(t))) {
-      for (const auto& [ft, left] : s.in_flight) {
-        if (ft == t) return false;
-      }
+    const std::uint32_t si = schedule.current[head++];
+    edges_.begin_source(si);
+    const detail::TimedState s = detail::decode_timed(layout, store_.state(si));
+    const bool completed = detail::for_each_timed_successor(
+        net, layout, s,
+        [&](std::optional<TransitionId> label, const detail::TimedState& succ,
+            std::uint64_t cost) {
+          detail::encode_timed(layout, succ, scratch);
+          const auto interned = store_.intern(scratch);
+          edges_.add(Edge{label, interned.index});
+          return schedule.record(interned.index, interned.inserted, cost, store_.size(),
+                                 options);
+        });
+    if (!completed) {
+      stopped = true;  // max_states: keep the prefix, si's row stays partial
+    } else {
+      schedule.expanded[si] = 1;
     }
-    return net.tokens_available(s.marking, TransitionId(t));
-  };
+  }
 
-  // Canonical form: eligible transitions carry their remaining enabling
-  // delay; ineligible ones carry the full delay (reset timers). `previous`
-  // carries over running timers for continuously-eligible transitions.
-  auto normalize = [&](TimedState& s, const TimedState* previous) {
-    for (std::uint32_t t = 0; t < nt; ++t) {
-      if (eligible(s, t)) {
-        if (previous != nullptr && previous->enabling_left[t] <= enabling_delay[t] &&
-            eligible(*previous, t)) {
-          s.enabling_left[t] = previous->enabling_left[t];
-        }
-        // Newly eligible: keep what the caller pre-set (full delay).
-      } else {
-        s.enabling_left[t] = enabling_delay[t];
-      }
-    }
-    std::sort(s.in_flight.begin(), s.in_flight.end());
-  };
-
-  TimedState initial;
-  initial.marking = Marking::initial(net.net());
-  initial.enabling_left.assign(nt, 0);
-  for (std::uint32_t t = 0; t < nt; ++t) initial.enabling_left[t] = enabling_delay[t];
-  normalize(initial, nullptr);
-  encode(initial);
-  store_.intern(scratch);
-  earliest_time_.push_back(0);
-
-  Frontier frontier;
-  frontier.push_back(0);
-
-  // 0-1 BFS: firing edges cost 0 (push front), tick edges cost 1 (push
-  // back), so the first expansion of a state uses its earliest time.
-  drive_frontier_bfs(frontier, edges_, [&](std::uint32_t si) {
-    const TimedState s = decode(si);
-    const std::uint64_t now = earliest_time_[si];
-
-    // Ready transitions fire before time may pass (maximal progress).
-    std::vector<std::uint32_t> ready;
-    for (std::uint32_t t = 0; t < nt; ++t) {
-      if (s.enabling_left[t] == 0 && eligible(s, t)) ready.push_back(t);
-    }
-
-    auto add_edge = [&](std::optional<TransitionId> label, const TimedState& next,
-                        std::uint64_t cost) {
-      encode(next);
-      const auto interned = store_.intern(scratch);
-      const std::uint32_t target = interned.index;
-      edges_.add(Edge{label, target});
-      if (interned.inserted) earliest_time_.push_back(UINT64_MAX);
-      const std::uint64_t arrival = now + cost;
-      if (arrival < earliest_time_[target]) earliest_time_[target] = arrival;
-      if (interned.inserted) {
-        if (store_.size() > options.max_states) {
-          status_ = TimedReachStatus::kTruncated;
-          return false;
-        }
-        if (arrival > options.max_time) {
-          status_ = TimedReachStatus::kTruncated;
-          return true;  // state recorded but not explored further
-        }
-      }
-      if (!frontier.expanded(target)) {
-        if (cost == 0) {
-          frontier.push_front(target);
-        } else {
-          frontier.push_back(target);
-        }
-      }
-      return true;
-    };
-
-    if (!ready.empty()) {
-      for (std::uint32_t t : ready) {
-        TimedState next = s;
-        for (const Arc& a : net.inputs(TransitionId(t))) next.marking.remove(a.place, a.weight);
-        if (firing_delay[t] == 0) {
-          for (const Arc& a : net.outputs(TransitionId(t))) next.marking.add(a.place, a.weight);
-        } else {
-          next.in_flight.emplace_back(t, firing_delay[t]);
-        }
-        // The fired transition's own timer restarts.
-        next.enabling_left[t] = enabling_delay[t];
-        normalize(next, &s);
-        // A fired transition must re-earn its enabling delay even if still
-        // eligible (normalize would otherwise carry the old 0 over).
-        if (eligible(next, t)) next.enabling_left[t] = enabling_delay[t];
-        if (!add_edge(TransitionId(t), next, 0)) return false;
-      }
-      return true;  // time may not pass while something is ready
-    }
-
-    // Tick: possible iff something is waiting (an armed timer or an
-    // in-flight firing); otherwise the state is a timed deadlock.
-    bool anything_waiting = !s.in_flight.empty();
-    for (std::uint32_t t = 0; t < nt && !anything_waiting; ++t) {
-      anything_waiting = eligible(s, t);  // armed enabling timer
-    }
-    if (!anything_waiting) return true;  // deadlock: no outgoing edges
-
-    TimedState next = s;
-    for (std::uint32_t t = 0; t < nt; ++t) {
-      if (eligible(s, t) && next.enabling_left[t] > 0) next.enabling_left[t] -= 1;
-    }
-    std::vector<std::pair<std::uint32_t, std::uint32_t>> still_flying;
-    for (auto [t, left] : next.in_flight) {
-      if (left > 1) {
-        still_flying.emplace_back(t, left - 1);
-      } else {
-        for (const Arc& a : net.outputs(TransitionId(t))) next.marking.add(a.place, a.weight);
-      }
-    }
-    next.in_flight = std::move(still_flying);
-    {
-      // Completions may enable new transitions; carry running timers over.
-      TimedState carry = s;
-      carry.marking = next.marking;      // eligibility in the *new* marking
-      carry.in_flight = next.in_flight;  // and with the new in-flight set
-      carry.enabling_left = next.enabling_left;
-      normalize(next, &carry);
-    }
-    return add_edge(std::nullopt, next, 1);
-  });
-
+  status_ = schedule.status;
+  earliest_time_ = std::move(schedule.earliest_time);
+  expanded_ = std::move(schedule.expanded);
   edges_.finalize(store_.size());
+  expanded_.resize(store_.size(), 0);
+  for (const std::uint8_t e : expanded_) num_expanded_ += e;
 }
 
 std::optional<TimedReachabilityGraph::TimeBounds> TimedReachabilityGraph::time_bounds(
@@ -276,6 +129,12 @@ std::optional<TimedReachabilityGraph::TimeBounds> TimedReachabilityGraph::time_b
   while (!stack.empty() && !unbounded) {
     Frame& frame = stack.back();
     const std::size_t s = frame.state;
+    if (expanded_[s] == 0) {
+      // Truncation leftover: the path continues beyond the explored region
+      // without hitting the predicate — no finite bound can be claimed.
+      unbounded = true;
+      break;
+    }
     const auto out_edges = edges_.out(s);
     if (out_edges.empty()) {
       // Timed deadlock without hitting the predicate: avoided forever.
@@ -317,7 +176,7 @@ std::optional<TimedReachabilityGraph::TimeBounds> TimedReachabilityGraph::time_b
 std::vector<std::size_t> TimedReachabilityGraph::deadlock_states() const {
   std::vector<std::size_t> out;
   for (std::size_t s = 0; s < store_.size(); ++s) {
-    if (edges_.out_degree(s) == 0) out.push_back(s);
+    if (expanded_[s] != 0 && edges_.out_degree(s) == 0) out.push_back(s);
   }
   return out;
 }

@@ -22,12 +22,17 @@
 //   [ marking tokens | per-transition remaining enabling delay |
 //     per-(transition, remaining-cycles) in-flight firing counts ]
 // — a canonical encoding (the in-flight multiset becomes counts indexed by
-// remaining time), so interning needs no strings and no sorting. Edges are
-// one flat CSR pool. Width grows with the sum of firing delays; together
-// with the timer words this keeps the analyzer's practical envelope at
-// controller-sized nets (tens of places, delays up to ~10) — the paper's
-// [RP84] tool had the same envelope. Exploration is bounded by max_states
-// and max_time.
+// remaining time), so interning needs no strings and no sorting; the
+// encoding and the successor rule live in analysis/timed_encode.h, shared
+// with the parallel engine. Edges are one flat CSR pool. Width grows with
+// the sum of firing delays; together with the timer words this keeps the
+// analyzer's practical envelope at controller-sized nets (tens of places,
+// delays up to ~10) — the paper's [RP84] tool had the same envelope.
+// Exploration is bounded by max_states and max_time, and runs the 0-1 BFS
+// on a two-bucket scheduler (sequentially in this file's .cpp, or level-
+// parallel behind TimedReachOptions::threads — see
+// analysis/timed_parallel_exploration.h; graphs are byte-identical either
+// way).
 #pragma once
 
 #include <cstdint>
@@ -49,6 +54,12 @@ struct TimedReachOptions {
   std::size_t max_states = 100'000;
   /// Time horizon: paths are cut (status kTruncated) beyond this many ticks.
   std::uint64_t max_time = 10'000;
+  /// Worker threads for graph construction. 1 (the default) keeps the
+  /// sequential builder; 0 means hardware_concurrency. Any value produces
+  /// byte-identical graphs — state ids, edge order, earliest times,
+  /// statuses and truncated prefixes are thread-count-independent (see
+  /// analysis/timed_parallel_exploration.h).
+  unsigned threads = 1;
 };
 
 enum class TimedReachStatus : std::uint8_t { kComplete, kTruncated };
@@ -79,18 +90,40 @@ class TimedReachabilityGraph {
   [[nodiscard]] Marking marking(std::size_t state) const {
     return Marking::from_tokens(tokens(state));
   }
-  /// Time elapsed from the initial state (shortest path in ticks).
+  /// Time elapsed from the initial state (shortest path in ticks; exact
+  /// when status() == kComplete, an upper bound on truncated graphs).
   [[nodiscard]] std::uint64_t earliest_time(std::size_t state) const {
     return earliest_time_.at(state);
   }
   [[nodiscard]] std::span<const Edge> edges(std::size_t state) const {
     return edges_.out(state);
   }
+  /// The state's full interned word vector (marking | enabling timers |
+  /// in-flight counts) — the differential tests compare graphs byte for
+  /// byte through this.
+  [[nodiscard]] std::span<const std::uint32_t> state_words(std::size_t state) const {
+    return store_.state(state);
+  }
+
+  /// True if `state` was fully expanded (its edge row is complete). On a
+  /// truncated graph (max_states / max_time hit) the frontier leftovers
+  /// were discovered but never expanded: their empty edge rows say nothing
+  /// about deadlock, and queries must skip them.
+  [[nodiscard]] bool state_expanded(std::size_t state) const {
+    return expanded_.at(state) != 0;
+  }
+  /// Number of fully expanded states (== num_states() iff kComplete).
+  [[nodiscard]] std::size_t num_expanded() const { return num_expanded_; }
 
   /// Earliest and latest (over timing-feasible paths, up to the horizon)
   /// times at which `predicate` over the marking first becomes true.
   /// Returns nullopt if no path reaches it. The latest bound is the maximum
   /// over paths of the *first* hit — i.e. the worst-case response time.
+  /// Truncation honesty: a path that leaves the explored region (reaches a
+  /// never-expanded truncation leftover) without hitting the predicate has
+  /// an unknown continuation, so the latest bound saturates to UINT64_MAX —
+  /// the query never manufactures a finite bound a longer exploration could
+  /// break.
   struct TimeBounds {
     std::uint64_t earliest = 0;
     std::uint64_t latest = 0;
@@ -98,8 +131,10 @@ class TimedReachabilityGraph {
   [[nodiscard]] std::optional<TimeBounds> time_bounds(
       const std::function<bool(const Marking&)>& predicate) const;
 
-  /// States with no outgoing edges (true timed deadlocks: nothing fireable
-  /// now or ever, not even after ticks).
+  /// Fully-expanded states with no outgoing edges (true timed deadlocks:
+  /// nothing fireable now or ever, not even after ticks). Never-expanded
+  /// truncation leftovers are excluded — their empty edge rows mean
+  /// "unexplored", not "stuck".
   [[nodiscard]] std::vector<std::size_t> deadlock_states() const;
 
   /// Approximate heap footprint (arena + intern table + edge pool).
@@ -108,13 +143,15 @@ class TimedReachabilityGraph {
   }
 
  private:
-  void explore(TimedReachOptions options);
+  void explore(const TimedReachOptions& options);
 
   std::shared_ptr<const CompiledNet> net_;
   TimedReachStatus status_ = TimedReachStatus::kComplete;
   StateStore store_;
   EdgeCsr<Edge> edges_;
   std::vector<std::uint64_t> earliest_time_;
+  std::vector<std::uint8_t> expanded_;  ///< per state: edge row is complete
+  std::size_t num_expanded_ = 0;        ///< cached popcount of expanded_
 };
 
 }  // namespace pnut::analysis

@@ -1,5 +1,6 @@
 #include "cli/cli.h"
 
+#include <cmath>
 #include <fstream>
 #include <optional>
 #include <ostream>
@@ -123,6 +124,22 @@ const std::string& require_positional(const Args& args, std::size_t index,
   return args.positional()[index];
 }
 
+/// One `--threads` rule for every analysis command (analyze, query --reach):
+/// a non-negative integer, 0 meaning all hardware threads (the exploration
+/// engines resolve 0 themselves). Negative, fractional and absurd values
+/// are rejected up front — the range check must precede the cast, which is
+/// undefined for out-of-range doubles, and a four-billion-thread request
+/// should be a usage error, not a std::thread resource exhaustion.
+unsigned parse_threads(const Args& args) {
+  constexpr double kMaxThreads = 4096;
+  const double raw = args.get_number("threads", 1);
+  if (raw < 0 || raw > kMaxThreads || raw != std::floor(raw)) {
+    throw std::invalid_argument(
+        "--threads must be an integer in [0, 4096] (0 = all hardware threads)");
+  }
+  return static_cast<unsigned>(raw);
+}
+
 // --- commands --------------------------------------------------------------------
 
 int cmd_validate(const Args& args, std::ostream& out) {
@@ -200,6 +217,7 @@ int cmd_query(const Args& args, std::ostream& out) {
     analysis::ReachOptions options;
     options.max_states =
         static_cast<std::size_t>(args.get_number("max-states", 200000));
+    options.threads = parse_threads(args);
     const analysis::ReachabilityGraph graph(doc.net, options);
     if (graph.status() != analysis::ReachStatus::kComplete) {
       out << "warning: graph "
@@ -303,9 +321,8 @@ int cmd_analyze(const Args& args, std::ostream& out) {
   // threads); the graph is byte-identical for every thread count.
   analysis::ReachOptions options;
   options.max_states = static_cast<std::size_t>(args.get_number("max-states", 100000));
-  const double threads = args.get_number("threads", 1);
-  if (threads < 0) throw std::invalid_argument("--threads must be >= 0");
-  options.threads = static_cast<unsigned>(threads);
+  const unsigned threads = parse_threads(args);
+  options.threads = threads;
   const analysis::ReachabilityGraph graph(compiled, options);
   out << "\nreachability: " << graph.num_states() << " states, " << graph.num_edges()
       << " edges";
@@ -318,6 +335,23 @@ int cmd_analyze(const Args& args, std::ostream& out) {
     const std::size_t bytes = graph.memory_bytes();
     out << "  state storage: " << bytes / graph.num_states() << " bytes/state ("
         << (bytes + 1023) / 1024 << " KiB)\n";
+  }
+  // The invariant engine's reachability pass: check the structural
+  // P-invariants exactly over every discovered marking (sound even on a
+  // truncated graph — every discovered marking is reachable). Shares the
+  // graph built above, so it rides on --threads too.
+  if (!p_invs.empty() && graph.num_states() > 0) {
+    const auto violations = analysis::check_place_invariants_on_graph(graph, p_invs);
+    if (violations.empty()) {
+      out << "  place invariants verified over " << graph.num_states()
+          << " reachable states\n";
+    } else {
+      for (const auto& v : violations) {
+        out << "  INVARIANT VIOLATION: "
+            << analysis::format_place_invariant(net, p_invs[v.invariant]) << " has value "
+            << v.value << " in state #" << v.state << '\n';
+      }
+    }
   }
   if (graph.status() == analysis::ReachStatus::kComplete) {
     out << "  deadlock states: " << graph.deadlock_states().size() << '\n';
@@ -339,10 +373,13 @@ int cmd_analyze(const Args& args, std::ostream& out) {
   }
 
   // Timed reachability when delays permit (integer constants, no
-  // predicates/actions): timed state count and timed deadlocks.
+  // predicates/actions): timed state count and timed deadlocks. Rides on
+  // the same --threads flag; the timed graph too is byte-identical for
+  // every thread count.
   try {
     analysis::TimedReachOptions topts;
     topts.max_states = static_cast<std::size_t>(args.get_number("max-states", 100000));
+    topts.threads = threads;
     const analysis::TimedReachabilityGraph timed(compiled, topts);
     out << "timed reachability: " << timed.num_states() << " states"
         << (timed.status() == analysis::TimedReachStatus::kComplete ? " (complete)"
@@ -379,7 +416,7 @@ std::string usage() {
          "                [--trace FILE] [--keep name,name,...]\n"
          "  pnut stat     <trace.txt>\n"
          "  pnut query    <trace.txt> \"<query>\"\n"
-         "  pnut query    --reach <model.pn> \"<query>\" [--max-states N]\n"
+         "  pnut query    --reach <model.pn> \"<query>\" [--max-states N] [--threads N]\n"
          "  pnut render   <trace.txt> --signals a,b,label=expr,...\n"
          "                [--from T] [--to T] [--columns N] [--unicode]\n"
          "                [--marker X=T]...\n"

@@ -235,5 +235,45 @@ TEST(Invariants, SupportAndValueHelpers) {
   EXPECT_EQ(invariant_value(inv, m), 2 * 3 + 1 * 5);
 }
 
+TEST(Invariants, ReachabilityPassConfirmsStructuralInvariants) {
+  // The invariant engine's reachability pass: every structurally derived
+  // P-invariant must hold exactly on every explored marking of the full
+  // pipeline model — and the scan must agree for any thread count, since
+  // the graphs are byte-identical.
+  const Net net = pipeline::build_full_model();
+  const auto invs = place_invariants(net);
+  ASSERT_FALSE(invs.empty());
+  for (const unsigned threads : {1u, 4u}) {
+    ReachOptions options;
+    options.threads = threads;
+    const ReachabilityGraph graph(net, options);
+    EXPECT_TRUE(check_place_invariants_on_graph(graph, invs).empty()) << threads;
+  }
+}
+
+TEST(Invariants, ReachabilityPassFlagsDeviations) {
+  // A fabricated non-invariant (weight 1 on a single exchange place) must
+  // deviate on some reachable marking, with the deviation pinned to a
+  // concrete state and value.
+  Net net;
+  const PlaceId a = net.add_place("A", 2);
+  const PlaceId b = net.add_place("B");
+  const TransitionId t = net.add_transition("t");
+  net.add_input(t, a);
+  net.add_output(t, b);
+
+  const ReachabilityGraph graph(net);
+  const Invariant bogus{{1, 0}};  // "A alone is conserved" — it is not
+  const auto violations = check_place_invariants_on_graph(graph, {bogus});
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].invariant, 0u);
+  EXPECT_EQ(violations[0].expected, 2u);
+  EXPECT_LT(violations[0].value, 2u);
+  EXPECT_GT(violations[0].state, 0u);
+
+  const Invariant real{{1, 1}};  // A + B = 2 genuinely holds
+  EXPECT_TRUE(check_place_invariants_on_graph(graph, {real}).empty());
+}
+
 }  // namespace
 }  // namespace pnut::analysis

@@ -134,6 +134,84 @@ TEST(Reachability, TruncationAtMaxStates) {
   EXPECT_LE(graph.num_states(), 7u);
 }
 
+TEST(Reachability, TruncationReportsNoPhantomDeadlocks) {
+  // A live exchange net cut off by max_states: frontier leftovers past the
+  // expanded prefix have empty edge rows, but they are unexplored, not
+  // stuck — deadlock_states() must never include them. This net never
+  // deadlocks (t1/t2 always exchange), so the honest answer is "none".
+  Net net;
+  const PlaceId a = net.add_place("A", 10);
+  const PlaceId b = net.add_place("B");
+  const TransitionId t1 = net.add_transition("t1");
+  net.add_input(t1, a);
+  net.add_output(t1, b);
+  const TransitionId t2 = net.add_transition("t2");
+  net.add_input(t2, b);
+  net.add_output(t2, a);
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    ReachOptions options;
+    options.max_states = 5;
+    options.threads = threads;
+    const ReachabilityGraph graph(net, options);
+    ASSERT_EQ(graph.status(), ReachStatus::kTruncated);
+    ASSERT_LT(graph.num_expanded(), graph.num_states()) << threads;
+    EXPECT_TRUE(graph.deadlock_states().empty()) << threads;
+    EXPECT_TRUE(graph.state_expanded(0)) << threads;
+    EXPECT_FALSE(graph.state_expanded(graph.num_states() - 1)) << threads;
+  }
+}
+
+TEST(Reachability, TruncatedReversibilityIgnoresUnexpandedLeftovers) {
+  // The exchange net is reversible; on the truncated prefix every expanded
+  // state can return to the initial marking, and the never-expanded
+  // leftovers (whose onward edges are unknown) must not flip the answer.
+  Net net;
+  const PlaceId a = net.add_place("A", 10);
+  const PlaceId b = net.add_place("B");
+  const TransitionId t1 = net.add_transition("t1");
+  net.add_input(t1, a);
+  net.add_output(t1, b);
+  const TransitionId t2 = net.add_transition("t2");
+  net.add_input(t2, b);
+  net.add_output(t2, a);
+  ReachOptions options;
+  options.max_states = 5;
+  const ReachabilityGraph graph(net, options);
+  ASSERT_EQ(graph.status(), ReachStatus::kTruncated);
+  EXPECT_TRUE(graph.is_reversible());
+}
+
+TEST(Reachability, UnboundedStopKeepsDeadlocksHonest) {
+  // The pump's stopping state has a partial edge row (its over-bound firing
+  // recorded nothing); neither it nor the leftovers may read as deadlocks.
+  Net net("pump");
+  const PlaceId p = net.add_place("P", 1);
+  const PlaceId q = net.add_place("Q");
+  const TransitionId t = net.add_transition("t");
+  net.add_input(t, p);
+  net.add_output(t, p);
+  net.add_output(t, q, 2);
+  ReachOptions options;
+  options.place_bound = 16;
+  const ReachabilityGraph graph(net, options);
+  ASSERT_EQ(graph.status(), ReachStatus::kUnbounded);
+  EXPECT_LT(graph.num_expanded(), graph.num_states());
+  EXPECT_TRUE(graph.deadlock_states().empty());
+}
+
+TEST(Reachability, CompleteGraphsStillReportTrueDeadlocks) {
+  Net net;
+  const PlaceId a = net.add_place("A", 1);
+  const PlaceId b = net.add_place("B");
+  const TransitionId t = net.add_transition("t");
+  net.add_input(t, a);
+  net.add_output(t, b);
+  const ReachabilityGraph graph(net);
+  ASSERT_EQ(graph.status(), ReachStatus::kComplete);
+  EXPECT_EQ(graph.num_expanded(), graph.num_states());
+  EXPECT_EQ(graph.deadlock_states(), (std::vector<std::size_t>{1}));
+}
+
 TEST(Reachability, RespectCapacitiesBlocksOverflowingFirings) {
   Net net;
   const PlaceId p = net.add_place("P", 2);

@@ -178,16 +178,70 @@ TEST(EdgeCsr, RowsAreContiguousAndComplete) {
   EXPECT_EQ(csr.num_edges(), 3u);
 }
 
-TEST(Frontier, ZeroOneBfsOrderAndDeduplication) {
+TEST(EdgeCsr, AppendRowsBulkMatchesRowByRow) {
+  struct E {
+    std::uint32_t target;
+  };
+  EdgeCsr<E> csr;
+  csr.begin_source(0);
+  csr.add(E{1});
+
+  const std::uint32_t counts[] = {2, 0, 1};
+  const auto span = csr.append_rows(1, counts);
+  ASSERT_EQ(span.size(), 3u);
+  span[0] = E{10};
+  span[1] = E{11};
+  span[2] = E{12};
+  csr.finalize(4);
+
+  ASSERT_EQ(csr.out(1).size(), 2u);
+  EXPECT_EQ(csr.out(1)[0].target, 10u);
+  EXPECT_EQ(csr.out(1)[1].target, 11u);
+  EXPECT_EQ(csr.out_degree(2), 0u);
+  ASSERT_EQ(csr.out(3).size(), 1u);
+  EXPECT_EQ(csr.out(3)[0].target, 12u);
+  EXPECT_EQ(csr.num_edges(), 4u);
+}
+
+TEST(EdgeCsr, AppendRowsOverflowLeavesCsrIntact) {
+  // Row counts summing past the 32-bit offset space must throw *before*
+  // any mutation: the old code pushed truncated offsets into the row
+  // tables first and corrupted the CSR on the way to the throw.
+  struct E {
+    std::uint32_t target;
+  };
+  EdgeCsr<E> csr;
+  csr.begin_source(0);
+  csr.add(E{7});
+
+  // 3 * 1.5G edges > UINT32_MAX; the check fires before any allocation.
+  const std::uint32_t huge[] = {1u << 30, 3u << 30, 3u << 30};
+  EXPECT_THROW((void)csr.append_rows(1, huge), std::length_error);
+
+  // Nothing moved: the existing row still reads back and new bulk appends
+  // land exactly where they would have without the failed call.
+  EXPECT_EQ(csr.num_edges(), 1u);
+  ASSERT_EQ(csr.out(0).size(), 1u);
+  EXPECT_EQ(csr.out(0)[0].target, 7u);
+  const std::uint32_t counts[] = {1};
+  const auto span = csr.append_rows(1, counts);
+  span[0] = E{9};
+  csr.finalize(2);
+  ASSERT_EQ(csr.out(1).size(), 1u);
+  EXPECT_EQ(csr.out(1)[0].target, 9u);
+  EXPECT_EQ(csr.num_edges(), 2u);
+}
+
+TEST(Frontier, FifoOrderAndDeduplication) {
   Frontier frontier;
   frontier.push_back(0);
   frontier.push_back(1);
-  frontier.push_front(2);  // cost-0 discovery jumps the queue
-  frontier.push_back(1);   // duplicate: skipped on pop
+  frontier.push_back(2);
+  frontier.push_back(1);  // duplicate: skipped on pop
 
-  EXPECT_EQ(frontier.pop_unexpanded(), 2u);
   EXPECT_EQ(frontier.pop_unexpanded(), 0u);
   EXPECT_EQ(frontier.pop_unexpanded(), 1u);
+  EXPECT_EQ(frontier.pop_unexpanded(), 2u);
   EXPECT_EQ(frontier.pop_unexpanded(), std::nullopt);
   EXPECT_TRUE(frontier.expanded(2));
 }

@@ -1,0 +1,220 @@
+// Differential harness for parallel timed reachability.
+//
+// The timed parallel engine's contract mirrors the untimed one: not "an
+// isomorphic graph" but *the same graph* — for any thread count, state ids,
+// full interned state words, edge lists (order and labels included),
+// earliest times, expanded flags, deadlock sets and status must be
+// byte-identical to the sequential two-bucket builder's. This file pins
+// that on the paper's golden models, on a timed stress ring with deep
+// cost-0 closures, on limit-hitting (max_states / max_time truncated)
+// explorations, and on a population of ~50 randomized integer-delay
+// skeletons from tests/support/net_fuzz.h.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "../bench/reach_models.h"
+#include "analysis/timed_reachability.h"
+#include "pipeline/model.h"
+#include "support/net_fuzz.h"
+
+namespace pnut::analysis {
+namespace {
+
+constexpr unsigned kThreadCounts[] = {2, 4, 8};
+
+/// Independent oracle for the builders' earliest times: a textbook 0-1 BFS
+/// (deque Dijkstra) over the *finished* graph's edges. Both builders share
+/// the two-bucket scheduler, so a shared scheduling bug (e.g. a mishandled
+/// promotion expanding a state one tick late) would slip past the
+/// differential comparison — this recomputation would not miss it.
+void expect_earliest_times_are_shortest_distances(const TimedReachabilityGraph& graph) {
+  const std::size_t n = graph.num_states();
+  std::vector<std::uint64_t> dist(n, UINT64_MAX);
+  std::deque<std::size_t> queue;
+  dist[0] = 0;
+  queue.push_back(0);
+  while (!queue.empty()) {
+    const std::size_t s = queue.front();
+    queue.pop_front();
+    for (const auto& e : graph.edges(s)) {
+      const std::uint64_t cost = e.transition ? 0 : 1;
+      if (dist[s] + cost < dist[e.target]) {
+        dist[e.target] = dist[s] + cost;
+        if (cost == 0) {
+          queue.push_front(e.target);
+        } else {
+          queue.push_back(e.target);
+        }
+      }
+    }
+  }
+  for (std::size_t s = 0; s < n; ++s) {
+    EXPECT_EQ(graph.earliest_time(s), dist[s]) << "state " << s;
+  }
+}
+
+/// Full byte-level comparison of two timed reachability graphs.
+void expect_identical(const TimedReachabilityGraph& seq, const TimedReachabilityGraph& par,
+                      const std::string& label) {
+  SCOPED_TRACE(label);
+  ASSERT_EQ(par.status(), seq.status());
+  ASSERT_EQ(par.num_states(), seq.num_states());
+  ASSERT_EQ(par.num_expanded(), seq.num_expanded());
+
+  for (std::size_t s = 0; s < seq.num_states(); ++s) {
+    // Full state words: marking, enabling timers and in-flight counts all
+    // in the same canonical slot.
+    const auto seq_words = seq.state_words(s);
+    const auto par_words = par.state_words(s);
+    ASSERT_TRUE(std::equal(seq_words.begin(), seq_words.end(), par_words.begin(),
+                           par_words.end()))
+        << "state " << s << " words differ";
+    ASSERT_EQ(par.earliest_time(s), seq.earliest_time(s)) << "state " << s;
+    ASSERT_EQ(par.state_expanded(s), seq.state_expanded(s)) << "state " << s;
+    // Edge rows: same labels to the same targets in the same order.
+    const auto seq_edges = seq.edges(s);
+    const auto par_edges = par.edges(s);
+    ASSERT_EQ(seq_edges.size(), par_edges.size()) << "state " << s;
+    for (std::size_t e = 0; e < seq_edges.size(); ++e) {
+      ASSERT_EQ(par_edges[e].transition, seq_edges[e].transition)
+          << "state " << s << " edge " << e;
+      ASSERT_EQ(par_edges[e].target, seq_edges[e].target)
+          << "state " << s << " edge " << e;
+    }
+  }
+
+  EXPECT_EQ(par.deadlock_states(), seq.deadlock_states());
+}
+
+void expect_parallel_matches(const Net& net, const std::string& label,
+                             TimedReachOptions options = {}) {
+  options.threads = 1;
+  const TimedReachabilityGraph seq(net, options);
+  if (seq.status() == TimedReachStatus::kComplete) {
+    SCOPED_TRACE(label);
+    expect_earliest_times_are_shortest_distances(seq);
+  }
+  for (const unsigned threads : kThreadCounts) {
+    options.threads = threads;
+    const TimedReachabilityGraph par(net, options);
+    expect_identical(seq, par, label + " @" + std::to_string(threads) + " threads");
+  }
+}
+
+// --- golden models -----------------------------------------------------------
+
+TEST(TimedParallelEquivalence, Figure1Prefetch) {
+  expect_parallel_matches(pipeline::build_prefetch_model(), "fig1");
+}
+
+TEST(TimedParallelEquivalence, FullPipelineModel) {
+  expect_parallel_matches(pipeline::build_full_model(), "full");
+}
+
+TEST(TimedParallelEquivalence, GoldenCountsAtEveryThreadCount) {
+  // The frozen count pins from analysis_exploration_equivalence_test hold
+  // for the parallel path too.
+  for (const unsigned threads : kThreadCounts) {
+    TimedReachOptions options;
+    options.threads = threads;
+    const TimedReachabilityGraph graph(pipeline::build_full_model(), options);
+    EXPECT_EQ(graph.status(), TimedReachStatus::kComplete);
+    EXPECT_EQ(graph.num_states(), 4894u);
+    std::size_t edges = 0;
+    for (std::size_t s = 0; s < graph.num_states(); ++s) edges += graph.edges(s).size();
+    EXPECT_EQ(edges, 6439u);
+    EXPECT_TRUE(graph.deadlock_states().empty());
+  }
+}
+
+// --- same-instant races, in-flight desync, deep closures ---------------------
+
+TEST(TimedParallelEquivalence, TimedRaceRing) {
+  // Every instant branches on same-delay races and the firing closures run
+  // several states deep — plenty of two-bucket round-trips (756 states).
+  expect_parallel_matches(reach_models::timed_race_ring(8, 4), "race ring 8x4");
+}
+
+#ifdef NDEBUG
+TEST(TimedParallelEquivalence, MediumRaceRing) {
+  // 31,928 states; optimized builds only.
+  expect_parallel_matches(reach_models::timed_race_ring(12, 4), "race ring 12x4");
+}
+#endif
+
+// --- sequential stop rules ---------------------------------------------------
+
+TEST(TimedParallelEquivalence, StateCapTruncationIsThreadCountIndependent) {
+  // max_states hits mid-closure: the parallel builder must truncate at the
+  // exact discovery the sequential one stops at, keeping the same prefix.
+  const Net net = reach_models::timed_race_ring(8, 4);
+  for (const std::size_t cap : {4u, 29u, 153u}) {
+    TimedReachOptions options;
+    options.max_states = cap;
+    expect_parallel_matches(net, "truncated cap=" + std::to_string(cap), options);
+  }
+}
+
+TEST(TimedParallelEquivalence, HorizonTruncationIsThreadCountIndependent) {
+  const Net net = reach_models::timed_race_ring(8, 4);
+  for (const std::uint64_t horizon : {0u, 2u, 7u}) {
+    TimedReachOptions options;
+    options.max_time = horizon;
+    expect_parallel_matches(net, "horizon=" + std::to_string(horizon), options);
+  }
+}
+
+// --- randomized integer-delay skeletons --------------------------------------
+
+TEST(TimedParallelEquivalence, FuzzedTimedSkeletons) {
+  test_support::FuzzOptions fuzz;
+  fuzz.timed_integer = true;
+  TimedReachOptions options;
+  options.max_states = 20'000;
+  options.max_time = 300;
+  for (std::uint64_t seed = 1; seed <= 35; ++seed) {
+    expect_parallel_matches(test_support::fuzz_net(seed, fuzz),
+                            "timed fuzz seed=" + std::to_string(seed), options);
+  }
+}
+
+TEST(TimedParallelEquivalence, FuzzedLossySkeletons) {
+  // Lossy nets drift toward timed deadlocks: diffs the deadlock sets and
+  // the tick-until-stuck tails.
+  test_support::FuzzOptions fuzz;
+  fuzz.timed_integer = true;
+  fuzz.lossy_pct = 60;
+  TimedReachOptions options;
+  options.max_states = 20'000;
+  options.max_time = 300;
+  for (std::uint64_t seed = 101; seed <= 110; ++seed) {
+    expect_parallel_matches(test_support::fuzz_net(seed, fuzz),
+                            "lossy timed fuzz seed=" + std::to_string(seed), options);
+  }
+}
+
+TEST(TimedParallelEquivalence, FuzzedTruncatedSkeletons) {
+  // Tiny caps and horizons over random nets: stop-rule equivalence — the
+  // truncated prefix, expanded flags and statuses — is fuzzed too.
+  test_support::FuzzOptions fuzz;
+  fuzz.timed_integer = true;
+  for (std::uint64_t seed = 201; seed <= 210; ++seed) {
+    TimedReachOptions options;
+    options.max_states = 5 + seed % 23;
+    expect_parallel_matches(test_support::fuzz_net(seed, fuzz),
+                            "truncated timed fuzz seed=" + std::to_string(seed), options);
+  }
+  for (std::uint64_t seed = 301; seed <= 305; ++seed) {
+    TimedReachOptions options;
+    options.max_time = seed % 5;
+    expect_parallel_matches(test_support::fuzz_net(seed, fuzz),
+                            "horizon timed fuzz seed=" + std::to_string(seed), options);
+  }
+}
+
+}  // namespace
+}  // namespace pnut::analysis

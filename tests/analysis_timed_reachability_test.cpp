@@ -299,5 +299,79 @@ TEST(TimedReach, TruncationAtHorizon) {
   EXPECT_EQ(graph.status(), TimedReachStatus::kTruncated);
 }
 
+TEST(TimedReach, HorizonTruncationReportsNoPhantomDeadlocks) {
+  // Same endless loop: the beyond-horizon frontier leftover is *discovered*
+  // but never expanded. Its empty edge row means "unexplored", not "stuck"
+  // — the deadlock query must not report it (the net never deadlocks).
+  Net net;
+  const PlaceId p = net.add_place("P", 1);
+  const PlaceId q = net.add_place("Counter");
+  const TransitionId t = net.add_transition("T");
+  net.add_input(t, p);
+  net.add_output(t, p);
+  net.add_output(t, q);
+  net.set_enabling_time(t, DelaySpec::constant(1));
+
+  TimedReachOptions options;
+  options.max_time = 4;
+  const TimedReachabilityGraph graph(net, options);
+  ASSERT_EQ(graph.status(), TimedReachStatus::kTruncated);
+  ASSERT_LT(graph.num_expanded(), graph.num_states());
+  EXPECT_TRUE(graph.deadlock_states().empty());
+  for (const std::size_t s : graph.deadlock_states()) {
+    EXPECT_TRUE(graph.state_expanded(s));
+  }
+
+  // Worst-case bound to a never-reached marking saturates rather than
+  // pretending the truncated region was explored.
+  const auto bounds = graph.time_bounds(marked(net, "Counter", 3));
+  ASSERT_TRUE(bounds.has_value());
+  EXPECT_EQ(bounds->earliest, 3u);
+  EXPECT_EQ(bounds->latest, 3u);
+}
+
+TEST(TimedReach, StateCapTruncationReportsNoPhantomDeadlocks) {
+  // A live two-phase loop cut off by max_states: every reported deadlock
+  // must be an expanded state (there are none — the loop never sticks).
+  Net net;
+  const PlaceId a = net.add_place("A", 1);
+  const PlaceId b = net.add_place("B");
+  const PlaceId c = net.add_place("Counter");
+  const TransitionId go = net.add_transition("go");
+  net.add_input(go, a);
+  net.add_output(go, b);
+  net.add_output(go, c);
+  net.set_enabling_time(go, DelaySpec::constant(2));
+  const TransitionId back = net.add_transition("back");
+  net.add_input(back, b);
+  net.add_output(back, a);
+  net.set_firing_time(back, DelaySpec::constant(1));
+
+  TimedReachOptions options;
+  options.max_states = 6;
+  const TimedReachabilityGraph graph(net, options);
+  ASSERT_EQ(graph.status(), TimedReachStatus::kTruncated);
+  ASSERT_LT(graph.num_expanded(), graph.num_states());
+  EXPECT_TRUE(graph.deadlock_states().empty());
+}
+
+TEST(TimedReach, CompleteGraphStillReportsTrueDeadlocks) {
+  // The honesty filter must not hide real deadlocks on complete graphs.
+  Net net;
+  const PlaceId a = net.add_place("A", 1);
+  const PlaceId b = net.add_place("B");
+  const TransitionId t = net.add_transition("T");
+  net.add_input(t, a);
+  net.add_output(t, b);
+  net.set_enabling_time(t, DelaySpec::constant(1));
+
+  const TimedReachabilityGraph graph(net);
+  ASSERT_EQ(graph.status(), TimedReachStatus::kComplete);
+  EXPECT_EQ(graph.num_expanded(), graph.num_states());
+  const auto deadlocks = graph.deadlock_states();
+  ASSERT_EQ(deadlocks.size(), 1u);
+  EXPECT_EQ(graph.marking(deadlocks[0])[b], 1u);
+}
+
 }  // namespace
 }  // namespace pnut::analysis

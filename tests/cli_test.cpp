@@ -164,6 +164,42 @@ TEST_F(CliTest, QueryOnReachabilityGraph) {
   EXPECT_NE(r.out.find("holds"), std::string::npos);
 }
 
+TEST_F(CliTest, QueryReachTakesThreads) {
+  // The reachability graph behind --reach is byte-identical for every
+  // --threads value, so the query answer (and the whole report line) is
+  // too. 0 means "all hardware threads".
+  const Result sequential = run_cli({"query", "--reach", model_path_,
+                                     "forall s in S [ Bus_busy(s) + Bus_free(s) = 1 ]"});
+  ASSERT_EQ(sequential.code, 0) << sequential.err;
+  for (const char* threads : {"0", "2", "4"}) {
+    const Result parallel =
+        run_cli({"query", "--reach", model_path_,
+                 "forall s in S [ Bus_busy(s) + Bus_free(s) = 1 ]", "--threads", threads});
+    EXPECT_EQ(parallel.code, 0) << parallel.err;
+    EXPECT_EQ(parallel.out, sequential.out) << "--threads " << threads;
+  }
+}
+
+TEST_F(CliTest, ThreadsFlagRejectsNegativeAndFractional) {
+  // One rule across every command that explores: integers in [0, 4096]
+  // only, rejected up front with a usage error (a four-billion-thread
+  // request must not reach std::thread).
+  for (const char* bad : {"-1", "-3", "1.5", "nope", "999999999", "4294967296"}) {
+    const Result query = run_cli({"query", "--reach", model_path_,
+                                  "exists s in S [ Bus_free(s) = 1 ]", "--threads", bad});
+    EXPECT_EQ(query.code, 2) << "query --threads " << bad;
+    const Result analyze = run_cli({"analyze", model_path_, "--threads", bad});
+    EXPECT_EQ(analyze.code, 2) << "analyze --threads " << bad;
+    EXPECT_NE(analyze.err.find("--threads"), std::string::npos) << bad;
+  }
+}
+
+TEST_F(CliTest, ThreadsZeroMeansHardwareConcurrency) {
+  const Result r = run_cli({"analyze", model_path_, "--threads", "0"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("reachability:"), std::string::npos);
+}
+
 TEST_F(CliTest, QuerySyntaxErrorIsUsageError) {
   const std::string trace_path = make_trace_file();
   const Result r = run_cli({"query", trace_path, "forall s in ["});
@@ -203,6 +239,7 @@ TEST_F(CliTest, AnalyzeReportsInvariantsAndReachability) {
   EXPECT_NE(r.out.find("structurally bounded"), std::string::npos);
   EXPECT_NE(r.out.find("transition invariants"), std::string::npos);
   EXPECT_NE(r.out.find("reachability:"), std::string::npos);
+  EXPECT_NE(r.out.find("place invariants verified over"), std::string::npos);
   EXPECT_NE(r.out.find("deadlock states: 0"), std::string::npos);
   EXPECT_NE(r.out.find("reversible: yes"), std::string::npos);
   EXPECT_NE(r.out.find("timed reachability:"), std::string::npos);

@@ -15,7 +15,9 @@
 // variable at runtime, which exercises layout widening) and timing
 // features (every DelaySpec kind, frequencies, firing policies). Timed
 // nets always get firing times >= 1, so a fuzzed simulation can never
-// livelock in a same-instant immediate cascade.
+// livelock in a same-instant immediate cascade. `timed_integer` instead
+// draws integer-constant delay skeletons — the subset the timed
+// reachability analyzer accepts — for its differential harness.
 //
 // Everything is derived from one std::mt19937_64 seeded by the caller:
 // same seed, same net, forever — the differential tests log only the seed.
@@ -54,6 +56,13 @@ struct FuzzOptions {
   /// enabling times, frequencies and firing policies. For simulator fuzz;
   /// untimed reachability ignores them.
   bool timed = false;
+  /// Add an integer-constant timing skeleton instead: every transition gets
+  /// constant integer enabling (0-2) and firing (0-3) delays plus an
+  /// occasional infinite-server policy — exactly the feature set
+  /// TimedReachabilityGraph accepts, for the timed differential harness.
+  /// Mutually exclusive with `timed` (which draws stochastic DelaySpecs the
+  /// timed analyzer rejects).
+  bool timed_integer = false;
 };
 
 inline Net fuzz_net(std::uint64_t seed, const FuzzOptions& options = {}) {
@@ -164,7 +173,19 @@ inline Net fuzz_net(std::uint64_t seed, const FuzzOptions& options = {}) {
       }
     }
 
-    if (options.timed) {
+    if (options.timed_integer) {
+      // Integer skeleton: zero delays stay common (immediate firings and
+      // cost-0 closures), small positive ones exercise timers/in-flight.
+      // Takes precedence over `timed` (the else-if below) so the two
+      // toggles cannot silently overwrite each other's delays.
+      if (chance(60)) {
+        net.set_firing_time(t, DelaySpec::constant(static_cast<Time>(pick(1, 3))));
+      }
+      if (chance(50)) {
+        net.set_enabling_time(t, DelaySpec::constant(static_cast<Time>(pick(1, 2))));
+      }
+      if (chance(20)) net.set_policy(t, FiringPolicy::kInfiniteServer);
+    } else if (options.timed) {
       switch (pick(0, 3)) {
         case 0: net.set_firing_time(t, DelaySpec::constant(static_cast<Time>(pick(1, 4)))); break;
         case 1: net.set_firing_time(t, DelaySpec::uniform_int(1, 3)); break;
