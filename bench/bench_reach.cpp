@@ -11,6 +11,7 @@
 #include "bench_util.h"
 
 #include <chrono>
+#include <string_view>
 #include <thread>
 
 #include "analysis/reachability.h"
@@ -77,7 +78,7 @@ std::vector<Model> make_models() {
                     pipeline::build_prefetch_model(), 2000, 8.88e5,
                     reach_models::kFig1Prefetch});
   models.push_back({"fig4_interpreted_pipeline", "Figure 4 interpreted",
-                    pipeline::build_interpreted_pipeline(), 10, 3.67e4,
+                    pipeline::build_interpreted_pipeline(), 50, 3.67e4,
                     reach_models::kFig4Interpreted});
   models.push_back({"full_pipeline_model", "full pipeline",
                     pipeline::build_full_model(), 100, 6.41e5,
@@ -86,6 +87,14 @@ std::vector<Model> make_models() {
                     2.63e5, reach_models::kStressRing38x5});
   return models;
 }
+
+/// The interpreted model's numbers before the expression bytecode VM and
+/// slot-addressed data state (PR 5): tree-walking AST hooks plus a
+/// DataContext snapshot per state. Kept inline so the trajectory of the
+/// paper's flagship interpreted scenario stays visible next to the
+/// string-key baseline above.
+constexpr double kFig4PreVmStatesPerSecond = 97'316;
+constexpr double kFig4PreVmBytesPerState = 1688.4;
 
 /// One parallel-scaling point: build the graph once at `threads` workers.
 GraphRun measure_parallel(const Net& net, unsigned threads, const Golden& golden) {
@@ -146,6 +155,12 @@ void print_artifact() {
                 model.label, run.states_per_second,
                 100.0 * (run.states_per_second / model.baseline_states_per_second - 1.0),
                 run.bytes_per_state, run.counts_ok ? "match golden" : "MISMATCH");
+    if (std::string_view(model.key) == "fig4_interpreted_pipeline") {
+      std::printf("%-22s %10.2fx states/s, %.2fx bytes/state vs pre-VM "
+                  "(AST hooks + DataContext snapshots)\n",
+                  "  expr-VM effect", run.states_per_second / kFig4PreVmStatesPerSecond,
+                  kFig4PreVmBytesPerState / run.bytes_per_state);
+    }
   }
   std::printf("\n");
 
@@ -251,6 +266,15 @@ void print_artifact() {
     }
     std::fprintf(json, "    \"counts_match_golden\": %s\n  },\n",
                  timed_counts_ok ? "true" : "false");
+    std::fprintf(json,
+                 "  \"pre_vm_baseline\": {\n"
+                 "    \"fig4_interpreted_pipeline\": {\"states_per_second\": %.0f, "
+                 "\"bytes_per_state\": %.1f},\n"
+                 "    \"note\": \"interpreted model before the expression bytecode "
+                 "VM and slot-addressed data state: tree-walking AST "
+                 "predicates/actions plus one DataContext snapshot per state\"\n"
+                 "  },\n",
+                 kFig4PreVmStatesPerSecond, kFig4PreVmBytesPerState);
     std::fprintf(json,
                  "  \"pre_refactor_baseline\": {\n");
     for (const Model& model : models) {

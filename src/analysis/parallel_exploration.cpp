@@ -124,21 +124,28 @@ struct Batch {
 /// Reused per-worker buffers: no allocation per expanded state.
 struct WorkerScratch {
   std::vector<std::uint32_t> words;     ///< provisional state under construction
-  std::vector<std::uint32_t> seen_ids;  ///< context-id dedup per action firing
+  std::vector<std::uint64_t> seen_ids;  ///< successor dedup per action firing
   SlotSet seen_slots;                   ///< candidate filter (fast seal)
+  DataFrame parent_frame;               ///< VM path: decoded parent data
+  DataFrame cand_frame;                 ///< VM path: per-sample action target
+  expr::VmScratch vm;
 };
 
 class ParallelExplorer {
  public:
   ParallelExplorer(std::shared_ptr<const CompiledNet> net, const ReachOptions& options,
-                   unsigned threads)
+                   unsigned threads, std::shared_ptr<const expr::NetProgram> program)
       : net_(std::move(net)),
         options_(options),
         threads_(threads),
         num_places_(net_->num_places()),
         initial_data_(net_->net().initial_data()),
         track_data_(net_->net_has_actions()),
-        prov_width_(num_places_ + (track_data_ ? 1 : 0)) {
+        program_(std::move(program)),
+        vm_mode_(program_ != nullptr && track_data_),
+        prov_width_(num_places_ +
+                    (vm_mode_ ? program_->schema().encoded_words()
+                              : (track_data_ ? 1 : 0))) {
     // Shard count: a few shards per worker keeps striped-lock contention
     // low; power of two so the pick is a mask over the hash's top bits
     // (the intern tables consume the low bits).
@@ -159,8 +166,11 @@ class ParallelExplorer {
       const auto level_end = static_cast<std::uint32_t>(canonical_.size());
       expand_level(level_begin, level_end, batches);
       expanded_end = level_end;
-      const bool keep_going =
-          track_data_ ? seal_exact(batches) : seal_fast(batches, level_begin);
+      // The VM path needs no context re-encoding at seal (provisional
+      // words ARE the canonical words), so it rides the fast seal.
+      const bool keep_going = track_data_ && !vm_mode_
+                                  ? seal_exact(batches)
+                                  : seal_fast(batches, level_begin);
       if (!keep_going) break;  // truncated or unbounded: stop, keep the prefix
       num_expanded_ = level_end;  // the whole level sealed cleanly
     }
@@ -180,6 +190,25 @@ class ParallelExplorer {
   // --- bootstrap -------------------------------------------------------------
 
   void bootstrap() {
+    if (vm_mode_) {
+      // Slot path: canonical and provisional words coincide — the marking
+      // followed by the schema-encoded frame, width frozen up front.
+      canonical_ = StateStore(prov_width_);
+      seal_scratch_.resize(prov_width_);
+      const Marking initial = Marking::initial(net_->net());
+      std::memcpy(seal_scratch_.data(), initial.tokens().data(),
+                  num_places_ * sizeof(std::uint32_t));
+      program_->schema().encode(program_->initial_frame(),
+                                seal_scratch_.data() + num_places_);
+      canonical_.intern(seal_scratch_);
+      const std::uint64_t h = hash_words(seal_scratch_.data(), prov_width_);
+      Shard& shard = shards_[shard_of(h)];
+      const auto r = shard.store.intern(seal_scratch_, h);
+      shard.canonical.resize(shard.store.size(), kUnassigned);
+      shard.canonical[r.index] = 0;
+      return;
+    }
+
     if (track_data_) layout_.init(initial_data_);
     const std::size_t width = num_places_ + (track_data_ ? layout_.words() : 0);
     canonical_ = StateStore(width);
@@ -283,6 +312,20 @@ class ParallelExplorer {
     }
   }
 
+  /// Predicate test on the expand path: bytecode on the worker's frame
+  /// when the net compiled, the AST hook otherwise.
+  [[nodiscard]] bool predicate_holds(TransitionId t, const DataContext& d,
+                                     WorkerScratch& scratch) {
+    if (program_ != nullptr) {
+      const expr::Code* code = program_->predicate(t);
+      if (code == nullptr) return true;
+      const DataFrame& frame =
+          vm_mode_ ? scratch.parent_frame : program_->initial_frame();
+      return expr::vm_eval(*code, frame, nullptr, scratch.vm) != 0;
+    }
+    return !net_->has_predicate(t) || net_->predicate(t)(d);
+  }
+
   /// One parent, mirroring the sequential expansion loop firing for firing.
   /// Reads only sealed data (canonical arena, data_, data_id_ — frozen
   /// during the expand phase); writes only the batch and the shards.
@@ -291,15 +334,24 @@ class ParallelExplorer {
     // Copy, per the intern contract: the canonical span itself stays valid
     // during expansion, but the provisional words must be mutable anyway.
     const auto parent = canonical_.state(p);
-    std::copy_n(parent.begin(), num_places_, scratch.words.begin());
-    if (track_data_) scratch.words[num_places_] = data_id_[p];
-    const DataContext& d = track_data_ ? data_[p] : initial_data_;
+    if (vm_mode_) {
+      // Canonical and provisional words coincide: full-width copy, then
+      // decode the parent's data words into the worker's frame.
+      std::copy_n(parent.begin(), prov_width_, scratch.words.begin());
+      program_->schema().decode(scratch.words.data() + num_places_,
+                                scratch.parent_frame);
+    } else {
+      std::copy_n(parent.begin(), num_places_, scratch.words.begin());
+      if (track_data_) scratch.words[num_places_] = data_id_[p];
+    }
+    const DataContext& d = track_data_ && !vm_mode_ ? data_[p] : initial_data_;
     const std::span<const TokenCount> tokens(scratch.words.data(), num_places_);
 
     const auto items_before = static_cast<std::uint32_t>(batch.items.size());
     for (std::uint32_t ti = 0; ti < net_->num_transitions(); ++ti) {
       const TransitionId t(ti);
-      if (!net_->is_enabled(tokens, t, d)) continue;
+      if (!net_->tokens_available(tokens, t)) continue;
+      if (!predicate_holds(t, d, scratch)) continue;
       if (options_.respect_capacities &&
           detail::overflows_capacity(*net_, tokens, t)) {
         continue;
@@ -332,6 +384,30 @@ class ParallelExplorer {
 
       if (!net_->has_action(t)) {
         intern_successor(scratch, ti, batch);
+      } else if (vm_mode_) {
+        // Stochastic action on the VM: same sample sequence as the
+        // sequential builder, deduplicated on the successor's interned
+        // identity — injective over the encoded words, so the kept set
+        // and its order match the sequential encoded-key dedup exactly.
+        scratch.seen_ids.clear();
+        const std::size_t samples = std::max<std::size_t>(options_.irand_fanout_limit, 1);
+        for (std::size_t k = 0; k < samples; ++k) {
+          scratch.cand_frame.assign(scratch.parent_frame);
+          Rng rng(detail::action_sample_seed(p, ti, k));
+          expr::vm_exec(*program_->action(t), scratch.cand_frame, &rng, scratch.vm);
+          program_->schema().encode(scratch.cand_frame,
+                                    scratch.words.data() + num_places_);
+          const auto [shard, slot] = intern_provisional(scratch.words);
+          const std::uint64_t id = (static_cast<std::uint64_t>(shard) << 32) | slot;
+          if (std::find(scratch.seen_ids.begin(), scratch.seen_ids.end(), id) ==
+              scratch.seen_ids.end()) {
+            scratch.seen_ids.push_back(id);
+            record_item(scratch, ti, shard, slot, batch);
+          }
+        }
+        // Restore the parent's data words for the next transition.
+        program_->schema().encode(scratch.parent_frame,
+                                  scratch.words.data() + num_places_);
       } else {
         // Stochastic action: identical sample sequence to the sequential
         // builder (seeds are a pure function of the canonical parent id),
@@ -360,8 +436,9 @@ class ParallelExplorer {
         static_cast<std::uint32_t>(batch.items.size()) - items_before;
   }
 
-  void intern_successor(WorkerScratch& scratch, std::uint32_t ti, Batch& batch) {
-    const std::vector<std::uint32_t>& words = scratch.words;
+  /// Intern scratch words into their hash shard; provisional identity only.
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> intern_provisional(
+      const std::vector<std::uint32_t>& words) {
     const std::uint64_t h = hash_words(words.data(), prov_width_);
     const auto shard_idx = static_cast<std::uint32_t>(shard_of(h));
     Shard& shard = shards_[shard_idx];
@@ -370,17 +447,29 @@ class ParallelExplorer {
       const std::lock_guard<std::mutex> lock(shard.mutex);
       slot = shard.store.intern(words, h).index;
     }
+    return {shard_idx, slot};
+  }
+
+  /// Record one edge to a provisional successor, capturing the candidate
+  /// for the fast seal when this is its first batch-local sighting. Slots
+  /// >= the sealed-prefix size were minted this level; `shard.canonical`
+  /// is only resized at seal, so its size is stable through expansion.
+  void record_item(WorkerScratch& scratch, std::uint32_t ti, std::uint32_t shard_idx,
+                   std::uint32_t slot, Batch& batch) {
     batch.items.push_back(Item{ti, shard_idx, slot});
-    // Candidate capture for the fast seal (plain nets): slots >= the
-    // sealed-prefix size were minted this level — record the first
-    // batch-local sighting with its words. `shard.canonical` is only
-    // resized at seal, so its size is stable all through expansion.
-    if (!track_data_ && slot >= shard.canonical.size() &&
+    const bool fast_seal = !track_data_ || vm_mode_;
+    if (fast_seal && slot >= shards_[shard_idx].canonical.size() &&
         scratch.seen_slots.insert((static_cast<std::uint64_t>(shard_idx) << 32) | slot)) {
       batch.candidates.push_back(
           Candidate{slot, shard_idx, static_cast<std::uint32_t>(batch.items.size() - 1)});
-      batch.fresh_words.insert(batch.fresh_words.end(), words.begin(), words.end());
+      batch.fresh_words.insert(batch.fresh_words.end(), scratch.words.begin(),
+                               scratch.words.end());
     }
+  }
+
+  void intern_successor(WorkerScratch& scratch, std::uint32_t ti, Batch& batch) {
+    const auto [shard_idx, slot] = intern_provisional(scratch.words);
+    record_item(scratch, ti, shard_idx, slot, batch);
   }
 
   // --- seal ------------------------------------------------------------------
@@ -575,6 +664,8 @@ class ParallelExplorer {
   std::size_t num_places_;
   DataContext initial_data_;
   bool track_data_;
+  std::shared_ptr<const expr::NetProgram> program_;  ///< bytecode (may be null)
+  bool vm_mode_;  ///< slot-frame data path: program_ covers an action-bearing net
   std::size_t prov_width_;
 
   std::size_t num_shards_ = 0;
@@ -599,12 +690,12 @@ class ParallelExplorer {
 
 ParallelReachResult explore_reachability_parallel(
     const std::shared_ptr<const CompiledNet>& net, const ReachOptions& options,
-    unsigned threads) {
+    unsigned threads, const std::shared_ptr<const expr::NetProgram>& program) {
   if (!net) throw std::invalid_argument("explore_reachability_parallel: null CompiledNet");
   if (threads < 2) {
     throw std::invalid_argument("explore_reachability_parallel: needs >= 2 threads");
   }
-  return ParallelExplorer(net, options, threads).run();
+  return ParallelExplorer(net, options, threads, program).run();
 }
 
 }  // namespace pnut::analysis

@@ -57,6 +57,7 @@
 #include "analysis/exploration.h"
 #include "analysis/reachability.h"
 #include "analysis/state_store.h"
+#include "expr/program.h"
 #include "petri/compiled_net.h"
 #include "petri/data_context.h"
 
@@ -79,12 +80,21 @@ struct ParallelReachResult {
 /// Explore with `threads` workers (>= 2; callers resolve 0/1 themselves).
 /// Byte-identical to the sequential builder for any thread count.
 ///
+/// `program` (may be null) is the net's compiled expression bytecode: when
+/// present, predicates and actions run on the VM against slot frames, a
+/// provisional state is its full [marking | encoded data] word vector (no
+/// context table, no per-state DataContext), and interpreted nets ride the
+/// fast candidate seal exactly like plain nets — the encoded width is
+/// frozen up front, so no mid-seal layout widening can occur.
+///
 /// Thread-safety requirement on the model (same one run_replications
 /// already imposes): predicates, actions and computed delays attached to
 /// the net must be safe to invoke concurrently — i.e. pure functions of
-/// their arguments.
+/// their arguments. (Bytecode is immutable and each worker evaluates with
+/// its own scratch, so the VM path satisfies this by construction.)
 ParallelReachResult explore_reachability_parallel(
     const std::shared_ptr<const CompiledNet>& net, const ReachOptions& options,
-    unsigned threads);
+    unsigned threads,
+    const std::shared_ptr<const expr::NetProgram>& program = nullptr);
 
 }  // namespace pnut::analysis

@@ -276,8 +276,20 @@ class TemporalNode final : public QNode {
 
     // Until fixpoint: AU needs all successors satisfied (and at least one),
     // EU needs some successor satisfied.
+    //
+    // Truncation honesty: a never-expanded frontier state of a truncated
+    // graph has an empty successor row that means "unexplored", not
+    // "terminal". Reading it as terminal would fabricate counterexamples
+    // (inev false because exploration stopped, not because a path
+    // escapes). Such states saturate instead — they count as satisfied
+    // when the guard still holds there, i.e. the until is "not violated
+    // within the explored region" (the same convention time_bounds uses
+    // when a path escapes the explored prefix). On complete graphs and
+    // traces every state is expanded and this changes nothing.
     std::vector<char> sat(n, 0);
-    for (std::size_t i = 0; i < n; ++i) sat[i] = cond_v[i];
+    for (std::size_t i = 0; i < n; ++i) {
+      sat[i] = cond_v[i] || (!space.state_expanded(i) && guard_v[i]);
+    }
     bool changed = true;
     while (changed) {
       changed = false;

@@ -29,8 +29,16 @@ void ReachabilityGraph::explore(ReachOptions options) {
     const unsigned hw = std::thread::hardware_concurrency();
     threads = hw == 0 ? 1 : hw;
   }
+  // Data words join the intern key only when an action can change them.
+  track_data_ = net_->net_has_actions();
+  // The bytecode fast path applies when every hook is expression-backed.
+  if (options.use_expr_vm && net_->net_is_interpreted()) {
+    program_ = expr::NetProgram::compile(net_->net());
+  }
+
   if (threads > 1) {
-    ParallelReachResult result = explore_reachability_parallel(net_, options, threads);
+    ParallelReachResult result =
+        explore_reachability_parallel(net_, options, threads, program_);
     store_ = std::move(result.store);
     edges_ = std::move(result.edges);
     data_ = std::move(result.data);
@@ -39,11 +47,16 @@ void ReachabilityGraph::explore(ReachOptions options) {
     num_expanded_ = result.num_expanded;
     return;
   }
+  if (program_ != nullptr) {
+    explore_sequential_vm(options);
+  } else {
+    explore_sequential(options);
+  }
+}
 
+void ReachabilityGraph::explore_sequential(const ReachOptions& options) {
   const std::size_t num_places = net_->num_places();
   const DataContext initial_data = net_->net().initial_data();
-  // Data words join the intern key only when an action can change them.
-  track_data_ = net_->net_has_actions();
 
   DataLayout layout;
   if (track_data_) layout.init(initial_data);
@@ -189,13 +202,170 @@ void ReachabilityGraph::explore(ReachOptions options) {
   edges_.finalize(store_.size());
 }
 
+void ReachabilityGraph::explore_sequential_vm(const ReachOptions& options) {
+  const std::size_t num_places = net_->num_places();
+  const DataSchema& schema = program_->schema();
+  const DataFrame& initial_frame = program_->initial_frame();
+  const std::size_t data_words = track_data_ ? schema.encoded_words() : 0;
+  const std::size_t width = num_places + data_words;
+  store_ = StateStore(width);
+
+  std::vector<std::uint32_t> scratch(width);
+  DataFrame parent_frame;
+  DataFrame cand_frame;
+  expr::VmScratch vm;
+
+  // Action-free nets have a constant data state, so each predicate has one
+  // truth value per run: memoize it at its first evaluation (same position
+  // the AST path first evaluates it, so errors surface identically).
+  std::vector<std::int8_t> pred_memo;
+  if (!track_data_) pred_memo.assign(net_->num_transitions(), -1);
+  const auto predicate_holds = [&](TransitionId t, const DataFrame& frame) {
+    const expr::Code* code = program_->predicate(t);
+    if (code == nullptr) return true;
+    if (!track_data_) {
+      std::int8_t& memo = pred_memo[t.value];
+      if (memo < 0) memo = expr::vm_eval(*code, frame, nullptr, vm) != 0 ? 1 : 0;
+      return memo != 0;
+    }
+    return expr::vm_eval(*code, frame, nullptr, vm) != 0;
+  };
+
+  {
+    const Marking initial = Marking::initial(net_->net());
+    std::memcpy(scratch.data(), initial.tokens().data(),
+                num_places * sizeof(std::uint32_t));
+    if (track_data_) schema.encode(initial_frame, scratch.data() + num_places);
+    store_.intern(scratch);
+  }
+
+  Frontier frontier;
+  frontier.push_back(0);
+
+  // Reused outcome-dedup buffers (stochastic actions): distinct encoded
+  // data words, first occurrence kept — the same rule as the AST path,
+  // just with no DataContext materialization anywhere.
+  std::vector<std::vector<std::uint32_t>> outcome_keys;
+  std::size_t num_outcomes = 0;
+
+  num_expanded_ = drive_frontier_bfs(frontier, edges_, [&](std::uint32_t state) {
+    // Copies: interning may grow the arena while we expand.
+    std::copy(store_.state(state).begin(), store_.state(state).end(), scratch.begin());
+    if (track_data_) schema.decode(scratch.data() + num_places, parent_frame);
+    const DataFrame& frame = track_data_ ? parent_frame : initial_frame;
+    const std::span<const TokenCount> tokens(scratch.data(), num_places);
+
+    for (std::uint32_t ti = 0; ti < net_->num_transitions(); ++ti) {
+      const TransitionId t(ti);
+      if (!net_->tokens_available(tokens, t)) continue;
+      if (!predicate_holds(t, frame)) continue;
+      if (options.respect_capacities && overflows_capacity(*net_, tokens, t)) continue;
+
+      // Fire in place (enablement guarantees no underflow); undone below.
+      for (const Arc& a : net_->inputs(t)) scratch[a.place.value] -= a.weight;
+      for (const Arc& a : net_->outputs(t)) scratch[a.place.value] += a.weight;
+
+      // Same boundedness rule as the AST path, including the whole-marking
+      // check when expanding the initial state.
+      bool over = false;
+      if (state == 0) {
+        for (std::size_t i = 0; i < num_places; ++i) over |= scratch[i] > options.place_bound;
+      } else {
+        for (const Arc& a : net_->outputs(t)) {
+          over |= scratch[a.place.value] > options.place_bound;
+        }
+      }
+      if (over) {
+        status_ = ReachStatus::kUnbounded;
+        return false;
+      }
+
+      if (!net_->has_action(t)) {
+        // Deterministic data: the parent's data words are still in scratch.
+        const auto interned = store_.intern(scratch);
+        edges_.add(Edge{t, interned.index});
+        if (interned.inserted) {
+          if (store_.size() > options.max_states) {
+            status_ = ReachStatus::kTruncated;
+            return false;
+          }
+          frontier.push_back(interned.index);
+        }
+      } else {
+        num_outcomes = 0;
+        const std::size_t samples = std::max<std::size_t>(options.irand_fanout_limit, 1);
+        for (std::size_t k = 0; k < samples; ++k) {
+          cand_frame.assign(parent_frame);
+          Rng rng(detail::action_sample_seed(state, ti, k));
+          expr::vm_exec(*program_->action(t), cand_frame, &rng, vm);
+          if (outcome_keys.size() <= num_outcomes) outcome_keys.emplace_back();
+          std::vector<std::uint32_t>& key = outcome_keys[num_outcomes];
+          key.resize(data_words);
+          schema.encode(cand_frame, key.data());
+          bool seen = false;
+          for (std::size_t i = 0; i < num_outcomes && !seen; ++i) {
+            seen = outcome_keys[i] == key;
+          }
+          if (!seen) ++num_outcomes;
+        }
+
+        for (std::size_t i = 0; i < num_outcomes; ++i) {
+          std::memcpy(scratch.data() + num_places, outcome_keys[i].data(),
+                      data_words * sizeof(std::uint32_t));
+          const auto interned = store_.intern(scratch);
+          edges_.add(Edge{t, interned.index});
+          if (interned.inserted) {
+            if (store_.size() > options.max_states) {
+              status_ = ReachStatus::kTruncated;
+              return false;
+            }
+            frontier.push_back(interned.index);
+          }
+        }
+        // Restore the parent's data words for the next transition.
+        std::memcpy(scratch.data() + num_places, store_.state(state).data() + num_places,
+                    data_words * sizeof(std::uint32_t));
+      }
+
+      // Undo the firing.
+      for (const Arc& a : net_->outputs(t)) scratch[a.place.value] -= a.weight;
+      for (const Arc& a : net_->inputs(t)) scratch[a.place.value] += a.weight;
+    }
+    return true;
+  });
+
+  edges_.finalize(store_.size());
+}
+
 std::int64_t ReachabilityGraph::transition_activity(std::size_t state, TransitionId t) const {
+  if (program_ != nullptr) {
+    if (!net_->tokens_available(tokens(state), t)) return 0;
+    const expr::Code* predicate = program_->predicate(t);
+    if (predicate == nullptr) return 1;
+    if (!track_data_) {
+      return expr::vm_eval(*predicate, program_->initial_frame(), nullptr,
+                           query_scratch_) != 0
+                 ? 1
+                 : 0;
+    }
+    program_->schema().decode(store_.state(state).data() + net_->num_places(),
+                              query_frame_);
+    return expr::vm_eval(*predicate, query_frame_, nullptr, query_scratch_) != 0 ? 1 : 0;
+  }
   const DataContext& d = track_data_ ? data_.at(state) : net_->net().initial_data();
   return net_->is_enabled(tokens(state), t, d) ? 1 : 0;
 }
 
 std::optional<std::int64_t> ReachabilityGraph::variable(std::size_t state,
                                                         std::string_view name) const {
+  if (program_ != nullptr && track_data_) {
+    // Per-state data lives as encoded slot words in the arena; read the
+    // one scalar straight out of the state's word block.
+    const auto slot = program_->schema().scalar_slot(name);
+    if (!slot) return std::nullopt;
+    return program_->schema().decode_scalar(
+        store_.state(state).data() + net_->num_places(), *slot);
+  }
   const DataContext& d = track_data_ ? data_.at(state) : net_->net().initial_data();
   if (d.has(name)) return d.get(name);
   return std::nullopt;

@@ -35,7 +35,10 @@
 #include "analysis/exploration.h"
 #include "analysis/state_space.h"
 #include "analysis/state_store.h"
+#include "expr/program.h"
+#include "expr/vm.h"
 #include "petri/compiled_net.h"
+#include "petri/data_frame.h"
 #include "petri/marking.h"
 #include "petri/net.h"
 
@@ -60,6 +63,14 @@ struct ReachOptions {
   /// deadlock sets and place bounds are thread-count-independent (see
   /// analysis/parallel_exploration.h).
   unsigned threads = 1;
+  /// Run predicates/actions as slot-addressed bytecode (expr/vm.h) when
+  /// every hook came from expr::compile_*: per-state data becomes encoded
+  /// slot words in the arena instead of a DataContext snapshot, and the
+  /// mid-run layout widening disappears (the variable universe is frozen
+  /// up front). The graph is identical to the AST/DataContext path's —
+  /// same state numbering, edges, statuses — which stays both the fallback
+  /// for hand-written C++ hooks and the equivalence-test oracle.
+  bool use_expr_vm = true;
 };
 
 enum class ReachStatus : std::uint8_t { kComplete, kTruncated, kUnbounded };
@@ -121,7 +132,7 @@ class ReachabilityGraph final : public StateSpace {
   /// prefix [0, num_expanded()). On a truncated or unbounded graph the
   /// states past that prefix are frontier leftovers whose empty (or, for
   /// the stopping state, partial) edge rows mean "unexplored", not "stuck".
-  [[nodiscard]] bool state_expanded(std::size_t state) const {
+  [[nodiscard]] bool state_expanded(std::size_t state) const override {
     return state < num_expanded_;
   }
   /// Number of fully expanded states (== num_states() iff kComplete).
@@ -155,16 +166,27 @@ class ReachabilityGraph final : public StateSpace {
 
  private:
   void explore(ReachOptions options);
+  /// Sequential builders: the AST/DataContext reference path and the
+  /// bytecode/slot-frame fast path (program_ non-null). Same graph.
+  void explore_sequential(const ReachOptions& options);
+  void explore_sequential_vm(const ReachOptions& options);
 
   std::shared_ptr<const CompiledNet> net_;
   ReachStatus status_ = ReachStatus::kComplete;
   StateStore store_;
   EdgeCsr<Edge> edges_;
-  /// Per-state data snapshots, kept only when the net has actions (data can
-  /// change); queries on action-free nets read the initial data.
+  /// Per-state data snapshots — only on the AST path of a net with actions
+  /// (on the bytecode path per-state data lives as slot words in the
+  /// arena; action-free nets read the initial data).
   std::vector<DataContext> data_;
   bool track_data_ = false;
   std::size_t num_expanded_ = 0;  ///< fully-expanded prefix length
+
+  /// Bytecode runtime (null on the AST path); query-time scratch for
+  /// decoding per-state frames out of the arena.
+  std::shared_ptr<const expr::NetProgram> program_;
+  mutable DataFrame query_frame_;
+  mutable expr::VmScratch query_scratch_;
 };
 
 }  // namespace pnut::analysis

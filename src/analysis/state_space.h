@@ -52,6 +52,17 @@ class StateSpace {
     for (const std::size_t s : successors(state)) fn(s);
   }
 
+  /// True if `state`'s successor list is complete. A truncated
+  /// reachability graph leaves frontier states with empty successor rows
+  /// that mean "unexplored", not "terminal" — temporal queries (inev/poss)
+  /// saturate through such states instead of reading them as dead ends.
+  /// Complete spaces (traces, untruncated graphs) report every state
+  /// expanded, which is the default.
+  [[nodiscard]] virtual bool state_expanded(std::size_t state) const {
+    (void)state;
+    return true;
+  }
+
   /// Name resolution for query formulas.
   [[nodiscard]] virtual std::optional<PlaceId> find_place(std::string_view name) const = 0;
   [[nodiscard]] virtual std::optional<TransitionId> find_transition(

@@ -53,7 +53,8 @@ class Args {
   }
 
   static bool is_boolean_flag(const std::string& name) {
-    return name == "stats" || name == "tbl" || name == "unicode";
+    return name == "stats" || name == "tbl" || name == "unicode" ||
+           name == "no-expr-vm";
   }
 
   [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
@@ -189,7 +190,9 @@ int cmd_simulate(const Args& args, std::ostream& out) {
     }
   }
 
-  Simulator sim(CompiledNet::compile(doc.net));
+  SimOptions sim_options;
+  sim_options.use_expr_vm = !args.has("no-expr-vm");
+  Simulator sim(CompiledNet::compile(doc.net), sim_options);
   sim.set_sink(&sinks);
   sim.reset(seed);
   const StopReason reason = sim.run_until(until);
@@ -218,6 +221,7 @@ int cmd_query(const Args& args, std::ostream& out) {
     options.max_states =
         static_cast<std::size_t>(args.get_number("max-states", 200000));
     options.threads = parse_threads(args);
+    options.use_expr_vm = !args.has("no-expr-vm");
     const analysis::ReachabilityGraph graph(doc.net, options);
     if (graph.status() != analysis::ReachStatus::kComplete) {
       out << "warning: graph "
@@ -323,6 +327,7 @@ int cmd_analyze(const Args& args, std::ostream& out) {
   options.max_states = static_cast<std::size_t>(args.get_number("max-states", 100000));
   const unsigned threads = parse_threads(args);
   options.threads = threads;
+  options.use_expr_vm = !args.has("no-expr-vm");
   const analysis::ReachabilityGraph graph(compiled, options);
   out << "\nreachability: " << graph.num_states() << " states, " << graph.num_edges()
       << " edges";
@@ -413,15 +418,18 @@ std::string usage() {
          "  pnut validate <model.pn>\n"
          "  pnut print    <model.pn>\n"
          "  pnut simulate <model.pn> [--until T] [--seed S] [--stats|--tbl]\n"
-         "                [--trace FILE] [--keep name,name,...]\n"
+         "                [--trace FILE] [--keep name,name,...] [--no-expr-vm]\n"
          "  pnut stat     <trace.txt>\n"
          "  pnut query    <trace.txt> \"<query>\"\n"
          "  pnut query    --reach <model.pn> \"<query>\" [--max-states N] [--threads N]\n"
+         "                [--no-expr-vm]\n"
          "  pnut render   <trace.txt> --signals a,b,label=expr,...\n"
          "                [--from T] [--to T] [--columns N] [--unicode]\n"
          "                [--marker X=T]...\n"
          "  pnut animate  <trace.txt> [--steps N]\n"
-         "  pnut analyze  <model.pn> [--max-states N] [--threads N]\n";
+         "  pnut analyze  <model.pn> [--max-states N] [--threads N] [--no-expr-vm]\n"
+         "(--no-expr-vm keeps the AST/DataContext evaluation path for\n"
+         " predicates/actions/computed delays; results are identical)\n";
 }
 
 int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {

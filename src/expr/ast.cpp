@@ -32,9 +32,23 @@ std::int64_t CallNode::eval(const EvalContext& ctx) const {
     }
     return ctx.rng->next_int(values[0], values[1]);
   }
-  if (name_ == "min" && values.size() == 2) return std::min(values[0], values[1]);
-  if (name_ == "max" && values.size() == 2) return std::max(values[0], values[1]);
-  if (name_ == "abs" && values.size() == 1) return values[0] < 0 ? -values[0] : values[0];
+  // min/max/abs are reserved builtin names: a wrong argument count is an
+  // arity error, not a fall-through to table lookup (which used to surface
+  // as a baffling "unknown table 'min'").
+  if (name_ == "min" || name_ == "max") {
+    if (values.size() != 2) {
+      throw EvalError(name_ + " expects 2 arguments, got " +
+                      std::to_string(values.size()));
+    }
+    return name_ == "min" ? std::min(values[0], values[1])
+                          : std::max(values[0], values[1]);
+  }
+  if (name_ == "abs") {
+    if (values.size() != 1) {
+      throw EvalError("abs expects 1 argument, got " + std::to_string(values.size()));
+    }
+    return values[0] < 0 ? wrap_neg(values[0]) : values[0];
+  }
 
   if (ctx.resolve_call) {
     if (auto v = ctx.resolve_call(name_, values)) return *v;
@@ -67,7 +81,7 @@ std::string CallNode::to_string() const {
 std::int64_t UnaryNode::eval(const EvalContext& ctx) const {
   const std::int64_t v = operand_->eval(ctx);
   switch (op_) {
-    case UnaryOp::kNeg: return -v;
+    case UnaryOp::kNeg: return wrap_neg(v);
     case UnaryOp::kNot: return v == 0 ? 1 : 0;
   }
   return 0;  // unreachable
@@ -88,14 +102,17 @@ std::int64_t BinaryNode::eval(const EvalContext& ctx) const {
   const std::int64_t a = lhs_->eval(ctx);
   const std::int64_t b = rhs_->eval(ctx);
   switch (op_) {
-    case BinaryOp::kAdd: return a + b;
-    case BinaryOp::kSub: return a - b;
-    case BinaryOp::kMul: return a * b;
+    case BinaryOp::kAdd: return wrap_add(a, b);
+    case BinaryOp::kSub: return wrap_sub(a, b);
+    case BinaryOp::kMul: return wrap_mul(a, b);
     case BinaryOp::kDiv:
       if (b == 0) throw EvalError("division by zero");
+      // INT64_MIN / -1 overflows (and traps on x86); it is an error like /0.
+      if (a == INT64_MIN && b == -1) throw EvalError("division overflow");
       return a / b;
     case BinaryOp::kMod:
       if (b == 0) throw EvalError("modulo by zero");
+      if (a == INT64_MIN && b == -1) throw EvalError("modulo overflow");
       return a % b;
     case BinaryOp::kEq: return a == b ? 1 : 0;
     case BinaryOp::kNe: return a != b ? 1 : 0;

@@ -72,11 +72,32 @@ class Node {
   [[nodiscard]] virtual std::string to_string() const = 0;
 };
 
+/// Two's-complement wrapping arithmetic shared by the AST evaluator and the
+/// bytecode VM: expression arithmetic is defined to wrap on overflow (both
+/// evaluators must agree bit-for-bit, and plain signed +,-,* would be
+/// undefined behaviour on overflow).
+[[nodiscard]] inline std::int64_t wrap_add(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                   static_cast<std::uint64_t>(b));
+}
+[[nodiscard]] inline std::int64_t wrap_sub(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) -
+                                   static_cast<std::uint64_t>(b));
+}
+[[nodiscard]] inline std::int64_t wrap_mul(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) *
+                                   static_cast<std::uint64_t>(b));
+}
+[[nodiscard]] inline std::int64_t wrap_neg(std::int64_t v) {
+  return static_cast<std::int64_t>(0 - static_cast<std::uint64_t>(v));
+}
+
 class NumberNode final : public Node {
  public:
   explicit NumberNode(std::int64_t value) : value_(value) {}
   std::int64_t eval(const EvalContext&) const override { return value_; }
   std::string to_string() const override { return std::to_string(value_); }
+  [[nodiscard]] std::int64_t value() const { return value_; }
 
  private:
   std::int64_t value_;
@@ -113,6 +134,8 @@ class UnaryNode final : public Node {
   UnaryNode(UnaryOp op, NodePtr operand) : op_(op), operand_(std::move(operand)) {}
   std::int64_t eval(const EvalContext& ctx) const override;
   std::string to_string() const override;
+  [[nodiscard]] UnaryOp op() const { return op_; }
+  [[nodiscard]] const Node& operand() const { return *operand_; }
 
  private:
   UnaryOp op_;
@@ -125,6 +148,9 @@ class BinaryNode final : public Node {
       : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
   std::int64_t eval(const EvalContext& ctx) const override;
   std::string to_string() const override;
+  [[nodiscard]] BinaryOp op() const { return op_; }
+  [[nodiscard]] const Node& lhs() const { return *lhs_; }
+  [[nodiscard]] const Node& rhs() const { return *rhs_; }
 
  private:
   BinaryOp op_;

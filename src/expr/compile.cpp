@@ -8,32 +8,18 @@ namespace pnut::expr {
 
 Predicate compile_predicate(std::string_view source) {
   // std::function requires copyable callables; share the parsed AST.
-  std::shared_ptr<const Node> ast{parse_expression(source)};
-  return [ast](const DataContext& data) -> bool {
-    EvalContext ctx;
-    ctx.data = &data;
-    return ast->eval(ctx) != 0;
-  };
+  return CompiledPredicateFn{std::shared_ptr<const Node>{parse_expression(source)},
+                             std::string(source)};
 }
 
 Action compile_action(std::string_view source) {
-  auto program = std::make_shared<const Program>(parse_program(source));
-  return [program](DataContext& data, Rng& rng) {
-    EvalContext ctx;
-    ctx.data = &data;
-    ctx.mutable_data = &data;
-    ctx.rng = &rng;
-    program->execute(ctx);
-  };
+  return CompiledActionFn{std::make_shared<const Program>(parse_program(source)),
+                          std::string(source)};
 }
 
 DelaySpec compile_delay(std::string_view source) {
-  std::shared_ptr<const Node> ast{parse_expression(source)};
-  return DelaySpec::computed([ast](const DataContext& data) -> Time {
-    EvalContext ctx;
-    ctx.data = &data;
-    return static_cast<Time>(ast->eval(ctx));
-  });
+  return DelaySpec::computed(CompiledDelayFn{
+      std::shared_ptr<const Node>{parse_expression(source)}, std::string(source)});
 }
 
 }  // namespace pnut::expr

@@ -1,0 +1,277 @@
+#include "expr/program.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "expr/compile.h"
+
+namespace pnut::expr {
+
+namespace {
+
+/// One-pass AST -> bytecode lowering with static stack-depth tracking.
+class ExprCompiler {
+ public:
+  explicit ExprCompiler(const DataSchema& schema) : schema_(schema) {}
+
+  void compile_expr(const Node& node) {
+    if (const auto* num = dynamic_cast<const NumberNode*>(&node)) {
+      emit(Op::kConst, add_const(num->value()), 0, +1);
+      return;
+    }
+    if (const auto* ident = dynamic_cast<const IdentifierNode*>(&node)) {
+      if (const auto slot = schema_.scalar_slot(ident->name())) {
+        emit(Op::kLoadSlot, static_cast<std::int32_t>(*slot),
+             add_name(ident->name()), +1);
+      } else {
+        // The name can never exist (the schema is the complete universe):
+        // defer the AST evaluator's error to evaluation time.
+        emit(Op::kThrowIdent, add_name(ident->name()), 0, +1);
+      }
+      return;
+    }
+    if (const auto* call = dynamic_cast<const CallNode*>(&node)) {
+      compile_call(*call);
+      return;
+    }
+    if (const auto* unary = dynamic_cast<const UnaryNode*>(&node)) {
+      compile_expr(unary->operand());
+      emit(unary->op() == UnaryOp::kNeg ? Op::kNeg : Op::kNot, 0, 0, 0);
+      return;
+    }
+    if (const auto* binary = dynamic_cast<const BinaryNode*>(&node)) {
+      compile_binary(*binary);
+      return;
+    }
+    throw CompileError("unsupported expression node: " + node.to_string());
+  }
+
+  void compile_statement(const Statement& stmt) {
+    // Statement evaluation order matches Program::execute: value first,
+    // then (for table writes) the index.
+    compile_expr(*stmt.value);
+    if (stmt.index) {
+      compile_expr(*stmt.index);
+      if (const auto ti = schema_.table_index(stmt.target)) {
+        emit(Op::kStoreTable, add_table(*ti), 0, -2);
+      } else {
+        // Actions cannot create tables; the AST path raises the
+        // DataContext error at execution time — so do we.
+        emit(Op::kThrowTable, add_name(stmt.target), 0, -2);
+      }
+    } else {
+      const auto slot = schema_.scalar_slot(stmt.target);
+      if (!slot) {
+        throw CompileError("assignment target '" + stmt.target +
+                           "' is not in the schema");
+      }
+      emit(Op::kStoreSlot, static_cast<std::int32_t>(*slot), 0, -1);
+    }
+  }
+
+  [[nodiscard]] Code take() { return std::move(code_); }
+
+ private:
+  void compile_call(const CallNode& call) {
+    const std::string& name = call.name();
+    const auto& args = call.args();
+    const auto arity_error = [&](std::size_t want, const char* plural) {
+      throw CompileError(name + " expects " + std::to_string(want) + " argument" +
+                         plural + ", got " + std::to_string(args.size()));
+    };
+    if (name == "irand") {
+      if (args.size() != 2) arity_error(2, "s");
+      compile_expr(*args[0]);
+      compile_expr(*args[1]);
+      emit(Op::kIrand, 0, 0, -1);
+      return;
+    }
+    if (name == "min" || name == "max") {
+      if (args.size() != 2) arity_error(2, "s");
+      compile_expr(*args[0]);
+      compile_expr(*args[1]);
+      emit(name == "min" ? Op::kMin : Op::kMax, 0, 0, -1);
+      return;
+    }
+    if (name == "abs") {
+      if (args.size() != 1) arity_error(1, "");
+      compile_expr(*args[0]);
+      emit(Op::kAbs, 0, 0, 0);
+      return;
+    }
+    if (args.size() == 1) {
+      if (const auto ti = schema_.table_index(name)) {
+        compile_expr(*args[0]);
+        emit(Op::kLoadTable, add_table(*ti), 0, 0);
+        return;
+      }
+    }
+    // Unknown name (or a table called with the wrong argument count): the
+    // AST evaluator computes every argument first, then throws — keep the
+    // argument side effects (rng draws) and the error position identical.
+    for (const NodePtr& a : args) compile_expr(*a);
+    emit(Op::kThrowCall, add_name(name), static_cast<std::int32_t>(args.size()),
+         1 - static_cast<int>(args.size()));
+  }
+
+  void compile_binary(const BinaryNode& node) {
+    if (node.op() == BinaryOp::kAnd || node.op() == BinaryOp::kOr) {
+      compile_expr(node.lhs());
+      const std::size_t branch = code_.instrs.size();
+      emit(node.op() == BinaryOp::kAnd ? Op::kAndFalse : Op::kOrTrue, 0, 0, -1);
+      compile_expr(node.rhs());
+      emit(Op::kToBool, 0, 0, 0);
+      // Short-circuit target: just past the rhs (both paths leave one 0/1).
+      code_.instrs[branch].a = static_cast<std::int32_t>(code_.instrs.size());
+      return;
+    }
+    compile_expr(node.lhs());
+    compile_expr(node.rhs());
+    Op op = Op::kAdd;
+    switch (node.op()) {
+      case BinaryOp::kAdd: op = Op::kAdd; break;
+      case BinaryOp::kSub: op = Op::kSub; break;
+      case BinaryOp::kMul: op = Op::kMul; break;
+      case BinaryOp::kDiv: op = Op::kDiv; break;
+      case BinaryOp::kMod: op = Op::kMod; break;
+      case BinaryOp::kEq: op = Op::kEq; break;
+      case BinaryOp::kNe: op = Op::kNe; break;
+      case BinaryOp::kLt: op = Op::kLt; break;
+      case BinaryOp::kLe: op = Op::kLe; break;
+      case BinaryOp::kGt: op = Op::kGt; break;
+      case BinaryOp::kGe: op = Op::kGe; break;
+      case BinaryOp::kAnd:
+      case BinaryOp::kOr: break;  // handled above
+    }
+    emit(op, 0, 0, -1);
+  }
+
+  void emit(Op op, std::int32_t a, std::int32_t b, int stack_delta) {
+    code_.instrs.push_back(Instr{op, a, b});
+    depth_ += stack_delta;
+    code_.max_stack = std::max(code_.max_stack, static_cast<std::uint32_t>(
+                                                    depth_ > 0 ? depth_ : 0));
+  }
+
+  std::int32_t add_const(std::int64_t v) {
+    for (std::size_t i = 0; i < code_.consts.size(); ++i) {
+      if (code_.consts[i] == v) return static_cast<std::int32_t>(i);
+    }
+    code_.consts.push_back(v);
+    return static_cast<std::int32_t>(code_.consts.size() - 1);
+  }
+
+  std::int32_t add_name(const std::string& name) {
+    for (std::size_t i = 0; i < code_.names.size(); ++i) {
+      if (code_.names[i] == name) return static_cast<std::int32_t>(i);
+    }
+    code_.names.push_back(name);
+    return static_cast<std::int32_t>(code_.names.size() - 1);
+  }
+
+  std::int32_t add_table(std::uint32_t schema_table) {
+    const DataSchema::Table& t = schema_.tables()[schema_table];
+    const std::int32_t name = add_name(t.name);
+    // Dedup by name id (unique per table) — a zero-size table shares its
+    // base with the table laid out right after it.
+    for (std::size_t i = 0; i < code_.tables.size(); ++i) {
+      if (code_.tables[i].name == static_cast<std::uint32_t>(name)) {
+        return static_cast<std::int32_t>(i);
+      }
+    }
+    code_.tables.push_back(
+        Code::TableRef{t.base, t.size, static_cast<std::uint32_t>(name)});
+    return static_cast<std::int32_t>(code_.tables.size() - 1);
+  }
+
+  const DataSchema& schema_;
+  Code code_;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Code compile_expression(const Node& ast, const DataSchema& schema) {
+  ExprCompiler compiler(schema);
+  compiler.compile_expr(ast);
+  return compiler.take();
+}
+
+Code compile_program(const Program& program, const DataSchema& schema) {
+  ExprCompiler compiler(schema);
+  for (const Statement& stmt : program.statements) compiler.compile_statement(stmt);
+  return compiler.take();
+}
+
+std::shared_ptr<const NetProgram> NetProgram::compile(const Net& net) {
+  const std::size_t n = net.num_transitions();
+
+  // Recover the ASTs behind every hook; any opaque hook disqualifies the
+  // net from the bytecode path (the engines keep the AST/DataContext one).
+  std::vector<const Node*> predicates(n, nullptr);
+  std::vector<const Program*> actions(n, nullptr);
+  std::vector<const Node*> firing(n, nullptr);
+  std::vector<const Node*> enabling(n, nullptr);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Transition& t = net.transitions()[i];
+    if (t.predicate) {
+      const auto* fn = t.predicate.target<CompiledPredicateFn>();
+      if (fn == nullptr) return nullptr;
+      predicates[i] = fn->ast.get();
+    }
+    if (t.action) {
+      const auto* fn = t.action.target<CompiledActionFn>();
+      if (fn == nullptr) return nullptr;
+      actions[i] = fn->program.get();
+    }
+    for (const auto& [spec, out] :
+         {std::pair{&t.firing_time, &firing}, std::pair{&t.enabling_time, &enabling}}) {
+      if (spec->kind() != DelaySpec::Kind::kComputed) continue;
+      const auto* fn = spec->computed_fn().target<CompiledDelayFn>();
+      if (fn == nullptr) return nullptr;
+      (*out)[i] = fn->ast.get();
+    }
+  }
+
+  // The variable universe: initial data plus every scalar assignment
+  // target (syntactically known; tables cannot be created by actions).
+  std::vector<std::string> created;
+  for (const Program* program : actions) {
+    if (program == nullptr) continue;
+    for (const Statement& stmt : program->statements) {
+      if (!stmt.index) created.push_back(stmt.target);
+    }
+  }
+
+  auto result = std::make_shared<NetProgram>();
+  result->schema_ = DataSchema::build(net.initial_data(), created);
+  result->initial_frame_ = result->schema_.make_frame(net.initial_data());
+  result->predicates_.resize(n);
+  result->actions_.resize(n);
+  result->firing_delays_.resize(n);
+  result->enabling_delays_.resize(n);
+  try {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (predicates[i] != nullptr) {
+        result->predicates_[i] = compile_expression(*predicates[i], result->schema_);
+      }
+      if (actions[i] != nullptr) {
+        result->actions_[i] = compile_program(*actions[i], result->schema_);
+      }
+      if (firing[i] != nullptr) {
+        result->firing_delays_[i] = compile_expression(*firing[i], result->schema_);
+      }
+      if (enabling[i] != nullptr) {
+        result->enabling_delays_[i] = compile_expression(*enabling[i], result->schema_);
+      }
+    }
+  } catch (const CompileError&) {
+    // E.g. a builtin arity mistake: the AST evaluator raises it lazily at
+    // evaluation time, so fall back rather than change when it surfaces.
+    return nullptr;
+  }
+  return result;
+}
+
+}  // namespace pnut::expr

@@ -1,0 +1,154 @@
+#include "expr/vm.h"
+
+#include <cstdint>
+
+namespace pnut::expr {
+
+namespace {
+
+/// The one interpreter loop. `frame` is written only by store opcodes,
+/// which the compiler emits only into action-program code — evaluating a
+/// compiled *expression* never mutates the frame (vm_eval relies on this).
+std::int64_t run(const Code& code, DataFrame& frame, Rng* rng, VmScratch& scratch) {
+  if (scratch.stack.size() < code.max_stack) scratch.stack.resize(code.max_stack);
+  std::int64_t* stack = scratch.stack.data();
+  std::size_t sp = 0;  // next free slot
+
+  const Instr* ip = code.instrs.data();
+  const Instr* end = ip + code.instrs.size();
+  while (ip != end) {
+    const Instr in = *ip++;
+    switch (in.op) {
+      case Op::kConst:
+        stack[sp++] = code.consts[static_cast<std::size_t>(in.a)];
+        break;
+      case Op::kLoadSlot: {
+        const auto slot = static_cast<std::size_t>(in.a);
+        if (frame.present[slot] == 0) {
+          throw EvalError("unknown identifier '" +
+                          code.names[static_cast<std::size_t>(in.b)] + "'");
+        }
+        stack[sp++] = frame.values[slot];
+        break;
+      }
+      case Op::kLoadTable: {
+        const Code::TableRef& t = code.tables[static_cast<std::size_t>(in.a)];
+        const std::int64_t index = stack[--sp];
+        if (index < 0 || static_cast<std::uint64_t>(index) >= t.size) {
+          throw EvalError("DataContext: index " + std::to_string(index) +
+                          " out of bounds for table '" + code.names[t.name] +
+                          "' of size " + std::to_string(t.size));
+        }
+        stack[sp++] = frame.values[t.base + static_cast<std::uint32_t>(index)];
+        break;
+      }
+      case Op::kStoreSlot: {
+        const auto slot = static_cast<std::size_t>(in.a);
+        frame.values[slot] = stack[--sp];
+        frame.present[slot] = 1;
+        break;
+      }
+      case Op::kStoreTable: {
+        const Code::TableRef& t = code.tables[static_cast<std::size_t>(in.a)];
+        const std::int64_t index = stack[--sp];
+        const std::int64_t value = stack[--sp];
+        if (index < 0 || static_cast<std::uint64_t>(index) >= t.size) {
+          throw EvalError("DataContext: index " + std::to_string(index) +
+                          " out of bounds for table '" + code.names[t.name] + "'");
+        }
+        frame.values[t.base + static_cast<std::uint32_t>(index)] = value;
+        break;
+      }
+      case Op::kAdd: --sp; stack[sp - 1] = wrap_add(stack[sp - 1], stack[sp]); break;
+      case Op::kSub: --sp; stack[sp - 1] = wrap_sub(stack[sp - 1], stack[sp]); break;
+      case Op::kMul: --sp; stack[sp - 1] = wrap_mul(stack[sp - 1], stack[sp]); break;
+      case Op::kDiv: {
+        const std::int64_t b = stack[--sp];
+        const std::int64_t a = stack[sp - 1];
+        if (b == 0) throw EvalError("division by zero");
+        if (a == INT64_MIN && b == -1) throw EvalError("division overflow");
+        stack[sp - 1] = a / b;
+        break;
+      }
+      case Op::kMod: {
+        const std::int64_t b = stack[--sp];
+        const std::int64_t a = stack[sp - 1];
+        if (b == 0) throw EvalError("modulo by zero");
+        if (a == INT64_MIN && b == -1) throw EvalError("modulo overflow");
+        stack[sp - 1] = a % b;
+        break;
+      }
+      case Op::kEq: --sp; stack[sp - 1] = stack[sp - 1] == stack[sp] ? 1 : 0; break;
+      case Op::kNe: --sp; stack[sp - 1] = stack[sp - 1] != stack[sp] ? 1 : 0; break;
+      case Op::kLt: --sp; stack[sp - 1] = stack[sp - 1] < stack[sp] ? 1 : 0; break;
+      case Op::kLe: --sp; stack[sp - 1] = stack[sp - 1] <= stack[sp] ? 1 : 0; break;
+      case Op::kGt: --sp; stack[sp - 1] = stack[sp - 1] > stack[sp] ? 1 : 0; break;
+      case Op::kGe: --sp; stack[sp - 1] = stack[sp - 1] >= stack[sp] ? 1 : 0; break;
+      case Op::kNeg: stack[sp - 1] = wrap_neg(stack[sp - 1]); break;
+      case Op::kNot: stack[sp - 1] = stack[sp - 1] == 0 ? 1 : 0; break;
+      case Op::kAndFalse:
+        if (stack[--sp] == 0) {
+          stack[sp++] = 0;
+          ip = code.instrs.data() + in.a;
+        }
+        break;
+      case Op::kOrTrue:
+        if (stack[--sp] != 0) {
+          stack[sp++] = 1;
+          ip = code.instrs.data() + in.a;
+        }
+        break;
+      case Op::kToBool: stack[sp - 1] = stack[sp - 1] != 0 ? 1 : 0; break;
+      case Op::kIrand: {
+        const std::int64_t hi = stack[--sp];
+        const std::int64_t lo = stack[sp - 1];
+        if (rng == nullptr) {
+          throw EvalError("irand is not allowed here (no random source; predicates "
+                          "must be deterministic)");
+        }
+        if (lo > hi) {
+          throw EvalError("irand: empty range [" + std::to_string(lo) + ", " +
+                          std::to_string(hi) + "]");
+        }
+        stack[sp - 1] = rng->next_int(lo, hi);
+        break;
+      }
+      case Op::kMin: --sp; stack[sp - 1] = std::min(stack[sp - 1], stack[sp]); break;
+      case Op::kMax: --sp; stack[sp - 1] = std::max(stack[sp - 1], stack[sp]); break;
+      case Op::kAbs:
+        stack[sp - 1] = stack[sp - 1] < 0 ? wrap_neg(stack[sp - 1]) : stack[sp - 1];
+        break;
+      case Op::kThrowIdent:
+        throw EvalError("unknown identifier '" +
+                        code.names[static_cast<std::size_t>(in.a)] + "'");
+      case Op::kThrowCall:
+        // The AST evaluator computes every argument (side effects and all)
+        // before discovering the name resolves to nothing; the compiler
+        // mirrors that by emitting the argument code ahead of this throw.
+        sp -= static_cast<std::size_t>(in.b);
+        throw EvalError("unknown function or table '" +
+                        code.names[static_cast<std::size_t>(in.a)] + "' with " +
+                        std::to_string(in.b) + " argument(s)");
+      case Op::kThrowTable:
+        sp -= 2;
+        throw EvalError("DataContext: unknown table '" +
+                        code.names[static_cast<std::size_t>(in.a)] + "'");
+    }
+  }
+  return sp > 0 ? stack[sp - 1] : 0;
+}
+
+}  // namespace
+
+std::int64_t vm_eval(const Code& code, const DataFrame& frame, Rng* rng,
+                     VmScratch& scratch) {
+  // Expression code contains no store opcodes (see run()), so the frame is
+  // never written through this cast.
+  return run(code, const_cast<DataFrame&>(frame), rng, scratch);
+}
+
+void vm_exec(const Code& code, DataFrame& frame, Rng* rng, VmScratch& scratch) {
+  (void)run(code, frame, rng, scratch);
+}
+
+}  // namespace pnut::expr

@@ -1,0 +1,99 @@
+// Expression bytecode: the runtime form of predicates, actions and computed
+// delays.
+//
+// The AST evaluator (ast.h) pays a virtual call per node, a heap vector per
+// call node, std::function resolver hooks and a string-keyed map lookup per
+// variable touch — fine at a tool's boundary, ruinous in the per-state /
+// per-event inner loops of the simulator and the exploration engines. The
+// compiler (program.h) lowers each AST once, against a frozen DataSchema,
+// into a flat instruction array evaluated here by a plain stack machine:
+//
+//   * variable and table reads/writes are dense slot indices into a
+//     DataFrame — no string hashing, no map nodes;
+//   * irand/min/max/abs are opcodes (arity checked at compile time);
+//   * && and || compile to conditional jumps, preserving the AST's
+//     short-circuit semantics exactly (including which side effects run —
+//     the rng streams of the two evaluators must match bit for bit);
+//   * names that can never resolve compile to throw instructions, so the
+//     error surfaces at evaluation time with the AST evaluator's message,
+//     not at compile time (a model with a broken predicate on a transition
+//     that never fires behaves identically either way).
+//
+// Evaluation never allocates: the caller-owned VmScratch holds the value
+// stack, sized once per Code to its precomputed max depth. Errors are
+// expr::EvalError, byte-for-byte the messages the AST evaluator raises —
+// the differential fuzzer (tests/support/expr_fuzz.h) pins value, error,
+// rng-stream and data-state equivalence between the two evaluators.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "expr/ast.h"
+#include "petri/data_frame.h"
+#include "petri/rng.h"
+
+namespace pnut::expr {
+
+enum class Op : std::uint8_t {
+  kConst,       ///< push consts[a]
+  kLoadSlot,    ///< push frame scalar a (b = name id; absent -> EvalError)
+  kLoadTable,   ///< pop index; push entry of tables[a] (bounds-checked)
+  kStoreSlot,   ///< pop value; write frame scalar a, mark present
+  kStoreTable,  ///< pop index, pop value; write entry of tables[a]
+  kAdd, kSub, kMul, kDiv, kMod,          ///< pop b, pop a, push a op b
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kNeg, kNot,                            ///< pop v, push op v
+  kAndFalse,    ///< pop v; if v == 0: push 0, jump to a (short-circuit &&)
+  kOrTrue,      ///< pop v; if v != 0: push 1, jump to a (short-circuit ||)
+  kToBool,      ///< pop v, push v != 0
+  kIrand,       ///< pop hi, pop lo, push rng draw (errors match the AST)
+  kMin, kMax,   ///< pop b, pop a
+  kAbs,         ///< pop v
+  kThrowIdent,  ///< throw "unknown identifier '<names[a]>'"
+  kThrowCall,   ///< pop b args; throw "unknown function or table '<names[a]>' ..."
+  kThrowTable,  ///< pop 2; throw "DataContext: unknown table '<names[a]>'"
+};
+
+struct Instr {
+  Op op;
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+};
+
+/// One compiled expression or action program, self-contained: instruction
+/// stream, constant pool, the table slots it touches, and the names its
+/// error paths mention. Immutable after compilation; safe to evaluate from
+/// any number of threads concurrently (each with its own VmScratch).
+struct Code {
+  /// Table metadata resolved at compile time (kLoadTable/kStoreTable's `a`
+  /// indexes this, not the schema — evaluation needs no schema at all).
+  struct TableRef {
+    std::uint32_t base = 0;
+    std::uint32_t size = 0;
+    std::uint32_t name = 0;  ///< index into names
+  };
+
+  std::vector<Instr> instrs;
+  std::vector<std::int64_t> consts;
+  std::vector<TableRef> tables;
+  std::vector<std::string> names;
+  std::uint32_t max_stack = 0;
+};
+
+/// Reusable evaluation stack; grown to each Code's max depth on entry.
+struct VmScratch {
+  std::vector<std::int64_t> stack;
+};
+
+/// Evaluate expression code against `frame`; returns the result value.
+/// `rng` may be null (irand then raises the AST evaluator's "no random
+/// source" error). Throws EvalError exactly where the AST evaluator would.
+std::int64_t vm_eval(const Code& code, const DataFrame& frame, Rng* rng,
+                     VmScratch& scratch);
+
+/// Run action-program code, writing assignments into `frame`.
+void vm_exec(const Code& code, DataFrame& frame, Rng* rng, VmScratch& scratch);
+
+}  // namespace pnut::expr

@@ -1,0 +1,88 @@
+#include "petri/data_frame.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pnut {
+
+DataSchema DataSchema::build(const DataContext& initial,
+                             std::span<const std::string> created_scalars) {
+  DataSchema schema;
+  for (const auto& [name, value] : initial.scalars()) {
+    (void)value;
+    schema.scalar_names_.push_back(name);
+  }
+  for (const std::string& name : created_scalars) {
+    schema.scalar_names_.push_back(name);
+  }
+  std::sort(schema.scalar_names_.begin(), schema.scalar_names_.end());
+  schema.scalar_names_.erase(
+      std::unique(schema.scalar_names_.begin(), schema.scalar_names_.end()),
+      schema.scalar_names_.end());
+
+  auto base = static_cast<std::uint32_t>(schema.scalar_names_.size());
+  for (const auto& [name, values] : initial.tables()) {
+    Table t;
+    t.name = name;
+    t.base = base;
+    t.size = static_cast<std::uint32_t>(values.size());
+    base += t.size;
+    schema.tables_.push_back(std::move(t));  // map order is already name order
+  }
+  schema.num_values_ = base;
+  return schema;
+}
+
+std::optional<std::uint32_t> DataSchema::scalar_slot(std::string_view name) const {
+  const auto it = std::lower_bound(scalar_names_.begin(), scalar_names_.end(), name);
+  if (it == scalar_names_.end() || *it != name) return std::nullopt;
+  return static_cast<std::uint32_t>(it - scalar_names_.begin());
+}
+
+std::optional<std::uint32_t> DataSchema::table_index(std::string_view name) const {
+  const auto it = std::lower_bound(
+      tables_.begin(), tables_.end(), name,
+      [](const Table& t, std::string_view n) { return t.name < n; });
+  if (it == tables_.end() || it->name != name) return std::nullopt;
+  return static_cast<std::uint32_t>(it - tables_.begin());
+}
+
+DataFrame DataSchema::make_frame(const DataContext& data) const {
+  DataFrame frame;
+  frame.values.assign(num_values_, 0);
+  frame.present.assign(scalar_names_.size(), 0);
+  for (const auto& [name, value] : data.scalars()) {
+    const auto slot = scalar_slot(name);
+    if (!slot) {
+      throw std::invalid_argument("DataSchema: scalar '" + name +
+                                  "' is not in the schema");
+    }
+    frame.values[*slot] = value;
+    frame.present[*slot] = 1;
+  }
+  for (const auto& [name, values] : data.tables()) {
+    const auto ti = table_index(name);
+    if (!ti || tables_[*ti].size != values.size()) {
+      throw std::invalid_argument("DataSchema: table '" + name +
+                                  "' does not match the schema");
+    }
+    std::copy(values.begin(), values.end(),
+              frame.values.begin() + tables_[*ti].base);
+  }
+  return frame;
+}
+
+DataContext DataSchema::to_context(const DataFrame& frame) const {
+  DataContext out;
+  for (std::size_t i = 0; i < scalar_names_.size(); ++i) {
+    if (frame.present[i] != 0) out.set(scalar_names_[i], frame.values[i]);
+  }
+  for (const Table& t : tables_) {
+    out.set_table(t.name,
+                  std::vector<std::int64_t>(frame.values.begin() + t.base,
+                                            frame.values.begin() + t.base + t.size));
+  }
+  return out;
+}
+
+}  // namespace pnut

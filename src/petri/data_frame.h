@@ -1,0 +1,155 @@
+// Slot-addressed data state for interpreted nets: the runtime twin of
+// DataContext, the way CompiledNet is the runtime twin of Net.
+//
+// A DataContext is the *description/boundary* form of an interpreted net's
+// variables: string-keyed ordered maps, convenient to construct, diff and
+// dump, and able to grow any name at any time. Executing against it costs a
+// map lookup per variable touch and a tree of heap nodes per snapshot —
+// which is exactly what the expression bytecode VM (src/expr/vm.h) and the
+// exploration engines must not pay per state.
+//
+// DataSchema freezes the complete name universe of a net — every scalar and
+// table the model can ever hold. That universe is statically known: it is
+// the union of the initial data and the assignment targets of the attached
+// action programs (assignment targets are syntactic, and actions cannot
+// create tables). Each scalar gets a dense value slot; each table gets a
+// contiguous run of entry slots. A DataFrame is then one flat int64 array
+// indexed by those slots plus a per-scalar presence byte ("absent" and
+// "= 0" are different states, exactly as in DataContext) — copyable with
+// two memcpys, no allocation, no hashing.
+//
+// The schema also defines the canonical word encoding used to intern a
+// frame into a StateStore arena:
+//
+//   [ presence bitmask words | lo,hi per scalar slot | lo,hi per table entry ]
+//
+// Absent scalars encode as zero words (masked off by the bitmask bit), so
+// the encoding is injective over (presence, values) — two frames encode
+// identically iff they are equal. Tables from the initial data are always
+// present at a fixed size, so they need no presence bits.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "petri/data_context.h"
+
+namespace pnut {
+
+/// Flat value storage addressed by DataSchema slots.
+struct DataFrame {
+  std::vector<std::int64_t> values;  ///< scalar slots, then table entries
+  std::vector<std::uint8_t> present; ///< one byte per scalar slot
+
+  /// Flat copy (the per-sample clone in action sampling); keeps capacity.
+  void assign(const DataFrame& other) {
+    values.assign(other.values.begin(), other.values.end());
+    present.assign(other.present.begin(), other.present.end());
+  }
+
+  friend bool operator==(const DataFrame&, const DataFrame&) = default;
+};
+
+/// Frozen name->slot layout; see file comment. Immutable once built.
+class DataSchema {
+ public:
+  struct Table {
+    std::string name;
+    std::uint32_t base = 0;  ///< first entry's index into DataFrame::values
+    std::uint32_t size = 0;  ///< number of entries
+  };
+
+  DataSchema() = default;
+
+  /// Freeze the layout for `initial` plus `created_scalars` (scalar names
+  /// actions may assign that the initial data does not define). Scalars
+  /// and tables are laid out in name order, so the slot order is
+  /// independent of discovery order.
+  static DataSchema build(const DataContext& initial,
+                          std::span<const std::string> created_scalars);
+
+  [[nodiscard]] std::size_t num_scalars() const { return scalar_names_.size(); }
+  [[nodiscard]] std::size_t num_values() const { return num_values_; }
+  [[nodiscard]] const std::vector<std::string>& scalar_names() const {
+    return scalar_names_;
+  }
+  [[nodiscard]] const std::vector<Table>& tables() const { return tables_; }
+
+  /// Value-slot index of a scalar; nullopt if the name can never exist.
+  [[nodiscard]] std::optional<std::uint32_t> scalar_slot(std::string_view name) const;
+  /// Index into tables(); nullopt if no such table.
+  [[nodiscard]] std::optional<std::uint32_t> table_index(std::string_view name) const;
+
+  // --- frame <-> DataContext (boundary conversions) -------------------------
+
+  /// Frame holding `data`'s values; schema scalars `data` lacks are absent.
+  /// `data` must be covered by the schema (it is, by construction, for the
+  /// net's initial data).
+  [[nodiscard]] DataFrame make_frame(const DataContext& data) const;
+
+  /// Materialize the description form (trace dumps, data() accessors,
+  /// to_string): present scalars and all tables.
+  [[nodiscard]] DataContext to_context(const DataFrame& frame) const;
+
+  // --- frame <-> arena words (the intern key) -------------------------------
+
+  [[nodiscard]] std::size_t mask_words() const { return (scalar_names_.size() + 31) / 32; }
+  [[nodiscard]] std::size_t encoded_words() const {
+    return mask_words() + 2 * num_values_;
+  }
+
+  void encode(const DataFrame& frame, std::uint32_t* out) const {
+    const std::size_t masks = mask_words();
+    std::memset(out, 0, masks * sizeof(std::uint32_t));
+    for (std::size_t i = 0; i < scalar_names_.size(); ++i) {
+      if (frame.present[i] != 0) out[i >> 5] |= 1u << (i & 31);
+    }
+    std::uint32_t* v = out + masks;
+    for (std::size_t i = 0; i < num_values_; ++i) {
+      // Absent scalar slots hold stale values in the frame; zero their
+      // words so the encoding depends only on (presence, live values).
+      const bool live = i >= scalar_names_.size() || frame.present[i] != 0;
+      const auto u = live ? static_cast<std::uint64_t>(frame.values[i]) : 0;
+      *v++ = static_cast<std::uint32_t>(u);
+      *v++ = static_cast<std::uint32_t>(u >> 32);
+    }
+  }
+
+  void decode(const std::uint32_t* in, DataFrame& frame) const {
+    frame.values.resize(num_values_);
+    frame.present.resize(scalar_names_.size());
+    const std::size_t masks = mask_words();
+    for (std::size_t i = 0; i < scalar_names_.size(); ++i) {
+      frame.present[i] = (in[i >> 5] >> (i & 31)) & 1u;
+    }
+    const std::uint32_t* v = in + masks;
+    for (std::size_t i = 0; i < num_values_; ++i) {
+      const std::uint64_t lo = *v++;
+      const std::uint64_t hi = *v++;
+      frame.values[i] = static_cast<std::int64_t>(lo | (hi << 32));
+    }
+  }
+
+  /// Read one scalar straight out of an encoded word block (the per-state
+  /// variable() query — no full frame decode). nullopt if absent.
+  [[nodiscard]] std::optional<std::int64_t> decode_scalar(const std::uint32_t* in,
+                                                          std::uint32_t slot) const {
+    if (((in[slot >> 5] >> (slot & 31)) & 1u) == 0) return std::nullopt;
+    const std::uint32_t* v = in + mask_words() + 2 * slot;
+    const std::uint64_t lo = v[0];
+    const std::uint64_t hi = v[1];
+    return static_cast<std::int64_t>(lo | (hi << 32));
+  }
+
+ private:
+  std::vector<std::string> scalar_names_;  ///< sorted; slot i = index i
+  std::vector<Table> tables_;              ///< sorted by name
+  std::size_t num_values_ = 0;
+};
+
+}  // namespace pnut

@@ -92,6 +92,12 @@ class DelaySpec {
   [[nodiscard]] const std::vector<std::pair<Time, double>>& choices() const {
     return choices_;
   }
+  /// The computed-delay callable (empty unless kind() == kComputed). The
+  /// expression bytecode compiler inspects this with std::function::target
+  /// to recover the AST behind expr::compile_delay.
+  [[nodiscard]] const std::function<Time(const DataContext&)>& computed_fn() const {
+    return computed_;
+  }
 
   /// Mean of the distribution (Computed kinds return nullopt).
   [[nodiscard]] std::optional<Time> mean() const;

@@ -59,7 +59,10 @@
 #include <queue>
 #include <vector>
 
+#include "expr/program.h"
+#include "expr/vm.h"
 #include "petri/compiled_net.h"
+#include "petri/data_frame.h"
 #include "petri/marking.h"
 #include "petri/net.h"
 #include "petri/rng.h"
@@ -76,6 +79,12 @@ struct SimOptions {
   /// after every firing. Produces bit-identical traces to the incremental
   /// update; kept as the reference implementation for equivalence tests.
   bool incremental_eligibility = true;
+  /// Execute predicates/actions/computed delays as slot-addressed bytecode
+  /// (expr/vm.h) when every hook on the net came from expr::compile_*.
+  /// Produces bit-identical traces to the AST/DataContext evaluation path,
+  /// which remains both the fallback for hand-written C++ hooks and the
+  /// reference implementation for equivalence tests.
+  bool use_expr_vm = true;
 };
 
 /// Why a run call returned.
@@ -119,7 +128,16 @@ class Simulator {
 
   [[nodiscard]] Time now() const { return now_; }
   [[nodiscard]] const Marking& marking() const { return marking_; }
-  [[nodiscard]] const DataContext& data() const { return data_; }
+  /// The current data state in description form. On the bytecode path the
+  /// live state is the slot frame; the DataContext is materialized on
+  /// first access after a change (boundary use — traces, tests, dumps).
+  [[nodiscard]] const DataContext& data() const {
+    if (vm_mode_ && !data_cache_valid_) {
+      data_ = program_->schema().to_context(frame_);
+      data_cache_valid_ = true;
+    }
+    return data_;
+  }
   [[nodiscard]] const Net& net() const { return net_->net(); }
   [[nodiscard]] const CompiledNet& compiled() const { return *net_; }
   [[nodiscard]] Rng& rng() { return rng_; }
@@ -196,6 +214,14 @@ class Simulator {
 
   [[nodiscard]] bool compute_eligible(TransitionId t) const;
 
+  /// Draw a delay: bytecode evaluation for a compiled computed delay
+  /// (`code` non-null on the VM path), DelaySpec::sample otherwise.
+  [[nodiscard]] Time sample_delay(const DelaySpec& spec, const expr::Code* code);
+
+  /// Run `t`'s action on the slot frame and append the frame diff to the
+  /// trace event (the VM-path twin of the DataContext diff in start_firing).
+  void run_action_vm(TransitionId t, TraceEvent& start);
+
   /// Fire every ready transition at the current instant, resolving
   /// conflicts probabilistically, until none remain ready.
   void fire_ready_transitions();
@@ -214,9 +240,18 @@ class Simulator {
   TraceSink* sink_ = nullptr;
   Rng rng_;
 
+  /// Bytecode runtime (null when any hook is a hand-written C++ lambda or
+  /// use_expr_vm is off; the DataContext/AST path runs then).
+  std::shared_ptr<const expr::NetProgram> program_;
+  bool vm_mode_ = false;
+  DataFrame frame_;         ///< live data state on the VM path
+  DataFrame frame_before_;  ///< reused action-diff snapshot
+  mutable expr::VmScratch vm_scratch_;  ///< mutable: eligibility checks are const
+
   Time now_ = 0;
   Marking marking_;
-  DataContext data_;
+  mutable DataContext data_;  ///< live state (AST path) or lazy cache (VM path)
+  mutable bool data_cache_valid_ = false;
   std::vector<TransitionState> states_;
   std::vector<std::uint32_t> dirty_;       ///< transition ids queued for refresh
   std::vector<std::uint8_t> dirty_flag_;   ///< membership bitmap for dirty_

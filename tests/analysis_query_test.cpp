@@ -266,5 +266,41 @@ TEST(QueryVariables, DataVariablesReadableInStates) {
   EXPECT_TRUE(eval_query(graph, "forall s in S [ x(s) <= 3 ]").holds);
 }
 
+TEST(QueryOnTruncatedGraph, UnexpandedFrontierSaturatesInsteadOfFalsifying) {
+  // A token drain: 8 moves from P0 to P1, one linear path, the goal
+  // (P1 = 8) only at the very end.
+  Net net;
+  const PlaceId p0 = net.add_place("P0", 8);
+  const PlaceId p1 = net.add_place("P1");
+  const TransitionId t = net.add_transition("t");
+  net.add_input(t, p0);
+  net.add_output(t, p1);
+
+  const ReachabilityGraph complete(net);
+  ASSERT_EQ(complete.status(), ReachStatus::kComplete);
+  EXPECT_TRUE(eval_query(complete, "inev(#0, P1(C) = 8)").holds);
+  // On a complete graph an unsatisfiable target is genuinely not
+  // inevitable (and not possible) — saturation must not change this.
+  EXPECT_FALSE(eval_query(complete, "inev(#0, false)").holds);
+  EXPECT_FALSE(eval_query(complete, "poss(#0, false)").holds);
+
+  ReachOptions options;
+  options.max_states = 4;
+  const ReachabilityGraph truncated(net, options);
+  ASSERT_EQ(truncated.status(), ReachStatus::kTruncated);
+  ASSERT_LT(truncated.num_expanded(), truncated.num_states());
+  // The goal lies beyond the explored prefix. Reading the never-expanded
+  // frontier leftover as a terminal state fabricated a counterexample
+  // here ("inev fails" because exploration stopped, not because any path
+  // escapes); the until now saturates through unexpanded states, exactly
+  // like time_bounds saturates a path that escapes the explored region.
+  EXPECT_TRUE(eval_query(truncated, "inev(#0, P1(C) = 8)").holds);
+  EXPECT_TRUE(eval_query(truncated, "poss(#0, P1(C) = 8)").holds);
+  EXPECT_TRUE(eval_query(truncated, "forall s in S [ inev(s, false) ]").holds)
+      << "nothing is violated within the explored region";
+  // A guard violation inside the prefix still falsifies the until.
+  EXPECT_FALSE(eval_query(truncated, "inev(#0, false, false)").holds);
+}
+
 }  // namespace
 }  // namespace pnut::analysis

@@ -1,0 +1,153 @@
+// Differential pins for the exploration engines' bytecode path: the graph
+// built with expression-VM execution (ReachOptions::use_expr_vm, the
+// default) must be *identical* to the AST/DataContext oracle's — same
+// state numbering, markings, per-state variables, edge pool, deadlocks,
+// status and expanded prefix — on the paper's interpreted models and on
+// randomized expression-backed nets, including truncated prefixes; and it
+// must stay identical across every --threads value (the parallel VM path
+// rides the fast candidate seal, a different code path from both).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/reachability.h"
+#include "pipeline/interpreted.h"
+#include "support/net_fuzz.h"
+
+namespace pnut::analysis {
+namespace {
+
+using test_support::fuzz_net;
+using test_support::FuzzOptions;
+
+ReachabilityGraph build(const Net& net, bool use_vm, unsigned threads,
+                        std::size_t max_states = 1'000'000) {
+  ReachOptions options;
+  options.max_states = max_states;
+  options.threads = threads;
+  options.use_expr_vm = use_vm;
+  return ReachabilityGraph(net, options);
+}
+
+/// Full observable-graph comparison. `scalars` are the variable names the
+/// model can hold (checked per state on both sides).
+void expect_identical(const ReachabilityGraph& a, const ReachabilityGraph& b,
+                      const std::vector<std::string>& scalars,
+                      const std::string& label) {
+  ASSERT_EQ(a.num_states(), b.num_states()) << label;
+  ASSERT_EQ(a.num_edges(), b.num_edges()) << label;
+  EXPECT_EQ(a.status(), b.status()) << label;
+  EXPECT_EQ(a.num_expanded(), b.num_expanded()) << label;
+  EXPECT_EQ(a.deadlock_states(), b.deadlock_states()) << label;
+  for (std::size_t s = 0; s < a.num_states(); ++s) {
+    const auto ta = a.tokens(s);
+    const auto tb = b.tokens(s);
+    ASSERT_EQ(ta.size(), tb.size()) << label;
+    for (std::size_t i = 0; i < ta.size(); ++i) {
+      ASSERT_EQ(ta[i], tb[i]) << label << ": state " << s << " place " << i;
+    }
+    const auto ea = a.edges(s);
+    const auto eb = b.edges(s);
+    ASSERT_EQ(ea.size(), eb.size()) << label << ": state " << s;
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+      ASSERT_EQ(ea[i].transition, eb[i].transition) << label << ": state " << s;
+      ASSERT_EQ(ea[i].target, eb[i].target) << label << ": state " << s;
+    }
+    for (const std::string& name : scalars) {
+      ASSERT_EQ(a.variable(s, name), b.variable(s, name))
+          << label << ": state " << s << " variable " << name;
+    }
+  }
+}
+
+const std::vector<std::string> kPipelineScalars = {
+    "type", "number_of_operands_needed", "extra_words_needed",
+    "exec_cycles_current", "store_needed", "max_type"};
+
+TEST(VmGraphEquivalence, GoldenInterpretedModelsMatchAstOracle) {
+  for (const Net& net : {pipeline::build_interpreted_operand_fetch(),
+                         pipeline::build_interpreted_pipeline()}) {
+    const ReachabilityGraph vm = build(net, true, 1);
+    const ReachabilityGraph ast = build(net, false, 1);
+    EXPECT_EQ(vm.status(), ReachStatus::kComplete);
+    expect_identical(vm, ast, kPipelineScalars, net.name());
+  }
+}
+
+TEST(VmGraphEquivalence, GoldenModelsIdenticalAcrossThreadCounts) {
+  const Net net = pipeline::build_interpreted_pipeline();
+  const ReachabilityGraph reference = build(net, true, 1);
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    const ReachabilityGraph parallel = build(net, true, threads);
+    expect_identical(parallel, reference, kPipelineScalars,
+                     "threads=" + std::to_string(threads));
+  }
+}
+
+TEST(VmGraphEquivalence, TruncatedPrefixesMatchAstOracleAndThreads) {
+  const Net net = pipeline::build_interpreted_pipeline();
+  for (const std::size_t max_states : {100u, 1000u}) {
+    const ReachabilityGraph vm = build(net, true, 1, max_states);
+    const ReachabilityGraph ast = build(net, false, 1, max_states);
+    EXPECT_EQ(vm.status(), ReachStatus::kTruncated);
+    expect_identical(vm, ast, kPipelineScalars,
+                     "truncated@" + std::to_string(max_states));
+    for (const unsigned threads : {2u, 4u}) {
+      const ReachabilityGraph parallel = build(net, true, threads, max_states);
+      expect_identical(parallel, vm, kPipelineScalars,
+                       "truncated@" + std::to_string(max_states) +
+                           " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+TEST(VmGraphEquivalence, FuzzedExpressionNetsMatchAstOracle) {
+  FuzzOptions options;
+  options.interpreted_expr = true;
+  const std::vector<std::string> scalars = {"x", "late"};
+  for (std::uint64_t seed = 1; seed <= 45; ++seed) {
+    const Net net = fuzz_net(seed, options);
+    const ReachabilityGraph vm = build(net, true, 1);
+    const ReachabilityGraph ast = build(net, false, 1);
+    expect_identical(vm, ast, scalars, "seed " + std::to_string(seed));
+    // And across thread counts on the VM path (fast candidate seal).
+    for (const unsigned threads : {2u, 4u, 8u}) {
+      const ReachabilityGraph parallel = build(net, true, threads);
+      expect_identical(parallel, vm, scalars,
+                       "seed " + std::to_string(seed) +
+                           " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+TEST(VmGraphEquivalence, FuzzedTruncationsMatchAcrossPathsAndThreads) {
+  FuzzOptions options;
+  options.interpreted_expr = true;
+  const std::vector<std::string> scalars = {"x", "late"};
+  for (std::uint64_t seed = 50; seed <= 65; ++seed) {
+    const Net net = fuzz_net(seed, options);
+    const ReachabilityGraph vm = build(net, true, 1, 40);
+    const ReachabilityGraph ast = build(net, false, 1, 40);
+    expect_identical(vm, ast, scalars, "seed " + std::to_string(seed));
+    for (const unsigned threads : {2u, 4u}) {
+      const ReachabilityGraph parallel = build(net, true, threads, 40);
+      expect_identical(parallel, vm, scalars,
+                       "seed " + std::to_string(seed) +
+                           " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+TEST(VmGraphEquivalence, MemoryFootprintDropsWithoutDataContextSnapshots) {
+  // The headline of the slot path: per-state data is arena words, not a
+  // DataContext snapshot. >= 3x on the paper's flagship interpreted model.
+  const Net net = pipeline::build_interpreted_pipeline();
+  const ReachabilityGraph vm = build(net, true, 1);
+  const ReachabilityGraph ast = build(net, false, 1);
+  EXPECT_LT(vm.memory_bytes() * 3, ast.memory_bytes());
+}
+
+}  // namespace
+}  // namespace pnut::analysis

@@ -1,0 +1,364 @@
+// The expression bytecode VM (expr/vm.h + expr/program.h) against its
+// oracle, the AST tree-walking evaluator: unit pins for the opcode set,
+// boundary pins for the integer-overflow error cases (both evaluators),
+// builtin arity errors (evaluation-time in the AST, compile-time in the
+// bytecode compiler), and the randomized differential fuzzers pinning
+// values, error messages, rng streams, created variables and final data
+// states over hundreds of generated expressions and action programs.
+// A last group pins the Simulator's VM path trace-identical to its AST
+// path on the paper's interpreted models.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "expr/ast.h"
+#include "expr/compile.h"
+#include "expr/parser.h"
+#include "expr/program.h"
+#include "expr/vm.h"
+#include "petri/data_frame.h"
+#include "pipeline/interpreted.h"
+#include "sim/simulator.h"
+#include "support/expr_fuzz.h"
+#include "trace/trace.h"
+
+namespace pnut {
+namespace {
+
+using expr::Code;
+using expr::CompileError;
+using expr::EvalError;
+using expr::VmScratch;
+using test_support::ExprFuzzer;
+using test_support::ExprFuzzOptions;
+
+/// Outcome of one evaluation: a value or an error message.
+struct Outcome {
+  std::optional<std::int64_t> value;
+  std::string error;
+
+  friend bool operator==(const Outcome&, const Outcome&) = default;
+};
+
+Outcome eval_ast(const std::string& source, const DataContext& data) {
+  try {
+    const expr::NodePtr ast = expr::parse_expression(source);
+    expr::EvalContext ctx;
+    ctx.data = &data;
+    return {ast->eval(ctx), ""};
+  } catch (const EvalError& e) {
+    return {std::nullopt, e.what()};
+  }
+}
+
+Outcome eval_vm(const std::string& source, const DataContext& data) {
+  const expr::NodePtr ast = expr::parse_expression(source);
+  const DataSchema schema = DataSchema::build(data, {});
+  const DataFrame frame = schema.make_frame(data);
+  const Code code = expr::compile_expression(*ast, schema);
+  VmScratch scratch;
+  try {
+    return {expr::vm_eval(code, frame, nullptr, scratch), ""};
+  } catch (const EvalError& e) {
+    return {std::nullopt, e.what()};
+  }
+}
+
+DataContext base_data() {
+  DataContext data;
+  data.set("x", 7);
+  data.set("y", -3);
+  data.set_table("tbl", {10, 20, 30});
+  return data;
+}
+
+// --- opcode unit pins ----------------------------------------------------------
+
+TEST(ExprVm, ArithmeticComparisonsAndLogic) {
+  const DataContext data = base_data();
+  for (const char* source :
+       {"1 + 2 * 3", "x - y", "x / 2", "x % 3", "(x > 0) && (y < 0)",
+        "(x == 7) || nosuch", "!(x != 7)", "-x + abs(y)", "min[x, y]", "max[x, 0 - y]",
+        "tbl[1] + tbl[x - 5]", "x * 100 - tbl[0]"}) {
+    const Outcome ast = eval_ast(source, data);
+    ASSERT_TRUE(ast.value.has_value()) << source << ": " << ast.error;
+    EXPECT_EQ(eval_vm(source, data), ast) << source;
+  }
+}
+
+TEST(ExprVm, ShortCircuitSkipsRhsErrors) {
+  const DataContext data = base_data();
+  // The rhs would throw (unknown name / division by zero): && and || must
+  // not evaluate it, exactly like the AST walker.
+  EXPECT_EQ(eval_vm("(x == 0) && nosuch", data), (Outcome{0, ""}));
+  EXPECT_EQ(eval_vm("(x == 7) || (1 / 0)", data), (Outcome{1, ""}));
+  // And when the lhs does not decide, the rhs error surfaces.
+  EXPECT_FALSE(eval_vm("(x == 7) && nosuch", data).value.has_value());
+}
+
+TEST(ExprVm, ErrorMessagesMatchAstEvaluator) {
+  const DataContext data = base_data();
+  for (const char* source :
+       {"nosuch", "x / (y + 3)", "x % (y + 3)", "tbl[99]", "tbl[0 - 1]",
+        "phantom(x, y)", "tbl[1, 2]", "irand[1, 2]"}) {
+    const Outcome ast = eval_ast(source, data);
+    ASSERT_FALSE(ast.value.has_value()) << source;
+    EXPECT_EQ(eval_vm(source, data), ast) << source;
+  }
+}
+
+TEST(ExprVm, ZeroSizeTableDoesNotAliasItsNeighbor) {
+  // An empty table shares its base slot with the next table in the
+  // schema layout; the compiler must not conflate the two.
+  DataContext data;
+  data.set_table("aempty", {});
+  data.set_table("btbl", {5, 6});
+  // The second source compiles aempty's table ref first (behind a
+  // short-circuit, so it never evaluates), then reads btbl — a compiler
+  // that conflates the two by base slot would fail the read.
+  for (const char* source : {"btbl[0] + btbl[1]", "(0 && aempty[0]) || btbl[1]"}) {
+    const Outcome ast = eval_ast(source, data);
+    ASSERT_TRUE(ast.value.has_value()) << source << ": " << ast.error;
+    EXPECT_EQ(eval_vm(source, data), ast) << source;
+  }
+  EXPECT_EQ(eval_vm("btbl[0]", data).value, 5);
+  EXPECT_FALSE(eval_vm("aempty[0]", data).value.has_value());
+  EXPECT_EQ(eval_vm("aempty[0]", data), eval_ast("aempty[0]", data));
+}
+
+TEST(ExprVm, CreatedVariableAbsentUntilAssigned) {
+  DataContext data = base_data();
+  const DataSchema schema = DataSchema::build(data, std::vector<std::string>{"late"});
+  DataFrame frame = schema.make_frame(data);
+  VmScratch scratch;
+
+  const expr::NodePtr read = expr::parse_expression("late");
+  const Code read_code = expr::compile_expression(*read, schema);
+  EXPECT_THROW((void)expr::vm_eval(read_code, frame, nullptr, scratch), EvalError);
+
+  const expr::Program program = expr::parse_program("late = x * 2");
+  const Code write_code = expr::compile_program(program, schema);
+  expr::vm_exec(write_code, frame, nullptr, scratch);
+  EXPECT_EQ(expr::vm_eval(read_code, frame, nullptr, scratch), 14);
+
+  const DataContext out = schema.to_context(frame);
+  EXPECT_TRUE(out.has("late"));
+  EXPECT_EQ(out.get("late"), 14);
+}
+
+TEST(ExprVm, IrandDrawsTheAstRngStream) {
+  DataContext ast_data = base_data();
+  const std::string source = "x = irand[1, 6]; y = irand[0, 100]; w = irand[0 - 5, 5]";
+  const expr::Program program = expr::parse_program(source);
+
+  Rng ast_rng(42);
+  expr::EvalContext ctx;
+  ctx.data = &ast_data;
+  ctx.mutable_data = &ast_data;
+  ctx.rng = &ast_rng;
+  program.execute(ctx);
+
+  const DataContext initial = base_data();
+  const DataSchema schema = DataSchema::build(initial, std::vector<std::string>{"w"});
+  DataFrame frame = schema.make_frame(initial);
+  Rng vm_rng(42);
+  VmScratch scratch;
+  expr::vm_exec(expr::compile_program(program, schema), frame, &vm_rng, scratch);
+
+  EXPECT_EQ(schema.to_context(frame), ast_data);
+  EXPECT_EQ(ast_rng.next_u64(), vm_rng.next_u64());  // streams stayed in step
+}
+
+// --- satellite: integer-overflow boundary cases (both evaluators) --------------
+
+TEST(ExprVm, DivisionAndModuloOverflowRaiseEvalError) {
+  DataContext data;
+  data.set("big", INT64_MIN);
+  for (const char* source : {"big / (0 - 1)", "big % (0 - 1)"}) {
+    const Outcome ast = eval_ast(source, data);
+    ASSERT_FALSE(ast.value.has_value()) << source;
+    EXPECT_NE(ast.error.find("overflow"), std::string::npos) << ast.error;
+    EXPECT_EQ(eval_vm(source, data), ast) << source;
+  }
+  // Plain division by the same operands' magnitude still works.
+  EXPECT_EQ(eval_vm("big / 2", data).value, INT64_MIN / 2);
+}
+
+TEST(ExprVm, WrappingArithmeticMatchesBetweenEvaluators) {
+  DataContext data;
+  data.set("big", INT64_MAX);
+  data.set("small", INT64_MIN);
+  for (const char* source :
+       {"big + 1", "small - 1", "big * 2", "-small", "abs(small)", "big + big"}) {
+    const Outcome ast = eval_ast(source, data);
+    ASSERT_TRUE(ast.value.has_value()) << source;  // wraps, never UB-traps
+    EXPECT_EQ(eval_vm(source, data), ast) << source;
+  }
+  EXPECT_EQ(eval_ast("big + 1", data).value, INT64_MIN);
+  EXPECT_EQ(eval_ast("-small", data).value, INT64_MIN);  // two's complement wrap
+}
+
+// --- satellite: builtin arity -------------------------------------------------
+
+TEST(ExprVm, AstBuiltinArityMistakesRaiseArityErrors) {
+  const DataContext data = base_data();
+  // Previously min/max/abs with the wrong arity fell through to table
+  // lookup and surfaced as "unknown table"; now it is a proper arity error.
+  for (const auto& [source, expected] :
+       {std::pair{"min[1]", "min expects 2 arguments, got 1"},
+        std::pair{"min[1, 2, 3]", "min expects 2 arguments, got 3"},
+        std::pair{"max[1]", "max expects 2 arguments, got 1"},
+        std::pair{"abs(1, 2)", "abs expects 1 argument, got 2"},
+        std::pair{"irand[1]", "irand expects 2 arguments, got 1"}}) {
+    const Outcome ast = eval_ast(source, data);
+    ASSERT_FALSE(ast.value.has_value()) << source;
+    EXPECT_EQ(ast.error, expected) << source;
+  }
+}
+
+TEST(ExprVm, CompilerMirrorsArityChecksAtCompileTime) {
+  const DataContext data = base_data();
+  const DataSchema schema = DataSchema::build(data, {});
+  for (const char* source : {"min[1]", "max[1, 2, 3]", "abs(1, 2)", "irand[1]"}) {
+    const expr::NodePtr ast = expr::parse_expression(source);
+    EXPECT_THROW((void)expr::compile_expression(*ast, schema), CompileError) << source;
+  }
+}
+
+// --- differential fuzz --------------------------------------------------------
+
+TEST(ExprVmFuzz, ExpressionsMatchAstEvaluator) {
+  for (std::uint64_t seed = 0; seed < 400; ++seed) {
+    ExprFuzzer fuzzer(seed);
+    const DataContext data = fuzzer.environment();
+    const std::string source = fuzzer.expression();
+    EXPECT_EQ(eval_vm(source, data), eval_ast(source, data))
+        << "seed " << seed << ": " << source;
+  }
+}
+
+TEST(ExprVmFuzz, ProgramsMatchAstEvaluator) {
+  ExprFuzzOptions options;
+  options.allow_irand = true;
+  for (std::uint64_t seed = 0; seed < 400; ++seed) {
+    ExprFuzzer fuzzer(seed ^ 0xf00dULL, options);
+    const DataContext initial = fuzzer.environment();
+    const std::string source = fuzzer.program();
+    const expr::Program program = expr::parse_program(source);
+
+    // AST run.
+    DataContext ast_data = initial;
+    Rng ast_rng(seed * 977 + 1);
+    std::string ast_error;
+    try {
+      expr::EvalContext ctx;
+      ctx.data = &ast_data;
+      ctx.mutable_data = &ast_data;
+      ctx.rng = &ast_rng;
+      program.execute(ctx);
+    } catch (const EvalError& e) {
+      ast_error = e.what();
+    }
+
+    // VM run: schema covers initial data plus all scalar targets.
+    std::vector<std::string> targets;
+    for (const expr::Statement& stmt : program.statements) {
+      if (!stmt.index) targets.push_back(stmt.target);
+    }
+    const DataSchema schema = DataSchema::build(initial, targets);
+    DataFrame frame = schema.make_frame(initial);
+    Rng vm_rng(seed * 977 + 1);
+    VmScratch scratch;
+    std::string vm_error;
+    try {
+      expr::vm_exec(expr::compile_program(program, schema), frame, &vm_rng, scratch);
+    } catch (const EvalError& e) {
+      vm_error = e.what();
+    }
+
+    EXPECT_EQ(vm_error, ast_error) << "seed " << seed << ": " << source;
+    EXPECT_EQ(schema.to_context(frame), ast_data) << "seed " << seed << ": " << source;
+    EXPECT_EQ(vm_rng.next_u64(), ast_rng.next_u64())
+        << "seed " << seed << ": rng streams diverged: " << source;
+  }
+}
+
+// --- whole-net compilation ----------------------------------------------------
+
+TEST(NetProgram, CompilesTheInterpretedPipeline) {
+  const Net net = pipeline::build_interpreted_pipeline();
+  const auto program = expr::NetProgram::compile(net);
+  ASSERT_NE(program, nullptr);
+  // All instruction-set tables and working variables got slots.
+  EXPECT_EQ(program->schema().num_scalars(), 6u);
+  EXPECT_EQ(program->schema().tables().size(), 4u);
+  EXPECT_TRUE(program->schema().scalar_slot("number_of_operands_needed").has_value());
+  EXPECT_TRUE(program->schema().table_index("operands").has_value());
+  // The computed execute delay compiled too.
+  const TransitionId execute = net.transition_named("execute");
+  EXPECT_NE(program->firing_delay(execute), nullptr);
+}
+
+TEST(NetProgram, HandWrittenLambdaHooksDisqualify) {
+  Net net("lambda");
+  const PlaceId p = net.add_place("p", 1);
+  const TransitionId t = net.add_transition("t");
+  net.add_input(t, p);
+  net.add_output(t, p);
+  net.set_predicate(t, [](const DataContext&) { return true; });
+  EXPECT_EQ(expr::NetProgram::compile(net), nullptr);
+}
+
+TEST(NetProgram, BuiltinArityMistakeFallsBackToAstPath) {
+  Net net("arity");
+  const PlaceId p = net.add_place("p", 1);
+  const TransitionId t = net.add_transition("t");
+  net.add_input(t, p);
+  net.add_output(t, p);
+  net.set_predicate(t, expr::compile_predicate("min[1] > 0"));
+  // The AST raises the arity error lazily at evaluation time; the bytecode
+  // path must not turn that into a construction-time failure.
+  EXPECT_EQ(expr::NetProgram::compile(net), nullptr);
+}
+
+// --- simulator trace equivalence ---------------------------------------------
+
+RecordedTrace run_trace(const Net& net, bool use_vm, Time horizon) {
+  SimOptions options;
+  options.use_expr_vm = use_vm;
+  Simulator sim(net, options);
+  RecordedTrace trace;
+  sim.set_sink(&trace);
+  sim.reset(1234);
+  sim.run_until(horizon);
+  sim.finish();
+  return trace;
+}
+
+TEST(SimulatorVm, TracesMatchAstPathOnInterpretedModels) {
+  for (const Net& net : {pipeline::build_interpreted_operand_fetch(),
+                         pipeline::build_interpreted_pipeline()}) {
+    const RecordedTrace vm = run_trace(net, true, 5000);
+    const RecordedTrace ast = run_trace(net, false, 5000);
+    ASSERT_GT(vm.events().size(), 100u);
+    EXPECT_TRUE(vm == ast) << net.name();
+  }
+}
+
+TEST(SimulatorVm, DataAccessorMaterializesTheFrame) {
+  SimOptions options;
+  Simulator sim(pipeline::build_interpreted_pipeline(), options);
+  sim.reset(7);
+  sim.run_until(500);
+  SimOptions ast_options;
+  ast_options.use_expr_vm = false;
+  Simulator oracle(pipeline::build_interpreted_pipeline(), ast_options);
+  oracle.reset(7);
+  oracle.run_until(500);
+  EXPECT_EQ(sim.data(), oracle.data());
+}
+
+}  // namespace
+}  // namespace pnut

@@ -1,0 +1,139 @@
+// Seeded random expression/program generator for differential testing of
+// the two expression evaluators (AST tree-walk vs bytecode VM).
+//
+// Each seed deterministically produces an environment (scalars, a table,
+// some names deliberately left undefined) plus random expression or
+// action-program source text over that environment. The generator leans on
+// every language feature the evaluators implement — all binary/unary
+// operators (including / and % with constant-zero and overflow-capable
+// operands), short-circuit && and ||, min/max/abs, irand (actions only),
+// table reads/writes with in- and out-of-range indices, reads of undefined
+// names, assignments that create variables at runtime — so a differential
+// run covers values, error cases, rng streams and created variables alike.
+//
+// Arity is always correct by construction: builtin arity mistakes are a
+// *compile-time* error for the bytecode compiler but an *evaluation-time*
+// error for the AST walker, so they are pinned by dedicated tests, not
+// fuzzed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "petri/data_context.h"
+
+namespace pnut::test_support {
+
+struct ExprFuzzOptions {
+  int max_depth = 4;
+  /// Percent chance a leaf references a name that does not exist.
+  int unknown_pct = 6;
+  /// Allow irand in generated value expressions (actions only — the AST
+  /// evaluator rejects irand without an rng, which is its own test).
+  bool allow_irand = false;
+};
+
+class ExprFuzzer {
+ public:
+  ExprFuzzer(std::uint64_t seed, ExprFuzzOptions options = {})
+      : rng_(seed), options_(options) {}
+
+  /// The environment the generated sources evaluate against. `w` is left
+  /// undefined (programs may create it); `tbl` has kTableSize entries.
+  [[nodiscard]] DataContext environment() {
+    DataContext data;
+    data.set("x", pick_int(-6, 9));
+    data.set("y", pick_int(-2, 12));
+    if (chance(70)) data.set("z", pick_int(0, 3));
+    std::vector<std::int64_t> tbl(kTableSize);
+    for (auto& v : tbl) v = pick_int(-3, 5);
+    data.set_table("tbl", std::move(tbl));
+    return data;
+  }
+
+  [[nodiscard]] std::string expression() { return gen(options_.max_depth); }
+
+  /// 1-4 statements; scalar targets may be fresh names (created at run
+  /// time), table writes may go out of bounds or to an unknown table.
+  [[nodiscard]] std::string program() {
+    std::string out;
+    const int statements = static_cast<int>(pick(1, 4));
+    for (int i = 0; i < statements; ++i) {
+      if (!out.empty()) out += "; ";
+      if (chance(25)) {
+        const char* table = chance(85) ? "tbl" : "ghost_table";
+        out += std::string(table) + "[" + gen(2) + "] = " + gen(options_.max_depth - 1);
+      } else {
+        static constexpr const char* kTargets[] = {"x", "y", "z", "w", "late"};
+        out += std::string(kTargets[pick(0, 4)]) + " = " + gen(options_.max_depth - 1);
+      }
+    }
+    return out;
+  }
+
+  static constexpr std::int64_t kTableSize = 4;
+
+ private:
+  [[nodiscard]] std::string gen(int depth) {
+    if (depth <= 0 || chance(25)) return leaf();
+    switch (pick(0, 9)) {
+      case 0: return "(-" + gen(depth - 1) + ")";
+      case 1: return "(!" + gen(depth - 1) + ")";
+      case 2: {  // builtin call
+        if (chance(40)) return "abs(" + gen(depth - 1) + ")";
+        const char* f = chance(50) ? "min" : "max";
+        return std::string(f) + "[" + gen(depth - 1) + ", " + gen(depth - 1) + "]";
+      }
+      case 3: return "tbl[" + gen(depth - 1) + "]";
+      case 4: {
+        if (options_.allow_irand && chance(50)) {
+          // Mostly valid ranges; occasionally reversed (an error case).
+          const std::int64_t lo = pick_int(-2, 4);
+          const std::int64_t hi = chance(85) ? lo + pick_int(0, 3) : lo - 1;
+          return "irand[" + std::to_string(lo) + ", " + std::to_string(hi) + "]";
+        }
+        return leaf();
+      }
+      default: {
+        static constexpr const char* kOps[] = {"+", "-",  "*",  "/",  "%",  "==",
+                                               "!=", "<", "<=", ">",  ">=", "&&",
+                                               "||"};
+        const std::string op = kOps[pick(0, 12)];
+        return "(" + gen(depth - 1) + " " + op + " " + gen(depth - 1) + ")";
+      }
+    }
+  }
+
+  [[nodiscard]] std::string leaf() {
+    if (chance(options_.unknown_pct)) {
+      return chance(50) ? "nosuch" : "phantom(" + leaf() + ")";
+    }
+    switch (pick(0, 5)) {
+      case 0: return "x";
+      case 1: return "y";
+      case 2: return "z";  // sometimes undefined (70% of environments set it)
+      case 3: return "w";  // undefined unless a program created it
+      case 4:
+        // Big constants reach wrapping-arithmetic and /-overflow territory
+        // through * and unary-minus chains.
+        if (chance(12)) return "4611686018427387904";  // 2^62
+        return std::to_string(pick_int(-3, 9));
+      default: return std::to_string(pick_int(0, 2));
+    }
+  }
+
+  [[nodiscard]] std::size_t pick(std::size_t lo, std::size_t hi) {
+    return lo + static_cast<std::size_t>(rng_() % (hi - lo + 1));
+  }
+  [[nodiscard]] std::int64_t pick_int(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(rng_() % static_cast<std::uint64_t>(hi - lo + 1));
+  }
+  [[nodiscard]] bool chance(int pct) { return static_cast<int>(rng_() % 100) < pct; }
+
+  std::mt19937_64 rng_;
+  ExprFuzzOptions options_;
+};
+
+}  // namespace pnut::test_support

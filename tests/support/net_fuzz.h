@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "expr/compile.h"
 #include "petri/net.h"
 
 namespace pnut::test_support {
@@ -52,6 +53,12 @@ struct FuzzOptions {
   /// it, deterministic and irand actions, and (rarely) an action that
   /// creates a new variable at runtime.
   bool interpreted = false;
+  /// Like `interpreted`, but every predicate/action is attached from
+  /// expression-language source via expr::compile_* (plus a modular table
+  /// some hooks read and write) — the nets the bytecode VM can compile, for
+  /// the AST-vs-VM differential harness. Mutually exclusive with
+  /// `interpreted` (which attaches opaque C++ lambdas, the fallback path).
+  bool interpreted_expr = false;
   /// Add timing features: non-zero firing times of every DelaySpec kind,
   /// enabling times, frequencies and firing policies. For simulator fuzz;
   /// untimed reachability ignores them.
@@ -93,9 +100,15 @@ inline Net fuzz_net(std::uint64_t seed, const FuzzOptions& options = {}) {
     budget -= drop;
   }
 
-  const int modulus =
-      options.interpreted ? static_cast<int>(pick(2, 4)) : 0;  // counter range
-  if (options.interpreted) net.initial_data().set("x", 0);
+  const bool data_features = options.interpreted || options.interpreted_expr;
+  const int modulus = data_features ? static_cast<int>(pick(2, 4)) : 0;  // counter range
+  if (data_features) net.initial_data().set("x", 0);
+  const bool with_table = options.interpreted_expr && chance(60);
+  if (with_table) {
+    std::vector<std::int64_t> tbl(static_cast<std::size_t>(modulus));
+    for (auto& v : tbl) v = static_cast<std::int64_t>(pick(0, 2));
+    net.initial_data().set_table("tbl", std::move(tbl));
+  }
 
   // At least one transition per place, and each transition i's first input
   // is place i mod P: every place has a consumer, so no place is a pure
@@ -143,6 +156,34 @@ inline Net fuzz_net(std::uint64_t seed, const FuzzOptions& options = {}) {
     if (chance(options.inhibitor_pct)) {
       net.add_inhibitor(t, places[pick(0, num_places - 1)],
                         static_cast<TokenCount>(pick(1, 3)));
+    }
+
+    if (options.interpreted_expr) {
+      // The same feature mix as `interpreted`, expressed in the expression
+      // language (sources recoverable, so NetProgram::compile succeeds).
+      const std::string m = std::to_string(modulus);
+      if (chance(25)) {
+        if (with_table && chance(40)) {
+          net.set_predicate(t, expr::compile_predicate("tbl[x % " + m + "] != 1"));
+        } else {
+          net.set_predicate(
+              t, expr::compile_predicate("x % " + m + " != " +
+                                         std::to_string(pick(0, modulus - 1))));
+        }
+      }
+      if (chance(20)) {
+        net.set_action(t, expr::compile_action("x = (x + 1) % " + m));
+      } else if (chance(15)) {
+        net.set_action(t, expr::compile_action("x = irand[0, " + m + " - 1]"));
+      } else if (chance(10)) {
+        // Creates `late` at runtime: the AST oracle widens its layout, the
+        // VM path has the slot (absent until assigned) from the start.
+        net.set_action(t, expr::compile_action("x = (x + 1) % " + m +
+                                               "; late = x * 7 + min[x, 2]"));
+      } else if (with_table && chance(15)) {
+        net.set_action(t, expr::compile_action("tbl[x % " + m + "] = (tbl[x % " + m +
+                                               "] + 1) % 3; x = (x + 1) % " + m));
+      }
     }
 
     if (options.interpreted) {
