@@ -118,6 +118,48 @@ GraphRun measure_parallel(const Net& net, unsigned threads, const Golden& golden
 
 constexpr unsigned kScalingThreads[] = {1, 2, 4, 8};
 
+/// Out-of-core sweep: one ring family at growing sizes, built all-in-RAM
+/// and again under a fixed residency budget the larger sizes cannot fit.
+/// Reports the throughput cost of going out-of-core and the spilled /
+/// peak-resident volumes; answers must match the in-RAM build exactly.
+constexpr std::size_t kSpillBudget = std::size_t{32} << 20;
+constexpr std::size_t kSpillRingSizes[] = {24, 30, 34, 38};
+
+struct SpillRun {
+  GraphRun resident;
+  GraphRun spilled;
+  bool engaged = false;
+  std::size_t spilled_bytes = 0;
+  std::size_t peak_resident_bytes = 0;
+};
+
+SpillRun measure_spill(const Net& net) {
+  SpillRun run;
+  analysis::ReachOptions options;
+  options.max_states = 1'000'000;
+  const auto t0 = std::chrono::steady_clock::now();
+  const analysis::ReachabilityGraph flat(net, options);
+  const auto t1 = std::chrono::steady_clock::now();
+  options.spill.max_resident_bytes = kSpillBudget;
+  const auto t2 = std::chrono::steady_clock::now();
+  const analysis::ReachabilityGraph spilled(net, options);
+  const auto t3 = std::chrono::steady_clock::now();
+  run.resident.states_per_second = static_cast<double>(flat.num_states()) /
+                                   std::chrono::duration<double>(t1 - t0).count();
+  run.spilled.states_per_second = static_cast<double>(spilled.num_states()) /
+                                  std::chrono::duration<double>(t3 - t2).count();
+  run.spilled.counts_ok = flat.status() == analysis::ReachStatus::kComplete &&
+                          spilled.status() == flat.status() &&
+                          spilled.num_states() == flat.num_states() &&
+                          spilled.num_edges() == flat.num_edges() &&
+                          spilled.deadlock_states().size() ==
+                              flat.deadlock_states().size();
+  run.engaged = spilled.spill_engaged();
+  run.spilled_bytes = spilled.spilled_bytes();
+  run.peak_resident_bytes = spilled.peak_resident_bytes();
+  return run;
+}
+
 /// One timed-graph scaling point: build the timed race ring's graph once
 /// at `threads` workers (threads == 1 runs the sequential two-bucket
 /// builder) and check the frozen golden counts.
@@ -199,6 +241,24 @@ void print_artifact() {
   }
   std::printf("\n");
 
+  // Out-of-core sweep across the resident/spilled boundary: the small
+  // ring fits the 32 MB budget (spill configured but never engaged), the
+  // large ones must stream sealed levels through segment files.
+  std::vector<SpillRun> spill_runs;
+  for (const std::size_t places : kSpillRingSizes) {
+    const SpillRun run = measure_spill(stress_ring(places, 5));
+    spill_runs.push_back(run);
+    std::printf("spill ring %2zux5 %10.3g states/s in-RAM, %10.3g spilled "
+                "(%.2fx)  %s, %zu MiB spilled, peak %zu MiB  %s\n",
+                places, run.resident.states_per_second,
+                run.spilled.states_per_second,
+                run.spilled.states_per_second / run.resident.states_per_second,
+                run.engaged ? "engaged" : "all-resident",
+                run.spilled_bytes >> 20, run.peak_resident_bytes >> 20,
+                run.spilled.counts_ok ? "answers match" : "MISMATCH");
+  }
+  std::printf("\n");
+
   FILE* json = std::fopen("BENCH_reach.json", "w");
   if (json != nullptr) {
     std::fprintf(json,
@@ -266,6 +326,31 @@ void print_artifact() {
     }
     std::fprintf(json, "    \"counts_match_golden\": %s\n  },\n",
                  timed_counts_ok ? "true" : "false");
+    std::fprintf(json,
+                 "  \"spill_sweep\": {\n"
+                 "    \"note\": \"stress_ring(n, 5) built all-in-RAM and again "
+                 "under a fixed max_resident_bytes budget; answers are identical, "
+                 "the larger sizes must stream sealed levels through mmap'd "
+                 "segment files\",\n"
+                 "    \"max_resident_bytes\": %zu,\n",
+                 kSpillBudget);
+    bool spill_counts_ok = true;
+    for (std::size_t i = 0; i < spill_runs.size(); ++i) {
+      const SpillRun& run = spill_runs[i];
+      spill_counts_ok = spill_counts_ok && run.spilled.counts_ok;
+      std::fprintf(json,
+                   "    \"ring_%zux5\": {\"resident_states_per_second\": %.0f, "
+                   "\"spilled_states_per_second\": %.0f, \"slowdown\": %.2f, "
+                   "\"engaged\": %s, \"spilled_bytes\": %zu, "
+                   "\"peak_resident_bytes\": %zu},\n",
+                   kSpillRingSizes[i], run.resident.states_per_second,
+                   run.spilled.states_per_second,
+                   run.resident.states_per_second / run.spilled.states_per_second,
+                   run.engaged ? "true" : "false", run.spilled_bytes,
+                   run.peak_resident_bytes);
+    }
+    std::fprintf(json, "    \"answers_match_resident\": %s\n  },\n",
+                 spill_counts_ok ? "true" : "false");
     std::fprintf(json,
                  "  \"pre_vm_baseline\": {\n"
                  "    \"fig4_interpreted_pipeline\": {\"states_per_second\": %.0f, "

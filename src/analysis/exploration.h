@@ -8,10 +8,19 @@
 // (`expand`) the driver takes.
 //
 // Edges are stored in CSR form as they are produced: each state is expanded
-// exactly once, so all of its out-edges land contiguously in one flat pool
-// and the per-state row is just (first, count) — no per-state edge vector,
-// and the flat pool doubles as the scan target for whole-graph queries
-// (dead transitions, total edge count).
+// exactly once, so all of its out-edges land contiguously in one pool and
+// the per-state row is just (first, count) — no per-state edge vector.
+// Whole-graph scans (dead transitions, reversibility) stream the rows in
+// source order via for_each_row().
+//
+// Out-of-core mode (enable_spill): the pool becomes a SegmentedStore
+// (spill.h). `first_` then holds *virtual* offsets (segment << shift |
+// position); a row never straddles a segment boundary — the open row is
+// relocated to a fresh segment instead, leaving a zero-filled hole at the
+// old segment's tail — so out(s) is always one contiguous span whether the
+// row is heap-resident or faulted in from the spill file. Sealed segments
+// (everything before the open row / the current level) spill once the
+// resident set exceeds the budget; nothing is ever rewritten.
 //
 // The frontier is plain FIFO BFS. The untimed reachability builder and the
 // trace state space run on it; the timed graph's 0-1 BFS uses the shared
@@ -20,17 +29,34 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <stdexcept>
 #include <vector>
 
+#include "analysis/spill.h"
+
 namespace pnut::analysis {
 
-/// Flat CSR out-edge storage, filled one source row at a time.
+/// CSR out-edge storage, filled one source row at a time.
 template <typename EdgeT>
 class EdgeCsr {
  public:
+  /// Switch the pool to the segmented spillable layout. Call while empty.
+  void enable_spill(std::shared_ptr<detail::SpillDir> dir, const std::string& name,
+                    std::size_t segment_bytes, std::size_t budget_bytes) {
+    std::size_t eps = 1;
+    std::size_t shift = 0;
+    while (eps * 2 * sizeof(EdgeT) <= segment_bytes) {
+      eps *= 2;
+      ++shift;
+    }
+    eshift_ = shift;
+    emask_ = eps - 1;
+    pool_.configure_spill(std::move(dir), name, eps, budget_bytes);
+  }
+
   /// Open state `s`'s row; all add() calls until the next begin_source()
   /// append to it. Each source may be opened at most once.
   void begin_source(std::uint32_t s) {
@@ -38,16 +64,27 @@ class EdgeCsr {
       first_.resize(s + 1, 0);
       count_.resize(s + 1, 0);
     }
-    first_[s] = static_cast<std::uint32_t>(pool_.size());
+    first_[s] = static_cast<std::uint32_t>(virtual_tail());
     current_ = s;
+    // Everything before the open row is sealed and may spill.
+    if (pool_.segmented()) pool_.set_floor_seg(pool_.tail_seg());
   }
 
   void add(const EdgeT& edge) {
-    if (pool_.size() >= UINT32_MAX) {
+    if (pool_.segmented()) {
+      const std::uint32_t n = count_[current_];
+      // The next edge would start a new segment: relocate the open row so
+      // it stays contiguous (rows never straddle segment boundaries).
+      if (n > 0 && (((static_cast<std::size_t>(first_[current_]) + n) & emask_) == 0)) {
+        relocate_open_row(n);
+      }
+    }
+    if (virtual_tail() >= UINT32_MAX) {
       throw std::length_error("EdgeCsr: edge offset space exhausted");
     }
-    pool_.push_back(edge);
+    *pool_.extend(1) = edge;
     ++count_[current_];
+    ++num_edges_;
   }
 
   /// Size the row tables to the final state count (states never expanded —
@@ -59,54 +96,94 @@ class EdgeCsr {
 
   /// Bulk row appending for stitched parallel segments: open rows for
   /// states [first_state, first_state + counts.size()) where row r holds
-  /// counts[r] edges, grow the pool by the total, and return a mutable
-  /// span over the new region (rows back-to-back, same layout the
-  /// begin_source/add path produces). The caller fills the span — from
-  /// several threads if it likes; the row bookkeeping is already done.
-  /// The span is invalidated by the next mutation of this EdgeCsr.
-  /// Throws std::length_error — before touching any table, so the CSR
-  /// stays valid — if the pool would outgrow the 32-bit offset space.
-  std::span<EdgeT> append_rows(std::uint32_t first_state,
-                               std::span<const std::uint32_t> counts) {
-    std::size_t total = 0;
-    for (const std::uint32_t c : counts) total += c;
-    if (pool_.size() + total > UINT32_MAX) {
+  /// counts[r] edges and grow the pool by the total (plus any segment-
+  /// boundary padding in spill mode). The caller fills the rows through
+  /// mutable_row() — from several threads if it likes; the row bookkeeping
+  /// is already done. Throws std::length_error — before touching any
+  /// table, so the CSR stays valid — if the pool would outgrow the 32-bit
+  /// (virtual) offset space or a row cannot fit in one segment.
+  void append_rows(std::uint32_t first_state, std::span<const std::uint32_t> counts) {
+    // Plan the final virtual tail, padding included, before any mutation.
+    const std::size_t eps = pool_.segmented() ? pool_.items_per_segment() : 0;
+    std::size_t vtail = virtual_tail();
+    for (const std::uint32_t c : counts) {
+      if (eps != 0) {
+        if (c > eps) {
+          throw std::length_error("EdgeCsr: row exceeds spill segment capacity");
+        }
+        const std::size_t space = eps - (vtail & emask_);
+        if (c > space) vtail += space;  // boundary padding
+      }
+      vtail += c;
+    }
+    if (vtail > UINT32_MAX) {
       throw std::length_error("EdgeCsr: edge offset space exhausted");
     }
+
     if (first_.size() < first_state) {
       first_.resize(first_state, 0);
       count_.resize(first_state, 0);
     }
-    std::size_t offset = pool_.size();
+    // This level's rows must stay heap-resident until the caller has
+    // filled them; only segments before the pre-append tail may spill.
+    if (eps != 0) pool_.set_floor_seg(pool_.tail_seg());
+    std::size_t total = 0;
     for (const std::uint32_t c : counts) {
-      first_.push_back(static_cast<std::uint32_t>(offset));
+      if (eps != 0 && c > pool_.room()) pool_.pad_to_boundary();
+      first_.push_back(static_cast<std::uint32_t>(virtual_tail()));
       count_.push_back(c);
-      offset += c;
+      pool_.extend(c);
+      total += c;
     }
-    const std::size_t base = pool_.size();
-    pool_.resize(base + total);
-    return {pool_.data() + base, total};
+    num_edges_ += total;
   }
 
   [[nodiscard]] std::span<const EdgeT> out(std::size_t s) const {
-    return {pool_.data() + first_[s], count_[s]};
+    const std::uint32_t n = count_[s];
+    if (n == 0) return {};  // never fault a segment in for an empty row
+    if (!pool_.segmented()) return {pool_.flat_at(first_[s]), n};
+    return {pool_.at(first_[s] >> eshift_, first_[s] & emask_), n};
   }
+
+  /// Mutable view of a row appended by append_rows, for the caller's fill
+  /// pass. The row's segment is still heap-resident (append_rows keeps the
+  /// current level above the spill floor), so concurrent fills of distinct
+  /// rows are safe.
+  [[nodiscard]] std::span<EdgeT> mutable_row(std::size_t s) {
+    const std::uint32_t n = count_[s];
+    if (n == 0) return {};
+    if (!pool_.segmented()) return {pool_.flat_mutable_at(first_[s]), n};
+    return {pool_.mutable_at(first_[s] >> eshift_, first_[s] & emask_), n};
+  }
+
   [[nodiscard]] std::size_t out_degree(std::size_t s) const { return count_[s]; }
-  [[nodiscard]] std::size_t num_edges() const { return pool_.size(); }
-  /// All edges of all states, for whole-graph scans.
-  [[nodiscard]] const std::vector<EdgeT>& flat() const { return pool_; }
+  [[nodiscard]] std::size_t num_edges() const { return num_edges_; }
+
+  /// Stream every row in source order: fn(source, span<const EdgeT>).
+  /// Ascending source order is ascending pool order, so a spilled pool
+  /// faults each segment in exactly once per scan.
+  template <typename Fn>
+  void for_each_row(Fn&& fn) const {
+    for (std::size_t s = 0; s < first_.size(); ++s) fn(s, out(s));
+  }
 
   [[nodiscard]] std::size_t memory_bytes() const {
-    return pool_.capacity() * sizeof(EdgeT) +
+    return pool_.resident_bytes() +
            (first_.capacity() + count_.capacity()) * sizeof(std::uint32_t);
   }
+  [[nodiscard]] std::size_t spilled_bytes() const { return pool_.spilled_bytes(); }
+  [[nodiscard]] std::size_t peak_resident_bytes() const {
+    return pool_.peak_resident_bytes() +
+           (first_.capacity() + count_.capacity()) * sizeof(std::uint32_t);
+  }
+  [[nodiscard]] bool spill_engaged() const { return pool_.engaged(); }
 
   /// Pre-size the pool and row tables (the parallel seal pass knows each
   /// level's edge and state counts before stitching it in). Grows
   /// geometrically: repeated slightly-larger reserves must not degrade
   /// into a full realloc+copy per call.
   void reserve(std::size_t edges, std::size_t states) {
-    if (edges > pool_.capacity()) pool_.reserve(std::max(edges, pool_.capacity() * 2));
+    pool_.reserve(edges);
     if (states > first_.capacity()) {
       first_.reserve(std::max(states, first_.capacity() * 2));
       count_.reserve(std::max(states, count_.capacity() * 2));
@@ -114,8 +191,39 @@ class EdgeCsr {
   }
 
  private:
-  std::vector<EdgeT> pool_;
+  /// Next append position in the 32-bit (virtual, in spill mode) offset
+  /// space `first_` indexes into.
+  [[nodiscard]] std::size_t virtual_tail() const {
+    if (!pool_.segmented()) return pool_.virtual_size();
+    return (pool_.tail_seg() << eshift_) | pool_.tail_pos();
+  }
+
+  /// Move the open row (n edges so far) to a fresh segment so the next add
+  /// keeps it contiguous. The old copy becomes an unreferenced hole.
+  void relocate_open_row(std::uint32_t n) {
+    if (static_cast<std::size_t>(n) + 1 > pool_.items_per_segment()) {
+      throw std::length_error("EdgeCsr: row exceeds spill segment capacity");
+    }
+    const std::uint32_t v = first_[current_];
+    // The open row's segment sits at the spill floor, so `old` stays
+    // heap-resident (and stable) across the pad and the new allocation.
+    const EdgeT* old = pool_.at(v >> eshift_, v & emask_);
+    pool_.pad_to_boundary();
+    if (virtual_tail() + n >= UINT32_MAX) {
+      throw std::length_error("EdgeCsr: edge offset space exhausted");
+    }
+    first_[current_] = static_cast<std::uint32_t>(virtual_tail());
+    EdgeT* fresh = pool_.extend(n);
+    std::copy_n(old, n, fresh);
+    // The old segment no longer holds live row data; let it spill.
+    pool_.set_floor_seg(first_[current_] >> eshift_);
+  }
+
+  detail::SegmentedStore<EdgeT> pool_;
   std::vector<std::uint32_t> first_, count_;
+  std::size_t eshift_ = 0;
+  std::size_t emask_ = 0;
+  std::size_t num_edges_ = 0;
   std::uint32_t current_ = 0;
 };
 

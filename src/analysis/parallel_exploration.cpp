@@ -155,6 +155,37 @@ class ParallelExplorer {
     }
     shards_ = std::vector<Shard>(num_shards_);
     for (Shard& s : shards_) s.store = StateStore(prov_width_);
+
+    if (options_.spill.max_resident_bytes != 0) {
+      if (track_data_ && !vm_mode_) {
+        // Same rule the sequential builder enforces: the exact seal's
+        // layout widening rewrites the canonical arena.
+        throw std::invalid_argument(
+            "spill: unsupported for AST-interpreted nets with actions "
+            "(the expression-VM path spills fine)");
+      }
+      // Budget split: 3/8 canonical arena (wired in bootstrap), 3/8 across
+      // the provisional shards, 2/8 edge pool. Shards have no frontier to
+      // protect — every access is mutex-guarded, so any sealed segment may
+      // spill and fault back in on a probe (rare: the cached-hash filter
+      // rejects almost every mismatching probe without touching words).
+      spill_dir_ = std::make_shared<detail::SpillDir>(options_.spill.dir);
+      const std::size_t budget = options_.spill.max_resident_bytes;
+      const std::size_t shard_budget = std::max<std::size_t>(budget * 3 / 8 / num_shards_, 1);
+      // A shard's open tail segment is always heap-resident, so its segment
+      // size must stay well under the per-shard budget — otherwise S shards
+      // hold S full-size tails and the budget is fiction.
+      const std::size_t shard_segment_bytes =
+          detail::segment_bytes_for(options_.spill.segment_bytes, shard_budget);
+      for (std::size_t i = 0; i < num_shards_; ++i) {
+        shards_[i].store.enable_spill(spill_dir_, "shard" + std::to_string(i) + ".seg",
+                                      shard_segment_bytes, shard_budget,
+                                      /*spill_sealed_tail=*/true);
+      }
+      edges_.enable_spill(spill_dir_, "edges.seg",
+                          detail::segment_bytes_for(options_.spill.segment_bytes, budget / 4),
+                          budget / 4);
+    }
   }
 
   ParallelReachResult run() {
@@ -166,6 +197,11 @@ class ParallelExplorer {
       const auto level_end = static_cast<std::uint32_t>(canonical_.size());
       expand_level(level_begin, level_end, batches);
       expanded_end = level_end;
+      // The level is fully expanded: its states (and everything before
+      // them) are sealed. The seal only appends at >= level_end, and the
+      // next expand reads only [level_end, ...), so segments below this
+      // floor can spill without any lock-free reader ever faulting.
+      canonical_.set_spill_floor(level_end);
       // The VM path needs no context re-encoding at seal (provisional
       // words ARE the canonical words), so it rides the fast seal.
       const bool keep_going = track_data_ && !vm_mode_
@@ -183,17 +219,30 @@ class ParallelExplorer {
     result.track_data = track_data_;
     result.status = status_;
     result.num_expanded = num_expanded_;
+    for (const Shard& s : shards_) {
+      result.aux_peak_bytes += s.store.peak_resident_bytes();
+      result.aux_spill_engaged |= s.store.spill_engaged();
+    }
     return result;
   }
 
  private:
   // --- bootstrap -------------------------------------------------------------
 
+  void configure_canonical_spill() {
+    if (!spill_dir_) return;
+    const std::size_t budget = options_.spill.max_resident_bytes * 3 / 8;
+    canonical_.enable_spill(spill_dir_, "canonical.seg",
+                            detail::segment_bytes_for(options_.spill.segment_bytes, budget),
+                            budget);
+  }
+
   void bootstrap() {
     if (vm_mode_) {
       // Slot path: canonical and provisional words coincide — the marking
       // followed by the schema-encoded frame, width frozen up front.
       canonical_ = StateStore(prov_width_);
+      configure_canonical_spill();
       seal_scratch_.resize(prov_width_);
       const Marking initial = Marking::initial(net_->net());
       std::memcpy(seal_scratch_.data(), initial.tokens().data(),
@@ -212,6 +261,7 @@ class ParallelExplorer {
     if (track_data_) layout_.init(initial_data_);
     const std::size_t width = num_places_ + (track_data_ ? layout_.words() : 0);
     canonical_ = StateStore(width);
+    configure_canonical_spill();
     seal_scratch_.resize(width);
 
     const Marking initial = Marking::initial(net_->net());
@@ -536,26 +586,29 @@ class ParallelExplorer {
       row_counts_.insert(row_counts_.end(), batch.item_count.begin(),
                          batch.item_count.end());
     }
-    translate_edges(batches, edges_.append_rows(level_begin, row_counts_));
+    edges_.append_rows(level_begin, row_counts_);
+    translate_edges(batches);
     return true;
   }
 
-  void translate_edges(const std::vector<Batch>& batches,
-                       std::span<ReachabilityGraph::Edge> out) {
-    batch_offsets_.clear();
-    std::size_t offset = 0;
-    for (const Batch& batch : batches) {
-      batch_offsets_.push_back(offset);
-      offset += batch.items.size();
-    }
+  void translate_edges(const std::vector<Batch>& batches) {
+    // Each batch fills its own parents' freshly opened rows via
+    // mutable_row: disjoint heap-resident regions (append_rows keeps the
+    // level above the spill floor), so batches translate concurrently.
+    std::size_t total = 0;
+    for (const Batch& batch : batches) total += batch.items.size();
     const auto translate_one = [&](std::size_t b) {
-      ReachabilityGraph::Edge* dst = out.data() + batch_offsets_[b];
-      for (const Item& item : batches[b].items) {
-        *dst++ = ReachabilityGraph::Edge{TransitionId(item.transition),
-                                         shards_[item.shard].canonical[item.slot]};
+      const Batch& batch = batches[b];
+      const Item* item = batch.items.data();
+      for (std::uint32_t i = 0; i < batch.num_parents; ++i) {
+        for (ReachabilityGraph::Edge& e : edges_.mutable_row(batch.first_parent + i)) {
+          e = ReachabilityGraph::Edge{TransitionId(item->transition),
+                                      shards_[item->shard].canonical[item->slot]};
+          ++item;
+        }
       }
     };
-    if (batches.size() <= 1 || out.size() < 8192) {
+    if (batches.size() <= 1 || total < 8192) {
       for (std::size_t b = 0; b < batches.size(); ++b) translate_one(b);
       return;
     }
@@ -679,7 +732,7 @@ class ParallelExplorer {
   std::vector<std::uint32_t> data_id_;  ///< canonical id -> context-table id
   std::vector<std::uint32_t> seal_scratch_;
   std::vector<std::uint32_t> row_counts_;   ///< reused per level (fast seal)
-  std::vector<std::size_t> batch_offsets_;  ///< reused per level (fast seal)
+  std::shared_ptr<detail::SpillDir> spill_dir_;  ///< set iff spilling enabled
   std::vector<WorkerScratch> worker_scratch_;  ///< persistent across levels
   std::optional<WorkerPool> pool_;          ///< lazily spawned, reused per level
   ReachStatus status_ = ReachStatus::kComplete;

@@ -75,6 +75,10 @@ struct ParallelReachResult {
   /// order). Later states are truncation leftovers with empty or partial
   /// edge rows; graph queries must not read those rows as deadlocks.
   std::size_t num_expanded = 0;
+  /// Spill accounting for the (destroyed-with-the-explorer) shard stores:
+  /// their summed peak resident bytes and whether any of them spilled.
+  std::size_t aux_peak_bytes = 0;
+  bool aux_spill_engaged = false;
 };
 
 /// Explore with `threads` workers (>= 2; callers resolve 0/1 themselves).

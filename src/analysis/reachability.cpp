@@ -35,6 +35,13 @@ void ReachabilityGraph::explore(ReachOptions options) {
   if (options.use_expr_vm && net_->net_is_interpreted()) {
     program_ = expr::NetProgram::compile(net_->net());
   }
+  if (options.spill.max_resident_bytes != 0 && track_data_ && program_ == nullptr) {
+    // The AST/DataContext path widens its layout mid-run, which rebuilds
+    // the whole arena — incompatible with spilled (immutable) segments.
+    throw std::invalid_argument(
+        "spill: unsupported for AST-interpreted nets with actions "
+        "(the expression-VM path spills fine)");
+  }
 
   if (threads > 1) {
     ParallelReachResult result =
@@ -45,6 +52,8 @@ void ReachabilityGraph::explore(ReachOptions options) {
     track_data_ = result.track_data;
     status_ = result.status;
     num_expanded_ = result.num_expanded;
+    aux_peak_bytes_ = result.aux_peak_bytes;
+    aux_spill_engaged_ = result.aux_spill_engaged;
     return;
   }
   if (program_ != nullptr) {
@@ -52,6 +61,18 @@ void ReachabilityGraph::explore(ReachOptions options) {
   } else {
     explore_sequential(options);
   }
+}
+
+void ReachabilityGraph::configure_spill_sequential(const ReachOptions& options) {
+  if (options.spill.max_resident_bytes == 0) return;
+  auto dir = std::make_shared<detail::SpillDir>(options.spill.dir);
+  const std::size_t budget = options.spill.max_resident_bytes;
+  store_.enable_spill(dir, "states.seg",
+                      detail::segment_bytes_for(options.spill.segment_bytes, budget * 2 / 3),
+                      budget * 2 / 3);
+  edges_.enable_spill(std::move(dir), "edges.seg",
+                      detail::segment_bytes_for(options.spill.segment_bytes, budget / 3),
+                      budget / 3);
 }
 
 void ReachabilityGraph::explore_sequential(const ReachOptions& options) {
@@ -62,6 +83,7 @@ void ReachabilityGraph::explore_sequential(const ReachOptions& options) {
   if (track_data_) layout.init(initial_data);
   std::size_t width = num_places + (track_data_ ? layout.words() : 0);
   store_ = StateStore(width);
+  configure_spill_sequential(options);
 
   // The expansion loop works in place on one scratch word vector: the
   // parent state's words are copied in once, each firing's token delta is
@@ -95,6 +117,8 @@ void ReachabilityGraph::explore_sequential(const ReachOptions& options) {
   std::vector<std::uint32_t> sample_key;
 
   num_expanded_ = drive_frontier_bfs(frontier, edges_, [&](std::uint32_t state) {
+    // States before the BFS cursor are sealed; their segments may spill.
+    store_.set_spill_floor(state);
     // Copies: interning may grow the arena / data vector while we expand.
     std::copy(store_.state(state).begin(), store_.state(state).end(), scratch.begin());
     const DataContext parent_data = track_data_ ? data_[state] : DataContext{};
@@ -209,6 +233,7 @@ void ReachabilityGraph::explore_sequential_vm(const ReachOptions& options) {
   const std::size_t data_words = track_data_ ? schema.encoded_words() : 0;
   const std::size_t width = num_places + data_words;
   store_ = StateStore(width);
+  configure_spill_sequential(options);
 
   std::vector<std::uint32_t> scratch(width);
   DataFrame parent_frame;
@@ -249,6 +274,8 @@ void ReachabilityGraph::explore_sequential_vm(const ReachOptions& options) {
   std::size_t num_outcomes = 0;
 
   num_expanded_ = drive_frontier_bfs(frontier, edges_, [&](std::uint32_t state) {
+    // States before the BFS cursor are sealed; their segments may spill.
+    store_.set_spill_floor(state);
     // Copies: interning may grow the arena while we expand.
     std::copy(store_.state(state).begin(), store_.state(state).end(), scratch.begin());
     if (track_data_) schema.decode(scratch.data() + num_places, parent_frame);
@@ -416,16 +443,21 @@ std::vector<std::size_t> ReachabilityGraph::deadlock_states() const {
 }
 
 TokenCount ReachabilityGraph::place_bound(PlaceId p) const {
+  // Streaming arena scan: ascending ids fault each spilled segment once.
   TokenCount bound = 0;
-  for (std::size_t s = 0; s < store_.size(); ++s) {
-    bound = std::max(bound, static_cast<TokenCount>(store_.state(s)[p.value]));
-  }
+  store_.for_each_state(0, store_.size(),
+                        [&](std::size_t, std::span<const std::uint32_t> words) {
+                          bound = std::max(bound, static_cast<TokenCount>(words[p.value]));
+                        });
   return bound;
 }
 
 std::vector<TransitionId> ReachabilityGraph::dead_transitions() const {
   std::vector<bool> fired(net_->num_transitions(), false);
-  for (const Edge& e : edges_.flat()) fired[e.transition.value] = true;
+  // One streaming pass over the edge rows in source (= pool) order.
+  edges_.for_each_row([&](std::size_t, std::span<const Edge> row) {
+    for (const Edge& e : row) fired[e.transition.value] = true;
+  });
   std::vector<TransitionId> out;
   for (std::uint32_t i = 0; i < fired.size(); ++i) {
     if (!fired[i]) out.push_back(TransitionId(i));
@@ -437,7 +469,12 @@ bool ReachabilityGraph::is_reversible() const {
   // Backward BFS from state 0 over a counting-sorted reverse CSR.
   const std::size_t n = store_.size();
   std::vector<std::uint32_t> in_off(n + 1, 0);
-  for (const Edge& e : edges_.flat()) ++in_off[e.target + 1];
+  // Two streaming passes over the edge rows (count, then fill): the
+  // backward BFS below runs entirely on the reverse CSR, so a spilled edge
+  // pool is faulted in exactly twice, in order, and never held resident.
+  edges_.for_each_row([&](std::size_t, std::span<const Edge> row) {
+    for (const Edge& e : row) ++in_off[e.target + 1];
+  });
   for (std::size_t i = 1; i <= n; ++i) in_off[i] += in_off[i - 1];
   std::vector<std::uint32_t> pred(edges_.num_edges());
   {

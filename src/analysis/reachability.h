@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "analysis/exploration.h"
+#include "analysis/spill.h"
 #include "analysis/state_space.h"
 #include "analysis/state_store.h"
 #include "expr/program.h"
@@ -71,6 +72,16 @@ struct ReachOptions {
   /// same state numbering, edges, statuses — which stays both the fallback
   /// for hand-written C++ hooks and the equivalence-test oracle.
   bool use_expr_vm = true;
+  /// Out-of-core exploration (spill.h): when max_resident_bytes is set,
+  /// sealed BFS levels and edge rows spill to mmap'd segment files once the
+  /// exact resident accounting (memory_bytes()) exceeds the budget. The
+  /// graph — state ids, edge order, statuses — is byte-identical to the
+  /// all-in-RAM build at every thread count, because spilling happens
+  /// strictly after a level seals. Unsupported (throws
+  /// std::invalid_argument) only for AST-interpreted nets with actions,
+  /// whose layout widening rewrites the whole arena; the expression-VM path
+  /// spills fine.
+  SpillOptions spill;
 };
 
 enum class ReachStatus : std::uint8_t { kComplete, kTruncated, kUnbounded };
@@ -161,11 +172,31 @@ class ReachabilityGraph final : public StateSpace {
 
   /// Approximate heap footprint of the graph: arena + intern table + edge
   /// pool, plus (for interpreted nets) an estimate of the per-state
-  /// DataContext snapshots. The bench reports this as bytes/state.
+  /// DataContext snapshots. In spill mode this is the exact *resident*
+  /// footprint — spilled segments are counted by spilled_bytes() instead.
+  /// The bench reports this as bytes/state.
   [[nodiscard]] std::size_t memory_bytes() const;
+
+  /// True if the build (or a query since) actually wrote segments to disk.
+  [[nodiscard]] bool spill_engaged() const {
+    return store_.spill_engaged() || edges_.spill_engaged() || aux_spill_engaged_;
+  }
+  /// Bytes currently held in spill segment files (states + edges).
+  [[nodiscard]] std::size_t spilled_bytes() const {
+    return store_.spilled_bytes() + edges_.spilled_bytes();
+  }
+  /// High-water resident footprint across the build and all queries,
+  /// including the parallel builder's (since destroyed) shard stores.
+  [[nodiscard]] std::size_t peak_resident_bytes() const {
+    return store_.peak_resident_bytes() + edges_.peak_resident_bytes() +
+           aux_peak_bytes_;
+  }
 
  private:
   void explore(ReachOptions options);
+  /// Sequential spill setup: shared SpillDir, 2/3 of the budget to the
+  /// state arena, 1/3 to the edge pool. No-op when spilling is disabled.
+  void configure_spill_sequential(const ReachOptions& options);
   /// Sequential builders: the AST/DataContext reference path and the
   /// bytecode/slot-frame fast path (program_ non-null). Same graph.
   void explore_sequential(const ReachOptions& options);
@@ -181,6 +212,10 @@ class ReachabilityGraph final : public StateSpace {
   std::vector<DataContext> data_;
   bool track_data_ = false;
   std::size_t num_expanded_ = 0;  ///< fully-expanded prefix length
+  /// Parallel-build extras folded into the spill accounting: the shard
+  /// stores' peak resident bytes and whether any shard spilled.
+  std::size_t aux_peak_bytes_ = 0;
+  bool aux_spill_engaged_ = false;
 
   /// Bytecode runtime (null on the AST path); query-time scratch for
   /// decoding per-state frames out of the arena.

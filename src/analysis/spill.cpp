@@ -1,0 +1,88 @@
+// POSIX pieces of the spill backend: the unique spill directory and the
+// pwrite/mmap segment file. Kept out of the header so sys/mman.h does not
+// leak into every exploration translation unit.
+#include "analysis/spill.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+namespace pnut::analysis::detail {
+
+namespace {
+
+std::atomic<unsigned> g_spill_counter{0};
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+}  // namespace
+
+SpillDir::SpillDir(const std::string& base) {
+  namespace fs = std::filesystem;
+  const fs::path root = base.empty() ? fs::temp_directory_path() : fs::path(base);
+  // The parent must already exist: a typo'd --spill-dir should fail loudly,
+  // not silently create a directory tree somewhere unexpected.
+  if (!fs::is_directory(root)) {
+    throw std::invalid_argument("spill directory does not exist: " + root.string());
+  }
+  const unsigned serial = g_spill_counter.fetch_add(1, std::memory_order_relaxed);
+  const fs::path dir = root / ("pnut-spill-" + std::to_string(::getpid()) + "-" +
+                               std::to_string(serial));
+  fs::create_directory(dir);
+  path_ = dir.string();
+}
+
+SpillDir::~SpillDir() {
+  std::error_code ec;  // best effort: never throw from a destructor
+  std::filesystem::remove_all(path_, ec);
+}
+
+SpillFile::~SpillFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void SpillFile::write(std::size_t offset, const void* data, std::size_t bytes) {
+  if (fd_ < 0) {
+    const std::string path = dir_->path() + "/" + name_;
+    fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0600);
+    if (fd_ < 0) throw_errno("open spill segment file " + path);
+  }
+  const char* p = static_cast<const char*>(data);
+  std::size_t done = 0;
+  while (done < bytes) {
+    const ssize_t n = ::pwrite(fd_, p + done, bytes - done,
+                               static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write spill segment");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+const void* SpillFile::map(std::size_t offset, std::size_t bytes) {
+  void* addr = ::mmap(nullptr, bytes, PROT_READ, MAP_SHARED, fd_,
+                      static_cast<off_t>(offset));
+  if (addr == MAP_FAILED) throw_errno("map spill segment");
+  return addr;
+}
+
+void SpillFile::unmap(const void* addr, std::size_t bytes) {
+  ::munmap(const_cast<void*>(addr), bytes);
+}
+
+std::size_t SpillFile::page_size() {
+  const long page = ::sysconf(_SC_PAGESIZE);
+  return page > 0 ? static_cast<std::size_t>(page) : 4096;
+}
+
+}  // namespace pnut::analysis::detail

@@ -31,16 +31,23 @@ StateStore::Interned StateStore::intern(std::span<const std::uint32_t> words,
         throw std::length_error("StateStore: state index space exhausted");
       }
       const std::uint32_t index = arena_.push(words);
+      if (hashes_.size() == index) hashes_.push_back(h);
       table_[slot] = index;
       return Interned{index, true};
     }
-    if (equals(occupant, words.data())) return Interned{occupant, false};
+    // Cached-hash filter: a mismatching hash can skip the word compare —
+    // which in spill mode would fault the occupant's segment in from disk.
+    if ((occupant >= hashes_.size() || hashes_[occupant] == h) &&
+        equals(occupant, words.data())) {
+      return Interned{occupant, false};
+    }
     slot = (slot + 1) & mask_;
   }
 }
 
 void StateStore::reserve(std::size_t states) {
   arena_.reserve(states);
+  hashes_.reserve(states);
   std::size_t capacity = kInitialTableSize;
   while (states * 10 > capacity * 7) capacity *= 2;
   if (capacity > mask_ + 1) grow_table(capacity);
@@ -50,8 +57,14 @@ void StateStore::grow_table(std::size_t capacity) {
   table_.assign(capacity, kEmpty);
   mask_ = capacity - 1;
   for (std::size_t i = 0; i < arena_.size(); ++i) {
-    const auto words = arena_[i];
-    std::size_t slot = hash_words(words.data(), words.size()) & mask_;
+    std::uint64_t h;
+    if (i < hashes_.size()) {
+      h = hashes_[i];  // never touches the (possibly spilled) arena
+    } else {
+      const auto words = arena_[i];
+      h = hash_words(words.data(), words.size());
+    }
+    std::size_t slot = h & mask_;
     while (table_[slot] != kEmpty) slot = (slot + 1) & mask_;
     table_[slot] = static_cast<std::uint32_t>(i);
   }

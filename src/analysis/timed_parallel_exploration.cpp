@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -78,6 +80,29 @@ class TimedParallelExplorer {
     }
     shards_ = std::vector<Shard>(num_shards_);
     for (Shard& s : shards_) s.store = StateStore(width_);
+
+    if (options_.spill.max_resident_bytes != 0) {
+      // Parallel split: 3/8 canonical arena, 3/8 across the provisional
+      // shards, 2/8 edge pool. Shards spill their sealed tail freely —
+      // every shard access is mutex-guarded, so fault-in is safe there.
+      spill_dir_ = std::make_shared<detail::SpillDir>(options_.spill.dir);
+      const std::size_t budget = options_.spill.max_resident_bytes;
+      const std::size_t shard_budget =
+          std::max<std::size_t>(budget * 3 / 8 / num_shards_, 1);
+      // A shard's open tail segment is always heap-resident, so its segment
+      // size must stay well under the per-shard budget — otherwise S shards
+      // hold S full-size tails and the budget is fiction.
+      const std::size_t shard_segment_bytes =
+          detail::segment_bytes_for(options_.spill.segment_bytes, shard_budget);
+      for (std::size_t i = 0; i < num_shards_; ++i) {
+        shards_[i].store.enable_spill(spill_dir_, "shard" + std::to_string(i) + ".seg",
+                                      shard_segment_bytes, shard_budget,
+                                      /*spill_sealed_tail=*/true);
+      }
+      edges_.enable_spill(spill_dir_, "edges.seg",
+                          detail::segment_bytes_for(options_.spill.segment_bytes, budget / 4),
+                          budget / 4);
+    }
   }
 
   TimedParallelResult run() {
@@ -87,6 +112,13 @@ class TimedParallelExplorer {
     while (true) {
       if (head == schedule_.current.size()) {
         if (!schedule_.advance_tick()) break;
+        // Every state the new instant can expand (staged or promoted) has
+        // earliest time == now, so it was discovered no earlier than the
+        // instant we just left: the arena before that instant's start is
+        // sealed, and the lock-free expand reads above the floor never
+        // fault.
+        canonical_.set_spill_floor(instant_start_);
+        instant_start_ = canonical_.size();
         head = 0;
       }
       const std::size_t round_begin = head;
@@ -104,6 +136,10 @@ class TimedParallelExplorer {
     result.earliest_time = std::move(schedule_.earliest_time);
     result.expanded = std::move(schedule_.expanded);
     result.status = schedule_.status;
+    for (const Shard& s : shards_) {
+      result.aux_peak_bytes += s.store.peak_resident_bytes();
+      result.aux_spill_engaged |= s.store.spill_engaged();
+    }
     return result;
   }
 
@@ -116,6 +152,12 @@ class TimedParallelExplorer {
 
   void bootstrap() {
     canonical_ = StateStore(width_);
+    if (spill_dir_) {
+      const std::size_t budget = options_.spill.max_resident_bytes * 3 / 8;
+      canonical_.enable_spill(spill_dir_, "canonical.seg",
+                              detail::segment_bytes_for(options_.spill.segment_bytes, budget),
+                              budget);
+    }
     std::vector<std::uint32_t> scratch(width_);
     const detail::TimedState initial = detail::timed_initial_state(net_, layout_);
     detail::encode_timed(layout_, initial, scratch);
@@ -309,6 +351,10 @@ class TimedParallelExplorer {
   StateStore canonical_;
   EdgeCsr<TimedReachabilityGraph::Edge> edges_;
   detail::TimedSchedule schedule_;  ///< the shared two-bucket scheduler
+  std::shared_ptr<detail::SpillDir> spill_dir_;  ///< set iff spilling enabled
+  /// Canonical size when the current instant began; the spill floor trails
+  /// it by one instant (promotions can target last instant's discoveries).
+  std::size_t instant_start_ = 0;
 
   std::vector<WorkerScratch> worker_scratch_;  ///< persistent across rounds
   std::optional<detail::WorkerPool> pool_;     ///< lazily spawned, reused

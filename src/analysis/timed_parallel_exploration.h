@@ -56,6 +56,10 @@ struct TimedParallelResult {
   std::vector<std::uint64_t> earliest_time;     ///< per state, in ticks
   std::vector<std::uint8_t> expanded;           ///< per state: row complete
   TimedReachStatus status = TimedReachStatus::kComplete;
+  /// Spill accounting for the (destroyed-with-the-explorer) shard stores:
+  /// their summed peak resident bytes and whether any of them spilled.
+  std::size_t aux_peak_bytes = 0;
+  bool aux_spill_engaged = false;
 };
 
 /// Explore with `threads` workers (>= 2; callers resolve 0/1 themselves).

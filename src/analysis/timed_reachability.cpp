@@ -40,11 +40,26 @@ void TimedReachabilityGraph::explore(const TimedReachOptions& options) {
     earliest_time_ = std::move(result.earliest_time);
     expanded_ = std::move(result.expanded);
     status_ = result.status;
+    aux_peak_bytes_ = result.aux_peak_bytes;
+    aux_spill_engaged_ = result.aux_spill_engaged;
     for (const std::uint8_t e : expanded_) num_expanded_ += e;
     return;
   }
 
   store_ = StateStore(layout.width());
+  if (options.spill.max_resident_bytes != 0) {
+    // Sequential split: 2/3 of the budget to the state arena, 1/3 to the
+    // edge pool, one shared directory cleaned up with the graph.
+    auto dir = std::make_shared<detail::SpillDir>(options.spill.dir);
+    const std::size_t budget = options.spill.max_resident_bytes;
+    store_.enable_spill(
+        dir, "states.seg",
+        detail::segment_bytes_for(options.spill.segment_bytes, budget * 2 / 3),
+        budget * 2 / 3);
+    edges_.enable_spill(std::move(dir), "edges.seg",
+                        detail::segment_bytes_for(options.spill.segment_bytes, budget / 3),
+                        budget / 3);
+  }
   std::vector<std::uint32_t> scratch(layout.width());
 
   {
@@ -63,6 +78,12 @@ void TimedReachabilityGraph::explore(const TimedReachOptions& options) {
       head = 0;
     }
     const std::uint32_t si = schedule.current[head++];
+    // Everything before the expanding state is sealed. The pending list is
+    // not monotone (promotions re-enter states from the previous instant),
+    // so a later pop may fault a just-spilled segment back in — harmless
+    // here: the sequential builder reads single-threaded and tolerates
+    // fault-in everywhere.
+    store_.set_spill_floor(si);
     edges_.begin_source(si);
     const detail::TimedState s = detail::decode_timed(layout, store_.state(si));
     const bool completed = detail::for_each_timed_successor(

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "analysis/exploration.h"
+#include "analysis/spill.h"
 #include "analysis/state_store.h"
 #include "petri/compiled_net.h"
 #include "petri/marking.h"
@@ -60,6 +61,12 @@ struct TimedReachOptions {
   /// statuses and truncated prefixes are thread-count-independent (see
   /// analysis/timed_parallel_exploration.h).
   unsigned threads = 1;
+  /// Out-of-core exploration (spill.h): sealed instants and edge rows spill
+  /// to mmap'd segment files once the resident set exceeds the budget. The
+  /// graph is byte-identical to the all-in-RAM build at every thread count
+  /// — spilling is floored at the previous instant's start, behind every
+  /// state the 0-1 BFS can still expand or promote.
+  SpillOptions spill;
 };
 
 enum class TimedReachStatus : std::uint8_t { kComplete, kTruncated };
@@ -137,9 +144,26 @@ class TimedReachabilityGraph {
   /// "unexplored", not "stuck".
   [[nodiscard]] std::vector<std::size_t> deadlock_states() const;
 
-  /// Approximate heap footprint (arena + intern table + edge pool).
+  /// Approximate heap footprint (arena + intern table + edge pool). In
+  /// spill mode this is the exact *resident* footprint — spilled segments
+  /// are counted by spilled_bytes() instead.
   [[nodiscard]] std::size_t memory_bytes() const {
     return store_.memory_bytes() + edges_.memory_bytes();
+  }
+
+  /// True if the build (or a query since) actually wrote segments to disk.
+  [[nodiscard]] bool spill_engaged() const {
+    return store_.spill_engaged() || edges_.spill_engaged() || aux_spill_engaged_;
+  }
+  /// Bytes currently held in spill segment files (states + edges).
+  [[nodiscard]] std::size_t spilled_bytes() const {
+    return store_.spilled_bytes() + edges_.spilled_bytes();
+  }
+  /// High-water resident footprint across the build and all queries,
+  /// including the parallel builder's (since destroyed) shard stores.
+  [[nodiscard]] std::size_t peak_resident_bytes() const {
+    return store_.peak_resident_bytes() + edges_.peak_resident_bytes() +
+           aux_peak_bytes_;
   }
 
  private:
@@ -152,6 +176,10 @@ class TimedReachabilityGraph {
   std::vector<std::uint64_t> earliest_time_;
   std::vector<std::uint8_t> expanded_;  ///< per state: edge row is complete
   std::size_t num_expanded_ = 0;        ///< cached popcount of expanded_
+  /// Parallel-build extras folded into the spill accounting: the shard
+  /// stores' peak resident bytes and whether any shard spilled.
+  std::size_t aux_peak_bytes_ = 0;
+  bool aux_spill_engaged_ = false;
 };
 
 }  // namespace pnut::analysis

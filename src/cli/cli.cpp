@@ -1,5 +1,6 @@
 #include "cli/cli.h"
 
+#include <cctype>
 #include <cmath>
 #include <fstream>
 #include <optional>
@@ -141,6 +142,52 @@ unsigned parse_threads(const Args& args) {
   return static_cast<unsigned>(raw);
 }
 
+/// One out-of-core rule for every analysis command (analyze, query
+/// --reach): --max-resident-bytes N (optional K/M/G binary suffix) bounds
+/// the graph's resident footprint and engages segment spilling;
+/// --spill-dir names the directory that receives the segment files and is
+/// meaningless without a budget, so alone it is a usage error. The
+/// segment files live in a uniquely named subdirectory that the graph
+/// removes on destruction — after clean runs and unwinds alike.
+analysis::SpillOptions parse_spill(const Args& args) {
+  analysis::SpillOptions spill;
+  if (args.has("max-resident-bytes")) {
+    const std::string raw = args.get("max-resident-bytes");
+    unsigned long long value = 0;
+    std::size_t pos = 0;
+    if (!raw.empty() && std::isdigit(static_cast<unsigned char>(raw[0]))) {
+      try {
+        value = std::stoull(raw, &pos);
+      } catch (const std::out_of_range&) {
+        pos = 0;
+      }
+    }
+    std::size_t scale = 1;
+    if (pos + 1 == raw.size()) {
+      switch (raw[pos]) {
+        case 'K': case 'k': scale = std::size_t{1} << 10; ++pos; break;
+        case 'M': case 'm': scale = std::size_t{1} << 20; ++pos; break;
+        case 'G': case 'g': scale = std::size_t{1} << 30; ++pos; break;
+        default: break;
+      }
+    }
+    if (pos != raw.size() || value == 0) {
+      throw std::invalid_argument(
+          "--max-resident-bytes expects a positive byte count with an "
+          "optional K/M/G suffix, got '" + raw + "'");
+    }
+    spill.max_resident_bytes = static_cast<std::size_t>(value) * scale;
+  }
+  if (args.has("spill-dir")) {
+    if (spill.max_resident_bytes == 0) {
+      throw std::invalid_argument(
+          "--spill-dir requires --max-resident-bytes (no budget, no spilling)");
+    }
+    spill.dir = args.get("spill-dir");
+  }
+  return spill;
+}
+
 // --- commands --------------------------------------------------------------------
 
 int cmd_validate(const Args& args, std::ostream& out) {
@@ -222,6 +269,7 @@ int cmd_query(const Args& args, std::ostream& out) {
         static_cast<std::size_t>(args.get_number("max-states", 200000));
     options.threads = parse_threads(args);
     options.use_expr_vm = !args.has("no-expr-vm");
+    options.spill = parse_spill(args);
     const analysis::ReachabilityGraph graph(doc.net, options);
     if (graph.status() != analysis::ReachStatus::kComplete) {
       out << "warning: graph "
@@ -328,6 +376,7 @@ int cmd_analyze(const Args& args, std::ostream& out) {
   const unsigned threads = parse_threads(args);
   options.threads = threads;
   options.use_expr_vm = !args.has("no-expr-vm");
+  options.spill = parse_spill(args);
   const analysis::ReachabilityGraph graph(compiled, options);
   out << "\nreachability: " << graph.num_states() << " states, " << graph.num_edges()
       << " edges";
@@ -340,6 +389,11 @@ int cmd_analyze(const Args& args, std::ostream& out) {
     const std::size_t bytes = graph.memory_bytes();
     out << "  state storage: " << bytes / graph.num_states() << " bytes/state ("
         << (bytes + 1023) / 1024 << " KiB)\n";
+    if (graph.spill_engaged()) {
+      out << "  out-of-core: " << (graph.spilled_bytes() + 1023) / 1024
+          << " KiB spilled, peak resident "
+          << (graph.peak_resident_bytes() + 1023) / 1024 << " KiB\n";
+    }
   }
   // The invariant engine's reachability pass: check the structural
   // P-invariants exactly over every discovered marking (sound even on a
@@ -385,6 +439,7 @@ int cmd_analyze(const Args& args, std::ostream& out) {
     analysis::TimedReachOptions topts;
     topts.max_states = static_cast<std::size_t>(args.get_number("max-states", 100000));
     topts.threads = threads;
+    topts.spill = options.spill;
     const analysis::TimedReachabilityGraph timed(compiled, topts);
     out << "timed reachability: " << timed.num_states() << " states"
         << (timed.status() == analysis::TimedReachStatus::kComplete ? " (complete)"
@@ -422,14 +477,18 @@ std::string usage() {
          "  pnut stat     <trace.txt>\n"
          "  pnut query    <trace.txt> \"<query>\"\n"
          "  pnut query    --reach <model.pn> \"<query>\" [--max-states N] [--threads N]\n"
-         "                [--no-expr-vm]\n"
+         "                [--no-expr-vm] [--max-resident-bytes N[K|M|G]] [--spill-dir D]\n"
          "  pnut render   <trace.txt> --signals a,b,label=expr,...\n"
          "                [--from T] [--to T] [--columns N] [--unicode]\n"
          "                [--marker X=T]...\n"
          "  pnut animate  <trace.txt> [--steps N]\n"
          "  pnut analyze  <model.pn> [--max-states N] [--threads N] [--no-expr-vm]\n"
+         "                [--max-resident-bytes N[K|M|G]] [--spill-dir D]\n"
          "(--no-expr-vm keeps the AST/DataContext evaluation path for\n"
-         " predicates/actions/computed delays; results are identical)\n";
+         " predicates/actions/computed delays; results are identical.\n"
+         " --max-resident-bytes caps the exploration's resident footprint by\n"
+         " spilling sealed levels to segment files — in --spill-dir when given,\n"
+         " else the system temp dir — removed again when the graph is freed)\n";
 }
 
 int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {

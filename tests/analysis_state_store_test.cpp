@@ -107,9 +107,9 @@ TEST(StateStore, MemoryScalesWithWidthNotStateObjects) {
   for (std::uint32_t i = 0; i < 10'000; ++i) {
     store.intern(std::vector<std::uint32_t>{i, 0, 0, 0, 0, 0, 0, i});
   }
-  // 8 words = 32 bytes of arena per state; the intern table adds a few
-  // bytes per state. Anything above ~3x the raw payload means per-state
-  // heap objects crept back in.
+  // 8 words = 32 bytes of arena per state; the intern table and the 8-byte
+  // hash cache add a bounded amount per state. Anything above ~3x the raw
+  // payload means per-state heap objects crept back in.
   const double bytes_per_state =
       static_cast<double>(store.memory_bytes()) / static_cast<double>(store.size());
   EXPECT_GE(bytes_per_state, 32.0);
@@ -187,11 +187,12 @@ TEST(EdgeCsr, AppendRowsBulkMatchesRowByRow) {
   csr.add(E{1});
 
   const std::uint32_t counts[] = {2, 0, 1};
-  const auto span = csr.append_rows(1, counts);
-  ASSERT_EQ(span.size(), 3u);
-  span[0] = E{10};
-  span[1] = E{11};
-  span[2] = E{12};
+  csr.append_rows(1, counts);
+  ASSERT_EQ(csr.mutable_row(1).size(), 2u);
+  csr.mutable_row(1)[0] = E{10};
+  csr.mutable_row(1)[1] = E{11};
+  ASSERT_EQ(csr.mutable_row(3).size(), 1u);
+  csr.mutable_row(3)[0] = E{12};
   csr.finalize(4);
 
   ASSERT_EQ(csr.out(1).size(), 2u);
@@ -216,7 +217,7 @@ TEST(EdgeCsr, AppendRowsOverflowLeavesCsrIntact) {
 
   // 3 * 1.5G edges > UINT32_MAX; the check fires before any allocation.
   const std::uint32_t huge[] = {1u << 30, 3u << 30, 3u << 30};
-  EXPECT_THROW((void)csr.append_rows(1, huge), std::length_error);
+  EXPECT_THROW(csr.append_rows(1, huge), std::length_error);
 
   // Nothing moved: the existing row still reads back and new bulk appends
   // land exactly where they would have without the failed call.
@@ -224,12 +225,171 @@ TEST(EdgeCsr, AppendRowsOverflowLeavesCsrIntact) {
   ASSERT_EQ(csr.out(0).size(), 1u);
   EXPECT_EQ(csr.out(0)[0].target, 7u);
   const std::uint32_t counts[] = {1};
-  const auto span = csr.append_rows(1, counts);
-  span[0] = E{9};
+  csr.append_rows(1, counts);
+  csr.mutable_row(1)[0] = E{9};
   csr.finalize(2);
   ASSERT_EQ(csr.out(1).size(), 1u);
   EXPECT_EQ(csr.out(1)[0].target, 9u);
   EXPECT_EQ(csr.num_edges(), 2u);
+}
+
+TEST(StateArena, SpillAccountingIsExact) {
+  // Width 4 = 16 bytes/state; segment_bytes 256 -> 16 states per segment,
+  // 256-byte payload per segment. Budget 300: at most one full heap
+  // segment stays resident once the floor passes the rest.
+  auto dir = std::make_shared<detail::SpillDir>("");
+  StateArena arena(4);
+  arena.enable_spill(dir, "arena.seg", 256, 300);
+  EXPECT_EQ(arena.memory_bytes(), 0u);
+
+  std::vector<std::uint32_t> words(4);
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    arena.set_spill_floor(i);  // everything before the new state is sealed
+    words = {i, i * 3u, ~i, 7u};
+    EXPECT_EQ(arena.push(words), i);
+  }
+
+  // 4 full segments were written; the floor (state 63 -> segment 3) lets
+  // segments 0..2 spill, segment 3 stays heap-resident. The accounting is
+  // exact: resident + spilled == the 1024 bytes of payload ever appended,
+  // and the peak saw exactly two live segments (the rollover instant).
+  EXPECT_TRUE(arena.spill_engaged());
+  EXPECT_EQ(arena.memory_bytes(), 256u);
+  EXPECT_EQ(arena.spilled_bytes(), 768u);
+  EXPECT_EQ(arena.memory_bytes() + arena.spilled_bytes(), 64u * 16u);
+  EXPECT_EQ(arena.peak_resident_bytes(), 512u);
+
+  // Spilled states fault back in bit-exact, and the mapped window stays
+  // bounded: at most the heap tail plus the FIFO-evicted mappings.
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    const auto s = arena[i];
+    ASSERT_EQ(s.size(), 4u);
+    EXPECT_EQ(s[0], i);
+    EXPECT_EQ(s[1], i * 3u);
+    EXPECT_EQ(s[2], ~i);
+    EXPECT_EQ(s[3], 7u);
+  }
+  EXPECT_EQ(arena.spilled_bytes(), 768u);  // reads never rewrite the file
+  EXPECT_LE(arena.memory_bytes(), 4u * 256u);
+}
+
+TEST(StateStore, SpillKeepsInternIdentityAndBoundsResidency) {
+  // A spilled store must stay a correct interner: the hash cache filters
+  // probes and feeds table growth without faulting, but equality is still
+  // decided by the arena words — including words that have to fault back
+  // in from the spill file.
+  auto dir = std::make_shared<detail::SpillDir>("");
+  StateStore store(8);
+  store.enable_spill(dir, "states.seg", 4096, 8192);
+
+  constexpr std::uint32_t kStates = 10'000;
+  for (std::uint32_t i = 0; i < kStates; ++i) {
+    store.set_spill_floor(store.size());
+    const auto r = store.intern(std::vector<std::uint32_t>{i, 0, 0, 0, 0, 0, 0, i});
+    ASSERT_TRUE(r.inserted);
+    ASSERT_EQ(r.index, i);
+  }
+
+  // 320 KB of state payload against an 8 KB arena budget: most of it must
+  // be on disk, and the resident footprint (arena window + intern table +
+  // hash cache) must come in under the flat arena alone.
+  EXPECT_TRUE(store.spill_engaged());
+  EXPECT_GE(store.spilled_bytes(), 300'000u);
+  EXPECT_LT(store.memory_bytes(), kStates * 32u);
+
+  // Re-interning early (spilled) states returns the original ids.
+  for (std::uint32_t i = 0; i < kStates; i += 97) {
+    const auto r = store.intern(std::vector<std::uint32_t>{i, 0, 0, 0, 0, 0, 0, i});
+    EXPECT_FALSE(r.inserted);
+    EXPECT_EQ(r.index, i);
+  }
+  EXPECT_EQ(store.size(), kStates);
+}
+
+TEST(StateStore, SealedTailSpillNeverLosesTheInFlightState) {
+  // Shard configuration: spill_sealed_tail means every full segment is
+  // spill-eligible with no floor. The append path hands out a pointer
+  // *before* the caller copies the state words in, so the segment a push
+  // just filled must not spill until the next append — otherwise the file
+  // gets stale bytes for the boundary state and a later re-intern of the
+  // same marking mints a duplicate id. A 1 KB budget against 4 KB segments
+  // makes every segment fill trigger an immediate spill attempt, so every
+  // segment-boundary state exercises the hazard.
+  auto dir = std::make_shared<detail::SpillDir>("");
+  StateStore store(8);
+  store.enable_spill(dir, "states.seg", 4096, 1024, /*spill_sealed_tail=*/true);
+
+  constexpr std::uint32_t kStates = 2'000;
+  for (std::uint32_t i = 0; i < kStates; ++i) {
+    const auto r = store.intern(std::vector<std::uint32_t>{i, 1, 2, 3, 4, 5, 6, i});
+    ASSERT_TRUE(r.inserted);
+    ASSERT_EQ(r.index, i);
+  }
+  EXPECT_TRUE(store.spill_engaged());
+
+  for (std::uint32_t i = 0; i < kStates; ++i) {
+    const auto r = store.intern(std::vector<std::uint32_t>{i, 1, 2, 3, 4, 5, 6, i});
+    EXPECT_FALSE(r.inserted) << "duplicate minted for state " << i;
+    EXPECT_EQ(r.index, i);
+  }
+  EXPECT_EQ(store.size(), kStates);
+}
+
+TEST(EdgeCsr, SpilledRowsReadBackAcrossSegments) {
+  struct E {
+    std::uint32_t target;
+  };
+  // 64-byte segments hold 16 edges; rows of 5 force boundary padding
+  // (16 = 3 rows + 1 hole) and the 40-row total spans many segments.
+  EdgeCsr<E> csr;
+  auto dir = std::make_shared<detail::SpillDir>("");
+  csr.enable_spill(dir, "edges.seg", 64, 128);
+
+  constexpr std::uint32_t kRows = 40;
+  for (std::uint32_t s = 0; s < kRows; ++s) {
+    csr.begin_source(s);
+    for (std::uint32_t k = 0; k < 5; ++k) csr.add(E{s * 100 + k});
+  }
+  csr.finalize(kRows);
+
+  EXPECT_TRUE(csr.spill_engaged());
+  EXPECT_GT(csr.spilled_bytes(), 0u);
+  EXPECT_EQ(csr.num_edges(), kRows * 5u);
+
+  // Every row is one contiguous span (never straddling a segment), whether
+  // heap-resident or faulted in — in random order and via the streaming
+  // cursor.
+  for (std::uint32_t s = kRows; s-- > 0;) {
+    const auto row = csr.out(s);
+    ASSERT_EQ(row.size(), 5u);
+    for (std::uint32_t k = 0; k < 5; ++k) EXPECT_EQ(row[k].target, s * 100 + k);
+  }
+  std::size_t visited = 0;
+  csr.for_each_row([&](std::size_t s, std::span<const E> row) {
+    ASSERT_EQ(row.size(), 5u);
+    EXPECT_EQ(row[0].target, s * 100);
+    ++visited;
+  });
+  EXPECT_EQ(visited, kRows);
+}
+
+TEST(EdgeCsr, SpillRowExceedingSegmentCapacityThrows) {
+  struct E {
+    std::uint32_t target;
+  };
+  EdgeCsr<E> csr;
+  auto dir = std::make_shared<detail::SpillDir>("");
+  csr.enable_spill(dir, "edges.seg", 64, 1u << 20);  // 16 edges per segment
+
+  csr.begin_source(0);
+  for (std::uint32_t k = 0; k < 16; ++k) csr.add(E{k});
+  // The 17th edge would need a 17-edge contiguous row: impossible in a
+  // 16-edge segment, and relocation must say so rather than corrupt.
+  EXPECT_THROW(csr.add(E{16}), std::length_error);
+
+  // Bulk appends reject oversized rows up front, before any mutation.
+  const std::uint32_t counts[] = {17};
+  EXPECT_THROW(csr.append_rows(1, counts), std::length_error);
 }
 
 TEST(Frontier, FifoOrderAndDeduplication) {

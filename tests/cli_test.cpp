@@ -284,6 +284,81 @@ TEST_F(CliTest, AnalyzeSkipsTimedSectionForStochasticDelays) {
   EXPECT_NE(r.out.find("timed reachability: skipped"), std::string::npos);
 }
 
+TEST_F(CliTest, SpillFlagsGiveIdenticalAnswersAndCleanUpSegments) {
+  // A 1K residency budget on this model forces real spilling, the query
+  // answer matches the in-RAM build exactly, and the uniquely named
+  // segment subdirectory inside --spill-dir is gone when the command
+  // returns — the spill dir itself is left alone.
+  const std::string query = "forall s in S [ Bus_busy(s) + Bus_free(s) = 1 ]";
+  const Result flat = run_cli({"query", "--reach", model_path_, query});
+  ASSERT_EQ(flat.code, 0) << flat.err;
+  const std::filesystem::path spill_root = dir_ / "segments";
+  std::filesystem::create_directories(spill_root);
+  for (const char* threads : {"1", "4"}) {
+    const Result spilled = run_cli({"query", "--reach", model_path_, query,
+                                    "--max-resident-bytes", "1K", "--spill-dir",
+                                    spill_root.string(), "--threads", threads});
+    EXPECT_EQ(spilled.code, 0) << spilled.err;
+    EXPECT_EQ(spilled.out, flat.out) << "--threads " << threads;
+    EXPECT_TRUE(std::filesystem::is_empty(spill_root)) << "--threads " << threads;
+  }
+}
+
+TEST_F(CliTest, AnalyzeTakesSpillBudgetWithSuffixes) {
+  const Result flat = run_cli({"analyze", model_path_});
+  ASSERT_EQ(flat.code, 0) << flat.err;
+  for (const char* budget : {"1024", "1K", "1M", "1G"}) {
+    const Result spilled =
+        run_cli({"analyze", model_path_, "--max-resident-bytes", budget});
+    ASSERT_EQ(spilled.code, 0) << "--max-resident-bytes " << budget << ": "
+                               << spilled.err;
+    // Identical analysis modulo the storage/out-of-core reporting lines.
+    EXPECT_NE(spilled.out.find("reachability:"), std::string::npos) << budget;
+    EXPECT_EQ(spilled.out.find("TRUNCATED"), std::string::npos) << budget;
+  }
+  // The demo net is too small to fill a single segment; a 1716-state
+  // token ring against a 1 KB budget genuinely spills, and the report
+  // says so.
+  const std::string ring_path = (dir_ / "ring.pn").string();
+  {
+    std::ofstream ring(ring_path);
+    ring << "net ring\n";
+    for (int i = 0; i < 8; ++i) {
+      ring << "place P" << i << (i == 0 ? " init 6" : "") << '\n';
+    }
+    for (int i = 0; i < 8; ++i) {
+      ring << "trans t" << i << " in P" << i << " out P" << (i + 1) % 8 << '\n';
+    }
+  }
+  const Result engaged =
+      run_cli({"analyze", ring_path, "--max-resident-bytes", "1024"});
+  ASSERT_EQ(engaged.code, 0) << engaged.err;
+  EXPECT_NE(engaged.out.find("out-of-core:"), std::string::npos);
+}
+
+TEST_F(CliTest, SpillFlagValidation) {
+  // One rule for both commands: the budget must be a positive byte count
+  // (optional K/M/G suffix), and --spill-dir alone is meaningless.
+  const std::string query = "exists s in S [ Bus_free(s) = 1 ]";
+  for (const char* bad : {"0", "-1", "abc", "1X", "K", "1.5M", "", "10KB"}) {
+    const Result r = run_cli({"query", "--reach", model_path_, query,
+                              "--max-resident-bytes", bad});
+    EXPECT_EQ(r.code, 2) << "--max-resident-bytes '" << bad << "'";
+    EXPECT_NE(r.err.find("--max-resident-bytes"), std::string::npos) << bad;
+    EXPECT_EQ(run_cli({"analyze", model_path_, "--max-resident-bytes", bad}).code, 2)
+        << "analyze --max-resident-bytes '" << bad << "'";
+  }
+  const Result orphan =
+      run_cli({"analyze", model_path_, "--spill-dir", dir_.string()});
+  EXPECT_EQ(orphan.code, 2);
+  EXPECT_NE(orphan.err.find("--spill-dir"), std::string::npos);
+  // A spill root that doesn't exist is a reported error, not a crash.
+  const Result missing =
+      run_cli({"query", "--reach", model_path_, query, "--max-resident-bytes", "1K",
+               "--spill-dir", (dir_ / "no" / "such" / "dir").string()});
+  EXPECT_EQ(missing.code, 2);
+}
+
 TEST_F(CliTest, FlagErrors) {
   EXPECT_EQ(run_cli({"simulate", model_path_, "--until"}).code, 2);
   EXPECT_EQ(run_cli({"simulate", model_path_, "--until", "abc"}).code, 2);
