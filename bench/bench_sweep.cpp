@@ -1,0 +1,175 @@
+// Sweep-throughput harness: trajectories/second, batched vs historical.
+//
+// Not a paper artifact — this measures the repository's own experiment
+// machinery. The unit of work for a parameter study is one trajectory (one
+// replication at one grid point); the historical harness produced each by
+// rebuilding and revalidating the Net, recompiling it, and running one
+// scalar Simulator with a StatCollector sink. The batched sweep engine
+// compiles once, patches parameters per lane, and accumulates statistics
+// natively in SoA lanes. Both harnesses run the identical memory-latency x
+// cache-hit-ratio grid here, their per-trajectory statistics are checked
+// for exact equality (both are deterministic functions of (net, seed), so
+// any divergence is a bug and the bench exits nonzero), and the
+// trajectories/second of both land in BENCH_sweep.json.
+#include "bench_util.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <vector>
+
+#include "sim/sweep.h"
+
+namespace pnut::bench {
+namespace {
+
+const std::vector<double> kMemories = {2, 5, 8, 12};
+const std::vector<double> kRatios = {0.5, 0.7, 0.8, 0.9, 0.95, 0.99};
+constexpr std::size_t kReplications = 3;
+constexpr Time kHorizon = 20000;
+constexpr std::uint64_t kBaseSeed = 1988;
+
+/// Golden: completed Issue firings of the paper's operating point
+/// (memory = 5, hit ratio = 0.9, seed 1988) on the unified-cache model.
+/// Deterministic for the committed engine; a change here means the
+/// simulation semantics changed, not just its speed.
+constexpr std::uint64_t kGoldenIssueEnds = 3317;
+
+pipeline::PipelineConfig cell_config(double memory, double ratio) {
+  pipeline::PipelineConfig config;
+  config.memory_cycles = memory;
+  config.icache = pipeline::CacheConfig{ratio, 1};
+  config.dcache = pipeline::CacheConfig{ratio, 1};
+  return config;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+void print_artifact() {
+  print_header("bench_sweep",
+               "sweep throughput: batched lanes vs one Simulator per run "
+               "(not a paper artifact)");
+
+  const std::size_t trajectories = kMemories.size() * kRatios.size() * kReplications;
+  std::printf("grid: %zu memory latencies x %zu hit ratios x %zu replications = "
+              "%zu trajectories, horizon %g\n\n",
+              kMemories.size(), kRatios.size(), kReplications, trajectories, kHorizon);
+
+  // --- batched: compile once, patch per lane, run as one batch ---------------
+  SweepOptions options;
+  options.replications = kReplications;
+  options.base_seed = kBaseSeed;
+  const auto batched_t0 = std::chrono::steady_clock::now();
+  const SweepResult sweep = run_sweep(
+      CompiledNet::compile(pipeline::build_full_model(cell_config(5, 0.5))),
+      {SweepAxis::enabling_constant(
+           "memory", {"End_prefetch_miss", "end_fetch_miss", "end_store_miss"},
+           kMemories),
+       SweepAxis::frequency_split("hit_ratio",
+                                  {{"Start_prefetch_hit", "Start_prefetch_miss"},
+                                   {"start_fetch_hit", "start_fetch_miss"},
+                                   {"start_store_hit", "start_store_miss"}},
+                                  kRatios)},
+      kHorizon, {}, options);
+  const double batched_seconds = seconds_since(batched_t0);
+
+  // --- baseline: rebuild + recompile + scalar run per trajectory -------------
+  std::size_t mismatches = 0;
+  const auto baseline_t0 = std::chrono::steady_clock::now();
+  for (std::size_t cell = 0; cell < sweep.cells.size(); ++cell) {
+    const SweepCell& batched_cell = sweep.cells[cell];
+    const Net net = pipeline::build_full_model(
+        cell_config(batched_cell.coordinates[0], batched_cell.coordinates[1]));
+    const auto compiled = CompiledNet::compile(net);
+    for (std::size_t r = 0; r < kReplications; ++r) {
+      StatCollector collector;
+      collector.set_run_number(static_cast<int>(r + 1));
+      Simulator sim(compiled);
+      sim.set_sink(&collector);
+      sim.reset(kBaseSeed + r);
+      sim.run_until(kHorizon);
+      sim.finish();
+      const RunStats baseline_stats = collector.stats();
+      const RunStats& batched_stats = batched_cell.runs[r];
+      if (baseline_stats.transition(pipeline::names::kIssue).throughput !=
+              batched_stats.transition(pipeline::names::kIssue).throughput ||
+          baseline_stats.events_started != batched_stats.events_started ||
+          baseline_stats.events_finished != batched_stats.events_finished) {
+        std::printf("MISMATCH at memory=%g hit_ratio=%g replication %zu\n",
+                    batched_cell.coordinates[0], batched_cell.coordinates[1], r);
+        ++mismatches;
+      }
+    }
+  }
+  const double baseline_seconds = seconds_since(baseline_t0);
+
+  const double batched_tps = static_cast<double>(trajectories) / batched_seconds;
+  const double baseline_tps = static_cast<double>(trajectories) / baseline_seconds;
+  const double speedup = batched_tps / baseline_tps;
+  std::printf("trajectories/second  batched: %.1f   one-Simulator-per-run: %.1f   "
+              "speedup: %.2fx\n",
+              batched_tps, baseline_tps, speedup);
+
+  // Count golden: the operating point's instruction count must not drift.
+  const std::size_t golden_cell[2] = {1, 3};  // memory = 5, hit ratio = 0.9
+  const std::uint64_t issue_ends =
+      sweep.at(golden_cell).runs[0].transition(pipeline::names::kIssue).ends;
+  if (issue_ends != kGoldenIssueEnds) {
+    std::printf("GOLDEN MISMATCH: Issue ends %llu, expected %llu\n",
+                static_cast<unsigned long long>(issue_ends),
+                static_cast<unsigned long long>(kGoldenIssueEnds));
+    ++mismatches;
+  }
+  if (mismatches > 0) {
+    std::printf("%zu mismatches — batched engine diverged from the scalar oracle\n",
+                mismatches);
+    std::exit(1);
+  }
+  std::printf("all %zu trajectories bit-identical to the scalar harness; "
+              "golden Issue count %llu verified\n\n",
+              trajectories, static_cast<unsigned long long>(issue_ends));
+
+  FILE* json = std::fopen("BENCH_sweep.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"bench\": \"bench_sweep\",\n"
+                 "  \"metric\": \"trajectories_per_second\",\n"
+                 "  \"grid\": \"4 memory latencies x 6 cache hit ratios x 3 "
+                 "replications, horizon 20000, unified-cache pipeline model\",\n"
+                 "  \"batched_sweep\": %.1f,\n"
+                 "  \"one_simulator_per_run\": %.1f,\n"
+                 "  \"speedup\": %.2f,\n"
+                 "  \"note\": \"identical per-trajectory statistics verified; batched "
+                 "= compile once + per-lane patches + native SoA stat accumulation, "
+                 "baseline = rebuild/revalidate/recompile + scalar Simulator with "
+                 "StatCollector sink per trajectory\"\n"
+                 "}\n",
+                 batched_tps, baseline_tps, speedup);
+    std::fclose(json);
+    std::printf("wrote BENCH_sweep.json\n\n");
+  }
+}
+
+/// Timing probe for the steady-state cost of one batched trajectory.
+void BM_BatchedTrajectories(benchmark::State& state) {
+  const auto compiled =
+      CompiledNet::compile(pipeline::build_full_model(cell_config(5, 0.9)));
+  const std::size_t lanes = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    BatchOptions options;
+    options.base_seed = seed++;
+    BatchSimulator batch(compiled, lanes, options);
+    batch.run(kHorizon);
+    benchmark::DoNotOptimize(batch.total_firing_starts(lanes - 1));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(lanes));
+}
+BENCHMARK(BM_BatchedTrajectories)->Arg(1)->Arg(8)->Arg(24);
+
+}  // namespace
+}  // namespace pnut::bench
+
+PNUT_BENCH_MAIN(pnut::bench::print_artifact)

@@ -6,10 +6,13 @@ namespace pnut::expr {
 
 namespace {
 
-/// The one interpreter loop. `frame` is written only by store opcodes,
-/// which the compiler emits only into action-program code — evaluating a
-/// compiled *expression* never mutates the frame (vm_eval relies on this).
-std::int64_t run(const Code& code, DataFrame& frame, Rng* rng, VmScratch& scratch) {
+/// The one interpreter loop over a raw (values, present) slot row — a
+/// DataFrame's storage, or one lane of batch_sim's flat slot matrix. The
+/// row is written only by store opcodes, which the compiler emits only
+/// into action-program code — evaluating a compiled *expression* never
+/// mutates it (vm_eval relies on this).
+std::int64_t run(const Code& code, std::int64_t* values, std::uint8_t* present,
+                 Rng* rng, VmScratch& scratch) {
   if (scratch.stack.size() < code.max_stack) scratch.stack.resize(code.max_stack);
   std::int64_t* stack = scratch.stack.data();
   std::size_t sp = 0;  // next free slot
@@ -24,11 +27,11 @@ std::int64_t run(const Code& code, DataFrame& frame, Rng* rng, VmScratch& scratc
         break;
       case Op::kLoadSlot: {
         const auto slot = static_cast<std::size_t>(in.a);
-        if (frame.present[slot] == 0) {
+        if (present[slot] == 0) {
           throw EvalError("unknown identifier '" +
                           code.names[static_cast<std::size_t>(in.b)] + "'");
         }
-        stack[sp++] = frame.values[slot];
+        stack[sp++] = values[slot];
         break;
       }
       case Op::kLoadTable: {
@@ -39,13 +42,13 @@ std::int64_t run(const Code& code, DataFrame& frame, Rng* rng, VmScratch& scratc
                           " out of bounds for table '" + code.names[t.name] +
                           "' of size " + std::to_string(t.size));
         }
-        stack[sp++] = frame.values[t.base + static_cast<std::uint32_t>(index)];
+        stack[sp++] = values[t.base + static_cast<std::uint32_t>(index)];
         break;
       }
       case Op::kStoreSlot: {
         const auto slot = static_cast<std::size_t>(in.a);
-        frame.values[slot] = stack[--sp];
-        frame.present[slot] = 1;
+        values[slot] = stack[--sp];
+        present[slot] = 1;
         break;
       }
       case Op::kStoreTable: {
@@ -56,7 +59,7 @@ std::int64_t run(const Code& code, DataFrame& frame, Rng* rng, VmScratch& scratc
           throw EvalError("DataContext: index " + std::to_string(index) +
                           " out of bounds for table '" + code.names[t.name] + "'");
         }
-        frame.values[t.base + static_cast<std::uint32_t>(index)] = value;
+        values[t.base + static_cast<std::uint32_t>(index)] = value;
         break;
       }
       case Op::kAdd: --sp; stack[sp - 1] = wrap_add(stack[sp - 1], stack[sp]); break;
@@ -143,12 +146,24 @@ std::int64_t run(const Code& code, DataFrame& frame, Rng* rng, VmScratch& scratc
 std::int64_t vm_eval(const Code& code, const DataFrame& frame, Rng* rng,
                      VmScratch& scratch) {
   // Expression code contains no store opcodes (see run()), so the frame is
-  // never written through this cast.
-  return run(code, const_cast<DataFrame&>(frame), rng, scratch);
+  // never written through these casts.
+  return run(code, const_cast<std::int64_t*>(frame.values.data()),
+             const_cast<std::uint8_t*>(frame.present.data()), rng, scratch);
 }
 
 void vm_exec(const Code& code, DataFrame& frame, Rng* rng, VmScratch& scratch) {
-  (void)run(code, frame, rng, scratch);
+  (void)run(code, frame.values.data(), frame.present.data(), rng, scratch);
+}
+
+std::int64_t vm_eval_row(const Code& code, const std::int64_t* values,
+                         const std::uint8_t* present, Rng* rng, VmScratch& scratch) {
+  return run(code, const_cast<std::int64_t*>(values),
+             const_cast<std::uint8_t*>(present), rng, scratch);
+}
+
+void vm_exec_row(const Code& code, std::int64_t* values, std::uint8_t* present,
+                 Rng* rng, VmScratch& scratch) {
+  (void)run(code, values, present, rng, scratch);
 }
 
 }  // namespace pnut::expr

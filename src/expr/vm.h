@@ -96,4 +96,16 @@ std::int64_t vm_eval(const Code& code, const DataFrame& frame, Rng* rng,
 /// Run action-program code, writing assignments into `frame`.
 void vm_exec(const Code& code, DataFrame& frame, Rng* rng, VmScratch& scratch);
 
+/// Raw-row variants: evaluate against one lane of a batched slot matrix
+/// (sim/batch_sim.h keeps all lanes' DataFrames as one flat value matrix
+/// plus one presence matrix; a lane is a (values, present) row pair laid
+/// out exactly like DataFrame::values / DataFrame::present). Semantics are
+/// identical to the DataFrame forms — same code, same errors, same rng
+/// stream.
+std::int64_t vm_eval_row(const Code& code, const std::int64_t* values,
+                         const std::uint8_t* present, Rng* rng, VmScratch& scratch);
+
+void vm_exec_row(const Code& code, std::int64_t* values, std::uint8_t* present,
+                 Rng* rng, VmScratch& scratch);
+
 }  // namespace pnut::expr

@@ -1,0 +1,228 @@
+// Batched Monte Carlo simulation: many replications of one CompiledNet as
+// structure-of-arrays lanes.
+//
+// The paper's experiments are sweeps — Figure 5's operating point sits
+// inside a memory-latency grid, and the simulator exists to "control the
+// duration of one or more simulation experiments". The unit of throughput
+// for such experiments is trajectories per second, not events per second on
+// one trajectory. BatchSimulator runs N independent lanes off one immutable
+// CompiledNet with all per-lane state held replication-major:
+//
+//   * a (lane x place) token matrix — each lane's marking is one contiguous
+//     row swept by the same CSR arc spans the scalar engine uses;
+//   * the lanes' data states as one flat slot matrix (lane x value slots,
+//     plus a lane x scalar presence matrix) — expr-VM lanes evaluate
+//     bytecode straight against their row (expr::vm_eval_row), AST-hook
+//     lanes fall back to the scalar DataContext path;
+//   * (lane x transition) columns for the eligibility state machine
+//     (eligible/ready flags, enabling generations, in-flight counts,
+//     completion counters) and per-lane RNGs, clocks and seeds.
+//
+// Per-lane transient machinery (event heap, dirty/ready sets, statistics
+// accumulators, VM scratch) lives in per-worker scratch reused across
+// lanes, so a lane run performs no per-event allocation: statistics are
+// accumulated natively with StatCollector's exact arithmetic instead of
+// materializing TraceEvents, which is where the batch engine's speedup over
+// one-Simulator-per-run comes from on top of compiling once.
+//
+// Bit-exactness contract: lane k, seeded s, produces the identical trace
+// (attach a sink to check) and identical RunStats to a scalar Simulator
+// over the same net with seed s — same RNG draw order, same event ordering,
+// same error behaviour. Lanes are independent, so results are identical for
+// every BatchOptions::threads value.
+//
+// Parameter patches: a lane can deviate from the compiled net without
+// recompiling — initial tokens, constant delays, uniform delay bounds,
+// conflict frequencies, initial scalar values, and the literal bounds of
+// `irand` calls inside compiled actions. Each patch is equivalent to
+// rebuilding the Net with the changed value (the sweep API, sim/sweep.h,
+// drives whole parameter grids through one batch this way).
+//
+// Purity contract (inherited from run_replications, which runs on this
+// engine): with more than one thread, the net's predicate, action and
+// computed-delay callbacks run concurrently across lanes. Callbacks that
+// only touch their DataContext/Rng arguments (every model in this
+// repository, and every compiled expression) are safe; a hand-written
+// callback capturing shared mutable state needs its own synchronization —
+// or threads = 1 to keep sequential behaviour.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "expr/program.h"
+#include "expr/vm.h"
+#include "petri/compiled_net.h"
+#include "petri/data_frame.h"
+#include "petri/net.h"
+#include "petri/rng.h"
+#include "sim/simulator.h"
+#include "stat/stat.h"
+#include "trace/trace.h"
+
+namespace pnut {
+
+struct BatchOptions {
+  /// Lane k defaults to seed base_seed + k (override with set_seed).
+  std::uint64_t base_seed = 1;
+  Time start_time = 0;
+  /// Abort threshold for zero-delay firing cascades at a single instant
+  /// (same guard, same error text as the scalar engine).
+  std::uint64_t max_immediate_firings_per_instant = 1'000'000;
+  /// Execute predicates/actions/computed delays as slot-addressed bytecode
+  /// when every hook on the net came from expr::compile_* (bit-identical
+  /// to the AST path, which remains the fallback for hand-written hooks).
+  bool use_expr_vm = true;
+  /// Worker threads lanes are partitioned over; 0 picks from the hardware.
+  /// Results are bit-identical for every value.
+  unsigned threads = 1;
+};
+
+/// N replication lanes of one compiled net, run as one batch. Construct,
+/// optionally patch lanes / attach sinks / override seeds, call run(),
+/// read per-lane results. run() restarts every lane from its (patched)
+/// initial state, so a BatchSimulator is reusable across horizons.
+class BatchSimulator {
+ public:
+  BatchSimulator(std::shared_ptr<const CompiledNet> net, std::size_t num_lanes,
+                 BatchOptions options = {});
+
+  [[nodiscard]] std::size_t num_lanes() const { return num_lanes_; }
+  [[nodiscard]] const CompiledNet& compiled() const { return *net_; }
+  /// True when hooks run as bytecode against the slot matrix (the batch
+  /// fast path); false on nets with hand-written C++ hooks.
+  [[nodiscard]] bool vm_mode() const { return vm_mode_; }
+
+  // --- per-lane configuration (before run()) --------------------------------
+
+  /// Override lane's seed (default base_seed + lane).
+  void set_seed(std::size_t lane, std::uint64_t seed);
+  /// Tag lane's RunStats with a run number (default 1, as the scalar
+  /// StatCollector does; run_replications tags lane k with k + 1).
+  void set_run_number(std::size_t lane, int run_number);
+  /// Attach a sink receiving lane's trace (testing / inspection path; lanes
+  /// without sinks run allocation-free). The sink sees exactly the scalar
+  /// Simulator's begin/event/end stream for the lane's patched net.
+  void set_sink(std::size_t lane, TraceSink* sink);
+
+  // --- per-lane parameter patches (no recompilation) ------------------------
+  //
+  // Each throws std::invalid_argument if the patch does not match the
+  // transition's delay kind (a constant patch on a uniform delay, ...), so
+  // a patched lane is always equivalent to a legally rebuilt net.
+
+  void patch_initial_tokens(std::size_t lane, PlaceId place, TokenCount tokens);
+  /// Patch a DelaySpec::constant enabling / firing delay.
+  void patch_enabling_constant(std::size_t lane, TransitionId t, Time value);
+  void patch_firing_constant(std::size_t lane, TransitionId t, Time value);
+  /// Patch the [lo, hi] bounds of a DelaySpec::uniform_int delay.
+  void patch_enabling_uniform(std::size_t lane, TransitionId t, std::int64_t lo,
+                              std::int64_t hi);
+  void patch_firing_uniform(std::size_t lane, TransitionId t, std::int64_t lo,
+                            std::int64_t hi);
+  /// Patch the relative conflict-resolution frequency (must be > 0).
+  void patch_frequency(std::size_t lane, TransitionId t, double frequency);
+  /// Override an initial data scalar (the value Net::initial_data() holds).
+  void patch_initial_scalar(std::size_t lane, std::string_view name,
+                            std::int64_t value);
+  /// Rewrite the literal bounds of the `occurrence`-th `irand(lo, hi)` call
+  /// (0-based, in instruction order) inside transition `t`'s compiled
+  /// action. Requires the VM path and literal constant bounds.
+  void patch_action_irand(std::size_t lane, TransitionId t, std::size_t occurrence,
+                          std::int64_t lo, std::int64_t hi);
+
+  // --- execution ------------------------------------------------------------
+
+  /// Run every lane from its initial state to `horizon`. A lane that throws
+  /// (zero-delay livelock, bad action) parks its exception; all other lanes
+  /// still run, then the lowest-lane exception is rethrown — the same one a
+  /// sequential loop of scalar Simulators would have surfaced first.
+  void run(Time horizon);
+
+  // --- per-lane results (valid after run()) ---------------------------------
+
+  [[nodiscard]] StopReason stop_reason(std::size_t lane) const;
+  /// Figure-5 statistics for the lane, byte-identical to a StatCollector
+  /// attached to the equivalent scalar run.
+  [[nodiscard]] const RunStats& stats(std::size_t lane) const;
+  [[nodiscard]] Time now(std::size_t lane) const;
+  [[nodiscard]] std::span<const TokenCount> marking(std::size_t lane) const;
+  [[nodiscard]] std::uint64_t completed_firings(std::size_t lane, TransitionId t) const;
+  [[nodiscard]] std::uint64_t total_firing_starts(std::size_t lane) const;
+
+ private:
+  friend struct LaneRun;
+
+  void check_lane(std::size_t lane) const;
+  void check_ran(std::size_t lane) const;
+  [[nodiscard]] std::size_t lt(std::size_t lane, TransitionId t) const {
+    return lane * num_transitions_ + t.value;
+  }
+
+  /// Broadcast-allocate a per-lane override matrix on first patch.
+  template <typename T>
+  std::vector<T>& ensure_matrix(std::vector<T>& matrix, const T* base,
+                                std::size_t stride);
+
+  std::shared_ptr<const CompiledNet> net_;
+  BatchOptions options_;
+  std::size_t num_lanes_ = 0;
+  std::size_t num_places_ = 0;
+  std::size_t num_transitions_ = 0;
+
+  /// Bytecode runtime (null when a hook is a hand-written C++ lambda or
+  /// use_expr_vm is off; the DataContext/AST path runs then).
+  std::shared_ptr<const expr::NetProgram> program_;
+  bool vm_mode_ = false;
+
+  // Shared per-transition delay plan, decoded once from the DelaySpecs so
+  // the per-event sampling path reads flat arrays (per-lane override rows
+  // alias these when unpatched).
+  std::vector<DelaySpec::Kind> enab_kind_, fire_kind_;
+  std::vector<Time> enab_const_base_, fire_const_base_;
+  std::vector<std::int64_t> enab_lo_base_, enab_hi_base_, fire_lo_base_, fire_hi_base_;
+  std::vector<double> freq_base_;
+  std::vector<TokenCount> init_tokens_base_;
+
+  // Lazily-allocated per-lane override matrices (lane-major, broadcast from
+  // the base row on first patch of the field).
+  std::vector<Time> enab_const_m_, fire_const_m_;
+  std::vector<std::int64_t> enab_lo_m_, enab_hi_m_, fire_lo_m_, fire_hi_m_;
+  std::vector<double> freq_m_;
+  std::vector<TokenCount> init_tokens_m_;
+  /// Per-lane initial-scalar overrides: (value slot or ~0u on the AST path,
+  /// name, value). Outer vector sized on first patch.
+  struct ScalarPatch {
+    std::uint32_t slot = ~0u;
+    std::string name;
+    std::int64_t value = 0;
+  };
+  std::vector<std::vector<ScalarPatch>> scalar_patches_;
+  /// Per-(lane, transition) action-code overrides for irand-bounds patches.
+  std::vector<std::pair<std::size_t, expr::Code>> action_patches_;  ///< key = lane*T + t
+  [[nodiscard]] const expr::Code* patched_action(std::size_t lane, TransitionId t) const;
+
+  // --- replication-major SoA state -----------------------------------------
+
+  std::vector<TokenCount> marking_m_;      ///< lanes x places
+  std::vector<std::int64_t> frame_vals_m_; ///< lanes x schema value slots (VM path)
+  std::vector<std::uint8_t> frame_pres_m_; ///< lanes x schema scalar slots (VM path)
+  std::vector<std::uint8_t> eligible_m_, ready_m_;        ///< lanes x transitions
+  std::vector<Time> enabled_since_m_;                     ///< lanes x transitions
+  std::vector<std::uint64_t> generation_m_, completions_m_;
+  std::vector<std::uint32_t> in_flight_m_;
+  std::vector<Rng> rngs_;
+  std::vector<Time> now_;
+  std::vector<std::uint64_t> seeds_;
+  std::vector<std::uint64_t> firing_starts_;
+  std::vector<int> run_numbers_;
+  std::vector<TraceSink*> sinks_;
+  std::vector<StopReason> stop_;
+  std::vector<RunStats> results_;
+  bool ran_ = false;
+};
+
+}  // namespace pnut

@@ -1,30 +1,54 @@
 #include "stat/replication.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <sstream>
-#include <thread>
+
+#include "sim/batch_sim.h"
 
 namespace pnut {
 
 namespace {
 
-/// One replication: a pure function of (compiled net, seed, horizon).
-RunStats run_one(const std::shared_ptr<const CompiledNet>& compiled, Time horizon,
-                 std::uint64_t seed, int run_number) {
-  StatCollector collector;
-  collector.set_run_number(run_number);
-  Simulator sim(compiled);
-  sim.set_sink(&collector);
-  sim.reset(seed);
-  sim.run_until(horizon);
-  sim.finish();
-  return collector.stats();
+/// Two-sided 97.5% Student-t quantiles for df = 1..30; beyond that the
+/// normal approximation (1.96) is within half a percent.
+double t_quantile_975(std::size_t df) {
+  static constexpr double kTable[30] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df == 0) return 0;
+  if (df <= 30) return kTable[df - 1];
+  return 1.96;
 }
 
 }  // namespace
+
+MetricSummary summarize_metric(const MetricSpec& spec, std::span<const RunStats> runs) {
+  MetricSummary summary;
+  summary.name = spec.name;
+  summary.replications = runs.size();
+  std::vector<double> values;
+  values.reserve(runs.size());
+  for (const RunStats& run : runs) values.push_back(spec.extract(run));
+  if (!values.empty()) {
+    double sum = 0;
+    for (double v : values) sum += v;
+    summary.mean = sum / static_cast<double>(values.size());
+    double ss = 0;
+    for (double v : values) ss += (v - summary.mean) * (v - summary.mean);
+    summary.stddev =
+        values.size() > 1 ? std::sqrt(ss / static_cast<double>(values.size() - 1)) : 0;
+    summary.min = *std::min_element(values.begin(), values.end());
+    summary.max = *std::max_element(values.begin(), values.end());
+    if (values.size() > 1) {
+      summary.ci_half_width = t_quantile_975(values.size() - 1) * summary.stddev /
+                              std::sqrt(static_cast<double>(values.size()));
+    }
+  }
+  return summary;
+}
 
 ReplicationResult run_replications(const Net& net, Time horizon,
                                    std::size_t num_replications,
@@ -32,71 +56,28 @@ ReplicationResult run_replications(const Net& net, Time horizon,
                                    std::uint64_t base_seed, unsigned num_threads) {
   ReplicationResult result;
 
-  // Compile once; every replication runs off the same immutable view,
-  // shared read-only across the worker threads.
-  const auto compiled = CompiledNet::compile(net);
-
-  if (num_threads == 0) {
-    const unsigned hw = std::thread::hardware_concurrency();
-    num_threads = hw == 0 ? 1 : hw;
-  }
-  num_threads = static_cast<unsigned>(
-      std::min<std::size_t>(num_threads, std::max<std::size_t>(num_replications, 1)));
-
-  result.runs.resize(num_replications);
-  if (num_threads <= 1) {
+  if (num_replications > 0) {
+    // Compile once; every replication is a lane of one batch off the same
+    // immutable view. Lane k runs with seed base_seed + k as run k + 1 and
+    // lands in slot k, so the merged output is bit-identical to the
+    // historical one-Simulator-per-replication pool for any thread count.
+    BatchOptions options;
+    options.base_seed = base_seed;
+    options.threads = num_threads;  // 0 = hardware, as before
+    BatchSimulator batch(CompiledNet::compile(net), num_replications, options);
     for (std::size_t k = 0; k < num_replications; ++k) {
-      result.runs[k] = run_one(compiled, horizon, base_seed + k, static_cast<int>(k + 1));
+      batch.set_run_number(k, static_cast<int>(k + 1));
     }
-  } else {
-    // Work-stealing by atomic counter; run k always lands in slot k, so the
-    // merged result is independent of scheduling. A throwing run (zero-delay
-    // livelock, bad action) parks its exception in its slot; the lowest-k
-    // one is rethrown on the caller's thread after the pool drains — the
-    // same exception the sequential path would have surfaced first.
-    std::atomic<std::size_t> next{0};
-    std::vector<std::exception_ptr> errors(num_replications);
-    std::vector<std::thread> pool;
-    pool.reserve(num_threads);
-    for (unsigned w = 0; w < num_threads; ++w) {
-      pool.emplace_back([&] {
-        while (true) {
-          const std::size_t k = next.fetch_add(1);
-          if (k >= num_replications) return;
-          try {
-            result.runs[k] =
-                run_one(compiled, horizon, base_seed + k, static_cast<int>(k + 1));
-          } catch (...) {
-            errors[k] = std::current_exception();
-          }
-        }
-      });
-    }
-    for (std::thread& worker : pool) worker.join();
-    for (const std::exception_ptr& error : errors) {
-      if (error) std::rethrow_exception(error);
+    batch.run(horizon);
+    result.runs.reserve(num_replications);
+    for (std::size_t k = 0; k < num_replications; ++k) {
+      result.runs.push_back(batch.stats(k));
     }
   }
 
+  result.metrics.reserve(metrics.size());
   for (const MetricSpec& spec : metrics) {
-    MetricSummary summary;
-    summary.name = spec.name;
-    summary.replications = result.runs.size();
-    std::vector<double> values;
-    values.reserve(result.runs.size());
-    for (const RunStats& run : result.runs) values.push_back(spec.extract(run));
-    if (!values.empty()) {
-      double sum = 0;
-      for (double v : values) sum += v;
-      summary.mean = sum / static_cast<double>(values.size());
-      double ss = 0;
-      for (double v : values) ss += (v - summary.mean) * (v - summary.mean);
-      summary.stddev =
-          values.size() > 1 ? std::sqrt(ss / static_cast<double>(values.size() - 1)) : 0;
-      summary.min = *std::min_element(values.begin(), values.end());
-      summary.max = *std::max_element(values.begin(), values.end());
-    }
-    result.metrics.push_back(std::move(summary));
+    result.metrics.push_back(summarize_metric(spec, result.runs));
   }
   return result;
 }

@@ -7,14 +7,16 @@
 // mean, sample standard deviation, and min/max — the standard way to put
 // confidence behind a single Figure-5-style run.
 //
-// Replications run on a small thread pool sharing one immutable
-// CompiledNet. Each run is a pure function of (net, base_seed + k, horizon)
-// and results merge in k order, so the output is bit-identical whatever the
-// thread count — including the sequential num_threads = 1 path.
+// Replications run as lanes of one BatchSimulator (sim/batch_sim.h)
+// sharing one immutable CompiledNet. Each lane is a pure function of
+// (net, base_seed + k, horizon) and results merge in k order, so the
+// output is bit-identical whatever the thread count — including the
+// sequential num_threads = 1 path.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -30,6 +32,9 @@ struct MetricSummary {
   double stddev = 0;  ///< sample standard deviation (n-1)
   double min = 0;
   double max = 0;
+  /// Half-width of the 95% confidence interval on the mean (Student-t on
+  /// n-1 degrees of freedom); 0 with fewer than two replications.
+  double ci_half_width = 0;
 };
 
 /// A named scalar extracted from one run's statistics.
@@ -59,6 +64,11 @@ ReplicationResult run_replications(const Net& net, Time horizon,
                                    const std::vector<MetricSpec>& metrics,
                                    std::uint64_t base_seed = 1,
                                    unsigned num_threads = 0);
+
+/// Summarize one metric across runs: mean, sample stddev, min/max and the
+/// 95% CI half-width. The shared aggregation of run_replications and the
+/// sweep API (sim/sweep.h).
+MetricSummary summarize_metric(const MetricSpec& spec, std::span<const RunStats> runs);
 
 /// Aligned text table of metric summaries ("metric  mean ± stddev  [min, max]").
 std::string format_metric_summaries(const std::vector<MetricSummary>& metrics);

@@ -100,6 +100,41 @@ TEST_F(CliTest, PrintRoundTrips) {
   EXPECT_EQ(again.out, r.out);
 }
 
+TEST_F(CliTest, ReplicateSummarizesAcrossSeeds) {
+  const Result r = run_cli({"replicate", model_path_, "--replications", "4",
+                            "--horizon", "500", "--seed", "9"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("4 replications to t=500"), std::string::npos);
+  EXPECT_NE(r.out.find("seeds 9..12"), std::string::npos);
+  EXPECT_NE(r.out.find("throughput(finish)"), std::string::npos);
+  EXPECT_NE(r.out.find("tokens(Bus_busy)"), std::string::npos);
+  EXPECT_NE(r.out.find("(n=4)"), std::string::npos);
+}
+
+TEST_F(CliTest, ReplicateThreadCountDoesNotChangeOutput) {
+  auto run_with = [&](const char* threads) {
+    return run_cli({"replicate", model_path_, "--replications", "6", "--horizon", "400",
+                    "--threads", threads});
+  };
+  const Result one = run_with("1");
+  ASSERT_EQ(one.code, 0) << one.err;
+  for (const char* threads : {"2", "4", "0"}) {
+    const Result r = run_with(threads);
+    EXPECT_EQ(r.code, 0) << r.err;
+    EXPECT_EQ(r.out, one.out) << "--threads " << threads;
+  }
+}
+
+TEST_F(CliTest, ReplicateRejectsBadFlags) {
+  // Same parsing rules as the analysis commands: integers only, sane ranges.
+  EXPECT_EQ(run_cli({"replicate", model_path_, "--replications", "0"}).code, 2);
+  EXPECT_EQ(run_cli({"replicate", model_path_, "--replications", "2.5"}).code, 2);
+  EXPECT_EQ(run_cli({"replicate", model_path_, "--horizon", "0"}).code, 2);
+  EXPECT_EQ(run_cli({"replicate", model_path_, "--threads", "-1"}).code, 2);
+  EXPECT_EQ(run_cli({"replicate", model_path_, "--threads", "1.5"}).code, 2);
+  EXPECT_EQ(run_cli({"replicate"}).code, 2);  // missing model file
+}
+
 TEST_F(CliTest, SimulatePrintsStatsByDefault) {
   const Result r = run_cli({"simulate", model_path_, "--until", "1000", "--seed", "3"});
   ASSERT_EQ(r.code, 0) << r.err;

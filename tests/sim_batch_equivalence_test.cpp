@@ -1,0 +1,440 @@
+// Differential tests for the batch engine: every lane of a BatchSimulator
+// must be bit-identical — trace, statistics, stop reason, clock — to a
+// scalar Simulator over the same net with the lane's seed, for any thread
+// count, with or without per-lane parameter patches (a patched lane is
+// compared against a scalar run of a *rebuilt* net). Also pins the rebased
+// run_replications to the historical one-Simulator-per-replication
+// implementation, kept inline here as the compatibility oracle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "expr/compile.h"
+#include "petri/compiled_net.h"
+#include "pipeline/interpreted.h"
+#include "pipeline/model.h"
+#include "sim/batch_sim.h"
+#include "sim/simulator.h"
+#include "stat/replication.h"
+#include "stat/stat.h"
+#include "support/net_fuzz.h"
+#include "support/stats_equal.h"
+#include "trace/trace.h"
+
+namespace pnut {
+namespace {
+
+using test_support::FuzzOptions;
+using test_support::fuzz_net;
+using test_support::expect_stats_equal;
+
+struct ScalarRun {
+  RecordedTrace trace;
+  RunStats stats;
+  StopReason stop = StopReason::kTimeLimit;
+  Time now = 0;
+};
+
+/// The oracle: one scalar Simulator with a trace recorder and a stat
+/// collector attached, exactly the harness every figure-producing run uses.
+ScalarRun scalar_run(const Net& net, std::uint64_t seed, Time horizon) {
+  ScalarRun out;
+  StatCollector collector;
+  MultiSink sinks;
+  sinks.add(out.trace);
+  sinks.add(collector);
+  Simulator sim(CompiledNet::compile(net));
+  sim.set_sink(&sinks);
+  sim.reset(seed);
+  out.stop = sim.run_until(horizon);
+  sim.finish();
+  out.stats = collector.stats();
+  out.now = sim.now();
+  return out;
+}
+
+/// Run `lanes` lanes of `net` batched and diff every lane against the
+/// scalar oracle seeded base_seed + lane.
+void expect_batch_matches_scalar(const Net& net, std::size_t lanes,
+                                 std::uint64_t base_seed, Time horizon,
+                                 unsigned threads, const std::string& label) {
+  BatchOptions options;
+  options.base_seed = base_seed;
+  options.threads = threads;
+  BatchSimulator batch(CompiledNet::compile(net), lanes, options);
+  std::vector<RecordedTrace> traces(lanes);
+  for (std::size_t k = 0; k < lanes; ++k) batch.set_sink(k, &traces[k]);
+  batch.run(horizon);
+  for (std::size_t k = 0; k < lanes; ++k) {
+    const ScalarRun scalar = scalar_run(net, base_seed + k, horizon);
+    const std::string at = label + " lane " + std::to_string(k);
+    EXPECT_EQ(traces[k], scalar.trace) << at;
+    expect_stats_equal(batch.stats(k), scalar.stats, at);
+    EXPECT_EQ(batch.stop_reason(k), scalar.stop) << at;
+    EXPECT_EQ(batch.now(k), scalar.now) << at;
+  }
+}
+
+pipeline::PipelineConfig cached_config(double hit_ratio) {
+  pipeline::PipelineConfig config;
+  config.icache = pipeline::CacheConfig{hit_ratio, 1};
+  config.dcache = pipeline::CacheConfig{hit_ratio, 1};
+  return config;
+}
+
+TEST(BatchEquivalence, GoldenPipelineModelsMatchScalarLanes) {
+  expect_batch_matches_scalar(pipeline::build_full_model(), 4, 100, 2000, 1, "full");
+  expect_batch_matches_scalar(pipeline::build_full_model(cached_config(0.9)), 4, 100,
+                              2000, 1, "cached");
+  expect_batch_matches_scalar(pipeline::build_prefetch_model(), 4, 100, 2000, 1,
+                              "prefetch");
+  expect_batch_matches_scalar(pipeline::build_interpreted_pipeline(), 4, 100, 2000, 1,
+                              "interpreted");
+}
+
+TEST(BatchEquivalence, FuzzedTimedNetsMatchScalarLanes) {
+  FuzzOptions options;
+  options.timed = true;
+  options.lossy_pct = 0;  // token-preserving: live for the whole horizon
+  for (std::uint64_t net_seed = 1; net_seed <= 12; ++net_seed) {
+    expect_batch_matches_scalar(fuzz_net(net_seed, options), 3, 1000 + net_seed, 300, 1,
+                                "timed net_seed=" + std::to_string(net_seed));
+  }
+}
+
+TEST(BatchEquivalence, FuzzedInhibitorHeavyNetsMatchScalarLanes) {
+  FuzzOptions options;
+  options.timed = true;
+  options.lossy_pct = 0;
+  options.inhibitor_pct = 80;
+  for (std::uint64_t net_seed = 1; net_seed <= 8; ++net_seed) {
+    expect_batch_matches_scalar(fuzz_net(net_seed, options), 3, 50 + net_seed, 300, 1,
+                                "inhibitor net_seed=" + std::to_string(net_seed));
+  }
+}
+
+TEST(BatchEquivalence, FuzzedInterpretedExprNetsMatchScalarLanes) {
+  FuzzOptions options;
+  options.timed = true;
+  options.lossy_pct = 0;
+  options.interpreted_expr = true;
+  // Every hook comes from expr::compile_*, so the batch runs these lanes
+  // as bytecode against the slot matrix.
+  EXPECT_TRUE(
+      BatchSimulator(CompiledNet::compile(fuzz_net(1, options)), 1).vm_mode());
+  for (std::uint64_t net_seed = 1; net_seed <= 10; ++net_seed) {
+    expect_batch_matches_scalar(fuzz_net(net_seed, options), 3, 9000 + net_seed, 300, 1,
+                                "expr net_seed=" + std::to_string(net_seed));
+  }
+}
+
+TEST(BatchEquivalence, FuzzedAstHookNetsMatchScalarLanes) {
+  FuzzOptions options;
+  options.timed = true;
+  options.lossy_pct = 0;
+  options.interpreted = true;  // opaque C++ lambdas: the AST fallback path
+  EXPECT_FALSE(
+      BatchSimulator(CompiledNet::compile(fuzz_net(1, options)), 1).vm_mode());
+  for (std::uint64_t net_seed = 1; net_seed <= 8; ++net_seed) {
+    expect_batch_matches_scalar(fuzz_net(net_seed, options), 3, 400 + net_seed, 300, 1,
+                                "ast net_seed=" + std::to_string(net_seed));
+  }
+}
+
+TEST(BatchEquivalence, DeadlockingLanesMatchScalarStopReasons) {
+  FuzzOptions options;
+  options.timed = true;
+  options.lossy_pct = 60;  // drifts toward deadlock well before the horizon
+  for (std::uint64_t net_seed = 1; net_seed <= 8; ++net_seed) {
+    expect_batch_matches_scalar(fuzz_net(net_seed, options), 3, 700 + net_seed, 500, 1,
+                                "lossy net_seed=" + std::to_string(net_seed));
+  }
+}
+
+TEST(BatchEquivalence, ThreadCountsAreBitIdentical) {
+  const Net net = pipeline::build_full_model(cached_config(0.8));
+  const auto compiled = CompiledNet::compile(net);
+  constexpr std::size_t kLanes = 8;
+
+  auto run_with = [&](unsigned threads) {
+    BatchOptions options;
+    options.base_seed = 42;
+    options.threads = threads;
+    auto batch = std::make_unique<BatchSimulator>(compiled, kLanes, options);
+    auto traces = std::make_unique<std::vector<RecordedTrace>>(kLanes);
+    for (std::size_t k = 0; k < kLanes; ++k) batch->set_sink(k, &(*traces)[k]);
+    batch->run(1500);
+    return std::pair{std::move(batch), std::move(traces)};
+  };
+
+  const auto [baseline, baseline_traces] = run_with(1);
+  for (const unsigned threads : {2u, 4u}) {
+    const auto [batch, traces] = run_with(threads);
+    for (std::size_t k = 0; k < kLanes; ++k) {
+      const std::string at = "threads=" + std::to_string(threads) + " lane " +
+                             std::to_string(k);
+      EXPECT_EQ((*traces)[k], (*baseline_traces)[k]) << at;
+      expect_stats_equal(batch->stats(k), baseline->stats(k), at);
+      EXPECT_EQ(batch->stop_reason(k), baseline->stop_reason(k)) << at;
+    }
+  }
+}
+
+// --- run_replications compatibility pin ------------------------------------------
+
+/// The pre-batch run_replications, kept verbatim: one StatCollector-sinked
+/// Simulator per replication, then the historical summary arithmetic.
+ReplicationResult oracle_replications(const Net& net, Time horizon, std::size_t n,
+                                      const std::vector<MetricSpec>& metrics,
+                                      std::uint64_t base_seed) {
+  ReplicationResult result;
+  const auto compiled = CompiledNet::compile(net);
+  result.runs.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    StatCollector collector;
+    collector.set_run_number(static_cast<int>(k + 1));
+    Simulator sim(compiled);
+    sim.set_sink(&collector);
+    sim.reset(base_seed + k);
+    sim.run_until(horizon);
+    sim.finish();
+    result.runs.push_back(collector.stats());
+  }
+  for (const MetricSpec& spec : metrics) {
+    MetricSummary summary;
+    summary.name = spec.name;
+    summary.replications = n;
+    std::vector<double> values;
+    values.reserve(n);
+    for (const RunStats& run : result.runs) values.push_back(spec.extract(run));
+    if (!values.empty()) {
+      double sum = 0;
+      for (double v : values) sum += v;
+      summary.mean = sum / static_cast<double>(values.size());
+      double ss = 0;
+      for (double v : values) ss += (v - summary.mean) * (v - summary.mean);
+      summary.stddev =
+          values.size() > 1 ? std::sqrt(ss / static_cast<double>(values.size() - 1)) : 0;
+      summary.min = *std::min_element(values.begin(), values.end());
+      summary.max = *std::max_element(values.begin(), values.end());
+    }
+    result.metrics.push_back(summary);
+  }
+  return result;
+}
+
+TEST(BatchEquivalence, RunReplicationsReproducesPreBatchResults) {
+  const Net net = pipeline::build_full_model(cached_config(0.9));
+  const std::vector<MetricSpec> metrics = {
+      {"ipc", [](const RunStats& s) { return s.transition(pipeline::names::kIssue).throughput; }},
+      {"full_bufs", [](const RunStats& s) { return s.place(pipeline::names::kFullIBuffers).avg_tokens; }},
+  };
+  const ReplicationResult oracle = oracle_replications(net, 1500, 5, metrics, 77);
+
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    const ReplicationResult result = run_replications(net, 1500, 5, metrics, 77, threads);
+    const std::string at = "threads=" + std::to_string(threads);
+    ASSERT_EQ(result.runs.size(), oracle.runs.size()) << at;
+    for (std::size_t k = 0; k < oracle.runs.size(); ++k) {
+      expect_stats_equal(result.runs[k], oracle.runs[k],
+                         at + " replication " + std::to_string(k));
+    }
+    ASSERT_EQ(result.metrics.size(), oracle.metrics.size()) << at;
+    for (std::size_t i = 0; i < oracle.metrics.size(); ++i) {
+      EXPECT_EQ(result.metrics[i].name, oracle.metrics[i].name) << at;
+      EXPECT_EQ(result.metrics[i].replications, oracle.metrics[i].replications) << at;
+      EXPECT_EQ(result.metrics[i].mean, oracle.metrics[i].mean) << at;
+      EXPECT_EQ(result.metrics[i].stddev, oracle.metrics[i].stddev) << at;
+      EXPECT_EQ(result.metrics[i].min, oracle.metrics[i].min) << at;
+      EXPECT_EQ(result.metrics[i].max, oracle.metrics[i].max) << at;
+    }
+  }
+}
+
+// --- patched lanes vs rebuilt nets -----------------------------------------------
+
+/// Diff one patched batch lane against a scalar run of `rebuilt` (the net a
+/// pre-sweep experiment would have constructed for these parameter values).
+void expect_lane_matches_rebuilt(BatchSimulator& batch, RecordedTrace& trace,
+                                 std::size_t lane, const Net& rebuilt,
+                                 std::uint64_t seed, Time horizon,
+                                 const std::string& label) {
+  const ScalarRun scalar = scalar_run(rebuilt, seed, horizon);
+  EXPECT_EQ(trace, scalar.trace) << label;
+  expect_stats_equal(batch.stats(lane), scalar.stats, label);
+  EXPECT_EQ(batch.stop_reason(lane), scalar.stop) << label;
+}
+
+TEST(BatchPatch, MemoryLatencyConstantsMatchRebuiltNets) {
+  // The paper's memory-latency sweep: the enabling constants of the three
+  // bus-release transitions, patched per lane instead of rebuilding.
+  const std::vector<Time> latencies = {5, 2, 10};  // lane 0 stays unpatched
+  const auto compiled = CompiledNet::compile(pipeline::build_full_model());
+  BatchSimulator batch(compiled, latencies.size());
+  std::vector<RecordedTrace> traces(latencies.size());
+  for (std::size_t k = 0; k < latencies.size(); ++k) {
+    batch.set_sink(k, &traces[k]);
+    if (k == 0) continue;
+    for (const char* name : {pipeline::names::kEndPrefetch, pipeline::names::kEndFetch,
+                             pipeline::names::kEndStore}) {
+      batch.patch_enabling_constant(k, compiled->transition_named(name), latencies[k]);
+    }
+  }
+  batch.run(2000);
+  for (std::size_t k = 0; k < latencies.size(); ++k) {
+    pipeline::PipelineConfig config;
+    config.memory_cycles = latencies[k];
+    expect_lane_matches_rebuilt(batch, traces[k], k, pipeline::build_full_model(config),
+                                1 + k, 2000, "memory=" + std::to_string(latencies[k]));
+  }
+}
+
+TEST(BatchPatch, CacheHitFrequenciesMatchRebuiltNets) {
+  const std::vector<double> ratios = {0.5, 0.9, 0.99};  // lane 0 stays unpatched
+  const auto compiled = CompiledNet::compile(pipeline::build_full_model(cached_config(0.5)));
+  BatchSimulator batch(compiled, ratios.size());
+  std::vector<RecordedTrace> traces(ratios.size());
+  for (std::size_t k = 0; k < ratios.size(); ++k) {
+    batch.set_sink(k, &traces[k]);
+    if (k == 0) continue;
+    for (const std::string start :
+         {std::string(pipeline::names::kStartPrefetch),
+          std::string(pipeline::names::kStartFetch),
+          std::string(pipeline::names::kStartStore)}) {
+      // Same arithmetic as the model builder (hit_ratio and 1 - hit_ratio).
+      batch.patch_frequency(k, compiled->transition_named(start + "_hit"), ratios[k]);
+      batch.patch_frequency(k, compiled->transition_named(start + "_miss"),
+                            1 - ratios[k]);
+    }
+  }
+  batch.run(2000);
+  for (std::size_t k = 0; k < ratios.size(); ++k) {
+    expect_lane_matches_rebuilt(batch, traces[k], k,
+                                pipeline::build_full_model(cached_config(ratios[k])),
+                                1 + k, 2000, "hit_ratio=" + std::to_string(ratios[k]));
+  }
+}
+
+TEST(BatchPatch, InitialTokensMatchRebuiltNet) {
+  FuzzOptions options;
+  options.timed = true;
+  options.lossy_pct = 0;
+  const Net net = fuzz_net(3, options);
+  Net rebuilt = fuzz_net(3, options);
+  const TokenCount patched = net.place(PlaceId(0)).initial_tokens + 2;
+  rebuilt.set_initial_tokens(PlaceId(0), patched);
+
+  BatchSimulator batch(CompiledNet::compile(net), 1);
+  RecordedTrace trace;
+  batch.set_sink(0, &trace);
+  batch.patch_initial_tokens(0, PlaceId(0), patched);
+  batch.run(300);
+  expect_lane_matches_rebuilt(batch, trace, 0, rebuilt, 1, 300, "initial tokens");
+}
+
+TEST(BatchPatch, UniformBoundsMatchRebuiltNet) {
+  auto make = [](std::int64_t lo, std::int64_t hi) {
+    Net net("uniform");
+    const PlaceId p = net.add_place("p", 1);
+    const PlaceId q = net.add_place("q");
+    const TransitionId t = net.add_transition("t");
+    net.add_input(t, p);
+    net.add_output(t, q);
+    net.set_firing_time(t, DelaySpec::uniform_int(lo, hi));
+    const TransitionId back = net.add_transition("back");
+    net.add_input(back, q);
+    net.add_output(back, p);
+    net.set_enabling_time(back, DelaySpec::uniform_int(lo, hi));
+    net.set_firing_time(back, DelaySpec::constant(1));
+    return net;
+  };
+  const Net net = make(1, 4);
+  const auto compiled = CompiledNet::compile(net);
+  BatchSimulator batch(compiled, 1);
+  RecordedTrace trace;
+  batch.set_sink(0, &trace);
+  batch.patch_firing_uniform(0, compiled->transition_named("t"), 2, 7);
+  batch.patch_enabling_uniform(0, compiled->transition_named("back"), 2, 7);
+  batch.run(400);
+  expect_lane_matches_rebuilt(batch, trace, 0, make(2, 7), 1, 400, "uniform bounds");
+}
+
+TEST(BatchPatch, InitialScalarMatchesRebuiltNetOnBothHookPaths) {
+  for (const bool expr_hooks : {true, false}) {
+    FuzzOptions options;
+    options.timed = true;
+    options.lossy_pct = 0;
+    options.interpreted_expr = expr_hooks;
+    options.interpreted = !expr_hooks;
+    const Net net = fuzz_net(5, options);
+    Net rebuilt = fuzz_net(5, options);
+    rebuilt.initial_data().set("x", 2);
+
+    BatchSimulator batch(CompiledNet::compile(net), 1);
+    EXPECT_EQ(batch.vm_mode(), expr_hooks);
+    RecordedTrace trace;
+    batch.set_sink(0, &trace);
+    batch.patch_initial_scalar(0, "x", 2);
+    batch.run(300);
+    expect_lane_matches_rebuilt(batch, trace, 0, rebuilt, 1, 300,
+                                expr_hooks ? "x=2 (vm)" : "x=2 (ast)");
+  }
+}
+
+TEST(BatchPatch, IrandBoundsMatchRebuiltNet) {
+  auto make = [](std::int64_t lo, std::int64_t hi) {
+    Net net("irand");
+    const PlaceId p = net.add_place("p", 1);
+    const TransitionId t = net.add_transition("t");
+    net.add_input(t, p);
+    net.add_output(t, p);
+    net.set_firing_time(t, DelaySpec::constant(1));
+    net.initial_data().set("x", 0);
+    net.set_action(t, expr::compile_action("x = irand[" + std::to_string(lo) + ", " +
+                                           std::to_string(hi) + "]"));
+    return net;
+  };
+  const Net net = make(0, 5);
+  const auto compiled = CompiledNet::compile(net);
+  BatchSimulator batch(compiled, 1);
+  ASSERT_TRUE(batch.vm_mode());
+  RecordedTrace trace;
+  batch.set_sink(0, &trace);
+  batch.patch_action_irand(0, compiled->transition_named("t"), 0, 2, 9);
+  batch.run(200);
+  expect_lane_matches_rebuilt(batch, trace, 0, make(2, 9), 1, 200, "irand bounds");
+}
+
+TEST(BatchPatch, IllegalPatchesThrow) {
+  const Net net = pipeline::build_full_model();  // End_* have constant delays
+  const auto compiled = CompiledNet::compile(net);
+  BatchSimulator batch(compiled, 2);
+  const TransitionId end = compiled->transition_named(pipeline::names::kEndPrefetch);
+  const TransitionId decode = compiled->transition_named(pipeline::names::kDecode);
+
+  // Wrong delay kind / illegal values.
+  EXPECT_THROW(batch.patch_enabling_uniform(0, end, 1, 3), std::invalid_argument);
+  EXPECT_THROW(batch.patch_enabling_constant(0, end, -1), std::invalid_argument);
+  EXPECT_THROW(batch.patch_firing_uniform(0, decode, 3, 1), std::invalid_argument);
+  EXPECT_THROW(batch.patch_frequency(0, decode, 0), std::invalid_argument);
+  // Capacity still enforced: Empty_I_buffers holds at most 6.
+  EXPECT_THROW(
+      batch.patch_initial_tokens(0, compiled->place_named(pipeline::names::kEmptyIBuffers), 7),
+      std::invalid_argument);
+  // No data state, no scalar to patch.
+  EXPECT_THROW(batch.patch_initial_scalar(0, "x", 1), std::invalid_argument);
+  // No compiled action on this net.
+  EXPECT_THROW(batch.patch_action_irand(0, decode, 0, 1, 2), std::invalid_argument);
+  // Lane bounds.
+  EXPECT_THROW(batch.patch_enabling_constant(2, end, 1), std::invalid_argument);
+  // Results before run().
+  EXPECT_THROW(static_cast<void>(batch.stats(0)), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pnut

@@ -1,0 +1,238 @@
+// Sweep API tests: grid shape and indexing, per-cell equivalence to
+// rebuilt-net scalar runs (the pre-sweep way of producing each operating
+// point), common-random-numbers seeding, the shared metric summary
+// (including the 95% CI half-width), and error reporting.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "petri/compiled_net.h"
+#include "pipeline/model.h"
+#include "sim/simulator.h"
+#include "sim/sweep.h"
+#include "stat/replication.h"
+#include "stat/stat.h"
+#include "support/stats_equal.h"
+
+namespace pnut {
+namespace {
+
+using test_support::expect_stats_equal;
+
+pipeline::PipelineConfig grid_config(Time memory, double hit_ratio) {
+  pipeline::PipelineConfig config;
+  config.memory_cycles = memory;
+  config.icache = pipeline::CacheConfig{hit_ratio, 1};
+  config.dcache = pipeline::CacheConfig{hit_ratio, 1};
+  return config;
+}
+
+/// One scalar replication the historical way: rebuild, recompile, run.
+RunStats rebuilt_run(const pipeline::PipelineConfig& config, std::uint64_t seed,
+                     int run_number, Time horizon) {
+  StatCollector collector;
+  collector.set_run_number(run_number);
+  Simulator sim(CompiledNet::compile(pipeline::build_full_model(config)));
+  sim.set_sink(&collector);
+  sim.reset(seed);
+  sim.run_until(horizon);
+  sim.finish();
+  return collector.stats();
+}
+
+std::vector<SweepAxis> grid_axes() {
+  return {
+      // With both caches present the memory latency sits on the miss-path
+      // bus releases.
+      SweepAxis::enabling_constant(
+          "memory", {"End_prefetch_miss", "end_fetch_miss", "end_store_miss"},
+          {2, 5}),
+      SweepAxis::frequency_split("hit_ratio",
+                                 {{"Start_prefetch_hit", "Start_prefetch_miss"},
+                                  {"start_fetch_hit", "start_fetch_miss"},
+                                  {"start_store_hit", "start_store_miss"}},
+                                 {0.5, 0.9}),
+  };
+}
+
+const std::vector<MetricSpec>& ipc_metric() {
+  static const std::vector<MetricSpec> metrics = {
+      {"ipc",
+       [](const RunStats& s) { return s.transition(pipeline::names::kIssue).throughput; }}};
+  return metrics;
+}
+
+TEST(Sweep, GridShapeCoordinatesAndIndexing) {
+  SweepOptions options;
+  options.replications = 2;
+  options.base_seed = 7;
+  const SweepResult result =
+      run_sweep(CompiledNet::compile(pipeline::build_full_model(grid_config(5, 0.5))),
+                grid_axes(), 500, ipc_metric(), options);
+
+  ASSERT_EQ(result.axis_names, (std::vector<std::string>{"memory", "hit_ratio"}));
+  ASSERT_EQ(result.shape, (std::vector<std::size_t>{2, 2}));
+  ASSERT_EQ(result.cells.size(), 4u);
+
+  // Row-major, last axis fastest: (2,.5) (2,.9) (5,.5) (5,.9).
+  const std::array<std::array<double, 2>, 4> expected = {
+      {{2, 0.5}, {2, 0.9}, {5, 0.5}, {5, 0.9}}};
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(result.cells[i].coordinates.size(), 2u);
+    EXPECT_EQ(result.cells[i].coordinates[0], expected[i][0]);
+    EXPECT_EQ(result.cells[i].coordinates[1], expected[i][1]);
+    EXPECT_EQ(result.cells[i].runs.size(), 2u);
+    ASSERT_EQ(result.cells[i].metrics.size(), 1u);
+    EXPECT_EQ(result.cells[i].metrics[0].replications, 2u);
+  }
+  // at() addresses the same cells by per-axis index.
+  EXPECT_EQ(&result.at(std::array<std::size_t, 2>{0, 1}), &result.cells[1]);
+  EXPECT_EQ(&result.at(std::array<std::size_t, 2>{1, 0}), &result.cells[2]);
+  EXPECT_THROW(static_cast<void>(result.at(std::array<std::size_t, 1>{0})),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(result.at(std::array<std::size_t, 2>{2, 0})),
+               std::invalid_argument);
+}
+
+TEST(Sweep, CellsMatchRebuiltNetsWithCommonRandomNumbers) {
+  SweepOptions options;
+  options.replications = 2;
+  options.base_seed = 7;
+  const Time horizon = 1000;
+  const SweepResult result =
+      run_sweep(CompiledNet::compile(pipeline::build_full_model(grid_config(5, 0.5))),
+                grid_axes(), horizon, ipc_metric(), options);
+
+  for (const SweepCell& cell : result.cells) {
+    const pipeline::PipelineConfig config =
+        grid_config(cell.coordinates[0], cell.coordinates[1]);
+    const std::string label = "memory=" + std::to_string(cell.coordinates[0]) +
+                              " hit_ratio=" + std::to_string(cell.coordinates[1]);
+    ASSERT_EQ(cell.runs.size(), 2u) << label;
+    for (std::size_t r = 0; r < cell.runs.size(); ++r) {
+      // Replication r of *every* cell runs with seed base_seed + r: the
+      // rebuilt-net oracle below uses the same seed for each cell.
+      expect_stats_equal(
+          cell.runs[r],
+          rebuilt_run(config, 7 + r, static_cast<int>(r + 1), horizon),
+          label + " replication " + std::to_string(r));
+    }
+    // The cell summary is exactly the shared aggregation over those runs.
+    const MetricSummary expected = summarize_metric(ipc_metric()[0], cell.runs);
+    EXPECT_EQ(cell.metrics[0].mean, expected.mean) << label;
+    EXPECT_EQ(cell.metrics[0].stddev, expected.stddev) << label;
+    EXPECT_EQ(cell.metrics[0].ci_half_width, expected.ci_half_width) << label;
+  }
+}
+
+TEST(Sweep, EmptyAxesMatchesRunReplications) {
+  const Net net = pipeline::build_full_model();
+  SweepOptions options;
+  options.replications = 3;
+  options.base_seed = 11;
+  const SweepResult result =
+      run_sweep(CompiledNet::compile(net), {}, 800, ipc_metric(), options);
+  ASSERT_TRUE(result.shape.empty());
+  ASSERT_EQ(result.cells.size(), 1u);
+
+  const ReplicationResult reference = run_replications(net, 800, 3, ipc_metric(), 11, 1);
+  ASSERT_EQ(result.cells[0].runs.size(), reference.runs.size());
+  for (std::size_t r = 0; r < reference.runs.size(); ++r) {
+    expect_stats_equal(result.cells[0].runs[r], reference.runs[r],
+                       "replication " + std::to_string(r));
+  }
+  EXPECT_EQ(result.cells[0].metrics[0].mean, reference.metrics[0].mean);
+  EXPECT_EQ(result.cells[0].metrics[0].ci_half_width,
+            reference.metrics[0].ci_half_width);
+}
+
+TEST(Sweep, SummarizeMetricComputesStudentTConfidenceInterval) {
+  // Five runs tagged 1..5; the metric extracts the run number, so the
+  // sample is {1, 2, 3, 4, 5}.
+  std::vector<RunStats> runs(5);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    runs[i].run_number = static_cast<int>(i + 1);
+  }
+  const MetricSpec spec{"run", [](const RunStats& s) { return double(s.run_number); }};
+  const MetricSummary summary = summarize_metric(spec, runs);
+  EXPECT_EQ(summary.replications, 5u);
+  EXPECT_DOUBLE_EQ(summary.mean, 3.0);
+  EXPECT_DOUBLE_EQ(summary.stddev, std::sqrt(2.5));
+  EXPECT_DOUBLE_EQ(summary.min, 1.0);
+  EXPECT_DOUBLE_EQ(summary.max, 5.0);
+  // Student-t, df = 4: t_{.975} = 2.776.
+  EXPECT_DOUBLE_EQ(summary.ci_half_width, 2.776 * std::sqrt(2.5) / std::sqrt(5.0));
+
+  const MetricSummary single = summarize_metric(spec, std::span(runs.data(), 1));
+  EXPECT_EQ(single.ci_half_width, 0.0);
+  EXPECT_EQ(single.stddev, 0.0);
+}
+
+TEST(Sweep, ErrorsAreReported) {
+  const auto net = CompiledNet::compile(pipeline::build_full_model());
+
+  SweepOptions zero_reps;
+  zero_reps.replications = 0;
+  EXPECT_THROW(run_sweep(net, {}, 100, {}, zero_reps), std::invalid_argument);
+
+  EXPECT_THROW(run_sweep(net, {SweepAxis::enabling_constant("m", {"End_prefetch"}, {})},
+                         100, {}, {}),
+               std::invalid_argument);
+
+  SweepAxis no_apply;
+  no_apply.name = "broken";
+  no_apply.values = {1};
+  EXPECT_THROW(run_sweep(net, {no_apply}, 100, {}, {}), std::invalid_argument);
+
+  // Patch errors surface from the axis application: unknown transition,
+  // non-integer token count, ratio outside (0, 1).
+  EXPECT_THROW(
+      run_sweep(net, {SweepAxis::enabling_constant("m", {"no_such"}, {1})}, 100, {}, {}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      run_sweep(net, {SweepAxis::initial_tokens("b", pipeline::names::kFullIBuffers,
+                                                {2.5})},
+                100, {}, {}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      run_sweep(net,
+                {SweepAxis::frequency_split("r", {{"Type_1", "Type_2"}}, {1.0})}, 100,
+                {}, {}),
+      std::invalid_argument);
+}
+
+TEST(Sweep, InitialTokensAxisMatchesRebuiltNet) {
+  // Sweep the instruction-buffer budget downward (capacity admits 0..6).
+  SweepOptions options;
+  options.base_seed = 5;
+  const Net base = pipeline::build_full_model();
+  const SweepResult result = run_sweep(
+      CompiledNet::compile(base),
+      {SweepAxis::initial_tokens("empty_words", pipeline::names::kEmptyIBuffers,
+                                 {6, 3})},
+      600, ipc_metric(), options);
+  ASSERT_EQ(result.cells.size(), 2u);
+
+  for (const SweepCell& cell : result.cells) {
+    Net rebuilt = pipeline::build_full_model();
+    rebuilt.set_initial_tokens(
+        rebuilt.place_named(pipeline::names::kEmptyIBuffers),
+        static_cast<TokenCount>(cell.coordinates[0]));
+    StatCollector collector;
+    Simulator sim(CompiledNet::compile(rebuilt));
+    sim.set_sink(&collector);
+    sim.reset(5);
+    sim.run_until(600);
+    sim.finish();
+    expect_stats_equal(cell.runs[0], collector.stats(),
+                       "empty_words=" + std::to_string(cell.coordinates[0]));
+  }
+}
+
+}  // namespace
+}  // namespace pnut

@@ -1,0 +1,47 @@
+// Exact RunStats comparison for the batch/sweep differential tests: the
+// engines promise bit-identical arithmetic, so doubles compare with ==.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "stat/stat.h"
+
+namespace pnut::test_support {
+
+inline void expect_stats_equal(const RunStats& a, const RunStats& b,
+                               const std::string& label) {
+  EXPECT_EQ(a.run_number, b.run_number) << label;
+  EXPECT_EQ(a.initial_clock, b.initial_clock) << label;
+  EXPECT_EQ(a.length, b.length) << label;
+  EXPECT_EQ(a.events_started, b.events_started) << label;
+  EXPECT_EQ(a.events_finished, b.events_finished) << label;
+  ASSERT_EQ(a.transitions.size(), b.transitions.size()) << label;
+  for (std::size_t i = 0; i < a.transitions.size(); ++i) {
+    const TransitionStats& x = a.transitions[i];
+    const TransitionStats& y = b.transitions[i];
+    const std::string at = label + " transition " + x.name;
+    EXPECT_EQ(x.name, y.name) << at;
+    EXPECT_EQ(x.min_concurrent, y.min_concurrent) << at;
+    EXPECT_EQ(x.max_concurrent, y.max_concurrent) << at;
+    EXPECT_EQ(x.avg_concurrent, y.avg_concurrent) << at;
+    EXPECT_EQ(x.stddev_concurrent, y.stddev_concurrent) << at;
+    EXPECT_EQ(x.starts, y.starts) << at;
+    EXPECT_EQ(x.ends, y.ends) << at;
+    EXPECT_EQ(x.throughput, y.throughput) << at;
+  }
+  ASSERT_EQ(a.places.size(), b.places.size()) << label;
+  for (std::size_t i = 0; i < a.places.size(); ++i) {
+    const PlaceStats& x = a.places[i];
+    const PlaceStats& y = b.places[i];
+    const std::string at = label + " place " + x.name;
+    EXPECT_EQ(x.name, y.name) << at;
+    EXPECT_EQ(x.min_tokens, y.min_tokens) << at;
+    EXPECT_EQ(x.max_tokens, y.max_tokens) << at;
+    EXPECT_EQ(x.avg_tokens, y.avg_tokens) << at;
+    EXPECT_EQ(x.stddev_tokens, y.stddev_tokens) << at;
+  }
+}
+
+}  // namespace pnut::test_support
