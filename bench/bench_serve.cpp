@@ -1,0 +1,205 @@
+// Serve-cache harness: hot-graph query latency vs cold one-shot invocation.
+//
+// Not a paper artifact — this measures the repository's own serving layer.
+// The one-shot CLI pays parse + compile + full state-space exploration for
+// every query; `pnut serve` keeps the sealed graph cached, so a hot query is
+// a cache lookup plus a flat-array scan. Both paths run here against the
+// same ring model: the cold path as a fresh cache-off Session per request
+// (exactly what one process invocation executes), the hot path against one
+// warm caching Session. Every hot answer is checked byte-identical to the
+// cold one (any divergence exits nonzero), the hot/cold latency ratio is
+// the smoke gate (< 10x fails the bench), and queries/second at 1..8
+// concurrent clients over the shared cached graph lands in BENCH_serve.json.
+#include "bench_util.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "cli/session.h"
+
+namespace pnut::bench {
+namespace {
+
+constexpr int kRingPlaces = 12;
+constexpr int kRingTokens = 8;  // C(19, 8) = 75582 reachable markings
+// Short-circuits on the initial marking: the microsecond-class query the
+// serving layer exists for (the graph answers, no exploration).
+constexpr const char* kPointQuery = "exists s in S [ P0(s) = 8 ]";
+// Scans every state: the worst-case cached query, reported alongside.
+constexpr const char* kScanQuery = "forall s in S [ P0(s) <= 8 ]";
+
+std::string write_ring_model() {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "pnut_bench_serve_ring.pn";
+  std::ostringstream text;
+  text << "net ring\n";
+  for (int i = 0; i < kRingPlaces; ++i) {
+    text << "place P" << i << (i == 0 ? " init " + std::to_string(kRingTokens) : "")
+         << '\n';
+  }
+  for (int i = 0; i < kRingPlaces; ++i) {
+    text << "trans t" << i << " in P" << i << " out P" << (i + 1) % kRingPlaces
+         << '\n';
+  }
+  std::ofstream(path) << text.str();
+  return path.string();
+}
+
+cli::Request query_request(const std::string& model, const char* query) {
+  return {"query", {"--reach", model, query}};
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+void print_artifact() {
+  print_header("bench_serve",
+               "serve cache: hot-graph query latency vs cold one-shot "
+               "invocation (not a paper artifact)");
+  const std::string model = write_ring_model();
+  std::printf("model: %d-place token ring, %d tokens\n\n", kRingPlaces, kRingTokens);
+
+  // --- cold: what every one-shot process invocation pays ---------------------
+  constexpr int kColdRuns = 3;
+  cli::Result cold_result;
+  double cold_seconds = 1e30;
+  for (int i = 0; i < kColdRuns; ++i) {
+    cli::Session one_shot;  // cache off: parse + compile + explore + query
+    const auto t0 = std::chrono::steady_clock::now();
+    cold_result = one_shot.execute(query_request(model, kPointQuery));
+    cold_seconds = std::min(cold_seconds, seconds_since(t0));
+  }
+  if (cold_result.code != 0) {
+    std::printf("cold query failed: %s\n", cold_result.err.c_str());
+    std::exit(1);
+  }
+
+  // --- hot: the same request against a warm caching Session ------------------
+  cli::SessionOptions options;
+  options.cache = true;
+  cli::Session server(options);
+  const cli::Result warmup = server.execute(query_request(model, kPointQuery));
+  if (warmup.code != cold_result.code || warmup.out != cold_result.out ||
+      warmup.err != cold_result.err) {
+    std::printf("MISMATCH: served result diverged from the one-shot result\n");
+    std::exit(1);
+  }
+  constexpr int kHotRuns = 200;
+  double hot_seconds = 1e30;
+  std::size_t mismatches = 0;
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kHotRuns; ++i) {
+      const cli::Result hot = server.execute(query_request(model, kPointQuery));
+      if (hot.out != cold_result.out || hot.code != cold_result.code) ++mismatches;
+    }
+    hot_seconds = seconds_since(t0) / kHotRuns;
+  }
+  const cli::Result cold_scan = [&] {
+    cli::Session one_shot;
+    return one_shot.execute(query_request(model, kScanQuery));
+  }();
+  double hot_scan_seconds = 0;
+  {
+    constexpr int kScanRuns = 20;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kScanRuns; ++i) {
+      const cli::Result hot = server.execute(query_request(model, kScanQuery));
+      if (hot.out != cold_scan.out || hot.code != cold_scan.code) ++mismatches;
+    }
+    hot_scan_seconds = seconds_since(t0) / kScanRuns;
+  }
+  if (mismatches > 0) {
+    std::printf("%zu hot answers diverged from the cold oracle\n", mismatches);
+    std::exit(1);
+  }
+
+  const double speedup = cold_seconds / hot_seconds;
+  std::printf("cold (fresh session, explore every time): %8.2f ms\n",
+              cold_seconds * 1e3);
+  std::printf("hot  (cached graph, point query):         %8.2f us  (%.0fx)\n",
+              hot_seconds * 1e6, speedup);
+  std::printf("hot  (cached graph, full-scan query):     %8.2f us\n\n",
+              hot_scan_seconds * 1e6);
+
+  // --- throughput: N concurrent clients over the shared cached graph ---------
+  const std::vector<int> kClients = {1, 2, 4, 8};
+  std::vector<double> qps;
+  constexpr int kRequestsPerClient = 200;
+  for (const int clients : kClients) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      pool.emplace_back([&] {
+        for (int i = 0; i < kRequestsPerClient; ++i) {
+          server.execute(query_request(model, kPointQuery));
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    const double elapsed = seconds_since(t0);
+    qps.push_back(static_cast<double>(clients) * kRequestsPerClient / elapsed);
+    std::printf("clients: %d   queries/second: %.0f\n", clients, qps.back());
+  }
+  std::printf("\n");
+
+  // Smoke gate: the cache must be worth at least an order of magnitude.
+  if (speedup < 10.0) {
+    std::printf("GATE FAILED: hot/cold speedup %.1fx < 10x\n", speedup);
+    std::exit(1);
+  }
+
+  FILE* json = std::fopen("BENCH_serve.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"bench\": \"bench_serve\",\n"
+                 "  \"metric\": \"hot_vs_cold_query_latency\",\n"
+                 "  \"model\": \"%d-place token ring, %d tokens, 75582 states\",\n"
+                 "  \"cold_ms\": %.3f,\n"
+                 "  \"hot_point_query_us\": %.2f,\n"
+                 "  \"hot_full_scan_us\": %.2f,\n"
+                 "  \"speedup\": %.1f,\n"
+                 "  \"queries_per_second\": {\"1\": %.0f, \"2\": %.0f, \"4\": %.0f, "
+                 "\"8\": %.0f},\n"
+                 "  \"note\": \"cold = fresh cache-off Session per request (parse + "
+                 "compile + explore + query, the one-shot CLI path); hot = warm "
+                 "caching Session (cache lookup + flat-array scan); every hot "
+                 "answer verified byte-identical to the cold oracle; >= 10x "
+                 "speedup is a hard gate\"\n"
+                 "}\n",
+                 kRingPlaces, kRingTokens, cold_seconds * 1e3, hot_seconds * 1e6,
+                 hot_scan_seconds * 1e6, speedup, qps[0], qps[1], qps[2], qps[3]);
+    std::fclose(json);
+    std::printf("wrote BENCH_serve.json\n\n");
+  }
+  std::filesystem::remove(model);
+}
+
+/// Timing probe for one hot request through the full Session surface
+/// (flag parse, cache lookup, query evaluation, result formatting).
+void BM_HotPointQuery(benchmark::State& state) {
+  const std::string model = write_ring_model();
+  cli::SessionOptions options;
+  options.cache = true;
+  cli::Session server(options);
+  server.execute(query_request(model, kPointQuery));  // warm the caches
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.execute(query_request(model, kPointQuery)));
+  }
+  state.SetItemsProcessed(state.iterations());
+  std::filesystem::remove(model);
+}
+BENCHMARK(BM_HotPointQuery);
+
+}  // namespace
+}  // namespace pnut::bench
+
+PNUT_BENCH_MAIN(pnut::bench::print_artifact)

@@ -369,6 +369,9 @@ std::int64_t ReachabilityGraph::transition_activity(std::size_t state, Transitio
     if (!net_->tokens_available(tokens(state), t)) return 0;
     const expr::Code* predicate = program_->predicate(t);
     if (predicate == nullptr) return 1;
+    // The shared frame/scratch are the only mutable state on this const
+    // path; serialize them so cached graphs take concurrent queries.
+    std::lock_guard<std::mutex> lock(query_mutex_);
     if (!track_data_) {
       return expr::vm_eval(*predicate, program_->initial_frame(), nullptr,
                            query_scratch_) != 0

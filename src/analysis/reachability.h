@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -218,8 +219,14 @@ class ReachabilityGraph final : public StateSpace {
   bool aux_spill_engaged_ = false;
 
   /// Bytecode runtime (null on the AST path); query-time scratch for
-  /// decoding per-state frames out of the arena.
+  /// decoding per-state frames out of the arena. The scratch is the one
+  /// piece of shared mutable state on the const query surface, so it is
+  /// mutex-guarded: a sealed graph behind shared_ptr<const ...> (the serve
+  /// graph cache) takes transition_activity() calls from many client
+  /// threads at once. Every other const read — successor iteration, arena
+  /// scans, place bounds — touches only sealed flat arrays.
   std::shared_ptr<const expr::NetProgram> program_;
+  mutable std::mutex query_mutex_;
   mutable DataFrame query_frame_;
   mutable expr::VmScratch query_scratch_;
 };

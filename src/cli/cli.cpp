@@ -1,510 +1,11 @@
 #include "cli/cli.h"
 
-#include <cctype>
-#include <cmath>
-#include <fstream>
-#include <optional>
 #include <ostream>
-#include <sstream>
-#include <stdexcept>
 
-#include "analysis/invariants.h"
-#include "analysis/marked_graph.h"
-#include "analysis/query.h"
-#include "analysis/reachability.h"
-#include "analysis/state_space.h"
-#include "analysis/timed_reachability.h"
-#include "anim/animator.h"
-#include "petri/compiled_net.h"
-#include "sim/simulator.h"
-#include "stat/replication.h"
-#include "stat/stat.h"
-#include "textio/pn_format.h"
-#include "trace/filter.h"
-#include "trace/trace_text.h"
-#include "tracer/tracer.h"
+#include "cli/session.h"
+#include "serve/server.h"
 
 namespace pnut::cli {
-
-namespace {
-
-/// Parsed flag set: --name value pairs plus positional arguments.
-class Args {
- public:
-  Args(const std::vector<std::string>& argv, std::size_t start) {
-    for (std::size_t i = start; i < argv.size(); ++i) {
-      const std::string& a = argv[i];
-      if (a.rfind("--", 0) == 0) {
-        const std::string name = a.substr(2);
-        if (is_boolean_flag(name)) {
-          flags_[name] = "true";
-        } else {
-          if (i + 1 >= argv.size()) {
-            throw std::invalid_argument("flag --" + name + " needs a value");
-          }
-          if (name == "marker") {
-            markers_.push_back(argv[++i]);
-          } else {
-            flags_[name] = argv[++i];
-          }
-        }
-      } else {
-        positional_.push_back(a);
-      }
-    }
-  }
-
-  static bool is_boolean_flag(const std::string& name) {
-    return name == "stats" || name == "tbl" || name == "unicode" ||
-           name == "no-expr-vm";
-  }
-
-  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
-  [[nodiscard]] const std::vector<std::string>& markers() const { return markers_; }
-
-  [[nodiscard]] bool has(const std::string& name) const { return flags_.count(name) > 0; }
-
-  [[nodiscard]] std::string get(const std::string& name, std::string fallback = {}) const {
-    const auto it = flags_.find(name);
-    return it == flags_.end() ? fallback : it->second;
-  }
-
-  [[nodiscard]] double get_number(const std::string& name, double fallback) const {
-    const auto it = flags_.find(name);
-    if (it == flags_.end()) return fallback;
-    try {
-      return std::stod(it->second);
-    } catch (const std::exception&) {
-      throw std::invalid_argument("flag --" + name + " expects a number, got '" +
-                                  it->second + "'");
-    }
-  }
-
- private:
-  std::map<std::string, std::string> flags_;
-  std::vector<std::string> positional_;
-  std::vector<std::string> markers_;
-};
-
-std::string read_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::invalid_argument("cannot open '" + path + "'");
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
-}
-
-textio::NetDocument load_net(const std::string& path) {
-  return textio::parse_net(read_file(path));
-}
-
-RecordedTrace load_trace(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::invalid_argument("cannot open '" + path + "'");
-  return read_trace_text(in);
-}
-
-std::vector<std::string> split_commas(const std::string& list) {
-  std::vector<std::string> out;
-  std::string current;
-  for (char c : list) {
-    if (c == ',') {
-      if (!current.empty()) out.push_back(current);
-      current.clear();
-    } else {
-      current += c;
-    }
-  }
-  if (!current.empty()) out.push_back(current);
-  return out;
-}
-
-const std::string& require_positional(const Args& args, std::size_t index,
-                                      const char* what) {
-  if (index >= args.positional().size()) {
-    throw std::invalid_argument(std::string("missing ") + what);
-  }
-  return args.positional()[index];
-}
-
-/// One `--threads` rule for every analysis command (analyze, query --reach):
-/// a non-negative integer, 0 meaning all hardware threads (the exploration
-/// engines resolve 0 themselves). Negative, fractional and absurd values
-/// are rejected up front — the range check must precede the cast, which is
-/// undefined for out-of-range doubles, and a four-billion-thread request
-/// should be a usage error, not a std::thread resource exhaustion.
-unsigned parse_threads(const Args& args) {
-  constexpr double kMaxThreads = 4096;
-  const double raw = args.get_number("threads", 1);
-  if (raw < 0 || raw > kMaxThreads || raw != std::floor(raw)) {
-    throw std::invalid_argument(
-        "--threads must be an integer in [0, 4096] (0 = all hardware threads)");
-  }
-  return static_cast<unsigned>(raw);
-}
-
-/// One out-of-core rule for every analysis command (analyze, query
-/// --reach): --max-resident-bytes N (optional K/M/G binary suffix) bounds
-/// the graph's resident footprint and engages segment spilling;
-/// --spill-dir names the directory that receives the segment files and is
-/// meaningless without a budget, so alone it is a usage error. The
-/// segment files live in a uniquely named subdirectory that the graph
-/// removes on destruction — after clean runs and unwinds alike.
-analysis::SpillOptions parse_spill(const Args& args) {
-  analysis::SpillOptions spill;
-  if (args.has("max-resident-bytes")) {
-    const std::string raw = args.get("max-resident-bytes");
-    unsigned long long value = 0;
-    std::size_t pos = 0;
-    if (!raw.empty() && std::isdigit(static_cast<unsigned char>(raw[0]))) {
-      try {
-        value = std::stoull(raw, &pos);
-      } catch (const std::out_of_range&) {
-        pos = 0;
-      }
-    }
-    std::size_t scale = 1;
-    if (pos + 1 == raw.size()) {
-      switch (raw[pos]) {
-        case 'K': case 'k': scale = std::size_t{1} << 10; ++pos; break;
-        case 'M': case 'm': scale = std::size_t{1} << 20; ++pos; break;
-        case 'G': case 'g': scale = std::size_t{1} << 30; ++pos; break;
-        default: break;
-      }
-    }
-    if (pos != raw.size() || value == 0) {
-      throw std::invalid_argument(
-          "--max-resident-bytes expects a positive byte count with an "
-          "optional K/M/G suffix, got '" + raw + "'");
-    }
-    spill.max_resident_bytes = static_cast<std::size_t>(value) * scale;
-  }
-  if (args.has("spill-dir")) {
-    if (spill.max_resident_bytes == 0) {
-      throw std::invalid_argument(
-          "--spill-dir requires --max-resident-bytes (no budget, no spilling)");
-    }
-    spill.dir = args.get("spill-dir");
-  }
-  return spill;
-}
-
-// --- commands --------------------------------------------------------------------
-
-int cmd_validate(const Args& args, std::ostream& out) {
-  const std::string& path = require_positional(args, 0, "model file");
-  const textio::NetDocument doc = load_net(path);  // parse_net validates
-  out << "ok: " << doc.net.num_places() << " places, " << doc.net.num_transitions()
-      << " transitions\n";
-  return 0;
-}
-
-int cmd_print(const Args& args, std::ostream& out) {
-  const textio::NetDocument doc = load_net(require_positional(args, 0, "model file"));
-  out << textio::print_net(doc);
-  return 0;
-}
-
-int cmd_simulate(const Args& args, std::ostream& out) {
-  const textio::NetDocument doc = load_net(require_positional(args, 0, "model file"));
-  const Time until = args.get_number("until", 10000);
-  const auto seed = static_cast<std::uint64_t>(args.get_number("seed", 1));
-
-  StatCollector stats;
-  MultiSink sinks;
-  sinks.add(stats);
-
-  std::ofstream trace_file;
-  std::optional<TextTraceWriter> writer;
-  std::optional<TraceFilter> filter;
-  if (args.has("trace")) {
-    trace_file.open(args.get("trace"));
-    if (!trace_file) {
-      throw std::invalid_argument("cannot write trace file '" + args.get("trace") + "'");
-    }
-    writer.emplace(trace_file);
-    if (args.has("keep")) {
-      filter.emplace(doc.net, *writer);
-      for (const std::string& name : split_commas(args.get("keep"))) {
-        if (doc.net.find_place(name)) {
-          filter->keep_place(name);
-        } else {
-          filter->keep_transition(name);  // throws on unknown name
-        }
-      }
-      sinks.add(*filter);
-    } else {
-      sinks.add(*writer);
-    }
-  }
-
-  SimOptions sim_options;
-  sim_options.use_expr_vm = !args.has("no-expr-vm");
-  Simulator sim(CompiledNet::compile(doc.net), sim_options);
-  sim.set_sink(&sinks);
-  sim.reset(seed);
-  const StopReason reason = sim.run_until(until);
-  sim.finish();
-
-  out << "simulated to t=" << sim.now() << " (seed " << seed << ", "
-      << (reason == StopReason::kDeadlock ? "deadlocked" : "time limit") << ")\n";
-  if (args.has("tbl")) {
-    out << format_report_tbl(stats.stats());
-  } else if (args.has("stats") || !args.has("trace")) {
-    out << format_report(stats.stats());
-  }
-  return 0;
-}
-
-int cmd_stat(const Args& args, std::ostream& out) {
-  const RecordedTrace trace = load_trace(require_positional(args, 0, "trace file"));
-  out << format_report(collect_stats(trace));
-  return 0;
-}
-
-int cmd_replicate(const Args& args, std::ostream& out) {
-  const textio::NetDocument doc = load_net(require_positional(args, 0, "model file"));
-  const double raw_reps = args.get_number("replications", 10);
-  if (raw_reps < 1 || raw_reps > 1e6 || raw_reps != std::floor(raw_reps)) {
-    throw std::invalid_argument("--replications must be an integer in [1, 1000000]");
-  }
-  const auto replications = static_cast<std::size_t>(raw_reps);
-  const Time horizon = args.get_number("horizon", 10000);
-  if (!(horizon > 0)) throw std::invalid_argument("--horizon must be > 0");
-  const auto seed = static_cast<std::uint64_t>(args.get_number("seed", 1));
-  const unsigned threads = parse_threads(args);
-
-  // Figure-5 granularity: every transition's throughput and every place's
-  // time-averaged occupancy, summarized across replications.
-  std::vector<MetricSpec> metrics;
-  for (std::uint32_t i = 0; i < doc.net.num_transitions(); ++i) {
-    const std::string name = doc.net.transition(TransitionId(i)).name;
-    metrics.push_back({"throughput(" + name + ")", [name](const RunStats& s) {
-                         return s.transition(name).throughput;
-                       }});
-  }
-  for (std::uint32_t i = 0; i < doc.net.num_places(); ++i) {
-    const std::string name = doc.net.place(PlaceId(i)).name;
-    metrics.push_back(
-        {"tokens(" + name + ")",
-         [name](const RunStats& s) { return s.place(name).avg_tokens; }});
-  }
-
-  // Replications run as lanes of one batched engine off a single compiled
-  // net; the output is bit-identical for every --threads value.
-  const ReplicationResult result =
-      run_replications(doc.net, horizon, replications, metrics, seed, threads);
-  out << replications << " replications to t=" << horizon << " (seeds " << seed << ".."
-      << seed + replications - 1 << ")\n";
-  out << format_metric_summaries(result.metrics);
-  return 0;
-}
-
-int cmd_query(const Args& args, std::ostream& out) {
-  if (args.has("reach")) {
-    const textio::NetDocument doc = load_net(args.get("reach"));
-    analysis::ReachOptions options;
-    options.max_states =
-        static_cast<std::size_t>(args.get_number("max-states", 200000));
-    options.threads = parse_threads(args);
-    options.use_expr_vm = !args.has("no-expr-vm");
-    options.spill = parse_spill(args);
-    const analysis::ReachabilityGraph graph(doc.net, options);
-    if (graph.status() != analysis::ReachStatus::kComplete) {
-      out << "warning: graph "
-          << (graph.status() == analysis::ReachStatus::kTruncated ? "truncated"
-                                                                  : "unbounded")
-          << "; result is not a proof\n";
-    }
-    const std::string& query = require_positional(args, 0, "query string");
-    const auto result = analysis::eval_query(graph, query);
-    out << (result.holds ? "holds" : "fails") << " over " << graph.num_states()
-        << " states (" << result.explanation << ")\n";
-    return result.holds ? 0 : 1;
-  }
-  const RecordedTrace trace = load_trace(require_positional(args, 0, "trace file"));
-  const std::string& query = require_positional(args, 1, "query string");
-  const analysis::TraceStateSpace space(trace);
-  const auto result = analysis::eval_query(space, query);
-  out << (result.holds ? "holds" : "fails") << " over " << space.num_states()
-      << " trace states (" << result.explanation << ")\n";
-  return result.holds ? 0 : 1;
-}
-
-int cmd_render(const Args& args, std::ostream& out) {
-  const RecordedTrace trace = load_trace(require_positional(args, 0, "trace file"));
-  tracer::Tracer tr(trace);
-  if (!args.has("signals")) {
-    throw std::invalid_argument("render needs --signals name,name,...");
-  }
-  for (const std::string& spec : split_commas(args.get("signals"))) {
-    // `label=expression` defines a function signal; a bare name probes a
-    // place, transition or variable (tried in that order).
-    const auto eq = spec.find('=');
-    if (eq != std::string::npos) {
-      tr.add_function_signal(spec.substr(0, eq), spec.substr(eq + 1));
-      continue;
-    }
-    if (tr.states().find_place(spec)) {
-      tr.add_place_signal(spec);
-    } else if (tr.states().find_transition(spec)) {
-      tr.add_transition_signal(spec);
-    } else {
-      tr.add_variable_signal(spec);  // throws with a clear message if absent
-    }
-  }
-  for (const std::string& marker : args.markers()) {
-    const auto eq = marker.find('=');
-    if (eq == std::string::npos || eq != 1) {
-      throw std::invalid_argument("--marker expects X=time, got '" + marker + "'");
-    }
-    tr.set_marker(marker[0], std::stod(marker.substr(eq + 1)));
-  }
-  tracer::RenderOptions options;
-  options.columns = static_cast<std::size_t>(args.get_number("columns", 72));
-  options.unicode = args.has("unicode");
-  const Time t0 = args.get_number("from", tr.start_time());
-  const Time t1 = args.get_number("to", tr.end_time());
-  out << tr.render(t0, t1, options);
-  return 0;
-}
-
-int cmd_animate(const Args& args, std::ostream& out) {
-  const RecordedTrace trace = load_trace(require_positional(args, 0, "trace file"));
-  const auto steps = static_cast<std::size_t>(args.get_number("steps", 10));
-  anim::Animator animator(trace);
-  std::size_t shown = 0;
-  while (!animator.at_end() && shown < steps) {
-    for (const std::string& frame : animator.single_step()) {
-      out << "------------------------------------------------------------\n" << frame;
-    }
-    ++shown;
-  }
-  out << "------------------------------------------------------------\n";
-  return 0;
-}
-
-int cmd_analyze(const Args& args, std::ostream& out) {
-  const textio::NetDocument doc = load_net(require_positional(args, 0, "model file"));
-  const Net& net = doc.net;
-  // One immutable compiled view shared by every analyzer below.
-  const auto compiled = CompiledNet::compile(net);
-
-  out << "net: " << (net.name().empty() ? "(unnamed)" : net.name()) << " — "
-      << net.num_places() << " places, " << net.num_transitions() << " transitions\n\n";
-
-  // Structural invariants.
-  const auto p_invs = analysis::place_invariants(*compiled);
-  out << "place invariants (" << p_invs.size() << "):\n";
-  for (const auto& inv : p_invs) {
-    out << "  " << analysis::format_place_invariant(net, inv) << '\n';
-  }
-  out << (analysis::covered_by_place_invariants(net, p_invs)
-              ? "  every place covered: net is structurally bounded\n"
-              : "  (not all places covered by invariants)\n");
-  const auto t_invs = analysis::transition_invariants(*compiled);
-  out << "transition invariants (" << t_invs.size() << "):\n";
-  for (const auto& inv : t_invs) {
-    out << "  " << analysis::format_transition_invariant(net, inv) << '\n';
-  }
-
-  // Reachability. --threads N explores in parallel (0 = all hardware
-  // threads); the graph is byte-identical for every thread count.
-  analysis::ReachOptions options;
-  options.max_states = static_cast<std::size_t>(args.get_number("max-states", 100000));
-  const unsigned threads = parse_threads(args);
-  options.threads = threads;
-  options.use_expr_vm = !args.has("no-expr-vm");
-  options.spill = parse_spill(args);
-  const analysis::ReachabilityGraph graph(compiled, options);
-  out << "\nreachability: " << graph.num_states() << " states, " << graph.num_edges()
-      << " edges";
-  switch (graph.status()) {
-    case analysis::ReachStatus::kComplete: out << " (complete)\n"; break;
-    case analysis::ReachStatus::kTruncated: out << " (TRUNCATED at limit)\n"; break;
-    case analysis::ReachStatus::kUnbounded: out << " (UNBOUNDED place found)\n"; break;
-  }
-  if (graph.num_states() > 0) {
-    const std::size_t bytes = graph.memory_bytes();
-    out << "  state storage: " << bytes / graph.num_states() << " bytes/state ("
-        << (bytes + 1023) / 1024 << " KiB)\n";
-    if (graph.spill_engaged()) {
-      out << "  out-of-core: " << (graph.spilled_bytes() + 1023) / 1024
-          << " KiB spilled, peak resident "
-          << (graph.peak_resident_bytes() + 1023) / 1024 << " KiB\n";
-    }
-  }
-  // The invariant engine's reachability pass: check the structural
-  // P-invariants exactly over every discovered marking (sound even on a
-  // truncated graph — every discovered marking is reachable). Shares the
-  // graph built above, so it rides on --threads too.
-  if (!p_invs.empty() && graph.num_states() > 0) {
-    const auto violations = analysis::check_place_invariants_on_graph(graph, p_invs);
-    if (violations.empty()) {
-      out << "  place invariants verified over " << graph.num_states()
-          << " reachable states\n";
-    } else {
-      for (const auto& v : violations) {
-        out << "  INVARIANT VIOLATION: "
-            << analysis::format_place_invariant(net, p_invs[v.invariant]) << " has value "
-            << v.value << " in state #" << v.state << '\n';
-      }
-    }
-  }
-  if (graph.status() == analysis::ReachStatus::kComplete) {
-    out << "  deadlock states: " << graph.deadlock_states().size() << '\n';
-    out << "  dead transitions:";
-    const auto dead = graph.dead_transitions();
-    if (dead.empty()) {
-      out << " none\n";
-    } else {
-      for (const TransitionId t : dead) out << ' ' << net.transition(t).name;
-      out << '\n';
-    }
-    out << "  reversible: " << (graph.is_reversible() ? "yes" : "no") << '\n';
-    out << "  place bounds:";
-    for (std::uint32_t i = 0; i < net.num_places(); ++i) {
-      out << ' ' << net.place(PlaceId(i)).name << '='
-          << graph.place_bound(PlaceId(i));
-    }
-    out << '\n';
-  }
-
-  // Timed reachability when delays permit (integer constants, no
-  // predicates/actions): timed state count and timed deadlocks. Rides on
-  // the same --threads flag; the timed graph too is byte-identical for
-  // every thread count.
-  try {
-    analysis::TimedReachOptions topts;
-    topts.max_states = static_cast<std::size_t>(args.get_number("max-states", 100000));
-    topts.threads = threads;
-    topts.spill = options.spill;
-    const analysis::TimedReachabilityGraph timed(compiled, topts);
-    out << "timed reachability: " << timed.num_states() << " states"
-        << (timed.status() == analysis::TimedReachStatus::kComplete ? " (complete)"
-                                                                    : " (TRUNCATED)")
-        << ", timed deadlocks: " << timed.deadlock_states().size() << '\n';
-  } catch (const std::invalid_argument&) {
-    out << "timed reachability: skipped (non-integer delays or interpreted net)\n";
-  }
-
-  // Analytic cycle time when the structure allows it.
-  if (compiled->is_marked_graph()) {
-    try {
-      const auto result = analysis::marked_graph_cycle_time(*compiled);
-      if (result.has_token_free_cycle) {
-        out << "marked graph: token-free cycle (net is partially dead)\n";
-      } else {
-        out << "marked graph cycle time: " << result.cycle_time << '\n';
-      }
-    } catch (const std::invalid_argument&) {
-      // computed delays: skip the analytic section
-    }
-  }
-  return 0;
-}
-
-}  // namespace
 
 std::string usage() {
   return "P-NUT — Petri Net Utility Tools\n"
@@ -525,11 +26,17 @@ std::string usage() {
          "  pnut animate  <trace.txt> [--steps N]\n"
          "  pnut analyze  <model.pn> [--max-states N] [--threads N] [--no-expr-vm]\n"
          "                [--max-resident-bytes N[K|M|G]] [--spill-dir D]\n"
+         "  pnut serve    [--port N] [--cache-bytes N[K|M|G]]\n"
          "(--no-expr-vm keeps the AST/DataContext evaluation path for\n"
          " predicates/actions/computed delays; results are identical.\n"
          " --max-resident-bytes caps the exploration's resident footprint by\n"
          " spilling sealed levels to segment files — in --spill-dir when given,\n"
-         " else the system temp dir — removed again when the graph is freed)\n";
+         " else the system temp dir — removed again when the graph is freed.\n"
+         " serve answers the same commands over a newline-delimited protocol —\n"
+         " on a TCP socket with --port (0 = pick a free port), else on\n"
+         " stdin/stdout — keeping compiled nets and sealed reachability graphs\n"
+         " cached across requests, --cache-bytes bounding the graphs' resident\n"
+         " total; '.stats' reports cache traffic, '.quit' ends the session)\n";
 }
 
 int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
@@ -537,24 +44,17 @@ int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& e
     out << usage();
     return args.empty() ? 2 : 0;
   }
-  const std::string& command = args[0];
-  try {
-    const Args parsed(args, 1);
-    if (command == "validate") return cmd_validate(parsed, out);
-    if (command == "print") return cmd_print(parsed, out);
-    if (command == "simulate") return cmd_simulate(parsed, out);
-    if (command == "replicate") return cmd_replicate(parsed, out);
-    if (command == "stat") return cmd_stat(parsed, out);
-    if (command == "query") return cmd_query(parsed, out);
-    if (command == "render") return cmd_render(parsed, out);
-    if (command == "animate") return cmd_animate(parsed, out);
-    if (command == "analyze") return cmd_analyze(parsed, out);
-    err << "unknown command '" << command << "'\n" << usage();
-    return 2;
-  } catch (const std::exception& e) {
-    err << "pnut " << command << ": " << e.what() << '\n';
-    return 2;
+  if (args[0] == "serve") {
+    return serve::run_serve(args, out, err);
   }
+  // One cache-off Session per invocation: the identical code path the
+  // server runs, minus the bookkeeping a single-shot process cannot reuse.
+  Session session;
+  const Result result =
+      session.execute({args[0], std::vector<std::string>(args.begin() + 1, args.end())});
+  out << result.out;
+  err << result.err;
+  return result.code;
 }
 
 }  // namespace pnut::cli

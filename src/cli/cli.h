@@ -14,9 +14,14 @@
 //                 [--columns N] [--marker X=T ...]
 //   pnut animate  <trace.txt> [--steps N]
 //   pnut analyze  <model.pn> [--max-states N]
+//   pnut serve    [--port N] [--cache-bytes N[K|M|G]]
 //
 // The entry point is a pure function over streams so the whole surface is
-// unit-testable; tools/pnut_main.cpp is a thin wrapper.
+// unit-testable; tools/pnut_main.cpp is a thin wrapper. Every command is
+// executed by a cli::Session (session.h) — run() is a thin edge that prints
+// a Session's Result, and `pnut serve` keeps one caching Session alive
+// behind a line protocol (src/serve) so repeated analyses of hot models
+// skip compile and exploration entirely.
 #pragma once
 
 #include <iosfwd>

@@ -1,0 +1,111 @@
+// Session: the pnut command surface as a pure request -> result function,
+// with optional caching of every expensive immutable artifact.
+//
+// The one-shot CLI (cli.cpp) and the long-running analysis service
+// (serve/server.h) are both thin fronts over this object: a Request names a
+// command and its argv-style arguments, a Result carries the exit code and
+// the exact bytes the one-shot CLI would have printed to stdout/stderr.
+// Nothing in here owns process lifetime or writes to shared streams — the
+// edges do the printing.
+//
+// Caching (SessionOptions::cache, on in serve mode, off for one-shot runs):
+//
+//   * compile cache — keyed by the net's *source text* (content, not path:
+//     the same model reached through two paths is one entry, and an edited
+//     file misses). Holds the parsed NetDocument and the immutable
+//     shared_ptr<const CompiledNet> every consumer shares.
+//   * graph cache — keyed by (net source, canonical option string) per graph
+//     kind. Holds sealed ReachabilityGraph / TimedReachabilityGraph objects
+//     behind shared_ptr<const ...>; repeated queries against a hot model
+//     skip exploration entirely and scan the cached flat arrays. Eviction
+//     is byte-accurate LRU using the arenas' exact accounting
+//     (memory_bytes()), against SessionOptions::graph_cache_budget_bytes.
+//     Requests that engage spilling (--max-resident-bytes) bypass this
+//     cache: a spilled graph remaps segments on read, which is neither
+//     resident nor safe under concurrent readers — the cache budget *is*
+//     the serve-mode residency control.
+//
+// Thread safety: execute() may be called from any number of threads at
+// once (the serve front end runs one session per client over one shared
+// Session). Cache bookkeeping is mutex-guarded; graph builds publish
+// through a shared_future so concurrent requests for the same key build
+// once and share the result; queries against a cached graph run outside
+// any session lock — successor iteration and the arena scans are flat
+// const reads, safe under concurrent readers (see ReachabilityGraph).
+// Results are byte-identical to the uncached path: cache keys include
+// every option that shapes a command's output, so a hit can never serve a
+// report the direct invocation would not have printed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pnut::cli {
+
+/// One tool invocation: the command name plus its argv-style arguments
+/// (excluding the command itself).
+struct Request {
+  std::string command;
+  std::vector<std::string> args;
+};
+
+/// What the invocation would have printed and returned as a process:
+/// `out` is the stdout payload, `err` the stderr payload (non-empty only
+/// on errors), `code` the exit code (0 ok, 1 operational failure such as a
+/// violated query, 2 usage/parse errors).
+struct Result {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+/// Cache accounting, for the serve `.stats` report and the tests that pin
+/// hit/miss/eviction behaviour.
+struct SessionStats {
+  std::uint64_t requests = 0;
+  std::uint64_t compile_hits = 0;
+  std::uint64_t compile_misses = 0;
+  std::uint64_t graph_hits = 0;
+  std::uint64_t graph_misses = 0;
+  std::uint64_t graph_evictions = 0;
+  std::size_t graph_cache_bytes = 0;    ///< resident bytes of cached graphs
+  std::size_t graph_cache_entries = 0;
+  std::size_t compile_cache_entries = 0;
+};
+
+struct SessionOptions {
+  /// Keep compiled nets and sealed graphs across requests. Off by default:
+  /// the one-shot CLI pays nothing for bookkeeping it cannot reuse.
+  bool cache = false;
+  /// Byte budget for cached graphs (exact arena accounting); LRU entries
+  /// are dropped once the resident total exceeds it.
+  std::size_t graph_cache_budget_bytes = std::size_t{256} << 20;
+  /// Entry cap for the compile cache (model sources are small; this is a
+  /// leak bound for very long-running servers, not a memory budget).
+  std::size_t compile_cache_capacity = 128;
+};
+
+class Session {
+ public:
+  explicit Session(SessionOptions options = {});
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Execute one request. Never throws: errors come back as Result::code 2
+  /// with the message in Result::err. Thread-safe.
+  Result execute(const Request& request);
+
+  [[nodiscard]] SessionStats stats() const;
+  /// Human-readable stats block (the serve `.stats` response body).
+  [[nodiscard]] std::string stats_report() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace pnut::cli

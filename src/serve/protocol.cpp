@@ -1,0 +1,82 @@
+#include "serve/protocol.h"
+
+#include <istream>
+#include <ostream>
+
+namespace pnut::serve {
+
+std::optional<std::vector<std::string>> tokenize(const std::string& line,
+                                                 std::string& error) {
+  std::vector<std::string> tokens;
+  std::string current;
+  bool in_token = false;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '\\') {
+      if (i + 1 >= line.size()) {
+        error = "trailing backslash";
+        return std::nullopt;
+      }
+      current += line[++i];
+      in_token = true;
+    } else if (c == '"') {
+      in_quotes = !in_quotes;
+      in_token = true;  // "" is an empty token, not nothing
+    } else if (!in_quotes && (c == ' ' || c == '\t')) {
+      if (in_token) tokens.push_back(current);
+      current.clear();
+      in_token = false;
+    } else {
+      current += c;
+      in_token = true;
+    }
+  }
+  if (in_quotes) {
+    error = "unterminated quote";
+    return std::nullopt;
+  }
+  if (in_token) tokens.push_back(current);
+  return tokens;
+}
+
+void write_response(std::ostream& out, const cli::Result& result) {
+  out << "= " << result.code << ' ' << result.out.size() << ' '
+      << result.err.size() << '\n'
+      << result.out << result.err;
+  out.flush();
+}
+
+bool serve_session(cli::Session& session, std::istream& in, std::ostream& out) {
+  out << kGreeting;
+  out.flush();
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // telnet clients
+    if (line.empty()) continue;
+    if (line[0] == '.') {
+      if (line == ".quit") return false;
+      if (line == ".shutdown") return true;
+      if (line == ".stats") {
+        write_response(out, {0, session.stats_report(), {}});
+        continue;
+      }
+      write_response(out, {2, {}, "unknown control line '" + line + "'\n"});
+      continue;
+    }
+    std::string error;
+    const auto tokens = tokenize(line, error);
+    if (!tokens) {
+      write_response(out, {2, {}, "malformed request: " + error + "\n"});
+      continue;
+    }
+    if (tokens->empty()) continue;  // whitespace-only line
+    cli::Request request;
+    request.command = (*tokens)[0];
+    request.args.assign(tokens->begin() + 1, tokens->end());
+    write_response(out, session.execute(request));
+  }
+  return false;
+}
+
+}  // namespace pnut::serve

@@ -1,0 +1,47 @@
+// The pnut serve wire protocol: newline-delimited requests over any byte
+// stream (a TCP connection or the process's stdin/stdout), framed responses.
+//
+// The server greets each client with one line, `pnut-serve 1`, then reads
+// requests line by line. A request line is a shell-like tokenization of the
+// one-shot CLI's argv — double quotes group words, backslash escapes `"` and
+// `\` — so a scripted session is literally a transcript of CLI invocations:
+//
+//   query --reach demo.pn "ag(Bus_free + Bus_busy == 1)"
+//
+// Every request gets exactly one framed response carrying the byte-identical
+// stdout/stderr payloads the one-shot CLI would have produced:
+//
+//   = <code> <outlen> <errlen>\n
+//   <outlen bytes of stdout><errlen bytes of stderr>
+//
+// Control lines start with '.': `.stats` answers with the session's cache
+// accounting (same framing), `.quit` ends this client's session, `.shutdown`
+// ends the whole server. Blank lines are ignored.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cli/session.h"
+
+namespace pnut::serve {
+
+inline constexpr const char kGreeting[] = "pnut-serve 1\n";
+
+/// Split a request line into argv tokens. Returns nullopt and sets `error`
+/// on a malformed line (unterminated quote, trailing backslash).
+std::optional<std::vector<std::string>> tokenize(const std::string& line,
+                                                 std::string& error);
+
+/// Write one framed response: `= <code> <outlen> <errlen>` then the payloads.
+void write_response(std::ostream& out, const cli::Result& result);
+
+/// Drive one client session over a byte stream: greeting, then a
+/// request/response loop until EOF, `.quit`, or `.shutdown`. Multiple
+/// sessions may run concurrently over one shared (caching) Session.
+/// Returns true when the client asked the whole server to shut down.
+bool serve_session(cli::Session& session, std::istream& in, std::ostream& out);
+
+}  // namespace pnut::serve

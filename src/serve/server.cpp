@@ -1,0 +1,246 @@
+#include "serve/server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+#include <streambuf>
+#include <thread>
+
+#include "cli/args.h"
+#include "serve/protocol.h"
+
+namespace pnut::serve {
+
+namespace {
+
+/// A bidirectional streambuf over a connected socket, so serve_session's
+/// istream/ostream loop runs unchanged over TCP. MSG_NOSIGNAL keeps a
+/// client that disconnects mid-response from killing the server (the write
+/// fails with EPIPE and the session loop ends on the next read).
+class FdBuf : public std::streambuf {
+ public:
+  explicit FdBuf(int fd) : fd_(fd) {
+    setg(in_, in_, in_);
+    setp(out_, out_ + sizeof(out_));
+  }
+
+ protected:
+  int_type underflow() override {
+    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+    ssize_t n;
+    do {
+      n = ::recv(fd_, in_, sizeof(in_), 0);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) return traits_type::eof();
+    setg(in_, in_, in_ + n);
+    return traits_type::to_int_type(*gptr());
+  }
+
+  int_type overflow(int_type ch) override {
+    if (flush_out() != 0) return traits_type::eof();
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+      *pptr() = traits_type::to_char_type(ch);
+      pbump(1);
+    }
+    return traits_type::not_eof(ch);
+  }
+
+  int sync() override { return flush_out(); }
+
+ private:
+  int flush_out() {
+    const char* p = pbase();
+    while (p < pptr()) {
+      const ssize_t n = ::send(fd_, p, static_cast<std::size_t>(pptr() - p),
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return -1;
+      }
+      p += n;
+    }
+    setp(out_, out_ + sizeof(out_));
+    return 0;
+  }
+
+  int fd_;
+  char in_[4096];
+  char out_[4096];
+};
+
+}  // namespace
+
+ServeOptions parse_serve_options(const std::vector<std::string>& args) {
+  static const cli::FlagSpec kSpec{{"port", "cache-bytes"}, {}, false};
+  const cli::Args parsed(args, 1, kSpec);
+  if (!parsed.positional().empty()) {
+    throw std::invalid_argument("serve takes no positional arguments");
+  }
+  ServeOptions opts;
+  opts.session.cache = true;
+  if (parsed.has("port")) {
+    const std::uint64_t port = parsed.get_uint64("port", 0);
+    if (port > 65535) {
+      throw std::invalid_argument("--port must be an integer in [0, 65535]");
+    }
+    opts.use_tcp = true;
+    opts.port = static_cast<int>(port);
+  }
+  if (parsed.has("cache-bytes")) {
+    const auto bytes = cli::parse_byte_size(parsed.get("cache-bytes"));
+    if (!bytes) {
+      throw std::invalid_argument(
+          "--cache-bytes expects a positive byte count with an optional "
+          "K/M/G suffix, got '" + parsed.get("cache-bytes") + "'");
+    }
+    opts.session.graph_cache_budget_bytes = *bytes;
+  }
+  return opts;
+}
+
+struct Server::Impl {
+  explicit Impl(cli::Session& s) : session(s) {}
+
+  cli::Session& session;
+  int listen_fd = -1;
+  int port = 0;
+  std::thread accept_thread;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool shutdown = false;
+  bool stopping = false;
+  // Client fds stay registered until stop() so it can shutdown(2) a blocked
+  // read; each client thread closes and clears its own slot under the lock,
+  // which also keeps stop() from poking a number the kernel has reused.
+  std::vector<int> client_fds;
+  std::vector<std::thread> client_threads;
+
+  void accept_loop() {
+    while (true) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) return;  // listen socket shut down → server is stopping
+      std::lock_guard<std::mutex> lock(mu);
+      if (stopping) {
+        ::close(fd);
+        return;
+      }
+      const std::size_t slot = client_fds.size();
+      client_fds.push_back(fd);
+      client_threads.emplace_back([this, fd, slot] { client_loop(fd, slot); });
+    }
+  }
+
+  void client_loop(int fd, std::size_t slot) {
+    FdBuf buf(fd);
+    std::istream in(&buf);
+    std::ostream out(&buf);
+    const bool want_shutdown = serve_session(session, in, out);
+    out.flush();
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ::close(fd);
+      client_fds[slot] = -1;
+      if (want_shutdown) {
+        shutdown = true;
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+Server::Server(cli::Session& session, int port)
+    : impl_(std::make_unique<Impl>(session)) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("cannot create socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    ::close(fd);
+    throw std::runtime_error("cannot bind 127.0.0.1:" + std::to_string(port));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  impl_->listen_fd = fd;
+  impl_->port = ntohs(addr.sin_port);
+}
+
+Server::~Server() { stop(); }
+
+int Server::port() const { return impl_->port; }
+
+void Server::start() {
+  impl_->accept_thread = std::thread([this] { impl_->accept_loop(); });
+}
+
+void Server::stop() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (impl_->stopping) return;
+    impl_->stopping = true;
+  }
+  ::shutdown(impl_->listen_fd, SHUT_RDWR);  // unblocks accept()
+  if (impl_->accept_thread.joinable()) impl_->accept_thread.join();
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    for (const int fd : impl_->client_fds) {
+      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);  // unblocks blocked client reads
+    }
+  }
+  for (std::thread& t : impl_->client_threads) {
+    if (t.joinable()) t.join();
+  }
+  ::close(impl_->listen_fd);
+}
+
+bool Server::shutdown_requested() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->shutdown;
+}
+
+void Server::wait_for_shutdown() {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  impl_->cv.wait(lock, [this] { return impl_->shutdown; });
+}
+
+int run_serve(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err) {
+  try {
+    const ServeOptions opts = parse_serve_options(args);
+    cli::Session session(opts.session);
+    if (!opts.use_tcp) {
+      serve_session(session, std::cin, out);
+      return 0;
+    }
+    Server server(session, opts.port);
+    // The announcement line is the contract for scripted drivers: they read
+    // the port from here before connecting.
+    out << "pnut-serve listening on 127.0.0.1:" << server.port() << '\n';
+    out.flush();
+    server.start();
+    server.wait_for_shutdown();
+    server.stop();
+    return 0;
+  } catch (const std::invalid_argument& e) {
+    err << "pnut serve: " << e.what() << '\n';
+    return 2;
+  } catch (const std::runtime_error& e) {
+    err << "pnut serve: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+}  // namespace pnut::serve

@@ -1,0 +1,66 @@
+// The pnut serve front ends: a loopback TCP server (thread per client, one
+// shared caching Session) and a stdin/stdout single-session mode.
+//
+//   pnut serve --port 0            # TCP on an ephemeral port (announced)
+//   pnut serve --port 7070         # TCP on a fixed port
+//   pnut serve                     # one session over stdin/stdout
+//
+// The TCP server binds to 127.0.0.1 only — this is an analysis cache, not
+// an internet service. All clients share one Session, so a graph one client
+// built answers every client's queries; sessions are independent otherwise.
+// The process runs until a client sends `.shutdown` (or EOF in stdin mode).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cli/session.h"
+
+namespace pnut::serve {
+
+struct ServeOptions {
+  bool use_tcp = false;  ///< --port given (0 = kernel-assigned ephemeral port)
+  int port = 0;
+  cli::SessionOptions session;  ///< cache on; --cache-bytes sets the budget
+};
+
+/// Parse `serve` flags from the full CLI argv (`args[0] == "serve"`).
+/// Throws std::invalid_argument on unknown flags or malformed values.
+ServeOptions parse_serve_options(const std::vector<std::string>& args);
+
+/// A loopback TCP server over a shared Session. Construction binds and
+/// listens (throws std::runtime_error on failure); start() begins accepting;
+/// stop() disconnects every client and joins all threads (idempotent, also
+/// run by the destructor). Tests and the bench drive this in-process.
+class Server {
+ public:
+  Server(cli::Session& session, int port);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port (resolves port 0 to the kernel's choice).
+  [[nodiscard]] int port() const;
+
+  void start();
+  void stop();
+
+  /// True once a client has sent `.shutdown`.
+  [[nodiscard]] bool shutdown_requested() const;
+  /// Block until a client sends `.shutdown`.
+  void wait_for_shutdown();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// The `pnut serve` entry point. Runs until shutdown; returns the process
+/// exit code (2 on usage errors, 1 when the socket cannot be bound).
+int run_serve(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err);
+
+}  // namespace pnut::serve

@@ -401,5 +401,104 @@ TEST_F(CliTest, FlagErrors) {
   EXPECT_EQ(run_cli({"simulate"}).code, 2);                   // missing model
 }
 
+TEST_F(CliTest, SeedParsesFull64BitRange) {
+  // Seeds are uint64 streams; parsing them through double would round
+  // 2^53+1 to 2^53 and 2^64-1 out of range entirely. The report line
+  // echoes the seed, so an exact match proves the exact parse.
+  for (const char* seed : {"9007199254740993", "18446744073709551615"}) {
+    const Result sim =
+        run_cli({"simulate", model_path_, "--until", "50", "--seed", seed});
+    ASSERT_EQ(sim.code, 0) << sim.err;
+    EXPECT_NE(sim.out.find(std::string("seed ") + seed), std::string::npos) << seed;
+  }
+  // replicate prints "seeds S..S+N-1"; the base must survive exactly too.
+  const Result rep = run_cli({"replicate", model_path_, "--replications", "2",
+                              "--horizon", "100", "--seed", "9007199254740993"});
+  ASSERT_EQ(rep.code, 0) << rep.err;
+  EXPECT_NE(rep.out.find("seeds 9007199254740993..9007199254740994"),
+            std::string::npos);
+}
+
+TEST_F(CliTest, SeedRejectsFractionSignAndOverflow) {
+  // `--seed 1.5` used to silently truncate to 1; now every non-integer
+  // form is a usage error naming the flag.
+  for (const char* bad : {"1.5", "-1", "1e6", "18446744073709551616", "abc", ""}) {
+    const Result sim =
+        run_cli({"simulate", model_path_, "--until", "10", "--seed", bad});
+    EXPECT_EQ(sim.code, 2) << "simulate --seed '" << bad << "'";
+    EXPECT_NE(sim.err.find("--seed"), std::string::npos) << bad;
+    EXPECT_EQ(run_cli({"replicate", model_path_, "--seed", bad}).code, 2)
+        << "replicate --seed '" << bad << "'";
+  }
+}
+
+TEST_F(CliTest, MaxStatesRejectsFractionAndSign) {
+  const std::string query = "exists s in S [ Bus_free(s) = 1 ]";
+  for (const char* bad : {"1.5", "-1", "1e5"}) {
+    const Result q = run_cli({"query", "--reach", model_path_, query,
+                              "--max-states", bad});
+    EXPECT_EQ(q.code, 2) << "query --max-states '" << bad << "'";
+    EXPECT_NE(q.err.find("--max-states"), std::string::npos) << bad;
+    EXPECT_EQ(run_cli({"analyze", model_path_, "--max-states", bad}).code, 2)
+        << "analyze --max-states '" << bad << "'";
+  }
+}
+
+TEST_F(CliTest, UnknownFlagsAreUsageErrors) {
+  // `--thread 4` or `--horizen 100` typos must fail loudly, not silently
+  // run with defaults. The error lists the command's real vocabulary.
+  const Result thread = run_cli({"simulate", model_path_, "--thread", "4"});
+  EXPECT_EQ(thread.code, 2);
+  EXPECT_NE(thread.err.find("unknown flag --thread"), std::string::npos);
+  EXPECT_NE(thread.err.find("--seed"), std::string::npos);  // suggests the real set
+
+  const Result horizen = run_cli({"replicate", model_path_, "--horizen", "100"});
+  EXPECT_EQ(horizen.code, 2);
+  EXPECT_NE(horizen.err.find("unknown flag --horizen"), std::string::npos);
+
+  EXPECT_EQ(run_cli({"analyze", model_path_, "--frobnicate", "1"}).code, 2);
+  EXPECT_EQ(run_cli({"query", "--reach", model_path_, "exists s in S [ 1 = 1 ]",
+                     "--marker", "O=1"})
+                .code,
+            2);  // --marker belongs to render only
+
+  // Flagless commands advertise that.
+  const Result validate = run_cli({"validate", model_path_, "--verbose"});
+  EXPECT_EQ(validate.code, 2);
+  EXPECT_NE(validate.err.find("takes no flags"), std::string::npos);
+}
+
+TEST_F(CliTest, SpillBudgetOverflowIsRejectedNotWrapped) {
+  // value * scale near SIZE_MAX used to wrap silently to a tiny budget —
+  // spilling everything instead of failing. Now it is the same usage error
+  // as any other malformed budget.
+  const std::string query = "exists s in S [ Bus_free(s) = 1 ]";
+  for (const char* bad :
+       {"99999999999999999G", "18446744073709551615K", "18446744073709551615M"}) {
+    const Result q = run_cli({"query", "--reach", model_path_, query,
+                              "--max-resident-bytes", bad});
+    EXPECT_EQ(q.code, 2) << "--max-resident-bytes '" << bad << "'";
+    EXPECT_NE(q.err.find("--max-resident-bytes"), std::string::npos) << bad;
+    EXPECT_EQ(run_cli({"analyze", model_path_, "--max-resident-bytes", bad}).code, 2)
+        << "analyze --max-resident-bytes '" << bad << "'";
+  }
+  // The largest representable budgets still parse.
+  const Result fits = run_cli({"analyze", model_path_, "--max-resident-bytes",
+                               "17179869183G"});  // (2^34 - 1) GiB < 2^64
+  EXPECT_EQ(fits.code, 0) << fits.err;
+}
+
+TEST_F(CliTest, NegativeHorizonsAreRejected) {
+  // simulate used to accept --until -5 silently (zero events, "success").
+  const Result sim = run_cli({"simulate", model_path_, "--until", "-5"});
+  EXPECT_EQ(sim.code, 2);
+  EXPECT_NE(sim.err.find("--until"), std::string::npos);
+  const Result rep = run_cli({"replicate", model_path_, "--horizon", "-5"});
+  EXPECT_EQ(rep.code, 2);
+  EXPECT_NE(rep.err.find("--horizon"), std::string::npos);
+  // t=0 stays valid for simulate: report the initial state and stop.
+  EXPECT_EQ(run_cli({"simulate", model_path_, "--until", "0"}).code, 0);
+}
+
 }  // namespace
 }  // namespace pnut::cli

@@ -1,0 +1,466 @@
+// Tests for the pnut analysis service (src/serve + the caching Session).
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli/cli.h"
+#include "cli/session.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace pnut::serve {
+namespace {
+
+constexpr const char* kModelPn = R"(
+net demo
+place Bus_free init 1
+place Bus_busy
+place Jobs init 2
+place Done
+trans start in Bus_free, Jobs out Bus_busy
+trans finish in Bus_busy out Bus_free, Done enabling 5
+trans recycle in Done out Jobs enabling 3
+)";
+
+constexpr const char* kQuery = "forall s in S [ Bus_busy(s) + Bus_free(s) = 1 ]";
+
+// gtest's ASSERT_* cannot return a value; this variant can.
+#define ASSERT_EQ_RET(a, b, ret) \
+  do {                           \
+    EXPECT_EQ(a, b);             \
+    if ((a) != (b)) return ret;  \
+  } while (0)
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("pnut_serve_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+    model_path_ = write_model("model.pn", kModelPn);
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string write_model(const std::string& name, const std::string& text) {
+    const std::string path = (dir_ / name).string();
+    std::ofstream(path) << text;
+    return path;
+  }
+
+  /// A token ring model; `places` scales the graph size, distinct names
+  /// make distinct cache keys.
+  std::string write_ring(const std::string& name, int places, int tokens) {
+    std::ostringstream text;
+    text << "net " << name << '\n';
+    for (int i = 0; i < places; ++i) {
+      text << "place P" << i << (i == 0 ? " init " + std::to_string(tokens) : "")
+           << '\n';
+    }
+    for (int i = 0; i < places; ++i) {
+      text << "trans t" << i << " in P" << i << " out P" << (i + 1) % places << '\n';
+    }
+    return write_model(name + ".pn", text.str());
+  }
+
+  /// One framed response as parsed off the wire.
+  struct Framed {
+    int code;
+    std::string out;
+    std::string err;
+  };
+
+  /// Parse every framed response in a serve transcript (after the greeting).
+  static std::vector<Framed> parse_responses(const std::string& transcript) {
+    std::vector<Framed> responses;
+    std::size_t pos = 0;
+    EXPECT_EQ(transcript.rfind(kGreeting, 0), 0U) << "missing greeting";
+    if (transcript.rfind(kGreeting, 0) == 0) pos = std::strlen(kGreeting);
+    while (pos < transcript.size()) {
+      ASSERT_EQ_RET(transcript.compare(pos, 2, "= "), 0, responses);
+      const std::size_t eol = transcript.find('\n', pos);
+      std::istringstream header(transcript.substr(pos + 2, eol - pos - 2));
+      int code = 0;
+      std::size_t outlen = 0;
+      std::size_t errlen = 0;
+      header >> code >> outlen >> errlen;
+      Framed f;
+      f.code = code;
+      f.out = transcript.substr(eol + 1, outlen);
+      f.err = transcript.substr(eol + 1 + outlen, errlen);
+      responses.push_back(std::move(f));
+      pos = eol + 1 + outlen + errlen;
+    }
+    return responses;
+  }
+
+  /// Run one scripted client session over an in-process (cache-on) Session.
+  static std::vector<Framed> serve_script(cli::Session& session,
+                                          const std::string& script) {
+    std::istringstream in(script);
+    std::ostringstream out;
+    serve_session(session, in, out);
+    return parse_responses(out.str());
+  }
+
+  /// Quote one argv token for the request line.
+  static std::string quote(const std::string& token) {
+    std::string quoted = "\"";
+    for (const char c : token) {
+      if (c == '"' || c == '\\') quoted += '\\';
+      quoted += c;
+    }
+    return quoted + '"';
+  }
+
+  static std::string to_line(const std::vector<std::string>& argv) {
+    std::string line;
+    for (const auto& token : argv) {
+      if (!line.empty()) line += ' ';
+      line += quote(token);
+    }
+    return line + '\n';
+  }
+
+  /// The one-shot CLI, for differential comparison.
+  static Framed run_direct(const std::vector<std::string>& argv) {
+    std::ostringstream out;
+    std::ostringstream err;
+    const int code = cli::run(argv, out, err);
+    return Framed{code, out.str(), err.str()};
+  }
+
+  std::filesystem::path dir_;
+  std::string model_path_;
+};
+
+TEST_F(ServeTest, TokenizerSplitsQuotesAndEscapes) {
+  std::string error;
+  auto tokens = tokenize("query --reach m.pn \"a b\" plain", error);
+  ASSERT_TRUE(tokens.has_value()) << error;
+  EXPECT_EQ(*tokens, (std::vector<std::string>{"query", "--reach", "m.pn", "a b",
+                                               "plain"}));
+
+  tokens = tokenize("a \"x \\\" y\" \"z\\\\\"", error);
+  ASSERT_TRUE(tokens.has_value()) << error;
+  EXPECT_EQ(*tokens, (std::vector<std::string>{"a", "x \" y", "z\\"}));
+
+  tokens = tokenize("  \t  ", error);
+  ASSERT_TRUE(tokens.has_value());
+  EXPECT_TRUE(tokens->empty());
+
+  tokens = tokenize("a \"\" b", error);
+  ASSERT_TRUE(tokens.has_value());
+  EXPECT_EQ(*tokens, (std::vector<std::string>{"a", "", "b"}));
+
+  EXPECT_FALSE(tokenize("a \"unterminated", error).has_value());
+  EXPECT_EQ(error, "unterminated quote");
+  EXPECT_FALSE(tokenize("trailing\\", error).has_value());
+  EXPECT_EQ(error, "trailing backslash");
+}
+
+TEST_F(ServeTest, ProtocolFramingAndControlLines) {
+  cli::SessionOptions options;
+  options.cache = true;
+  cli::Session session(options);
+  const auto responses = serve_script(
+      session, to_line({"validate", model_path_}) + "\n" +  // blank line skipped
+                   ".stats\n.nonsense\n\"unterminated\n.quit\n" +
+                   to_line({"validate", model_path_}));  // after .quit: unread
+  ASSERT_EQ(responses.size(), 4U);
+  EXPECT_EQ(responses[0].code, 0);
+  EXPECT_NE(responses[0].out.find("4 places"), std::string::npos);
+  EXPECT_EQ(responses[1].code, 0);
+  EXPECT_NE(responses[1].out.find("graph cache:"), std::string::npos);
+  EXPECT_EQ(responses[2].code, 2);
+  EXPECT_NE(responses[2].err.find("unknown control line"), std::string::npos);
+  EXPECT_EQ(responses[3].code, 2);
+  EXPECT_NE(responses[3].err.find("unterminated quote"), std::string::npos);
+}
+
+TEST_F(ServeTest, ServedMatchesDirectForEveryCommand) {
+  // The acceptance bar: for every command the served bytes equal the
+  // one-shot CLI's, stdout and stderr and exit code alike — including
+  // usage errors and a query whose verdict is "fails" (code 1).
+  const std::string trace_path = (dir_ / "run.trace").string();
+  ASSERT_EQ(run_direct({"simulate", model_path_, "--until", "200", "--seed", "7",
+                        "--trace", trace_path})
+                .code,
+            0);
+  const std::vector<std::vector<std::string>> invocations = {
+      {"validate", model_path_},
+      {"print", model_path_},
+      {"simulate", model_path_, "--until", "300", "--seed", "5"},
+      {"replicate", model_path_, "--replications", "3", "--horizon", "200"},
+      {"stat", trace_path},
+      {"query", trace_path, "forall s in S [ Bus_busy(s) + Bus_free(s) = 1 ]"},
+      {"query", "--reach", model_path_, kQuery},
+      {"query", "--reach", model_path_, "forall s in S [ Bus_busy(s) = 1 ]"},
+      {"render", trace_path, "--signals", "Bus_busy,Done,load=Bus_busy+Jobs",
+       "--columns", "40", "--marker", "O=20"},
+      {"animate", trace_path, "--steps", "3"},
+      {"analyze", model_path_},
+      {"analyze", model_path_, "--threads", "2"},
+      {"help"},
+      {"frobnicate"},
+      {"simulate", model_path_, "--seed", "1.5"},
+      {"validate", (dir_ / "absent.pn").string()},
+  };
+  std::string script;
+  for (const auto& argv : invocations) script += to_line(argv);
+  cli::SessionOptions options;
+  options.cache = true;
+  cli::Session session(options);
+  // Twice: the second pass answers from warm caches and must not change a byte.
+  for (int pass = 0; pass < 2; ++pass) {
+    const auto served = serve_script(session, script);
+    ASSERT_EQ(served.size(), invocations.size()) << "pass " << pass;
+    for (std::size_t i = 0; i < invocations.size(); ++i) {
+      const Framed direct = run_direct(invocations[i]);
+      EXPECT_EQ(served[i].code, direct.code) << "pass " << pass << ": "
+                                             << to_line(invocations[i]);
+      EXPECT_EQ(served[i].out, direct.out) << "pass " << pass << ": "
+                                           << to_line(invocations[i]);
+      EXPECT_EQ(served[i].err, direct.err) << "pass " << pass << ": "
+                                           << to_line(invocations[i]);
+    }
+  }
+  const auto stats = session.stats();
+  EXPECT_GT(stats.compile_hits, 0U);
+  EXPECT_GT(stats.graph_hits, 0U);
+}
+
+TEST_F(ServeTest, CacheHitMissAccounting) {
+  cli::SessionOptions options;
+  options.cache = true;
+  cli::Session session(options);
+  const cli::Request query{"query", {"--reach", model_path_, kQuery}};
+
+  EXPECT_EQ(session.execute(query).code, 0);
+  auto stats = session.stats();
+  EXPECT_EQ(stats.compile_misses, 1U);
+  EXPECT_EQ(stats.compile_hits, 0U);
+  EXPECT_EQ(stats.graph_misses, 1U);
+  EXPECT_EQ(stats.graph_hits, 0U);
+  EXPECT_EQ(stats.graph_cache_entries, 1U);
+  EXPECT_GT(stats.graph_cache_bytes, 0U);
+
+  // The cached graph answers without re-running exploration.
+  EXPECT_EQ(session.execute(query).code, 0);
+  stats = session.stats();
+  EXPECT_EQ(stats.compile_hits, 1U);
+  EXPECT_EQ(stats.graph_misses, 1U);
+  EXPECT_EQ(stats.graph_hits, 1U);
+
+  // Different options — different graph, new miss.
+  EXPECT_EQ(
+      session.execute({"query", {"--reach", model_path_, kQuery, "--max-states",
+                                 "50000"}})
+          .code,
+      0);
+  stats = session.stats();
+  EXPECT_EQ(stats.graph_misses, 2U);
+  EXPECT_EQ(stats.graph_cache_entries, 2U);
+
+  // Same content through a different path is a compile-cache hit (the
+  // third query above already hit too — one entry, one miss ever).
+  const std::string copy_path = write_model("copy.pn", kModelPn);
+  EXPECT_EQ(session.execute({"validate", {copy_path}}).code, 0);
+  stats = session.stats();
+  EXPECT_EQ(stats.compile_hits, 3U);
+  EXPECT_EQ(stats.compile_misses, 1U);
+  EXPECT_EQ(stats.compile_cache_entries, 1U);
+
+  // analyze builds both graph kinds; its reach options (max-states default
+  // 100000) differ from query's, so: two more misses, then two hits.
+  EXPECT_EQ(session.execute({"analyze", {model_path_}}).code, 0);
+  stats = session.stats();
+  EXPECT_EQ(stats.graph_misses, 4U);
+  EXPECT_EQ(session.execute({"analyze", {model_path_}}).code, 0);
+  stats = session.stats();
+  EXPECT_EQ(stats.graph_misses, 4U);
+  EXPECT_EQ(stats.graph_hits, 3U);
+
+  // Spill requests bypass the graph cache (remapping reads are neither
+  // resident nor concurrent-reader-safe).
+  EXPECT_EQ(session.execute({"query", {"--reach", model_path_, kQuery,
+                                       "--max-resident-bytes", "1K"}})
+                .code,
+            0);
+  stats = session.stats();
+  EXPECT_EQ(stats.graph_misses, 4U);
+  EXPECT_EQ(stats.graph_hits, 3U);
+}
+
+TEST_F(ServeTest, EvictionIsByteBudgetedAndLeastRecentlyUsedFirst) {
+  // Learn one ring graph's exact footprint, then budget for two.
+  const std::string ring_a = write_ring("ring_a", 6, 4);
+  const std::string ring_b = write_ring("ring_b", 6, 4);
+  const std::string ring_c = write_ring("ring_c", 6, 4);
+  const std::string ring_query = "exists s in S [ P0(s) = 0 ]";
+  std::size_t one_graph_bytes = 0;
+  {
+    cli::SessionOptions options;
+    options.cache = true;
+    cli::Session probe(options);
+    ASSERT_EQ(probe.execute({"query", {"--reach", ring_a, ring_query}}).code, 0);
+    one_graph_bytes = probe.stats().graph_cache_bytes;
+    ASSERT_GT(one_graph_bytes, 0U);
+  }
+
+  cli::SessionOptions options;
+  options.cache = true;
+  options.graph_cache_budget_bytes = 2 * one_graph_bytes + one_graph_bytes / 2;
+  cli::Session session(options);
+  const auto query_of = [&](const std::string& model) {
+    return cli::Request{"query", {"--reach", model, ring_query}};
+  };
+  ASSERT_EQ(session.execute(query_of(ring_a)).code, 0);
+  ASSERT_EQ(session.execute(query_of(ring_b)).code, 0);
+  auto stats = session.stats();
+  EXPECT_EQ(stats.graph_cache_entries, 2U);
+  EXPECT_EQ(stats.graph_evictions, 0U);
+  EXPECT_LE(stats.graph_cache_bytes, options.graph_cache_budget_bytes);
+
+  // Touch A so B is the least recently used, then add C: B must go.
+  ASSERT_EQ(session.execute(query_of(ring_a)).code, 0);
+  ASSERT_EQ(session.execute(query_of(ring_c)).code, 0);
+  stats = session.stats();
+  EXPECT_EQ(stats.graph_evictions, 1U);
+  EXPECT_EQ(stats.graph_cache_entries, 2U);
+  EXPECT_LE(stats.graph_cache_bytes, options.graph_cache_budget_bytes);
+
+  // A and C answer from cache; B re-explores.
+  ASSERT_EQ(session.execute(query_of(ring_a)).code, 0);
+  ASSERT_EQ(session.execute(query_of(ring_c)).code, 0);
+  EXPECT_EQ(session.stats().graph_misses, 3U);
+  ASSERT_EQ(session.execute(query_of(ring_b)).code, 0);
+  stats = session.stats();
+  EXPECT_EQ(stats.graph_misses, 4U);
+  EXPECT_EQ(stats.graph_evictions, 2U);  // B's return evicted A (oldest)
+
+  // An entry alone over the budget is served but not retained.
+  cli::SessionOptions tiny;
+  tiny.cache = true;
+  tiny.graph_cache_budget_bytes = 1;
+  cli::Session tiny_session(tiny);
+  EXPECT_EQ(tiny_session.execute(query_of(ring_a)).code, 0);
+  stats = tiny_session.stats();
+  EXPECT_EQ(stats.graph_cache_entries, 0U);
+  EXPECT_EQ(stats.graph_cache_bytes, 0U);
+  EXPECT_EQ(stats.graph_evictions, 1U);
+}
+
+TEST_F(ServeTest, ConcurrentClientsShareOneCachedGraph) {
+  // The TSan target: many client sessions hammering one Session, every
+  // query answered off one shared sealed graph. Exactly one exploration
+  // may run (the build publishes through a shared_future).
+  cli::SessionOptions options;
+  options.cache = true;
+  cli::Session session(options);
+  const Framed expect = run_direct({"query", "--reach", model_path_, kQuery});
+  constexpr int kThreads = 8;
+  constexpr int kRequests = 10;
+  std::vector<std::thread> clients;
+  std::vector<int> mismatches(kThreads, 0);
+  const std::string script = [&] {
+    std::string s;
+    for (int i = 0; i < kRequests; ++i) {
+      s += to_line({"query", "--reach", model_path_, kQuery});
+    }
+    return s;
+  }();
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      std::istringstream in(script);
+      std::ostringstream out;
+      serve_session(session, in, out);
+      const auto responses = parse_responses(out.str());
+      if (responses.size() != kRequests) {
+        mismatches[t] = kRequests;
+        return;
+      }
+      for (const Framed& r : responses) {
+        if (r.code != expect.code || r.out != expect.out || r.err != expect.err) {
+          ++mismatches[t];
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(mismatches[t], 0) << "client " << t;
+  const auto stats = session.stats();
+  EXPECT_EQ(stats.graph_misses, 1U);
+  EXPECT_EQ(stats.graph_hits,
+            static_cast<std::uint64_t>(kThreads) * kRequests - 1);
+}
+
+TEST_F(ServeTest, TcpServerServesScriptedSessionEndToEnd) {
+  cli::SessionOptions options;
+  options.cache = true;
+  cli::Session session(options);
+  Server server(session, 0);
+  ASSERT_GT(server.port(), 0);
+  server.start();
+
+  const auto client_transcript = [&](const std::string& script) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(server.port()));
+    EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+              0);
+    EXPECT_EQ(::send(fd, script.data(), script.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(script.size()));
+    ::shutdown(fd, SHUT_WR);
+    std::string transcript;
+    char buffer[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+      transcript.append(buffer, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return transcript;
+  };
+
+  const Framed direct = run_direct({"query", "--reach", model_path_, kQuery});
+  const auto first = parse_responses(
+      client_transcript(to_line({"query", "--reach", model_path_, kQuery})));
+  ASSERT_EQ(first.size(), 1U);
+  EXPECT_EQ(first[0].code, direct.code);
+  EXPECT_EQ(first[0].out, direct.out);
+
+  // A second connection hits the graph the first one built.
+  const auto second = parse_responses(client_transcript(
+      to_line({"query", "--reach", model_path_, kQuery}) + ".stats\n"));
+  ASSERT_EQ(second.size(), 2U);
+  EXPECT_EQ(second[0].out, direct.out);
+  EXPECT_NE(second[1].out.find("graph cache: 1 hits, 1 misses"),
+            std::string::npos)
+      << second[1].out;
+
+  // .shutdown stops the whole server.
+  client_transcript(".shutdown\n");
+  server.wait_for_shutdown();
+  server.stop();
+  EXPECT_TRUE(server.shutdown_requested());
+}
+
+#undef ASSERT_EQ_RET
+
+}  // namespace
+}  // namespace pnut::serve
