@@ -10,14 +10,38 @@
 // the hit/miss conflict frequencies per lane — bit-identical to the
 // historical rebuild-per-ratio loop, so the table is unchanged. Only the
 // cache-present vs cache-absent comparison needs distinct compiled nets.
+// Each topology also ships as a scripted model (examples/models/*.pn) whose
+// memory timing goes through the document's function library
+// (`access_cycles(hit)` over `param memory_cycles` / `param hit_cycles`).
+// The artifact recomputes every column from the .pn model as well and exits
+// nonzero on any divergence from the C++ builder's table — the .pn port is
+// pinned byte-identical, not merely similar.
 #include "bench_util.h"
 
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
 #include "sim/sweep.h"
+#include "textio/pn_format.h"
 
 namespace pnut::bench {
 namespace {
 
 const std::vector<double> kRatios = {0.5, 0.7, 0.8, 0.9, 0.95, 0.99};
+
+/// Parse one of the shipped scripted models (examples/models/<name>).
+Net load_model(const char* name) {
+  const std::string path = std::string(PNUT_MODELS_DIR) + "/" + name;
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open model '%s'\n", path.c_str());
+    std::exit(1);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return textio::parse_net(text.str()).net;
+}
 
 /// The (hit, miss) conflict pairs a given cache topology creates.
 std::vector<std::pair<std::string, std::string>> cache_pairs(bool icache, bool dcache) {
@@ -33,21 +57,15 @@ std::vector<std::pair<std::string, std::string>> cache_pairs(bool icache, bool d
 }
 
 /// One compile, six operating points: sweep the hit ratio over the given
-/// topology and return ipc per ratio (in kRatios order).
-std::vector<double> ipc_column(bool icache, bool dcache) {
-  pipeline::PipelineConfig config;
-  // Placeholder ratio; every lane's frequencies are patched by the axis.
-  const pipeline::CacheConfig cache{0.5, 1};
-  if (icache) config.icache = cache;
-  if (dcache) config.dcache = cache;
-
+/// (already built) topology and return ipc per ratio (in kRatios order).
+std::vector<double> ipc_column_for(const Net& net, bool icache, bool dcache) {
   SweepOptions options;
   options.base_seed = 1988;
   const std::vector<MetricSpec> metrics = {
       {"ipc",
        [](const RunStats& s) { return s.transition(pipeline::names::kIssue).throughput; }}};
   const SweepResult sweep = run_sweep(
-      CompiledNet::compile(pipeline::build_full_model(config)),
+      CompiledNet::compile(net),
       {SweepAxis::frequency_split("hit_ratio", cache_pairs(icache, dcache), kRatios)},
       20000, metrics, options);
 
@@ -55,6 +73,33 @@ std::vector<double> ipc_column(bool icache, bool dcache) {
   column.reserve(sweep.cells.size());
   for (const SweepCell& cell : sweep.cells) column.push_back(cell.metrics[0].mean);
   return column;
+}
+
+Net built_topology(bool icache, bool dcache) {
+  pipeline::PipelineConfig config;
+  // Placeholder ratio; every lane's frequencies are patched by the axis.
+  const pipeline::CacheConfig cache{0.5, 1};
+  if (icache) config.icache = cache;
+  if (dcache) config.dcache = cache;
+  return pipeline::build_full_model(config);
+}
+
+/// Compute a column from the C++ builder's net AND from the scripted .pn
+/// model; exit nonzero on any byte divergence between the two tables.
+std::vector<double> ipc_column(bool icache, bool dcache, const char* model_file) {
+  const std::vector<double> built =
+      ipc_column_for(built_topology(icache, dcache), icache, dcache);
+  const std::vector<double> scripted =
+      ipc_column_for(load_model(model_file), icache, dcache);
+  for (std::size_t i = 0; i < built.size(); ++i) {
+    if (built[i] != scripted[i]) {
+      std::fprintf(stderr,
+                   "DIVERGENCE: %s ratio %.2f: builder ipc %.17g != .pn ipc %.17g\n",
+                   model_file, kRatios[i], built[i], scripted[i]);
+      std::exit(1);
+    }
+  }
+  return built;
 }
 
 void print_artifact() {
@@ -65,11 +110,20 @@ void print_artifact() {
       run_stats(pipeline::build_full_model(), 20000, 1988)
           .transition(pipeline::names::kIssue)
           .throughput;
+  const double scripted_baseline =
+      run_stats(load_model("pipeline_nocache.pn"), 20000, 1988)
+          .transition(pipeline::names::kIssue)
+          .throughput;
+  if (baseline != scripted_baseline) {
+    std::fprintf(stderr, "DIVERGENCE: baseline: builder ipc %.17g != .pn ipc %.17g\n",
+                 baseline, scripted_baseline);
+    std::exit(1);
+  }
   std::printf("no cache baseline: ipc %.4f\n\n", baseline);
 
-  const std::vector<double> icache_only = ipc_column(true, false);
-  const std::vector<double> dcache_only = ipc_column(false, true);
-  const std::vector<double> both = ipc_column(true, true);
+  const std::vector<double> icache_only = ipc_column(true, false, "ext_cache_icache.pn");
+  const std::vector<double> dcache_only = ipc_column(false, true, "ext_cache_dcache.pn");
+  const std::vector<double> both = ipc_column(true, true, "ext_cache_unified.pn");
 
   std::printf("%-10s %-12s %-12s %-12s\n", "hit_ratio", "icache_only", "dcache_only",
               "both");

@@ -11,6 +11,7 @@ std::string usage() {
   return "P-NUT — Petri Net Utility Tools\n"
          "usage:\n"
          "  pnut validate <model.pn>\n"
+         "  pnut check    <model.pn>\n"
          "  pnut print    <model.pn>\n"
          "  pnut simulate <model.pn> [--until T] [--seed S] [--stats|--tbl]\n"
          "                [--trace FILE] [--keep name,name,...] [--no-expr-vm]\n"
@@ -27,7 +28,10 @@ std::string usage() {
          "  pnut analyze  <model.pn> [--max-states N] [--threads N] [--no-expr-vm]\n"
          "                [--max-resident-bytes N[K|M|G]] [--spill-dir D]\n"
          "  pnut serve    [--port N] [--cache-bytes N[K|M|G]]\n"
-         "(--no-expr-vm keeps the AST/DataContext evaluation path for\n"
+         "(check parses a model and lowers every expression hook to bytecode,\n"
+         " reporting line:col diagnostics with caret snippets; the modeling\n"
+         " language — fn/let/array/for — is documented in docs/LANG.md.\n"
+         " --no-expr-vm keeps the AST/DataContext evaluation path for\n"
          " predicates/actions/computed delays; results are identical.\n"
          " --max-resident-bytes caps the exploration's resident footprint by\n"
          " spilling sealed levels to segment files — in --spill-dir when given,\n"

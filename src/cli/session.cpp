@@ -18,6 +18,7 @@
 #include "anim/animator.h"
 #include "cli/args.h"
 #include "cli/cli.h"
+#include "expr/program.h"
 #include "petri/compiled_net.h"
 #include "sim/simulator.h"
 #include "stat/replication.h"
@@ -37,6 +38,7 @@ namespace {
 const FlagSpec* spec_for(const std::string& command) {
   static const std::map<std::string, FlagSpec> kSpecs = {
       {"validate", {}},
+      {"check", {}},
       {"print", {}},
       {"simulate",
        {{"until", "seed", "trace", "keep"}, {"stats", "tbl", "no-expr-vm"}, false}},
@@ -319,6 +321,40 @@ struct Session::Impl {
     const ModelPtr m = model(path);  // parse_net validates
     out << "ok: " << m->doc->net.num_places() << " places, "
         << m->doc->net.num_transitions() << " transitions\n";
+    return 0;
+  }
+
+  /// Static model check: parse the document (line-mapped diagnostics with
+  /// caret snippets come straight from the .pn/expression parsers) and then
+  /// lower every expression hook to bytecode, so mistakes the AST evaluator
+  /// would only raise at run time — builtin arity errors, say, on a
+  /// transition that never fires — surface here. Diagnostics go to `out`
+  /// with exit code 1; only infrastructure failures exit 2.
+  int cmd_check(const Args& args, std::ostream& out) {
+    const std::string& path = require_positional(args, 0, "model file");
+    textio::NetDocument doc;
+    try {
+      doc = textio::parse_net(read_file(path));
+    } catch (const std::exception& e) {
+      out << path << ": " << e.what() << '\n';
+      return 1;
+    }
+    std::string error;
+    const auto program = expr::NetProgram::compile(doc.net, &error);
+    if (program == nullptr && !error.empty()) {
+      out << path << ": " << error << '\n';
+      return 1;
+    }
+    out << "ok: " << doc.net.num_places() << " places, "
+        << doc.net.num_transitions() << " transitions";
+    if (!doc.functions.functions.empty()) {
+      out << ", " << doc.functions.functions.size() << " functions";
+    }
+    if (!doc.params.empty()) out << ", " << doc.params.size() << " params";
+    if (program != nullptr) {
+      out << ", " << program->schema().num_values() << " value slots";
+    }
+    out << '\n';
     return 0;
   }
 
@@ -637,6 +673,7 @@ struct Session::Impl {
 
   int dispatch(const std::string& command, const Args& args, std::ostream& out) {
     if (command == "validate") return cmd_validate(args, out);
+    if (command == "check") return cmd_check(args, out);
     if (command == "print") return cmd_print(args, out);
     if (command == "simulate") return cmd_simulate(args, out);
     if (command == "replicate") return cmd_replicate(args, out);

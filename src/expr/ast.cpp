@@ -4,7 +4,120 @@
 
 namespace pnut::expr {
 
+namespace {
+
+/// Run a statement list against a local frame. Returns the value of the
+/// first `return` executed, or nullopt when the list runs to completion.
+std::optional<std::int64_t> exec_statements(const std::vector<Statement>& statements,
+                                            const EvalContext& ctx,
+                                            std::int64_t* frame) {
+  for (const Statement& stmt : statements) {
+    switch (stmt.kind) {
+      case Statement::Kind::kAssign: {
+        // Value before index — the historical evaluation order, pinned by
+        // the differential tests.
+        const std::int64_t value = stmt.value->eval(ctx);
+        if (stmt.slot >= 0) {
+          if (stmt.index) {
+            const std::int64_t index = stmt.index->eval(ctx);
+            if (index < 0 || index >= stmt.extent) {
+              throw EvalError("index " + std::to_string(index) +
+                              " out of bounds for array '" + stmt.target +
+                              "' of extent " + std::to_string(stmt.extent));
+            }
+            frame[stmt.slot + index] = value;
+          } else {
+            frame[stmt.slot] = value;
+          }
+        } else if (stmt.index) {
+          const std::int64_t index = stmt.index->eval(ctx);
+          try {
+            ctx.mutable_data->set_table_entry(stmt.target, index, value);
+          } catch (const std::out_of_range& e) {
+            throw EvalError(e.what());
+          }
+        } else {
+          ctx.mutable_data->set(stmt.target, value);
+        }
+        break;
+      }
+      case Statement::Kind::kLet:
+        frame[stmt.slot] = stmt.value->eval(ctx);
+        break;
+      case Statement::Kind::kLetArray:
+        for (std::int64_t i = 0; i < stmt.extent; ++i) frame[stmt.slot + i] = 0;
+        break;
+      case Statement::Kind::kFor: {
+        frame[stmt.slot] = stmt.lo;
+        for (std::uint64_t n = stmt.trip_count; n > 0; --n) {
+          if (auto returned = exec_statements(stmt.body, ctx, frame)) {
+            return returned;
+          }
+          frame[stmt.slot] = wrap_add(frame[stmt.slot], 1);
+        }
+        break;
+      }
+      case Statement::Kind::kReturn:
+        return stmt.value->eval(ctx);
+    }
+  }
+  return std::nullopt;
+}
+
+void render_statement(std::ostringstream& out, const Statement& stmt, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  switch (stmt.kind) {
+    case Statement::Kind::kAssign:
+      out << pad << stmt.target;
+      if (stmt.index) out << '[' << stmt.index->to_string() << ']';
+      out << " = " << stmt.value->to_string() << ";\n";
+      break;
+    case Statement::Kind::kLet:
+      out << pad << "let " << stmt.target << " = " << stmt.value->to_string()
+          << ";\n";
+      break;
+    case Statement::Kind::kLetArray:
+      out << pad << "let " << stmt.target << '[' << stmt.extent << "];\n";
+      break;
+    case Statement::Kind::kFor:
+      out << pad << "for " << stmt.target << " = " << stmt.lo << " to " << stmt.hi
+          << " {\n";
+      for (const Statement& inner : stmt.body) {
+        render_statement(out, inner, indent + 1);
+      }
+      out << pad << "}\n";
+      break;
+    case Statement::Kind::kReturn:
+      out << pad << "return " << stmt.value->to_string() << ";\n";
+      break;
+  }
+}
+
+}  // namespace
+
+std::string FunctionDef::to_string() const {
+  std::ostringstream out;
+  out << "fn " << name << '(';
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << params[i];
+  }
+  out << ") {\n";
+  for (const Statement& stmt : body) render_statement(out, stmt, 1);
+  out << "}\n";
+  return out.str();
+}
+
+const std::shared_ptr<const FunctionDef>* FunctionLibrary::find(
+    std::string_view name) const {
+  for (auto it = functions.rbegin(); it != functions.rend(); ++it) {
+    if ((*it)->name == name) return &*it;
+  }
+  return nullptr;
+}
+
 std::int64_t IdentifierNode::eval(const EvalContext& ctx) const {
+  if (local_slot_ >= 0) return ctx.locals[local_slot_];
   if (ctx.resolve_identifier) {
     if (auto v = ctx.resolve_identifier(name_)) return *v;
   }
@@ -16,6 +129,25 @@ std::int64_t CallNode::eval(const EvalContext& ctx) const {
   std::vector<std::int64_t> values;
   values.reserve(args_.size());
   for (const NodePtr& a : args_) values.push_back(a->eval(ctx));
+
+  if (kind_ == CallKind::kLocalArray) {
+    const std::int64_t index = values[0];  // exactly one arg, parser-checked
+    if (index < 0 || index >= array_extent_) {
+      throw EvalError("index " + std::to_string(index) + " out of bounds for array '" +
+                      name_ + "' of extent " + std::to_string(array_extent_));
+    }
+    return ctx.locals[array_slot_ + index];
+  }
+  if (kind_ == CallKind::kFunction) {
+    // Fresh frame: parameters first, remaining slots zero. The callee sees
+    // the caller's data/rng/resolvers but never its locals.
+    std::vector<std::int64_t> frame(fn_->frame_slots, 0);
+    for (std::size_t i = 0; i < values.size(); ++i) frame[i] = values[i];
+    EvalContext inner = ctx;
+    inner.locals = frame.data();
+    const auto returned = exec_statements(fn_->body, inner, frame.data());
+    return returned.value_or(0);
+  }
 
   // Builtins first.
   if (name_ == "irand") {
@@ -151,28 +283,20 @@ void Program::execute(const EvalContext& ctx) const {
   if (ctx.mutable_data == nullptr) {
     throw EvalError("cannot execute assignments without a mutable data context");
   }
-  for (const Statement& stmt : statements) {
-    const std::int64_t value = stmt.value->eval(ctx);
-    if (stmt.index) {
-      const std::int64_t index = stmt.index->eval(ctx);
-      try {
-        ctx.mutable_data->set_table_entry(stmt.target, index, value);
-      } catch (const std::out_of_range& e) {
-        throw EvalError(e.what());
-      }
-    } else {
-      ctx.mutable_data->set(stmt.target, value);
-    }
+  if (frame_slots == 0) {
+    exec_statements(statements, ctx, nullptr);
+    return;
   }
+  std::vector<std::int64_t> frame(frame_slots, 0);
+  EvalContext inner = ctx;
+  inner.locals = frame.data();
+  exec_statements(statements, inner, frame.data());
 }
 
 std::string Program::to_string() const {
   std::ostringstream out;
-  for (const Statement& stmt : statements) {
-    out << stmt.target;
-    if (stmt.index) out << '[' << stmt.index->to_string() << ']';
-    out << " = " << stmt.value->to_string() << ";\n";
-  }
+  for (const auto& fn : local_fns) out << fn->to_string();
+  for (const Statement& stmt : statements) render_statement(out, stmt, 0);
   return out.str();
 }
 

@@ -8,6 +8,14 @@
 //     identifiers and functions — the query engine resolves `Bus_busy(s)`
 //     (tokens on a place in state s) and the tracer resolves signal names
 //     through exactly these hooks.
+//
+// Script constructs (user functions, `let` bindings, local arrays, bounded
+// `for` loops) are resolved statically by the parser: every local gets a
+// dense frame slot, every call site knows at parse time whether it names a
+// builtin, a local array, a user function, or falls through to the dynamic
+// resolvers. Both evaluators (this tree-walker and the bytecode VM) share
+// the slot layout, so locals never exist in the DataContext and the state
+// encoding is untouched.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +33,30 @@ namespace pnut::expr {
 
 class Node;
 using NodePtr = std::unique_ptr<Node>;
+struct Statement;
+
+/// A user-defined function: parameters plus a statement body. Bodies may
+/// only assign locals (parameters and lets) — the parser enforces purity —
+/// and may only call functions defined earlier (`index` orders the library,
+/// so the call graph is a DAG and evaluation is total).
+struct FunctionDef {
+  std::string name;
+  std::vector<std::string> params;
+  std::vector<Statement> body;
+  std::uint32_t frame_slots = 0;  ///< dense local slots incl. parameters
+  std::size_t index = 0;          ///< position in the defining library
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// An ordered set of function definitions (a `.pn` document's `fn`
+/// declarations, extended by any program-local definitions). Later entries
+/// may call earlier ones; never the reverse.
+struct FunctionLibrary {
+  std::vector<std::shared_ptr<const FunctionDef>> functions;
+  /// Latest definition with this name, or nullptr.
+  [[nodiscard]] const std::shared_ptr<const FunctionDef>* find(
+      std::string_view name) const;
+};
 
 /// Environment an expression evaluates in.
 struct EvalContext {
@@ -35,6 +67,10 @@ struct EvalContext {
   /// Random source for `irand`; null makes `irand` an error (e.g. inside
   /// predicates, which must be side-effect free and deterministic).
   Rng* rng = nullptr;
+  /// Current local frame (parameters, lets, arrays) — set internally by
+  /// Program::execute and function invocation, null at the top of a bare
+  /// expression. Reads index this array by the parser-assigned slot.
+  const std::int64_t* locals = nullptr;
 
   /// Hook consulted for bare identifiers before `data` (e.g. the bound
   /// state variable `s` in queries, or a tracer signal name).
@@ -62,7 +98,8 @@ enum class BinaryOp : std::uint8_t {
 enum class UnaryOp : std::uint8_t { kNeg, kNot };
 
 /// Expression node. A small closed class hierarchy keeps evaluation simple
-/// and the memory model obvious (unique ownership, no cycles).
+/// and the memory model obvious (unique ownership, no cycles — function
+/// bodies are shared immutably and only reference earlier definitions).
 class Node {
  public:
   virtual ~Node() = default;
@@ -105,13 +142,24 @@ class NumberNode final : public Node {
 
 class IdentifierNode final : public Node {
  public:
-  explicit IdentifierNode(std::string name) : name_(std::move(name)) {}
+  explicit IdentifierNode(std::string name, std::int32_t local_slot = -1)
+      : name_(std::move(name)), local_slot_(local_slot) {}
   std::int64_t eval(const EvalContext& ctx) const override;
   std::string to_string() const override { return name_; }
   [[nodiscard]] const std::string& name() const { return name_; }
+  /// Frame slot when the parser resolved this name to a local; -1 otherwise.
+  [[nodiscard]] std::int32_t local_slot() const { return local_slot_; }
 
  private:
   std::string name_;
+  std::int32_t local_slot_;
+};
+
+/// What a `name[...]` / `name(...)` site resolved to at parse time.
+enum class CallKind : std::uint8_t {
+  kDynamic,     ///< builtin / resolver hook / data table / unknown, at eval
+  kLocalArray,  ///< indexed read of a local array (slot base + extent known)
+  kFunction,    ///< user-defined function call (arity checked at parse)
 };
 
 /// `name[e]` (table read), `name[e1, e2]` / `name(e1, ...)` (call).
@@ -124,9 +172,28 @@ class CallNode final : public Node {
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const std::vector<NodePtr>& args() const { return args_; }
 
+  [[nodiscard]] CallKind kind() const { return kind_; }
+  [[nodiscard]] std::int32_t array_slot() const { return array_slot_; }
+  [[nodiscard]] std::int64_t array_extent() const { return array_extent_; }
+  [[nodiscard]] const std::shared_ptr<const FunctionDef>& fn() const { return fn_; }
+
+  void resolve_local_array(std::int32_t slot, std::int64_t extent) {
+    kind_ = CallKind::kLocalArray;
+    array_slot_ = slot;
+    array_extent_ = extent;
+  }
+  void resolve_function(std::shared_ptr<const FunctionDef> fn) {
+    kind_ = CallKind::kFunction;
+    fn_ = std::move(fn);
+  }
+
  private:
   std::string name_;
   std::vector<NodePtr> args_;
+  CallKind kind_ = CallKind::kDynamic;
+  std::int32_t array_slot_ = -1;
+  std::int64_t array_extent_ = 0;
+  std::shared_ptr<const FunctionDef> fn_;
 };
 
 class UnaryNode final : public Node {
@@ -158,16 +225,41 @@ class BinaryNode final : public Node {
   NodePtr rhs_;
 };
 
-/// One statement of an action program: `x = e` or `table[i] = e`.
+/// One statement of a script body. Assignments keep their historical field
+/// layout (`target`, `index`, `value`); the other kinds reuse those fields
+/// as documented per member. All name resolution (local slot, extent, loop
+/// trip count) is done by the parser, so execution never looks names up.
 struct Statement {
-  std::string target;
-  NodePtr index;  ///< null for scalar assignment
-  NodePtr value;
+  enum class Kind : std::uint8_t {
+    kAssign,    ///< `x = e` / `t[i] = e` — data scalar/table or local
+    kLet,       ///< `let x = e` — bind a new local scalar
+    kLetArray,  ///< `let a[N]` — declare a zero-filled local array
+    kFor,       ///< `for i = lo to hi { body }` — bounded loop
+    kReturn,    ///< `return e` — function result (fn bodies only)
+  };
+  Kind kind = Kind::kAssign;
+  std::string target;  ///< assign/let/let-array name; for: loop variable
+  NodePtr index;       ///< assign: table/array index, null for scalar
+  NodePtr value;       ///< assign/let/return: the right-hand side
+  /// Frame slot of the target (assign-to-local, let, let-array, loop var);
+  /// -1 means the assignment goes to net-level data.
+  std::int32_t slot = -1;
+  std::int64_t extent = 0;  ///< let-array / local indexed assign: array extent
+  std::int64_t lo = 0;      ///< for: first loop value (literal)
+  std::int64_t hi = 0;      ///< for: last loop value (literal)
+  std::uint64_t trip_count = 0;    ///< for: iteration count, parser-bounded
+  std::int32_t counter_slot = -1;  ///< for: hidden trip-counter slot (VM)
+  std::vector<Statement> body;     ///< for: loop body
 };
 
-/// A sequence of assignments (an action body).
+/// A sequence of statements (an action body), plus any function definitions
+/// local to this source and the frame size its locals need.
 struct Program {
   std::vector<Statement> statements;
+  /// Functions defined inside this source (net-level `fn` declarations live
+  /// in the document's library instead and are referenced by call nodes).
+  std::vector<std::shared_ptr<const FunctionDef>> local_fns;
+  std::uint32_t frame_slots = 0;
 
   /// Run every statement in order against ctx.mutable_data.
   void execute(const EvalContext& ctx) const;

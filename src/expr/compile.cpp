@@ -6,20 +6,23 @@
 
 namespace pnut::expr {
 
-Predicate compile_predicate(std::string_view source) {
+Predicate compile_predicate(std::string_view source, const FunctionLibrary* library) {
   // std::function requires copyable callables; share the parsed AST.
-  return CompiledPredicateFn{std::shared_ptr<const Node>{parse_expression(source)},
-                             std::string(source)};
+  return CompiledPredicateFn{
+      std::shared_ptr<const Node>{parse_expression(source, library)},
+      std::string(source)};
 }
 
-Action compile_action(std::string_view source) {
-  return CompiledActionFn{std::make_shared<const Program>(parse_program(source)),
-                          std::string(source)};
+Action compile_action(std::string_view source, const FunctionLibrary* library) {
+  return CompiledActionFn{
+      std::make_shared<const Program>(parse_program(source, library)),
+      std::string(source)};
 }
 
-DelaySpec compile_delay(std::string_view source) {
+DelaySpec compile_delay(std::string_view source, const FunctionLibrary* library) {
   return DelaySpec::computed(CompiledDelayFn{
-      std::shared_ptr<const Node>{parse_expression(source)}, std::string(source)});
+      std::shared_ptr<const Node>{parse_expression(source, library)},
+      std::string(source)});
 }
 
 }  // namespace pnut::expr

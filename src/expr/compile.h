@@ -68,18 +68,22 @@ struct CompiledDelayFn {
 /// Compile a boolean expression into a transition predicate. The predicate
 /// evaluates against the simulator's DataContext; it has no random source
 /// (irand in a predicate throws at evaluation time) and cannot assign.
+/// `library` makes a document's `fn` declarations callable from the source.
 /// Throws ParseError on bad syntax.
-Predicate compile_predicate(std::string_view source);
+Predicate compile_predicate(std::string_view source,
+                            const FunctionLibrary* library = nullptr);
 
 /// Compile an assignment program into a transition action. Runs with the
 /// mutable DataContext and the simulator's Rng (so irand is available).
-Action compile_action(std::string_view source);
+Action compile_action(std::string_view source,
+                      const FunctionLibrary* library = nullptr);
 
 /// Compile an integer expression into a computed DelaySpec, evaluated
 /// against the DataContext each time a delay is needed. Random delays
 /// should use DelaySpec distributions or variables set by actions, not
 /// irand, so the spec stays deterministic given the data state; irand here
 /// throws at evaluation time.
-DelaySpec compile_delay(std::string_view source);
+DelaySpec compile_delay(std::string_view source,
+                        const FunctionLibrary* library = nullptr);
 
 }  // namespace pnut::expr

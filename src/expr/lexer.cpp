@@ -1,6 +1,7 @@
 #include "expr/lexer.h"
 
 #include <cctype>
+#include <sstream>
 #include <stdexcept>
 
 namespace pnut::expr {
@@ -21,18 +22,30 @@ std::vector<Token> tokenize(std::string_view src) {
   std::vector<Token> tokens;
   std::size_t i = 0;
   const std::size_t n = src.size();
+  std::uint32_t line = 1;
+  std::size_t line_start = 0;  // byte offset of the current line's first char
+
+  const auto col_of = [&](std::size_t offset) {
+    return static_cast<std::uint32_t>(offset - line_start + 1);
+  };
 
   auto push = [&](TokenKind kind, std::size_t offset, std::string text = {}) {
     Token t;
     t.kind = kind;
     t.text = std::move(text);
     t.offset = offset;
+    t.line = line;
+    t.col = col_of(offset);
     tokens.push_back(std::move(t));
   };
 
   while (i < n) {
     const char c = src[i];
     if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      if (c == '\n') {
+        ++line;
+        line_start = i + 1;
+      }
       ++i;
       continue;
     }
@@ -53,9 +66,12 @@ std::vector<Token> tokenize(std::string_view src) {
       try {
         t.number = std::stoll(t.text);
       } catch (const std::out_of_range&) {
-        throw ParseError("number literal out of 64-bit range: " + t.text, start);
+        throw ParseError("number literal out of 64-bit range: " + t.text, start,
+                         line, col_of(start));
       }
       t.offset = start;
+      t.line = line;
+      t.col = col_of(start);
       tokens.push_back(std::move(t));
       i = j;
       continue;
@@ -81,6 +97,16 @@ std::vector<Token> tokenize(std::string_view src) {
         push(TokenKind::kOr, start);
       } else if (word == "not") {
         push(TokenKind::kNot, start);
+      } else if (word == "let") {
+        push(TokenKind::kLet, start);
+      } else if (word == "fn") {
+        push(TokenKind::kFn, start);
+      } else if (word == "for") {
+        push(TokenKind::kFor, start);
+      } else if (word == "to") {
+        push(TokenKind::kTo, start);
+      } else if (word == "return") {
+        push(TokenKind::kReturn, start);
       } else {
         push(TokenKind::kIdentifier, start, std::move(word));
       }
@@ -148,7 +174,8 @@ std::vector<Token> tokenize(std::string_view src) {
           push(TokenKind::kAnd, start);
           i += 2;
         } else {
-          throw ParseError("stray '&' (use '&&' or 'and')", start);
+          throw ParseError("stray '&' (use '&&' or 'and')", start, line,
+                           col_of(start));
         }
         break;
       case '|':
@@ -161,7 +188,8 @@ std::vector<Token> tokenize(std::string_view src) {
         }
         break;
       default:
-        throw ParseError(std::string("unexpected character '") + c + "'", start);
+        throw ParseError(std::string("unexpected character '") + c + "'", start,
+                         line, col_of(start));
     }
   }
 
@@ -199,9 +227,45 @@ std::string_view token_kind_name(TokenKind kind) {
     case TokenKind::kHash: return "'#'";
     case TokenKind::kPipe: return "'|'";
     case TokenKind::kPrime: return "'''";
+    case TokenKind::kLet: return "'let'";
+    case TokenKind::kFn: return "'fn'";
+    case TokenKind::kFor: return "'for'";
+    case TokenKind::kTo: return "'to'";
+    case TokenKind::kReturn: return "'return'";
     case TokenKind::kEnd: return "end of input";
   }
   return "?";
+}
+
+std::string render_caret(std::string_view source, std::uint32_t line,
+                         std::uint32_t col) {
+  if (line == 0 || col == 0) return {};
+  std::size_t begin = 0;
+  for (std::uint32_t current = 1; current < line; ++current) {
+    const std::size_t nl = source.find('\n', begin);
+    if (nl == std::string_view::npos) return {};
+    begin = nl + 1;
+  }
+  std::size_t end = source.find('\n', begin);
+  if (end == std::string_view::npos) end = source.size();
+  // col may point one past the line's end (errors at end of input).
+  if (col > end - begin + 1) return {};
+  std::string out(source.substr(begin, end - begin));
+  out += '\n';
+  out.append(col - 1, ' ');
+  out += '^';
+  out += '\n';
+  return out;
+}
+
+std::string format_diagnostic(std::string_view source, const ParseError& error) {
+  std::ostringstream out;
+  if (error.line() != 0) {
+    out << error.line() << ':' << error.col() << ": ";
+  }
+  out << error.what() << '\n';
+  out << render_caret(source, error.line(), error.col());
+  return out.str();
 }
 
 }  // namespace pnut::expr

@@ -1,6 +1,7 @@
 #include "expr/program.h"
 
 #include <algorithm>
+#include <map>
 #include <string>
 #include <utility>
 
@@ -10,10 +11,68 @@ namespace pnut::expr {
 
 namespace {
 
+/// Transitively collect every FunctionDef reachable from an AST (call nodes
+/// resolved by the parser carry their callee). One parse's definitions have
+/// strictly increasing indices along call edges, so sorting by index gives
+/// a compile order in which every callee precedes its callers.
+void collect_fns(const Node& node,
+                 std::map<const FunctionDef*, std::shared_ptr<const FunctionDef>>& out);
+
+void collect_fns(const std::vector<Statement>& statements,
+                 std::map<const FunctionDef*, std::shared_ptr<const FunctionDef>>& out) {
+  for (const Statement& stmt : statements) {
+    if (stmt.index) collect_fns(*stmt.index, out);
+    if (stmt.value) collect_fns(*stmt.value, out);
+    collect_fns(stmt.body, out);
+  }
+}
+
+void collect_fns(const Node& node,
+                 std::map<const FunctionDef*, std::shared_ptr<const FunctionDef>>& out) {
+  if (const auto* call = dynamic_cast<const CallNode*>(&node)) {
+    for (const NodePtr& a : call->args()) collect_fns(*a, out);
+    if (call->kind() == CallKind::kFunction) {
+      const auto [it, inserted] = out.try_emplace(call->fn().get(), call->fn());
+      if (inserted) collect_fns(call->fn()->body, out);
+    }
+    return;
+  }
+  if (const auto* unary = dynamic_cast<const UnaryNode*>(&node)) {
+    collect_fns(unary->operand(), out);
+    return;
+  }
+  if (const auto* binary = dynamic_cast<const BinaryNode*>(&node)) {
+    collect_fns(binary->lhs(), out);
+    collect_fns(binary->rhs(), out);
+    return;
+  }
+  // NumberNode / IdentifierNode: no children.
+}
+
 /// One-pass AST -> bytecode lowering with static stack-depth tracking.
+/// Function bodies are compiled first (callees before callers), then the
+/// main unit; max_stack composes each call site's operand depth with the
+/// callee's whole-frame height, so the VM never bounds-checks its stack.
 class ExprCompiler {
  public:
   explicit ExprCompiler(const DataSchema& schema) : schema_(schema) {}
+
+  /// Compile every function reachable from the given roots, in index order.
+  void compile_functions(
+      const std::map<const FunctionDef*, std::shared_ptr<const FunctionDef>>& fns) {
+    std::vector<std::shared_ptr<const FunctionDef>> ordered;
+    ordered.reserve(fns.size());
+    for (const auto& [ptr, def] : fns) ordered.push_back(def);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const auto& a, const auto& b) { return a->index < b->index; });
+    for (const auto& def : ordered) compile_function(*def);
+  }
+
+  /// Mark the start of the main unit (after any function bodies).
+  void begin_main(std::uint32_t frame_slots) {
+    code_.entry = static_cast<std::uint32_t>(code_.instrs.size());
+    code_.frame_slots = frame_slots;
+  }
 
   void compile_expr(const Node& node) {
     if (const auto* num = dynamic_cast<const NumberNode*>(&node)) {
@@ -21,6 +80,10 @@ class ExprCompiler {
       return;
     }
     if (const auto* ident = dynamic_cast<const IdentifierNode*>(&node)) {
+      if (ident->local_slot() >= 0) {
+        emit(Op::kLoadLocal, ident->local_slot(), 0, +1);
+        return;
+      }
       if (const auto slot = schema_.scalar_slot(ident->name())) {
         emit(Op::kLoadSlot, static_cast<std::int32_t>(*slot),
              add_name(ident->name()), +1);
@@ -48,32 +111,131 @@ class ExprCompiler {
   }
 
   void compile_statement(const Statement& stmt) {
-    // Statement evaluation order matches Program::execute: value first,
-    // then (for table writes) the index.
-    compile_expr(*stmt.value);
-    if (stmt.index) {
-      compile_expr(*stmt.index);
-      if (const auto ti = schema_.table_index(stmt.target)) {
-        emit(Op::kStoreTable, add_table(*ti), 0, -2);
-      } else {
-        // Actions cannot create tables; the AST path raises the
-        // DataContext error at execution time — so do we.
-        emit(Op::kThrowTable, add_name(stmt.target), 0, -2);
+    switch (stmt.kind) {
+      case Statement::Kind::kAssign:
+        // Statement evaluation order matches Program::execute: value first,
+        // then (for indexed writes) the index.
+        compile_expr(*stmt.value);
+        if (stmt.slot >= 0) {
+          if (stmt.index) {
+            compile_expr(*stmt.index);
+            emit(Op::kStoreLocalArr, add_local_array(stmt), 0, -2);
+          } else {
+            emit(Op::kStoreLocal, stmt.slot, 0, -1);
+          }
+        } else if (stmt.index) {
+          compile_expr(*stmt.index);
+          if (const auto ti = schema_.table_index(stmt.target)) {
+            emit(Op::kStoreTable, add_table(*ti), 0, -2);
+          } else {
+            // Actions cannot create tables; the AST path raises the
+            // DataContext error at execution time — so do we.
+            emit(Op::kThrowTable, add_name(stmt.target), 0, -2);
+          }
+        } else {
+          const auto slot = schema_.scalar_slot(stmt.target);
+          if (!slot) {
+            throw CompileError("assignment target '" + stmt.target +
+                               "' is not in the schema");
+          }
+          emit(Op::kStoreSlot, static_cast<std::int32_t>(*slot), 0, -1);
+        }
+        break;
+      case Statement::Kind::kLet:
+        compile_expr(*stmt.value);
+        emit(Op::kStoreLocal, stmt.slot, 0, -1);
+        break;
+      case Statement::Kind::kLetArray:
+        emit(Op::kZeroLocalArr, add_local_array(stmt), 0, 0);
+        break;
+      case Statement::Kind::kFor: {
+        // i = lo; count = trips; while (count) { body; ++i; --count; }
+        // A hidden counter (parser-allocated slot) counts the statically
+        // bounded trips, so a `hi` at the int64 edge cannot wrap a compare.
+        emit(Op::kConst, add_const(stmt.lo), 0, +1);
+        emit(Op::kStoreLocal, stmt.slot, 0, -1);
+        emit(Op::kConst, add_const(static_cast<std::int64_t>(stmt.trip_count)), 0, +1);
+        emit(Op::kStoreLocal, stmt.counter_slot, 0, -1);
+        const auto loop_top = static_cast<std::int32_t>(code_.instrs.size());
+        emit(Op::kLoadLocal, stmt.counter_slot, 0, +1);
+        const std::size_t exit_branch = code_.instrs.size();
+        emit(Op::kJumpIfZero, 0, 0, -1);
+        for (const Statement& inner : stmt.body) compile_statement(inner);
+        emit(Op::kLoadLocal, stmt.slot, 0, +1);
+        emit(Op::kConst, add_const(1), 0, +1);
+        emit(Op::kAdd, 0, 0, -1);
+        emit(Op::kStoreLocal, stmt.slot, 0, -1);
+        emit(Op::kLoadLocal, stmt.counter_slot, 0, +1);
+        emit(Op::kConst, add_const(1), 0, +1);
+        emit(Op::kSub, 0, 0, -1);
+        emit(Op::kStoreLocal, stmt.counter_slot, 0, -1);
+        emit(Op::kJump, loop_top, 0, 0);
+        code_.instrs[exit_branch].a = static_cast<std::int32_t>(code_.instrs.size());
+        break;
       }
-    } else {
-      const auto slot = schema_.scalar_slot(stmt.target);
-      if (!slot) {
-        throw CompileError("assignment target '" + stmt.target +
-                           "' is not in the schema");
-      }
-      emit(Op::kStoreSlot, static_cast<std::int32_t>(*slot), 0, -1);
+      case Statement::Kind::kReturn:
+        compile_expr(*stmt.value);
+        emit(Op::kReturn, 0, 0, -1);
+        break;
     }
   }
 
-  [[nodiscard]] Code take() { return std::move(code_); }
+  [[nodiscard]] Code take() {
+    code_.max_stack = code_.frame_slots + unit_peak_;
+    return std::move(code_);
+  }
 
  private:
+  void compile_function(const FunctionDef& def) {
+    if (fn_infos_.count(&def) != 0) return;
+    const int saved_depth = std::exchange(depth_, 0);
+    const std::uint32_t saved_peak = std::exchange(unit_peak_, 0);
+
+    FnInfo info;
+    info.index = static_cast<std::int32_t>(code_.functions.size());
+    Code::FnRef ref;
+    ref.entry = static_cast<std::uint32_t>(code_.instrs.size());
+    ref.nparams = static_cast<std::uint32_t>(def.params.size());
+    ref.frame_slots = def.frame_slots;
+    ref.name = static_cast<std::uint32_t>(add_name(def.name));
+    code_.functions.push_back(ref);
+    // Registered before the body so the body's call sites (always to
+    // earlier, already-compiled definitions) resolve; height is patched in
+    // below once the body's operand peak is known.
+    fn_infos_.emplace(&def, info);
+
+    for (const Statement& stmt : def.body) compile_statement(stmt);
+    // Falling off the end returns 0, like the AST evaluator.
+    emit(Op::kConst, add_const(0), 0, +1);
+    emit(Op::kReturn, 0, 0, -1);
+
+    fn_infos_[&def].height = def.frame_slots + unit_peak_;
+    depth_ = saved_depth;
+    unit_peak_ = saved_peak;
+  }
+
   void compile_call(const CallNode& call) {
+    if (call.kind() == CallKind::kLocalArray) {
+      compile_expr(*call.args()[0]);
+      emit(Op::kLoadLocalArr, add_local_array_ref(call), 0, 0);
+      return;
+    }
+    if (call.kind() == CallKind::kFunction) {
+      for (const NodePtr& a : call.args()) compile_expr(*a);
+      const auto it = fn_infos_.find(call.fn().get());
+      if (it == fn_infos_.end()) {
+        throw CompileError("internal: function '" + call.name() +
+                           "' was not pre-compiled");
+      }
+      const auto nargs = static_cast<std::int32_t>(call.args().size());
+      // The callee's whole frame sits above our current operands (minus the
+      // arguments it consumes) — fold that into this unit's peak.
+      unit_peak_ = std::max(
+          unit_peak_, static_cast<std::uint32_t>(std::max(0, depth_ - nargs)) +
+                          it->second.height);
+      emit(Op::kCall, it->second.index, nargs, 1 - static_cast<int>(nargs));
+      return;
+    }
     const std::string& name = call.name();
     const auto& args = call.args();
     const auto arity_error = [&](std::size_t want, const char* plural) {
@@ -150,8 +312,8 @@ class ExprCompiler {
   void emit(Op op, std::int32_t a, std::int32_t b, int stack_delta) {
     code_.instrs.push_back(Instr{op, a, b});
     depth_ += stack_delta;
-    code_.max_stack = std::max(code_.max_stack, static_cast<std::uint32_t>(
-                                                    depth_ > 0 ? depth_ : 0));
+    unit_peak_ = std::max(unit_peak_,
+                          static_cast<std::uint32_t>(depth_ > 0 ? depth_ : 0));
   }
 
   std::int32_t add_const(std::int64_t v) {
@@ -185,26 +347,86 @@ class ExprCompiler {
     return static_cast<std::int32_t>(code_.tables.size() - 1);
   }
 
+  std::int32_t add_local_array(std::uint32_t slot, std::int64_t extent,
+                               const std::string& name) {
+    const auto name_id = static_cast<std::uint32_t>(add_name(name));
+    for (std::size_t i = 0; i < code_.local_arrays.size(); ++i) {
+      if (code_.local_arrays[i].slot == slot && code_.local_arrays[i].name == name_id) {
+        return static_cast<std::int32_t>(i);
+      }
+    }
+    code_.local_arrays.push_back(Code::LocalArrayRef{
+        slot, static_cast<std::uint32_t>(extent), name_id});
+    return static_cast<std::int32_t>(code_.local_arrays.size() - 1);
+  }
+
+  std::int32_t add_local_array(const Statement& stmt) {
+    return add_local_array(static_cast<std::uint32_t>(stmt.slot), stmt.extent,
+                           stmt.target);
+  }
+
+  std::int32_t add_local_array_ref(const CallNode& call) {
+    return add_local_array(static_cast<std::uint32_t>(call.array_slot()),
+                           call.array_extent(), call.name());
+  }
+
+  struct FnInfo {
+    std::int32_t index = 0;     ///< into Code::functions
+    std::uint32_t height = 0;   ///< frame_slots + operand peak, transitive
+  };
+
   const DataSchema& schema_;
   Code code_;
+  std::map<const FunctionDef*, FnInfo> fn_infos_;
   int depth_ = 0;
+  std::uint32_t unit_peak_ = 0;  ///< max operand depth of the current unit
 };
 
 }  // namespace
 
 Code compile_expression(const Node& ast, const DataSchema& schema) {
+  std::map<const FunctionDef*, std::shared_ptr<const FunctionDef>> fns;
+  collect_fns(ast, fns);
   ExprCompiler compiler(schema);
+  compiler.compile_functions(fns);
+  compiler.begin_main(0);
   compiler.compile_expr(ast);
   return compiler.take();
 }
 
 Code compile_program(const Program& program, const DataSchema& schema) {
+  std::map<const FunctionDef*, std::shared_ptr<const FunctionDef>> fns;
+  collect_fns(program.statements, fns);
   ExprCompiler compiler(schema);
+  compiler.compile_functions(fns);
+  compiler.begin_main(program.frame_slots);
   for (const Statement& stmt : program.statements) compiler.compile_statement(stmt);
   return compiler.take();
 }
 
+namespace {
+
+/// Scalars an action program can create: every non-indexed assignment to
+/// net-level data, anywhere in the statement tree (loop bodies included —
+/// function bodies cannot assign globals, so they need no scan).
+void collect_created(const std::vector<Statement>& statements,
+                     std::vector<std::string>& out) {
+  for (const Statement& stmt : statements) {
+    if (stmt.kind == Statement::Kind::kAssign && stmt.slot < 0 && !stmt.index) {
+      out.push_back(stmt.target);
+    }
+    collect_created(stmt.body, out);
+  }
+}
+
+}  // namespace
+
 std::shared_ptr<const NetProgram> NetProgram::compile(const Net& net) {
+  return compile(net, nullptr);
+}
+
+std::shared_ptr<const NetProgram> NetProgram::compile(const Net& net,
+                                                      std::string* error) {
   const std::size_t n = net.num_transitions();
 
   // Recover the ASTs behind every hook; any opaque hook disqualifies the
@@ -213,23 +435,30 @@ std::shared_ptr<const NetProgram> NetProgram::compile(const Net& net) {
   std::vector<const Program*> actions(n, nullptr);
   std::vector<const Node*> firing(n, nullptr);
   std::vector<const Node*> enabling(n, nullptr);
+  const auto opaque = [&](std::size_t i, const char* what) {
+    if (error != nullptr) {
+      *error = "transition '" + net.transitions()[i].name + "': " + what +
+               " is a compiled C++ hook (no expression source to check)";
+    }
+    return nullptr;
+  };
   for (std::size_t i = 0; i < n; ++i) {
     const Transition& t = net.transitions()[i];
     if (t.predicate) {
       const auto* fn = t.predicate.target<CompiledPredicateFn>();
-      if (fn == nullptr) return nullptr;
+      if (fn == nullptr) return opaque(i, "predicate");
       predicates[i] = fn->ast.get();
     }
     if (t.action) {
       const auto* fn = t.action.target<CompiledActionFn>();
-      if (fn == nullptr) return nullptr;
+      if (fn == nullptr) return opaque(i, "action");
       actions[i] = fn->program.get();
     }
     for (const auto& [spec, out] :
          {std::pair{&t.firing_time, &firing}, std::pair{&t.enabling_time, &enabling}}) {
       if (spec->kind() != DelaySpec::Kind::kComputed) continue;
       const auto* fn = spec->computed_fn().target<CompiledDelayFn>();
-      if (fn == nullptr) return nullptr;
+      if (fn == nullptr) return opaque(i, "computed delay");
       (*out)[i] = fn->ast.get();
     }
   }
@@ -239,9 +468,7 @@ std::shared_ptr<const NetProgram> NetProgram::compile(const Net& net) {
   std::vector<std::string> created;
   for (const Program* program : actions) {
     if (program == nullptr) continue;
-    for (const Statement& stmt : program->statements) {
-      if (!stmt.index) created.push_back(stmt.target);
-    }
+    collect_created(program->statements, created);
   }
 
   auto result = std::make_shared<NetProgram>();
@@ -251,25 +478,43 @@ std::shared_ptr<const NetProgram> NetProgram::compile(const Net& net) {
   result->actions_.resize(n);
   result->firing_delays_.resize(n);
   result->enabling_delays_.resize(n);
-  try {
-    for (std::size_t i = 0; i < n; ++i) {
-      if (predicates[i] != nullptr) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto hook = [&](const char* what, auto&& body) {
+      // E.g. a builtin arity mistake: the AST evaluator raises it lazily at
+      // evaluation time, so fall back rather than change when it surfaces.
+      try {
+        body();
+        return true;
+      } catch (const CompileError& e) {
+        if (error != nullptr) {
+          *error = "transition '" + net.transitions()[i].name + "' " + what +
+                   ": " + e.what();
+        }
+        return false;
+      }
+    };
+    bool ok = true;
+    if (predicates[i] != nullptr) {
+      ok = hook("predicate", [&] {
         result->predicates_[i] = compile_expression(*predicates[i], result->schema_);
-      }
-      if (actions[i] != nullptr) {
-        result->actions_[i] = compile_program(*actions[i], result->schema_);
-      }
-      if (firing[i] != nullptr) {
-        result->firing_delays_[i] = compile_expression(*firing[i], result->schema_);
-      }
-      if (enabling[i] != nullptr) {
-        result->enabling_delays_[i] = compile_expression(*enabling[i], result->schema_);
-      }
+      });
     }
-  } catch (const CompileError&) {
-    // E.g. a builtin arity mistake: the AST evaluator raises it lazily at
-    // evaluation time, so fall back rather than change when it surfaces.
-    return nullptr;
+    if (ok && actions[i] != nullptr) {
+      ok = hook("action", [&] {
+        result->actions_[i] = compile_program(*actions[i], result->schema_);
+      });
+    }
+    if (ok && firing[i] != nullptr) {
+      ok = hook("firing delay", [&] {
+        result->firing_delays_[i] = compile_expression(*firing[i], result->schema_);
+      });
+    }
+    if (ok && enabling[i] != nullptr) {
+      ok = hook("enabling delay", [&] {
+        result->enabling_delays_[i] = compile_expression(*enabling[i], result->schema_);
+      });
+    }
+    if (!ok) return nullptr;
   }
   return result;
 }

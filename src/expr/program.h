@@ -57,6 +57,12 @@ class NetProgram {
   /// models whose broken expression never runs).
   static std::shared_ptr<const NetProgram> compile(const Net& net);
 
+  /// As above, but on failure fills `*error` with a one-line reason naming
+  /// the transition and hook (`pnut check` reports this; the engines use
+  /// the silent overload and just fall back to the AST path).
+  static std::shared_ptr<const NetProgram> compile(const Net& net,
+                                                   std::string* error);
+
   [[nodiscard]] const DataSchema& schema() const { return schema_; }
   [[nodiscard]] const DataFrame& initial_frame() const { return initial_frame_; }
 

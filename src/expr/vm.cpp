@@ -14,11 +14,16 @@ namespace {
 std::int64_t run(const Code& code, std::int64_t* values, std::uint8_t* present,
                  Rng* rng, VmScratch& scratch) {
   if (scratch.stack.size() < code.max_stack) scratch.stack.resize(code.max_stack);
+  scratch.frames.clear();
   std::int64_t* stack = scratch.stack.data();
-  std::size_t sp = 0;  // next free slot
+  // The main body's locals occupy the stack bottom; operands grow above
+  // them. Plain expressions have frame_slots == 0 — the historical layout.
+  std::size_t base = 0;
+  std::size_t sp = code.frame_slots;  // next free slot
+  for (std::size_t i = 0; i < code.frame_slots; ++i) stack[i] = 0;
 
-  const Instr* ip = code.instrs.data();
-  const Instr* end = ip + code.instrs.size();
+  const Instr* ip = code.instrs.data() + code.entry;
+  const Instr* end = code.instrs.data() + code.instrs.size();
   while (ip != end) {
     const Instr in = *ip++;
     switch (in.op) {
@@ -136,9 +141,76 @@ std::int64_t run(const Code& code, std::int64_t* values, std::uint8_t* present,
         sp -= 2;
         throw EvalError("DataContext: unknown table '" +
                         code.names[static_cast<std::size_t>(in.a)] + "'");
+      case Op::kLoadLocal:
+        stack[sp++] = stack[base + static_cast<std::size_t>(in.a)];
+        break;
+      case Op::kStoreLocal:
+        stack[base + static_cast<std::size_t>(in.a)] = stack[--sp];
+        break;
+      case Op::kLoadLocalArr: {
+        const Code::LocalArrayRef& arr =
+            code.local_arrays[static_cast<std::size_t>(in.a)];
+        const std::int64_t index = stack[--sp];
+        if (index < 0 || static_cast<std::uint64_t>(index) >= arr.extent) {
+          throw EvalError("index " + std::to_string(index) +
+                          " out of bounds for array '" + code.names[arr.name] +
+                          "' of extent " + std::to_string(arr.extent));
+        }
+        stack[sp++] = stack[base + arr.slot + static_cast<std::uint32_t>(index)];
+        break;
+      }
+      case Op::kStoreLocalArr: {
+        const Code::LocalArrayRef& arr =
+            code.local_arrays[static_cast<std::size_t>(in.a)];
+        const std::int64_t index = stack[--sp];
+        const std::int64_t value = stack[--sp];
+        if (index < 0 || static_cast<std::uint64_t>(index) >= arr.extent) {
+          throw EvalError("index " + std::to_string(index) +
+                          " out of bounds for array '" + code.names[arr.name] +
+                          "' of extent " + std::to_string(arr.extent));
+        }
+        stack[base + arr.slot + static_cast<std::uint32_t>(index)] = value;
+        break;
+      }
+      case Op::kZeroLocalArr: {
+        const Code::LocalArrayRef& arr =
+            code.local_arrays[static_cast<std::size_t>(in.a)];
+        for (std::uint32_t i = 0; i < arr.extent; ++i) {
+          stack[base + arr.slot + i] = 0;
+        }
+        break;
+      }
+      case Op::kJump:
+        ip = code.instrs.data() + in.a;
+        break;
+      case Op::kJumpIfZero:
+        if (stack[--sp] == 0) ip = code.instrs.data() + in.a;
+        break;
+      case Op::kCall: {
+        const Code::FnRef& fn = code.functions[static_cast<std::size_t>(in.a)];
+        const std::size_t new_base = sp - static_cast<std::size_t>(in.b);
+        for (std::size_t i = fn.nparams; i < fn.frame_slots; ++i) {
+          stack[new_base + i] = 0;
+        }
+        scratch.frames.push_back({ip, base});
+        base = new_base;
+        sp = new_base + fn.frame_slots;
+        ip = code.instrs.data() + fn.entry;
+        break;
+      }
+      case Op::kReturn: {
+        const std::int64_t result = stack[--sp];
+        sp = base;
+        const VmScratch::Frame frame = scratch.frames.back();
+        scratch.frames.pop_back();
+        base = frame.base;
+        ip = frame.return_ip;
+        stack[sp++] = result;
+        break;
+      }
     }
   }
-  return sp > 0 ? stack[sp - 1] : 0;
+  return sp > code.frame_slots ? stack[sp - 1] : 0;
 }
 
 }  // namespace

@@ -54,6 +54,17 @@ enum class Op : std::uint8_t {
   kThrowIdent,  ///< throw "unknown identifier '<names[a]>'"
   kThrowCall,   ///< pop b args; throw "unknown function or table '<names[a]>' ..."
   kThrowTable,  ///< pop 2; throw "DataContext: unknown table '<names[a]>'"
+  // --- script constructs (locals live on the value stack, never in the
+  // data row — the frame layout is the parser's dense slot assignment) ---
+  kLoadLocal,     ///< push stack[base + a]
+  kStoreLocal,    ///< pop value; stack[base + a] = value
+  kLoadLocalArr,  ///< pop index; push entry of local_arrays[a] (bounds-checked)
+  kStoreLocalArr, ///< pop index, pop value; write entry of local_arrays[a]
+  kZeroLocalArr,  ///< zero the slot range of local_arrays[a]
+  kJump,          ///< ip = a
+  kJumpIfZero,    ///< pop v; if v == 0: ip = a
+  kCall,          ///< call functions[a] with b args on top of the stack
+  kReturn,        ///< pop result, tear down frame, push result for caller
 };
 
 struct Instr {
@@ -75,16 +86,43 @@ struct Code {
     std::uint32_t name = 0;  ///< index into names
   };
 
+  /// One compiled user function, spliced into this Code's instruction
+  /// stream ahead of `entry`. kCall's `a` indexes this vector.
+  struct FnRef {
+    std::uint32_t entry = 0;        ///< first instruction of the body
+    std::uint32_t nparams = 0;
+    std::uint32_t frame_slots = 0;  ///< dense locals incl. parameters
+    std::uint32_t name = 0;         ///< index into names
+  };
+
+  /// A local array's frame-relative slot range, resolved at compile time.
+  struct LocalArrayRef {
+    std::uint32_t slot = 0;    ///< first slot, relative to the frame base
+    std::uint32_t extent = 0;
+    std::uint32_t name = 0;    ///< index into names
+  };
+
   std::vector<Instr> instrs;
   std::vector<std::int64_t> consts;
   std::vector<TableRef> tables;
   std::vector<std::string> names;
-  std::uint32_t max_stack = 0;
+  std::vector<FnRef> functions;
+  std::vector<LocalArrayRef> local_arrays;
+  std::uint32_t entry = 0;        ///< main code start (functions sit before it)
+  std::uint32_t frame_slots = 0;  ///< the main body's local frame size
+  std::uint32_t max_stack = 0;    ///< worst case incl. every call chain's frames
 };
 
 /// Reusable evaluation stack; grown to each Code's max depth on entry.
+/// Call frames live on the same stack (locals below the operand area);
+/// `frames` records the return address and frame base per active call.
 struct VmScratch {
+  struct Frame {
+    const Instr* return_ip = nullptr;
+    std::size_t base = 0;
+  };
   std::vector<std::int64_t> stack;
+  std::vector<Frame> frames;
 };
 
 /// Evaluate expression code against `frame`; returns the result value.

@@ -20,13 +20,27 @@ DataSchema DataSchema::build(const DataContext& initial,
       std::unique(schema.scalar_names_.begin(), schema.scalar_names_.end()),
       schema.scalar_names_.end());
 
-  auto base = static_cast<std::uint32_t>(schema.scalar_names_.size());
+  // Slot arithmetic in size_t, checked against the budget before anything
+  // is narrowed to the uint32 slot indices: a table sized near 2^32 must be
+  // a hard build error, not a silent wrap of every later table's base.
+  std::size_t base = schema.scalar_names_.size();
+  if (base > kMaxSlots) {
+    throw std::invalid_argument(
+        "DataSchema: " + std::to_string(base) +
+        " scalars exceed the slot budget (" + std::to_string(kMaxSlots) + ")");
+  }
   for (const auto& [name, values] : initial.tables()) {
+    if (values.size() > kMaxSlots - base) {
+      throw std::invalid_argument(
+          "DataSchema: table '" + name + "' of size " +
+          std::to_string(values.size()) + " exceeds the slot budget (" +
+          std::to_string(kMaxSlots) + ")");
+    }
     Table t;
     t.name = name;
-    t.base = base;
+    t.base = static_cast<std::uint32_t>(base);
     t.size = static_cast<std::uint32_t>(values.size());
-    base += t.size;
+    base += values.size();
     schema.tables_.push_back(std::move(t));  // map order is already name order
   }
   schema.num_values_ = base;

@@ -58,6 +58,11 @@ struct DataFrame {
 /// Frozen name->slot layout; see file comment. Immutable once built.
 class DataSchema {
  public:
+  /// Upper bound on total value slots (scalars + table entries). Kept well
+  /// under 2^32 so the uint32 slot indices, the 2-words-per-slot encoding
+  /// and the mmap'd spill segment offsets can never overflow; build()
+  /// throws std::invalid_argument instead of wrapping.
+  static constexpr std::size_t kMaxSlots = std::size_t{1} << 28;
   struct Table {
     std::string name;
     std::uint32_t base = 0;  ///< first entry's index into DataFrame::values

@@ -6,8 +6,11 @@
 #include <stdexcept>
 #include <vector>
 
+#include <algorithm>
+
 #include "expr/compile.h"
 #include "expr/lexer.h"
+#include "expr/parser.h"
 
 namespace pnut::textio {
 
@@ -72,7 +75,8 @@ std::vector<Word> scan(std::string_view text) {
 
 bool is_declaration(const Word& w) {
   return !w.quoted && (w.text == "net" || w.text == "var" || w.text == "table" ||
-                       w.text == "place" || w.text == "trans");
+                       w.text == "place" || w.text == "trans" || w.text == "fn" ||
+                       w.text == "param" || w.text == "array");
 }
 
 bool is_clause(const Word& w) {
@@ -91,8 +95,11 @@ class PnParser {
       const Word& w = peek();
       if (!is_declaration(w)) fail(w.line, "expected a declaration, got '" + w.text + "'");
       if (w.text == "net") parse_net_name();
+      else if (w.text == "fn") parse_fn();
+      else if (w.text == "param") parse_param();
       else if (w.text == "var") parse_var();
       else if (w.text == "table") parse_table();
+      else if (w.text == "array") parse_array();
       else if (w.text == "place") parse_place();
       else parse_transition();
     }
@@ -141,6 +148,65 @@ class PnParser {
   void parse_net_name() {
     take();  // 'net'
     doc_.net.set_name(take_word("net name").text);
+  }
+
+  /// Re-anchor a ParseError from an embedded expression string at its
+  /// absolute document line, with the expression's caret snippet attached.
+  [[noreturn]] void fail_expr(const Word& src, const char* what,
+                              const expr::ParseError& e) {
+    const std::size_t abs_line =
+        src.line + (e.line() > 0 ? e.line() - 1 : 0);
+    std::string message = std::string("bad ") + what + ": " + e.what();
+    std::string caret = expr::render_caret(src.text, e.line(), e.col());
+    while (!caret.empty() && caret.back() == '\n') caret.pop_back();
+    if (!caret.empty()) message += "\n" + caret;
+    fail(abs_line, message);
+  }
+
+  void parse_fn() {
+    take();  // 'fn'
+    const Word& src = take_word("function definition string");
+    if (!src.quoted) fail(src.line, "fn definition must be a quoted string");
+    try {
+      doc_.functions.functions.push_back(
+          expr::parse_function(src.text, &doc_.functions));
+    } catch (const expr::ParseError& e) {
+      fail_expr(src, "fn definition", e);
+    }
+    doc_.function_sources.push_back(src.text);
+  }
+
+  void parse_param() {
+    const Word& kw = take();  // 'param'
+    const std::string name = take_word("parameter name").text;
+    if (std::find(doc_.params.begin(), doc_.params.end(), name) !=
+            doc_.params.end() ||
+        doc_.net.initial_data().scalars().count(name) != 0) {
+      fail(kw.line, "duplicate param '" + name + "'");
+    }
+    doc_.net.initial_data().set(name, take_int("parameter value"));
+    doc_.params.push_back(name);
+  }
+
+  void parse_array() {
+    const Word& kw = take();  // 'array'
+    const std::string name = take_word("array name").text;
+    if (doc_.net.initial_data().tables().count(name) != 0) {
+      fail(kw.line, "duplicate table '" + name + "'");
+    }
+    const std::int64_t extent = take_int("array extent");
+    if (extent < 1) {
+      fail(kw.line, "array extent must be at least 1, got " +
+                        std::to_string(extent));
+    }
+    if (extent > expr::kMaxArrayExtent) {
+      fail(kw.line, "array extent " + std::to_string(extent) +
+                        " exceeds the bound (" +
+                        std::to_string(expr::kMaxArrayExtent) + ")");
+    }
+    doc_.net.initial_data().set_table(
+        name, std::vector<std::int64_t>(static_cast<std::size_t>(extent), 0));
+    doc_.arrays.push_back(name);
   }
 
   void parse_var() {
@@ -225,7 +291,11 @@ class PnParser {
       const Word& src = take_word("delay expression string");
       if (!src.quoted) fail(src.line, "delay expression must be a quoted string");
       pending_delay_expr_ = src.text;
-      return expr::compile_delay(src.text);
+      try {
+        return expr::compile_delay(src.text, &doc_.functions);
+      } catch (const expr::ParseError& e) {
+        fail_expr(src, "delay expression", e);
+      }
     }
     try {
       std::size_t used = 0;
@@ -280,18 +350,18 @@ class PnParser {
         const Word& src = take_word("predicate string");
         if (!src.quoted) fail(src.line, "predicate must be a quoted string");
         try {
-          doc_.net.set_predicate(t, expr::compile_predicate(src.text));
+          doc_.net.set_predicate(t, expr::compile_predicate(src.text, &doc_.functions));
         } catch (const expr::ParseError& e) {
-          fail(src.line, "bad predicate: " + std::string(e.what()));
+          fail_expr(src, "predicate", e);
         }
         doc_.predicate_sources[t.value] = src.text;
       } else if (clause.text == "do") {
         const Word& src = take_word("action string");
         if (!src.quoted) fail(src.line, "action must be a quoted string");
         try {
-          doc_.net.set_action(t, expr::compile_action(src.text));
+          doc_.net.set_action(t, expr::compile_action(src.text, &doc_.functions));
         } catch (const expr::ParseError& e) {
-          fail(src.line, "bad action: " + std::string(e.what()));
+          fail_expr(src, "action", e);
         }
         doc_.action_sources[t.value] = src.text;
       }
@@ -344,10 +414,36 @@ std::string print_document(const Net& net, const NetDocument* doc) {
   std::ostringstream out;
   if (!net.name().empty()) out << "net " << net.name() << "\n";
 
+  // fn declarations first: later fns and every transition hook may call them.
+  if (doc != nullptr) {
+    for (const std::string& source : doc->function_sources) {
+      out << "fn \"" << source << "\"\n";
+    }
+  }
+  const auto is_param = [&](const std::string& name) {
+    return doc != nullptr &&
+           std::find(doc->params.begin(), doc->params.end(), name) !=
+               doc->params.end();
+  };
+  const auto is_array = [&](const std::string& name) {
+    return doc != nullptr &&
+           std::find(doc->arrays.begin(), doc->arrays.end(), name) !=
+               doc->arrays.end();
+  };
+  if (doc != nullptr) {
+    for (const std::string& name : doc->params) {
+      out << "param " << name << ' ' << net.initial_data().scalars().at(name)
+          << '\n';
+    }
+  }
   for (const auto& [name, value] : net.initial_data().scalars()) {
-    out << "var " << name << ' ' << value << '\n';
+    if (!is_param(name)) out << "var " << name << ' ' << value << '\n';
   }
   for (const auto& [name, values] : net.initial_data().tables()) {
+    if (is_array(name)) {
+      out << "array " << name << ' ' << values.size() << '\n';
+      continue;
+    }
     out << "table " << name;
     for (std::int64_t v : values) out << ' ' << v;
     out << '\n';

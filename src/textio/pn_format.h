@@ -7,8 +7,11 @@
 //
 //   # comment
 //   net pipelined_processor
+//   param memory_cycles 5
+//   fn "access_cycles(hit) { return 1 + (1 - hit) * memory_cycles; }"
 //   var  type 0
 //   table operands 0 0 1 2
+//   array scratch 16
 //   place Bus_free init 1
 //   place Empty_I_buffers init 6 capacity 6
 //   trans Start_prefetch in Bus_free, Empty_I_buffers*2
@@ -22,7 +25,8 @@
 //   trans fetch_operand in D, Bus_free out Bus_busy when "n_ops > 0"
 //
 // Clauses may continue on following lines; a new declaration keyword (net/
-// var/table/place/trans) starts the next statement. Delay clauses:
+// fn/param/var/table/array/place/trans) starts the next statement. Delay
+// clauses:
 //   firing|enabling <number>
 //   firing|enabling uniform <lo> <hi>
 //   firing|enabling discrete <value>:<weight> ...
@@ -30,27 +34,50 @@
 // Other clauses: freq <number>, policy single|infinite,
 // when "<predicate>", do "<statements>".
 //
+// Model-library declarations (docs/LANG.md):
+//   fn "name(a, b) { ... }"  — a document-level function, callable from
+//       every later fn / when / do / expr string (definitions must precede
+//       their uses; recursion is rejected);
+//   param <name> <value>     — an initial scalar flagged as a tunable model
+//       parameter (a plain `var` to the engines, but recorded so tools and
+//       sweeps can enumerate the knobs);
+//   array <name> <extent>    — a zero-initialized table of fixed extent.
+//
 // Because predicates, actions and computed delays compile to opaque
 // functions, the parser returns a NetDocument that keeps the source text
-// alongside the net, so print_net round-trips interpreted models.
+// alongside the net, so print_net round-trips interpreted models. Errors in
+// embedded expression strings are reported at their absolute document line
+// with a caret snippet (expr::render_caret).
 #pragma once
 
 #include <map>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "expr/ast.h"
 #include "petri/net.h"
 
 namespace pnut::textio {
 
 /// A net plus the textual sources of its interpreted parts (keyed by
-/// transition index).
+/// transition index) and its model-library declarations.
 struct NetDocument {
   Net net;
   std::map<std::uint32_t, std::string> predicate_sources;
   std::map<std::uint32_t, std::string> action_sources;
   std::map<std::uint32_t, std::string> firing_expr_sources;
   std::map<std::uint32_t, std::string> enabling_expr_sources;
+  /// Document-level `fn` declarations, in declaration order; every
+  /// expression hook in `net` was compiled against this library.
+  expr::FunctionLibrary functions;
+  /// Source text of each function, parallel to functions.functions.
+  std::vector<std::string> function_sources;
+  /// Names declared with `param`, in declaration order (values live in
+  /// net.initial_data() like any scalar).
+  std::vector<std::string> params;
+  /// Table names declared with `array` (zero-filled, extent-only).
+  std::vector<std::string> arrays;
 };
 
 /// Parse the .pn format. Throws std::runtime_error carrying a line number

@@ -15,6 +15,7 @@
 #include "analysis/reachability.h"
 #include "pipeline/interpreted.h"
 #include "support/net_fuzz.h"
+#include "textio/pn_format.h"
 
 namespace pnut::analysis {
 namespace {
@@ -100,6 +101,41 @@ TEST(VmGraphEquivalence, TruncatedPrefixesMatchAstOracleAndThreads) {
                        "truncated@" + std::to_string(max_states) +
                            " threads=" + std::to_string(threads));
     }
+  }
+}
+
+// A .pn-sourced model exercising the scripting layer end to end inside the
+// exploration engines: document functions (one with a for loop), a tunable
+// param, a document array written by actions, and loops in an action.
+constexpr const char* kScriptedModel = R"pn(
+net scripted_gadget
+fn "wrap(v) { return v % 4; }"
+fn "accumulate(seed) { let acc = seed; for k = 0 to 3 { acc = acc + scratch[k]; } return wrap(acc); }"
+param step 2
+var total 0
+array scratch 4
+place idle init 1 capacity 1
+place busy capacity 1
+trans begin in idle out busy when "total < 6"
+      do "scratch[wrap(total)] = wrap(total + step); total = total + 1"
+trans finish in busy out idle do "total = total + accumulate(total)"
+trans skip in idle out idle when "total < 6" do "total = total + step"
+trans reset in idle out idle when "total >= 6"
+      do "total = 0; for k = 0 to 3 { scratch[k] = 0; }"
+)pn";
+
+TEST(VmGraphEquivalence, ScriptedPnModelMatchesAstOracleAndThreads) {
+  const Net net = textio::parse_net(kScriptedModel).net;
+  const std::vector<std::string> scalars = {"total", "step"};
+  const ReachabilityGraph vm = build(net, true, 1);
+  const ReachabilityGraph ast = build(net, false, 1);
+  EXPECT_EQ(vm.status(), ReachStatus::kComplete);
+  EXPECT_GE(vm.num_states(), 10u);
+  expect_identical(vm, ast, scalars, "scripted-pn");
+  for (const unsigned threads : {2u, 4u}) {
+    const ReachabilityGraph parallel = build(net, true, threads);
+    expect_identical(parallel, vm, scalars,
+                     "scripted-pn threads=" + std::to_string(threads));
   }
 }
 

@@ -90,6 +90,67 @@ TEST_F(CliTest, ValidateMissingFile) {
   EXPECT_NE(r.err.find("cannot open"), std::string::npos);
 }
 
+TEST_F(CliTest, CheckAcceptsPlainAndScriptedModels) {
+  const Result plain = run_cli({"check", model_path_});
+  EXPECT_EQ(plain.code, 0) << plain.err;
+  EXPECT_NE(plain.out.find("ok: 4 places, 3 transitions"), std::string::npos);
+
+  // A model using the scripting layer reports its library and slot counts.
+  const std::string scripted_path = (dir_ / "scripted.pn").string();
+  std::ofstream(scripted_path)
+      << "net scripted\n"
+         "fn \"twice(v) { return v + v; }\"\n"
+         "param base 3\n"
+         "var total 0\n"
+         "place P init 1\n"
+         "trans t in P out P do \"total = twice(base)\" firing 1\n";
+  const Result scripted = run_cli({"check", scripted_path});
+  EXPECT_EQ(scripted.code, 0) << scripted.err;
+  EXPECT_NE(scripted.out.find("1 places, 1 transitions"), std::string::npos);
+  EXPECT_NE(scripted.out.find("1 functions"), std::string::npos);
+  EXPECT_NE(scripted.out.find("1 params"), std::string::npos);
+  EXPECT_NE(scripted.out.find("value slots"), std::string::npos);
+}
+
+TEST_F(CliTest, CheckReportsLineMappedDiagnosticsWithCaret) {
+  // The broken expression lives inside a quoted string on document line 4;
+  // the diagnostic points there and renders a caret under the column.
+  const std::string bad_path = (dir_ / "bad_expr.pn").string();
+  std::ofstream(bad_path) << "net bad\n"
+                             "place P init 1\n"
+                             "trans t in P out P\n"
+                             "      do \"x = +\"\n";
+  const Result r = run_cli({"check", bad_path});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.out.find("line 4: bad action: expected an expression"),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("x = +\n    ^"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find(bad_path), std::string::npos);  // path-prefixed
+}
+
+TEST_F(CliTest, CheckLowersEveryHookAndNamesTheBadOne) {
+  // Arity mistakes are evaluation-time in the AST walker, so validate and
+  // simulate accept this model; check compiles to bytecode and rejects it,
+  // naming the transition and hook.
+  const std::string arity_path = (dir_ / "arity.pn").string();
+  std::ofstream(arity_path) << "net arity\n"
+                               "place P init 1\n"
+                               "trans t in P out P do \"x = irand[1]\"\n";
+  EXPECT_EQ(run_cli({"validate", arity_path}).code, 0);
+  const Result r = run_cli({"check", arity_path});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.out.find("transition 't' action: irand expects 2 arguments, got 1"),
+            std::string::npos)
+      << r.out;
+}
+
+TEST_F(CliTest, CheckMissingFile) {
+  const Result r = run_cli({"check", (dir_ / "absent.pn").string()});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.out.find("cannot open"), std::string::npos);
+}
+
 TEST_F(CliTest, PrintRoundTrips) {
   const Result r = run_cli({"print", model_path_});
   ASSERT_EQ(r.code, 0) << r.err;

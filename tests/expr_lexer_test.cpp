@@ -117,5 +117,98 @@ TEST(Lexer, OffsetsPointIntoSource) {
   EXPECT_EQ(tokens[2].offset, 5u);
 }
 
+// --- script keywords ----------------------------------------------------------
+
+TEST(Lexer, ScriptKeywords) {
+  const auto k = kinds("let fn for to return");
+  ASSERT_EQ(k.size(), 6u);
+  EXPECT_EQ(k[0], TokenKind::kLet);
+  EXPECT_EQ(k[1], TokenKind::kFn);
+  EXPECT_EQ(k[2], TokenKind::kFor);
+  EXPECT_EQ(k[3], TokenKind::kTo);
+  EXPECT_EQ(k[4], TokenKind::kReturn);
+}
+
+TEST(Lexer, KeywordPrefixedWordsStayIdentifiers) {
+  for (const char* word : {"lets", "fnord", "format", "total", "returns", "f"}) {
+    const auto tokens = tokenize(word);
+    ASSERT_EQ(tokens.size(), 2u) << word;
+    EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier) << word;
+    EXPECT_EQ(tokens[0].text, word);
+  }
+}
+
+TEST(Lexer, DashedWordContainingKeywordIsOneIdentifier) {
+  // Keyword recognition happens on the whole dashed word, so paper-style
+  // names like for-loop never desugar into `for` + `-` + `loop`.
+  const auto tokens = tokenize("for-loop let-7");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "for-loop");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[1].text, "let-7");
+}
+
+// --- line:col positions -------------------------------------------------------
+
+TEST(Lexer, TokensCarryLineAndColumn) {
+  const auto tokens = tokenize("ab + cd\n  let x");
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_EQ(tokens[0].line, 1u);
+  EXPECT_EQ(tokens[0].col, 1u);
+  EXPECT_EQ(tokens[1].line, 1u);
+  EXPECT_EQ(tokens[1].col, 4u);
+  EXPECT_EQ(tokens[2].col, 6u);
+  EXPECT_EQ(tokens[3].line, 2u);  // 'let' after the newline
+  EXPECT_EQ(tokens[3].col, 3u);
+  EXPECT_EQ(tokens[4].line, 2u);
+  EXPECT_EQ(tokens[4].col, 7u);
+}
+
+TEST(Lexer, CommentDoesNotDisturbLineCounting) {
+  const auto tokens = tokenize("a // one\n// two\nb");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].line, 3u);
+  EXPECT_EQ(tokens[1].col, 1u);
+}
+
+TEST(Lexer, ErrorsCarryLineAndColumn) {
+  try {
+    tokenize("ab\n $");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_EQ(e.col(), 2u);
+    EXPECT_EQ(e.offset(), 4u);
+  }
+}
+
+// --- diagnostic rendering -----------------------------------------------------
+
+TEST(Lexer, RenderCaretUnderlinesTheColumn) {
+  EXPECT_EQ(render_caret("x + y", 1, 3), "x + y\n  ^\n");
+  EXPECT_EQ(render_caret("a\nbc + d", 2, 4), "bc + d\n   ^\n");
+}
+
+TEST(Lexer, RenderCaretToleratesEndOfLinePositions) {
+  // Errors at end of input point one past the last character.
+  EXPECT_EQ(render_caret("ab", 1, 3), "ab\n  ^\n");
+  // Positions past that, or unknown (0) positions, render nothing.
+  EXPECT_EQ(render_caret("ab", 1, 9), "");
+  EXPECT_EQ(render_caret("ab", 0, 0), "");
+  EXPECT_EQ(render_caret("ab", 7, 1), "");
+}
+
+TEST(Lexer, FormatDiagnosticCombinesPositionMessageAndCaret) {
+  const std::string source = "x +\n$ y";
+  try {
+    tokenize(source);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(format_diagnostic(source, e),
+              "2:1: unexpected character '$'\n$ y\n^\n");
+  }
+}
+
 }  // namespace
 }  // namespace pnut::expr

@@ -129,5 +129,213 @@ TEST(Parser, ExpressionToStringRoundTrips) {
   }
 }
 
+// --- script constructs: let / arrays / for / fn -------------------------------
+
+/// Parse `source` expecting failure; returns "line:col: message" so tests
+/// pin the position along with the text.
+std::string failure(std::string_view source) {
+  try {
+    (void)parse_program(source);
+    return "<parsed>";
+  } catch (const ParseError& e) {
+    return std::to_string(e.line()) + ":" + std::to_string(e.col()) + ": " + e.what();
+  }
+}
+
+TEST(Parser, LetBindingGetsFrameSlot) {
+  const Program p = parse_program("let a = 1; let b = a + 1; x = b");
+  ASSERT_EQ(p.statements.size(), 3u);
+  EXPECT_EQ(p.statements[0].kind, Statement::Kind::kLet);
+  EXPECT_EQ(p.statements[0].slot, 0);
+  EXPECT_EQ(p.statements[1].slot, 1);
+  EXPECT_EQ(p.statements[2].kind, Statement::Kind::kAssign);
+  EXPECT_EQ(p.statements[2].slot, -1);  // x is data, not a local
+  EXPECT_EQ(p.frame_slots, 2u);
+}
+
+TEST(Parser, LetInitializerSeesTheOuterName) {
+  // In `let x = x + 1` the right-hand x is the data context's x: the
+  // binding only becomes visible after its initializer.
+  const Program p = parse_program("let x = x + 1; y = x");
+  EXPECT_EQ(p.statements[0].value->to_string(), "(x + 1)");
+  EXPECT_EQ(p.statements[0].slot, 0);
+}
+
+TEST(Parser, LetArrayDeclaration) {
+  const Program p = parse_program("let a[4]; a[2] = 9; x = a[0]");
+  ASSERT_EQ(p.statements.size(), 3u);
+  EXPECT_EQ(p.statements[0].kind, Statement::Kind::kLetArray);
+  EXPECT_EQ(p.statements[0].extent, 4);
+  EXPECT_EQ(p.statements[1].slot, 0);
+  EXPECT_EQ(p.statements[1].extent, 4);
+  EXPECT_EQ(p.frame_slots, 4u);
+}
+
+TEST(Parser, ArrayMisuseIsAParseError) {
+  EXPECT_EQ(failure("let a[2]; x = a"),
+            "1:15: array 'a' cannot be read without an index");
+  EXPECT_EQ(failure("let a[2]; a = 1"),
+            "1:11: array 'a' cannot be assigned without an index");
+  EXPECT_EQ(failure("let a[2]; x = a[0, 1]"),
+            "1:15: array 'a' expects 1 index, got 2");
+  EXPECT_EQ(failure("let s = 1; x = s[0]"),
+            "1:16: local 's' is not an array or function");
+  EXPECT_EQ(failure("let s = 1; s[0] = 2"), "1:12: local 's' is not an array");
+}
+
+TEST(Parser, DuplicateLocalInScopeRejectedButShadowingAllowed) {
+  EXPECT_EQ(failure("let x = 1; let x = 2"),
+            "1:16: duplicate local 'x' in this scope");
+  // A for body is an inner scope: shadowing the outer local is fine, and
+  // the binding disappears with the scope.
+  const Program p =
+      parse_program("let x = 1; for i = 0 to 1 { let x = 2; }; let i = 9");
+  EXPECT_EQ(p.statements.size(), 3u);
+}
+
+TEST(Parser, ForLoopBoundsAndTripCount) {
+  const Program p = parse_program("for i = 2 to 5 { x = i; }");
+  ASSERT_EQ(p.statements.size(), 1u);
+  const Statement& loop = p.statements[0];
+  EXPECT_EQ(loop.kind, Statement::Kind::kFor);
+  EXPECT_EQ(loop.lo, 2);
+  EXPECT_EQ(loop.hi, 5);
+  EXPECT_EQ(loop.trip_count, 4u);
+  ASSERT_EQ(loop.body.size(), 1u);
+  EXPECT_EQ(loop.body[0].target, "x");
+  // Loop variable and hidden trip counter both live in the frame.
+  EXPECT_EQ(p.frame_slots, 2u);
+}
+
+TEST(Parser, ForLoopAcceptsNegativeAndEmptyRanges) {
+  EXPECT_EQ(parse_program("for i = -2 to 2 { x = i; }").statements[0].trip_count, 5u);
+  EXPECT_EQ(parse_program("for i = 5 to 2 { x = i; }").statements[0].trip_count, 0u);
+}
+
+TEST(Parser, LoopVariableIsReadOnly) {
+  EXPECT_EQ(failure("for i = 0 to 3 { i = 9; }"),
+            "1:18: cannot assign to loop variable 'i'");
+}
+
+TEST(Parser, FnDefinitionAndResolvedCall) {
+  const Program p = parse_program(
+      "fn double(v) { return v * 2; }\n"
+      "x = double(3)");
+  ASSERT_EQ(p.local_fns.size(), 1u);
+  EXPECT_EQ(p.local_fns[0]->name, "double");
+  EXPECT_EQ(p.local_fns[0]->params.size(), 1u);
+  EXPECT_EQ(p.local_fns[0]->frame_slots, 1u);
+  EXPECT_EQ(p.local_fns[0]->index, 0u);
+  ASSERT_EQ(p.statements.size(), 1u);
+}
+
+TEST(Parser, FnArityCheckedAtParseTime) {
+  EXPECT_EQ(failure("fn double(v) { return v * 2; }\nx = double(1, 2)"),
+            "2:5: double expects 1 argument, got 2");
+  EXPECT_EQ(failure("fn pair(a, b) { return a + b; }\nx = pair(1)"),
+            "2:5: pair expects 2 arguments, got 1");
+}
+
+TEST(Parser, RecursionAndForwardReferencesRejected) {
+  EXPECT_EQ(failure("fn f(v) { return f(v); }"),
+            "1:18: recursive call to 'f' (functions may only call earlier "
+            "definitions)");
+  // Later definitions are unknown at the call site, so g stays a dynamic
+  // call — which a whole-script compile then rejects, keeping the function
+  // graph a DAG by construction. Parse alone accepts it (it could be a
+  // table read).
+  EXPECT_EQ(parse_program("fn f(v) { return g(v); }\nfn g(v) { return v; }")
+                .local_fns.size(),
+            2u);
+}
+
+TEST(Parser, FnScopingErrors) {
+  EXPECT_EQ(failure("fn f(v) { x = v; }"),
+            "1:11: fn bodies may only assign locals ('x' is not a parameter or "
+            "let)");
+  EXPECT_EQ(failure("fn irand(v) { return v; }"),
+            "1:4: cannot redefine builtin 'irand'");
+  EXPECT_EQ(failure("fn f(min) { return min; }"), "1:6: cannot shadow builtin 'min'");
+  EXPECT_EQ(failure("fn f(a, a) { return a; }"), "1:9: duplicate parameter 'a'");
+  EXPECT_EQ(failure("fn f(v) { return v; }\nfn f(v) { return v; }"),
+            "2:4: duplicate function 'f'");
+  EXPECT_EQ(failure("for i = 0 to 1 { fn f(v) { return v; } }"),
+            "1:18: fn definitions are only allowed at the top level of a script");
+  EXPECT_EQ(failure("return 1"), "1:1: 'return' outside a function body");
+}
+
+TEST(Parser, ParseFunctionAcceptsKeywordlessForm) {
+  // .pn documents write `fn "name(args) { ... }"` — the string omits the
+  // keyword; the standalone form with the keyword parses identically.
+  const auto bare = parse_function("triple(v) { return v * 3; }");
+  const auto keyworded = parse_function("fn triple(v) { return v * 3; }");
+  EXPECT_EQ(bare->name, "triple");
+  EXPECT_EQ(bare->to_string(), keyworded->to_string());
+}
+
+TEST(Parser, FunctionLibraryResolvesCallsWithArityChecks) {
+  FunctionLibrary library;
+  library.functions.push_back(parse_function("twice(v) { return v + v; }"));
+  EXPECT_EQ(parse_expression("twice(21)", &library)->to_string(), "twice[21]");
+  try {
+    (void)parse_expression("twice(1, 2)", &library);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_STREQ(e.what(), "twice expects 1 argument, got 2");
+  }
+  // Library functions may call earlier library functions.
+  library.functions.push_back(
+      parse_function("quad(v) { return twice(twice(v)); }", &library));
+  EXPECT_EQ(library.functions[1]->index, 1u);
+}
+
+TEST(Parser, ScriptToStringRoundTrips) {
+  const Program p = parse_program(
+      "fn acc(hit) { return hit * 2; }\n"
+      "let a[3];\n"
+      "for i = 0 to 2 { a[i] = acc(i); };\n"
+      "x = a[1]");
+  const Program p2 = parse_program(p.to_string());
+  EXPECT_EQ(p2.to_string(), p.to_string());
+  EXPECT_EQ(p2.frame_slots, p.frame_slots);
+}
+
+// --- satellite: slot budgets are compile-time errors --------------------------
+
+TEST(Parser, ArrayExtentBudget) {
+  EXPECT_EQ(failure("let a[0]"), "1:7: array extent must be at least 1, got 0");
+  EXPECT_EQ(failure("let a[65537]"),
+            "1:7: array extent 65537 exceeds the bound (65536)");
+  // The boundary itself is fine.
+  EXPECT_EQ(parse_program("let a[65536]").frame_slots, 65536u);
+}
+
+TEST(Parser, LoopTripBudget) {
+  EXPECT_EQ(failure("for i = 0 to 65536 { x = i; }"),
+            "1:1: loop from 0 to 65536 runs 65537 iterations, exceeding the "
+            "bound (65536)");
+  // The boundary itself is fine, as is a range straddling int64 extremes
+  // (trip counting cannot wrap — it is not a compare against hi).
+  EXPECT_EQ(parse_program("for i = 1 to 65536 { x = i; }").statements[0].trip_count,
+            65536u);
+  EXPECT_EQ(failure("for i = -9223372036854775807 to 9223372036854775807 "
+                    "{ x = i; }"),
+            "1:1: loop from -9223372036854775807 to 9223372036854775807 runs "
+            "18446744073709551615 iterations, exceeding the bound (65536)");
+}
+
+TEST(Parser, FrameSlotBudget) {
+  // 16 arrays of the max extent fit (2^20 slots exactly); a 17th single
+  // scalar overflows the frame budget.
+  std::string source;
+  for (int i = 0; i < 16; ++i) {
+    source += "let a" + std::to_string(i) + "[65536]; ";
+  }
+  EXPECT_EQ(parse_program(source).frame_slots, std::uint32_t{1} << 20);
+  EXPECT_EQ(failure(source + "let b = 1"),
+            "1:" + std::to_string(source.size() + 5) +
+                ": local frame exceeds the slot budget (1048576 slots)");
+}
+
 }  // namespace
 }  // namespace pnut::expr

@@ -227,6 +227,196 @@ TEST(ExprVm, CompilerMirrorsArityChecksAtCompileTime) {
   }
 }
 
+// --- script constructs: fn / let / array / for --------------------------------
+
+/// Created globals: kAssign targets outside the schema without an index,
+/// anywhere in the statement tree (loop bodies included). Locals (slot >= 0)
+/// never enter the schema.
+void collect_created(const std::vector<expr::Statement>& statements,
+                     std::vector<std::string>& out) {
+  for (const expr::Statement& stmt : statements) {
+    if (stmt.kind == expr::Statement::Kind::kAssign && stmt.slot < 0 && !stmt.index) {
+      out.push_back(stmt.target);
+    }
+    collect_created(stmt.body, out);
+  }
+}
+
+/// Run one program through both evaluators from the same initial data and
+/// seed; require identical error text, final data state and rng position.
+void expect_program_equivalence(const std::string& source, const DataContext& initial,
+                                std::uint64_t seed, const std::string& label) {
+  const expr::Program program = expr::parse_program(source);
+
+  DataContext ast_data = initial;
+  Rng ast_rng(seed);
+  std::string ast_error;
+  try {
+    expr::EvalContext ctx;
+    ctx.data = &ast_data;
+    ctx.mutable_data = &ast_data;
+    ctx.rng = &ast_rng;
+    program.execute(ctx);
+  } catch (const EvalError& e) {
+    ast_error = e.what();
+  }
+
+  std::vector<std::string> targets;
+  collect_created(program.statements, targets);
+  const DataSchema schema = DataSchema::build(initial, targets);
+  DataFrame frame = schema.make_frame(initial);
+  Rng vm_rng(seed);
+  VmScratch scratch;
+  std::string vm_error;
+  try {
+    expr::vm_exec(expr::compile_program(program, schema), frame, &vm_rng, scratch);
+  } catch (const EvalError& e) {
+    vm_error = e.what();
+  }
+
+  EXPECT_EQ(vm_error, ast_error) << label << ": " << source;
+  EXPECT_EQ(schema.to_context(frame), ast_data) << label << ": " << source;
+  EXPECT_EQ(vm_rng.next_u64(), ast_rng.next_u64())
+      << label << ": rng streams diverged: " << source;
+}
+
+std::int64_t run_script(const std::string& source, const char* result_name) {
+  const DataContext initial = base_data();
+  const expr::Program program = expr::parse_program(source);
+  std::vector<std::string> targets;
+  collect_created(program.statements, targets);
+  const DataSchema schema = DataSchema::build(initial, targets);
+  DataFrame frame = schema.make_frame(initial);
+  Rng rng(99);
+  VmScratch scratch;
+  expr::vm_exec(expr::compile_program(program, schema), frame, &rng, scratch);
+  return schema.to_context(frame).get(result_name);
+}
+
+TEST(ExprVmScript, FunctionsLetsArraysAndLoops) {
+  // One script using every construct; cross-checked against the AST walker
+  // and pinned to the hand-computed value.
+  const std::string source =
+      "fn double(v) { return v + v; }\n"
+      "fn weigh(a, b) { let s = a + b; return double(s) + 1; }\n"
+      "let acc = 0;\n"
+      "let grid[3];\n"
+      "for i = 0 to 2 { grid[i] = weigh(i, x); }\n"
+      "for i = 0 to 2 { acc = acc + grid[i]; }\n"
+      "out = acc";
+  expect_program_equivalence(source, base_data(), 5, "script");
+  // x = 7: weigh(i, 7) = 2*(i+7)+1 -> 15, 17, 19; sum 51.
+  EXPECT_EQ(run_script(source, "out"), 51);
+}
+
+TEST(ExprVmScript, NestedLoopsAndShadowing) {
+  // Loop bounds are compile-time literals; nesting and shadowing are not.
+  const std::string source =
+      "let total = 0;\n"
+      "for i = 1 to 3 {\n"
+      "  let stride = i * 10;\n"
+      "  for j = 1 to 2 { total = total + stride + j; }\n"
+      "}\n"
+      "out = total";
+  expect_program_equivalence(source, base_data(), 5, "nested");
+  // Per i: 2 * 10i + (1 + 2); i = 1..3 -> 23 + 43 + 63 = 129.
+  EXPECT_EQ(run_script(source, "out"), 129);
+}
+
+TEST(ExprVmScript, EmptyRangeLoopBodyNeverRuns) {
+  const std::string source = "x = 0; for i = 5 to 2 { x = x + 1; }; out = x";
+  expect_program_equivalence(source, base_data(), 5, "empty-range");
+  EXPECT_EQ(run_script(source, "out"), 0);
+}
+
+TEST(ExprVmScript, LoopAtInt64EdgeDoesNotWrap) {
+  // hi == INT64_MAX: a naive `counter > hi` compare would wrap and loop
+  // forever; the trip-count encoding runs exactly two iterations.
+  const std::string source =
+      "let n = 0;\n"
+      "for i = 9223372036854775806 to 9223372036854775807 { n = n + 1; }\n"
+      "out = n";
+  expect_program_equivalence(source, base_data(), 5, "int64-edge");
+  EXPECT_EQ(run_script(source, "out"), 2);
+}
+
+TEST(ExprVmScript, ArrayOutOfBoundsMessagesMatch) {
+  for (const char* source :
+       {"let a[2]; x = a[2]", "let a[2]; x = a[0 - 1]", "let a[3]; a[y] = 1"}) {
+    expect_program_equivalence(source, base_data(), 5, "array-oob");
+  }
+  // And the exact wording both evaluators share.
+  const expr::Program program = expr::parse_program("let a[2]; x = a[5]");
+  const DataContext initial = base_data();
+  const DataSchema schema = DataSchema::build(initial, {});
+  DataFrame frame = schema.make_frame(initial);
+  VmScratch scratch;
+  try {
+    expr::vm_exec(expr::compile_program(program, schema), frame, nullptr, scratch);
+    FAIL() << "expected EvalError";
+  } catch (const EvalError& e) {
+    EXPECT_STREQ(e.what(), "index 5 out of bounds for array 'a' of extent 2");
+  }
+}
+
+TEST(ExprVmScript, IrandInLoopKeepsRngStreamsInStep) {
+  const std::string source =
+      "fn jitter(v) { return v + irand(0, 3); }\n"
+      "let sum = 0;\n"
+      "for i = 1 to 8 { sum = sum + jitter(i); }\n"
+      "out = sum";
+  for (std::uint64_t seed : {1ULL, 7ULL, 1988ULL}) {
+    expect_program_equivalence(source, base_data(), seed, "loop-rng");
+  }
+}
+
+TEST(ExprVmScript, FunctionsSeeDataButLocalsStayOutOfIt) {
+  // A fn body reads the data scalar x and the table; the script's locals
+  // never appear in the resulting data context.
+  const std::string source =
+      "fn probe(k) { return tbl[k] + x; }\n"
+      "let hidden = 41;\n"
+      "out = probe(1) + hidden";
+  const DataContext initial = base_data();  // x = 7, tbl = {10, 20, 30}
+  expect_program_equivalence(source, initial, 5, "fn-data");
+  EXPECT_EQ(run_script(source, "out"), 20 + 7 + 41);
+  const expr::Program program = expr::parse_program(source);
+  std::vector<std::string> targets;
+  collect_created(program.statements, targets);
+  const DataSchema schema = DataSchema::build(initial, targets);
+  EXPECT_FALSE(schema.scalar_slot("hidden").has_value());
+  EXPECT_TRUE(schema.scalar_slot("out").has_value());
+}
+
+TEST(ExprVmScript, DataSchemaSlotBudgetBoundary) {
+  // Exactly at the budget: one scalar plus a table filling the rest lays
+  // out every slot.
+  {
+    DataContext data;
+    data.set("s", 1);
+    data.set_table("big",
+                   std::vector<std::int64_t>(DataSchema::kMaxSlots - 1, 0));
+    const DataSchema schema = DataSchema::build(data, {});
+    EXPECT_EQ(schema.num_values(), DataSchema::kMaxSlots);
+  }
+  // One value over: build must throw, naming the table, before any uint32
+  // narrowing can wrap a later base. (The scalar-count branch is
+  // unreachable in tests — it would need 2^28 named scalars.)
+  {
+    DataContext data;
+    data.set("s", 1);
+    data.set_table("big", std::vector<std::int64_t>(DataSchema::kMaxSlots, 0));
+    try {
+      (void)DataSchema::build(data, {});
+      FAIL() << "over-budget schema must be rejected";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_STREQ(e.what(),
+                   "DataSchema: table 'big' of size 268435456 exceeds the "
+                   "slot budget (268435456)");
+    }
+  }
+}
+
 // --- differential fuzz --------------------------------------------------------
 
 TEST(ExprVmFuzz, ExpressionsMatchAstEvaluator) {
@@ -246,42 +436,21 @@ TEST(ExprVmFuzz, ProgramsMatchAstEvaluator) {
     ExprFuzzer fuzzer(seed ^ 0xf00dULL, options);
     const DataContext initial = fuzzer.environment();
     const std::string source = fuzzer.program();
-    const expr::Program program = expr::parse_program(source);
+    expect_program_equivalence(source, initial, seed * 977 + 1,
+                               "seed " + std::to_string(seed));
+  }
+}
 
-    // AST run.
-    DataContext ast_data = initial;
-    Rng ast_rng(seed * 977 + 1);
-    std::string ast_error;
-    try {
-      expr::EvalContext ctx;
-      ctx.data = &ast_data;
-      ctx.mutable_data = &ast_data;
-      ctx.rng = &ast_rng;
-      program.execute(ctx);
-    } catch (const EvalError& e) {
-      ast_error = e.what();
-    }
-
-    // VM run: schema covers initial data plus all scalar targets.
-    std::vector<std::string> targets;
-    for (const expr::Statement& stmt : program.statements) {
-      if (!stmt.index) targets.push_back(stmt.target);
-    }
-    const DataSchema schema = DataSchema::build(initial, targets);
-    DataFrame frame = schema.make_frame(initial);
-    Rng vm_rng(seed * 977 + 1);
-    VmScratch scratch;
-    std::string vm_error;
-    try {
-      expr::vm_exec(expr::compile_program(program, schema), frame, &vm_rng, scratch);
-    } catch (const EvalError& e) {
-      vm_error = e.what();
-    }
-
-    EXPECT_EQ(vm_error, ast_error) << "seed " << seed << ": " << source;
-    EXPECT_EQ(schema.to_context(frame), ast_data) << "seed " << seed << ": " << source;
-    EXPECT_EQ(vm_rng.next_u64(), ast_rng.next_u64())
-        << "seed " << seed << ": rng streams diverged: " << source;
+TEST(ExprVmFuzz, ScriptedProgramsMatchAstEvaluator) {
+  ExprFuzzOptions options;
+  options.allow_irand = true;
+  options.script_constructs = true;
+  for (std::uint64_t seed = 0; seed < 600; ++seed) {
+    ExprFuzzer fuzzer(seed ^ 0xbeefULL, options);
+    const DataContext initial = fuzzer.environment();
+    const std::string source = fuzzer.program();
+    expect_program_equivalence(source, initial, seed * 31 + 17,
+                               "script seed " + std::to_string(seed));
   }
 }
 

@@ -198,8 +198,29 @@ TEST_F(ServeTest, ServedMatchesDirectForEveryCommand) {
                         "--trace", trace_path})
                 .code,
             0);
+  // check has a clean path, a compile-diagnostic path (exit 1) and a
+  // parse-diagnostic path (line-mapped caret) — all must serve identically.
+  const std::string scripted_path =
+      write_model("scripted.pn",
+                  "net scripted\n"
+                  "fn \"twice(v) { return v + v; }\"\n"
+                  "param base 3\n"
+                  "var total 0\n"
+                  "place P init 1\n"
+                  "trans t in P out P do \"total = twice(base)\" firing 1\n");
+  const std::string arity_path =
+      write_model("arity.pn",
+                  "net arity\nplace P init 1\ntrans t in P out P do \"x = irand[1]\"\n");
+  const std::string bad_expr_path =
+      write_model("bad_expr.pn",
+                  "net bad\nplace P init 1\ntrans t in P out P\n      do \"x = +\"\n");
   const std::vector<std::vector<std::string>> invocations = {
       {"validate", model_path_},
+      {"check", model_path_},
+      {"check", scripted_path},
+      {"check", arity_path},
+      {"check", bad_expr_path},
+      {"check", (dir_ / "absent.pn").string()},
       {"print", model_path_},
       {"simulate", model_path_, "--until", "300", "--seed", "5"},
       {"replicate", model_path_, "--replications", "3", "--horizon", "200"},

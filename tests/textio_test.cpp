@@ -163,6 +163,107 @@ TEST(PnFormat, PrintPlainNetRejectsOpaqueInterpretedParts) {
   EXPECT_THROW(print_net(net), std::invalid_argument);
 }
 
+TEST(PnFormat, ModelLibraryDeclarationsParseAndRoundTrip) {
+  const NetDocument doc = parse_net(R"pn(
+net library
+fn "bump(v) { return v + step; }"
+fn "weigh(a, b) { let s = bump(a); return s + b; }"
+param step 2
+var total 0
+array scratch 4
+place P init 1
+trans t in P out P firing 1 do "total = weigh(total, 1); scratch[0] = total"
+trans u in P out P enabling expr "bump(1)"
+)pn");
+  ASSERT_EQ(doc.functions.functions.size(), 2u);
+  EXPECT_EQ(doc.functions.functions[0]->name, "bump");
+  EXPECT_EQ(doc.functions.functions[1]->name, "weigh");
+  EXPECT_EQ(doc.params, (std::vector<std::string>{"step"}));
+  EXPECT_EQ(doc.arrays, (std::vector<std::string>{"scratch"}));
+  EXPECT_EQ(doc.net.initial_data().get("step"), 2);
+  EXPECT_EQ(doc.net.initial_data().get_table("scratch", 3), 0);
+
+  // The interpreted net runs: each firing of t bumps total through the
+  // two-function chain.
+  Simulator sim(doc.net);
+  sim.reset(5);
+  sim.run_until(10);
+  EXPECT_GT(sim.data().get("total"), 0);
+
+  // fn / param / array lines survive printing, in declaration order, and
+  // the round trip is a fixed point.
+  const std::string printed = print_net(doc);
+  EXPECT_NE(printed.find("fn \"bump(v) { return v + step; }\""), std::string::npos);
+  EXPECT_NE(printed.find("param step 2"), std::string::npos);
+  EXPECT_NE(printed.find("array scratch 4"), std::string::npos);
+  EXPECT_LT(printed.find("fn \"bump"), printed.find("fn \"weigh"));
+  // params print as `param`, not as a second `var` line.
+  EXPECT_EQ(printed.find("var step"), std::string::npos);
+  const NetDocument again = parse_net(printed);
+  EXPECT_EQ(print_net(again), printed);
+  ASSERT_EQ(again.functions.functions.size(), 2u);
+  EXPECT_EQ(again.params, doc.params);
+  EXPECT_EQ(again.arrays, doc.arrays);
+}
+
+TEST(PnFormat, LibraryDeclarationErrors) {
+  // fn bodies must be quoted strings with valid definitions.
+  EXPECT_THROW(parse_net("fn unquoted(v) { return v; }\nplace P init 1\n"
+                         "trans t in P out P\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_net("fn \"f(\"\nplace P init 1\ntrans t in P out P\n"),
+               std::runtime_error);
+  // Duplicates are rejected at their declaration line.
+  try {
+    parse_net("param a 1\nparam a 2\nplace P init 1\ntrans t in P out P\n");
+    FAIL() << "duplicate param must be rejected";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("duplicate param 'a'"), std::string::npos) << what;
+  }
+  EXPECT_THROW(parse_net("array a 4\narray a 4\nplace P init 1\ntrans t in P out P\n"),
+               std::runtime_error);
+  // Array extents obey the expression language's bound.
+  EXPECT_THROW(parse_net("array a 0\nplace P init 1\ntrans t in P out P\n"),
+               std::runtime_error);
+  try {
+    parse_net("array a 65537\nplace P init 1\ntrans t in P out P\n");
+    FAIL() << "oversized array must be rejected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("exceeds the bound (65536)"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(PnFormat, EmbeddedExpressionErrorsMapToAbsoluteDocumentLines) {
+  // The expression string starts on document line 4; an error on *its*
+  // second line must be reported at document line 5, with a caret.
+  try {
+    parse_net("net bad\n"
+              "place P init 1\n"
+              "trans t in P out P\n"
+              "      do \"x = 1;\n"
+              "y = *\"\n");
+    FAIL() << "bad embedded expression must be rejected";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("bad action"), std::string::npos) << what;
+    EXPECT_NE(what.find("y = *\n    ^"), std::string::npos) << what;
+  }
+  // fn strings get the same treatment.
+  try {
+    parse_net("fn \"f(v) { return v +; }\"\nplace P init 1\ntrans t in P out P\n");
+    FAIL() << "bad fn must be rejected";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("^"), std::string::npos) << what;
+  }
+}
+
 TEST(PnFormat, ErrorsCarryLineNumbers) {
   try {
     parse_net("place P init 1\nplace P init 2\ntrans t in P out P\n");
