@@ -22,6 +22,11 @@ namespace {
 
 constexpr std::uint32_t kUnassigned = UINT32_MAX;
 
+ReachStatus stop_status(StopToken::Reason reason) {
+  return reason == StopToken::Reason::kDeadline ? ReachStatus::kTimeout
+                                                : ReachStatus::kCancelled;
+}
+
 /// One provisional-edge record produced by a worker: the fired transition
 /// and the successor's provisional identity (shard, slot). Slots are
 /// interleaving-dependent; the seal pass translates them to canonical ids.
@@ -547,6 +552,19 @@ class ParallelExplorer {
       std::size_t cand = 0;
       std::uint32_t item_end = 0;
       for (std::uint32_t i = 0; i < batch.num_parents; ++i) {
+        // Canonical-position stop poll, at the exact point the sequential
+        // builder polls (before expanding this parent — so before any
+        // exception its expansion would raise). item_end still excludes
+        // parent i, so the prefix fill leaves its row opened and empty.
+        if ((batch.first_parent + i) % kStopCheckStride == 0) {
+          if (const StopToken::Reason r = options_.stop.poll();
+              r != StopToken::Reason::kNone) {
+            status_ = stop_status(r);
+            num_expanded_ = batch.first_parent + i;
+            fill_edges_prefix(batches, b, i, item_end);
+            return false;
+          }
+        }
         // The walk reached a parent whose expansion threw: the sequential
         // builder would have hit the same exception here (every earlier
         // parent sealed cleanly, no stop rule fired first) — surface it.
@@ -653,6 +671,17 @@ class ParallelExplorer {
     for (Batch& batch : batches) {
       const Item* item = batch.items.data();
       for (std::uint32_t i = 0; i < batch.num_parents; ++i) {
+        // Canonical-position stop poll; see seal_fast. The stopping
+        // parent's row is opened and left empty, as sequentially.
+        if ((batch.first_parent + i) % kStopCheckStride == 0) {
+          if (const StopToken::Reason r = options_.stop.poll();
+              r != StopToken::Reason::kNone) {
+            status_ = stop_status(r);
+            num_expanded_ = batch.first_parent + i;
+            edges_.begin_source(batch.first_parent + i);
+            return false;
+          }
+        }
         if (batch.error && i == batch.error_parent) {
           std::rethrow_exception(batch.error);  // see seal_fast: same rule
         }

@@ -5,9 +5,11 @@
 #include <map>
 #include <memory>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "expr/lexer.h"
+#include "util/stop.h"
 
 namespace pnut::analysis {
 
@@ -22,6 +24,9 @@ using expr::TokenKind;
 struct Env {
   const StateSpace* space = nullptr;
   std::map<std::string, std::int64_t, std::less<>> vars;  ///< bound state variables
+  /// Cooperative deadline/cancellation, polled in the quantifier and
+  /// fixpoint loops; a trip throws StopError out of eval_query.
+  StopToken stop;
 };
 
 [[noreturn]] void eval_fail(const std::string& message) {
@@ -190,7 +195,9 @@ class QuantifierNode final : public QNode {
         outer != env.vars.end() ? std::optional(outer->second) : std::nullopt;
 
     bool result = universal_;
+    std::uint64_t visited = 0;
     for (std::size_t s : states) {
+      if (visited++ % kStopCheckStride == 0) env.stop.throw_if_stopped();
       env.vars[var_] = static_cast<std::int64_t>(s);
       const bool holds = body_->eval(env) != 0;
       if (universal_ && !holds) {
@@ -250,6 +257,7 @@ class TemporalNode final : public QNode {
                              ? std::optional(env.vars["C"])
                              : std::nullopt;
     for (std::size_t i = 0; i < n; ++i) {
+      if (i % kStopCheckStride == 0) env.stop.throw_if_stopped();
       env.vars["C"] = static_cast<std::int64_t>(i);
       cond_v[i] = cond_->eval(env) != 0;
       guard_v[i] = guard_->eval(env) != 0;
@@ -292,6 +300,9 @@ class TemporalNode final : public QNode {
     }
     bool changed = true;
     while (changed) {
+      // One poll per sweep: a sweep is O(|S| + |E|), so a deadline lands
+      // within one pass even when the fixpoint needs many iterations.
+      env.stop.throw_if_stopped();
       changed = false;
       for (std::size_t i = 0; i < n; ++i) {
         if (sat[i] || !guard_v[i]) continue;
@@ -643,11 +654,17 @@ class QueryParser {
 }  // namespace
 
 QueryResult eval_query(const StateSpace& space, std::string_view query) {
+  return eval_query(space, query, StopToken{});
+}
+
+QueryResult eval_query(const StateSpace& space, std::string_view query,
+                       StopToken stop) {
   QueryParser parser(query);
   const QNodePtr root = parser.parse_query();
 
   Env env;
   env.space = &space;
+  env.stop = std::move(stop);
   const bool holds = root->eval(env) != 0;
 
   QueryResult result;

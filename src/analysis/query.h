@@ -36,6 +36,7 @@
 #include <string_view>
 
 #include "analysis/state_space.h"
+#include "util/stop.h"
 
 namespace pnut::analysis {
 
@@ -52,6 +53,12 @@ struct QueryResult {
 /// Throws expr::ParseError on syntax errors and std::runtime_error on
 /// semantic errors (unknown names, wrong arity, unbound state variables).
 QueryResult eval_query(const StateSpace& space, std::string_view query);
+
+/// As above with cooperative deadline/cancellation (util/stop.h): the
+/// quantifier and temporal-fixpoint loops poll `stop` and throw StopError —
+/// a query never returns a half-evaluated verdict.
+QueryResult eval_query(const StateSpace& space, std::string_view query,
+                       StopToken stop);
 
 /// Parse-only check (throws on error); useful for validating stored query
 /// suites without a state space.

@@ -13,6 +13,15 @@ namespace pnut::analysis {
 using detail::DataLayout;
 using detail::overflows_capacity;
 
+namespace {
+
+ReachStatus stop_status(StopToken::Reason reason) {
+  return reason == StopToken::Reason::kDeadline ? ReachStatus::kTimeout
+                                                : ReachStatus::kCancelled;
+}
+
+}  // namespace
+
 ReachabilityGraph::ReachabilityGraph(const Net& net, ReachOptions options)
     : ReachabilityGraph(CompiledNet::compile(net), options) {}
 
@@ -117,6 +126,15 @@ void ReachabilityGraph::explore_sequential(const ReachOptions& options) {
   std::vector<std::uint32_t> sample_key;
 
   num_expanded_ = drive_frontier_bfs(frontier, edges_, [&](std::uint32_t state) {
+    // Canonical-position stop poll: expansion order is canonical id order
+    // in every engine (the parallel seal replays parents in this exact
+    // order), so a stop here lands on the same state at any thread count.
+    if (state % kStopCheckStride == 0) {
+      if (const StopToken::Reason r = options.stop.poll(); r != StopToken::Reason::kNone) {
+        status_ = stop_status(r);
+        return false;
+      }
+    }
     // States before the BFS cursor are sealed; their segments may spill.
     store_.set_spill_floor(state);
     // Copies: interning may grow the arena / data vector while we expand.
@@ -274,6 +292,13 @@ void ReachabilityGraph::explore_sequential_vm(const ReachOptions& options) {
   std::size_t num_outcomes = 0;
 
   num_expanded_ = drive_frontier_bfs(frontier, edges_, [&](std::uint32_t state) {
+    // Canonical-position stop poll (see explore_sequential).
+    if (state % kStopCheckStride == 0) {
+      if (const StopToken::Reason r = options.stop.poll(); r != StopToken::Reason::kNone) {
+        status_ = stop_status(r);
+        return false;
+      }
+    }
     // States before the BFS cursor are sealed; their segments may spill.
     store_.set_spill_floor(state);
     // Copies: interning may grow the arena while we expand.

@@ -43,6 +43,7 @@
 #include "petri/data_frame.h"
 #include "petri/marking.h"
 #include "petri/net.h"
+#include "util/stop.h"
 
 namespace pnut::analysis {
 
@@ -83,9 +84,22 @@ struct ReachOptions {
   /// whose layout widening rewrites the whole arena; the expression-VM path
   /// spills fine.
   SpillOptions spill;
+  /// Cooperative deadline/cancellation (util/stop.h). Polled at canonical
+  /// event positions (every kStopCheckStride-th expanded parent), so a
+  /// stopped build terminates at a position deterministic across engines
+  /// and thread counts: the truncated prefix (status kTimeout/kCancelled)
+  /// is byte-identical to the same-options unstopped run's prefix, exactly
+  /// like max_states truncation. The default token never stops anything.
+  StopToken stop;
 };
 
-enum class ReachStatus : std::uint8_t { kComplete, kTruncated, kUnbounded };
+enum class ReachStatus : std::uint8_t {
+  kComplete,
+  kTruncated,
+  kUnbounded,
+  kTimeout,    ///< stopped by ReachOptions::stop's deadline
+  kCancelled,  ///< stopped by an explicit cancel on ReachOptions::stop
+};
 
 class ReachabilityGraph final : public StateSpace {
  public:
@@ -102,6 +116,11 @@ class ReachabilityGraph final : public StateSpace {
                              ReachOptions options = {});
 
   [[nodiscard]] ReachStatus status() const { return status_; }
+  /// True when the build was stopped by its StopToken (deadline or cancel);
+  /// such a graph is a valid truncated prefix but must never be cached.
+  [[nodiscard]] bool stopped() const {
+    return status_ == ReachStatus::kTimeout || status_ == ReachStatus::kCancelled;
+  }
 
   // --- StateSpace interface ----------------------------------------------------
   [[nodiscard]] std::size_t num_states() const override { return store_.size(); }

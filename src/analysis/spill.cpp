@@ -51,6 +51,7 @@ SpillFile::~SpillFile() {
 }
 
 void SpillFile::write(std::size_t offset, const void* data, std::size_t bytes) {
+  testing::FaultInjector::check(testing::FaultInjector::Site::kSpillWrite);
   if (fd_ < 0) {
     const std::string path = dir_->path() + "/" + name_;
     fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0600);
@@ -70,6 +71,7 @@ void SpillFile::write(std::size_t offset, const void* data, std::size_t bytes) {
 }
 
 const void* SpillFile::map(std::size_t offset, std::size_t bytes) {
+  testing::FaultInjector::check(testing::FaultInjector::Site::kSpillMap);
   void* addr = ::mmap(nullptr, bytes, PROT_READ, MAP_SHARED, fd_,
                       static_cast<off_t>(offset));
   if (addr == MAP_FAILED) throw_errno("map spill segment");

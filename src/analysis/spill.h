@@ -34,6 +34,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/fault_inject.h"
+
 namespace pnut::analysis {
 
 /// Out-of-core knobs, carried by ReachOptions / TimedReachOptions.
@@ -225,6 +227,9 @@ class SegmentedStore {
     if (n == 0) return nullptr;
     if (!segmented()) {
       const std::size_t base = flat_.size();
+      if (base + n > flat_.capacity()) {
+        testing::FaultInjector::check(testing::FaultInjector::Site::kArenaGrow);
+      }
       flat_.resize(base + n);
       const std::size_t cap_bytes = flat_.capacity() * sizeof(T);
       resident_bytes_ = cap_bytes;
@@ -337,6 +342,7 @@ class SegmentedStore {
   }
 
   void open_tail_segment() {
+    testing::FaultInjector::check(testing::FaultInjector::Site::kArenaGrow);
     if (segments_.size() <= tail_seg_) segments_.resize(tail_seg_ + 1);
     segments_[tail_seg_].heap = std::make_unique<T[]>(items_per_segment_);
     resident_bytes_ += payload_bytes();

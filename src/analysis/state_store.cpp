@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/fault_inject.h"
+
 namespace pnut::analysis {
 
 namespace {
@@ -54,6 +56,7 @@ void StateStore::reserve(std::size_t states) {
 }
 
 void StateStore::grow_table(std::size_t capacity) {
+  testing::FaultInjector::check(testing::FaultInjector::Site::kArenaGrow);
   table_.assign(capacity, kEmpty);
   mask_ = capacity - 1;
   for (std::size_t i = 0; i < arena_.size(); ++i) {

@@ -56,6 +56,20 @@ struct TimedSchedule {
   std::vector<std::uint8_t> expanded;  ///< per state: edge row is complete
   std::uint64_t now = 0;
   TimedReachStatus status = TimedReachStatus::kComplete;
+  /// Stop-poll accounting, shared so both engines poll at identical
+  /// canonical positions: exactly one poll_due() call per expanded state
+  /// (the sequential pop and the parallel seal walk visit states in the
+  /// same order), due every kStopCheckStride states plus the first state
+  /// after each tick (instant boundaries).
+  std::uint64_t expand_count = 0;
+  bool poll_pending = false;
+
+  [[nodiscard]] bool poll_due() {
+    const bool due = poll_pending || expand_count % kStopCheckStride == 0;
+    poll_pending = false;
+    ++expand_count;
+    return due;
+  }
 
   /// Seed with the initial state (index 0, time 0, pending expansion).
   void bootstrap() {
@@ -117,6 +131,7 @@ struct TimedSchedule {
     next.clear();
     if (current.empty()) return false;
     ++now;
+    poll_pending = true;  // instant boundary: poll at the next expansion
     return true;
   }
 };

@@ -298,12 +298,26 @@ class TimedParallelExplorer {
       std::uint32_t item_idx = 0;
       std::size_t cand = 0;
       for (std::uint32_t i = 0; i < batch.num_parents; ++i) {
+        const std::uint32_t parent = schedule_.current[batch.first_index + i];
+        // Canonical-position stop poll via the shared schedule counter, at
+        // the exact point the sequential builder polls: the stopping
+        // parent's row is opened and left empty, the parent unmarked —
+        // and before any failure its expansion would have raised.
+        if (schedule_.poll_due()) {
+          if (const StopToken::Reason r = options_.stop.poll();
+              r != StopToken::Reason::kNone) {
+            schedule_.status = r == StopToken::Reason::kDeadline
+                                   ? TimedReachStatus::kTimeout
+                                   : TimedReachStatus::kCancelled;
+            edges_.begin_source(parent);
+            return false;
+          }
+        }
         // The walk reached a parent whose expansion threw: the sequential
         // builder would have hit the same failure here — surface it.
         if (batch.error && i == batch.error_parent) {
           std::rethrow_exception(batch.error);
         }
-        const std::uint32_t parent = schedule_.current[batch.first_index + i];
         edges_.begin_source(parent);
         for (std::uint32_t k = 0; k < batch.item_count[i]; ++k, ++item, ++item_idx) {
           const std::size_t cand_idx = cand;

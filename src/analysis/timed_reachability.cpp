@@ -85,6 +85,18 @@ void TimedReachabilityGraph::explore(const TimedReachOptions& options) {
     // fault-in everywhere.
     store_.set_spill_floor(si);
     edges_.begin_source(si);
+    // Canonical-position stop poll, via the shared schedule's counter so
+    // the parallel seal polls at identical positions. The stopping state's
+    // row is opened and left empty, and it stays unmarked in expanded_.
+    if (schedule.poll_due()) {
+      if (const StopToken::Reason r = options.stop.poll(); r != StopToken::Reason::kNone) {
+        schedule.status = r == StopToken::Reason::kDeadline
+                              ? TimedReachStatus::kTimeout
+                              : TimedReachStatus::kCancelled;
+        stopped = true;
+        continue;
+      }
+    }
     const detail::TimedState s = detail::decode_timed(layout, store_.state(si));
     const bool completed = detail::for_each_timed_successor(
         net, layout, s,

@@ -48,6 +48,7 @@
 #include "petri/compiled_net.h"
 #include "petri/marking.h"
 #include "petri/net.h"
+#include "util/stop.h"
 
 namespace pnut::analysis {
 
@@ -67,9 +68,20 @@ struct TimedReachOptions {
   /// — spilling is floored at the previous instant's start, behind every
   /// state the 0-1 BFS can still expand or promote.
   SpillOptions spill;
+  /// Cooperative deadline/cancellation (util/stop.h). Polled via the shared
+  /// schedule's counter — once per expanded state plus instant boundaries —
+  /// so both timed engines stop at the same canonical position and the
+  /// truncated prefix (status kTimeout/kCancelled) is byte-identical across
+  /// thread counts, exactly like max_states/max_time truncation.
+  StopToken stop;
 };
 
-enum class TimedReachStatus : std::uint8_t { kComplete, kTruncated };
+enum class TimedReachStatus : std::uint8_t {
+  kComplete,
+  kTruncated,
+  kTimeout,    ///< stopped by TimedReachOptions::stop's deadline
+  kCancelled,  ///< stopped by an explicit cancel on TimedReachOptions::stop
+};
 
 /// Discrete-time reachability graph of a net with integer constant delays.
 class TimedReachabilityGraph {
@@ -88,6 +100,12 @@ class TimedReachabilityGraph {
                                   TimedReachOptions options = {});
 
   [[nodiscard]] TimedReachStatus status() const { return status_; }
+  /// True when the build was stopped by its StopToken (deadline or cancel);
+  /// such a graph is a valid truncated prefix but must never be cached.
+  [[nodiscard]] bool stopped() const {
+    return status_ == TimedReachStatus::kTimeout ||
+           status_ == TimedReachStatus::kCancelled;
+  }
   [[nodiscard]] std::size_t num_states() const { return store_.size(); }
   /// Token counts of `state` as an arena slice (the first num_places words).
   [[nodiscard]] std::span<const TokenCount> tokens(std::size_t state) const {

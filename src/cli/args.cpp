@@ -117,6 +117,15 @@ std::optional<std::size_t> parse_byte_size(const std::string& raw) {
   return static_cast<std::size_t>(value) * scale;
 }
 
+std::optional<double> parse_timeout(const Args& args) {
+  if (!args.has("timeout")) return std::nullopt;
+  const double seconds = args.get_number("timeout", 0);
+  if (!std::isfinite(seconds) || seconds < 0) {
+    throw std::invalid_argument("--timeout must be a finite number of seconds >= 0");
+  }
+  return seconds;
+}
+
 analysis::SpillOptions parse_spill(const Args& args) {
   analysis::SpillOptions spill;
   if (args.has("max-resident-bytes")) {

@@ -84,4 +84,11 @@ std::optional<std::size_t> parse_byte_size(const std::string& raw);
 /// alone it is a usage error.
 analysis::SpillOptions parse_spill(const Args& args);
 
+/// One `--timeout S` rule for every long-running command (simulate,
+/// replicate, query, analyze): a finite number of seconds >= 0, returned
+/// as nullopt when the flag is absent. 0 is a legal pre-expired deadline —
+/// the command stops at its first cancellation poll, which the differential
+/// tests use to pin deterministic stop positions.
+std::optional<double> parse_timeout(const Args& args);
+
 }  // namespace pnut::cli

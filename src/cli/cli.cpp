@@ -15,19 +15,22 @@ std::string usage() {
          "  pnut print    <model.pn>\n"
          "  pnut simulate <model.pn> [--until T] [--seed S] [--stats|--tbl]\n"
          "                [--trace FILE] [--keep name,name,...] [--no-expr-vm]\n"
+         "                [--timeout S]\n"
          "  pnut replicate <model.pn> [--replications N] [--horizon T] [--seed S]\n"
-         "                [--threads N]\n"
+         "                [--threads N] [--timeout S]\n"
          "  pnut stat     <trace.txt>\n"
-         "  pnut query    <trace.txt> \"<query>\"\n"
+         "  pnut query    <trace.txt> \"<query>\" [--timeout S]\n"
          "  pnut query    --reach <model.pn> \"<query>\" [--max-states N] [--threads N]\n"
          "                [--no-expr-vm] [--max-resident-bytes N[K|M|G]] [--spill-dir D]\n"
+         "                [--timeout S]\n"
          "  pnut render   <trace.txt> --signals a,b,label=expr,...\n"
          "                [--from T] [--to T] [--columns N] [--unicode]\n"
          "                [--marker X=T]...\n"
          "  pnut animate  <trace.txt> [--steps N]\n"
          "  pnut analyze  <model.pn> [--max-states N] [--threads N] [--no-expr-vm]\n"
-         "                [--max-resident-bytes N[K|M|G]] [--spill-dir D]\n"
-         "  pnut serve    [--port N] [--cache-bytes N[K|M|G]]\n"
+         "                [--max-resident-bytes N[K|M|G]] [--spill-dir D] [--timeout S]\n"
+         "  pnut serve    [--port N] [--cache-bytes N[K|M|G]] [--request-timeout S]\n"
+         "                [--max-clients N]\n"
          "(check parses a model and lowers every expression hook to bytecode,\n"
          " reporting line:col diagnostics with caret snippets; the modeling\n"
          " language — fn/let/array/for — is documented in docs/LANG.md.\n"
@@ -36,11 +39,17 @@ std::string usage() {
          " --max-resident-bytes caps the exploration's resident footprint by\n"
          " spilling sealed levels to segment files — in --spill-dir when given,\n"
          " else the system temp dir — removed again when the graph is freed.\n"
+         " --timeout S stops the command cooperatively after S seconds:\n"
+         " analyze reports a deterministic truncated prefix (STOPPED at\n"
+         " deadline), while simulate/replicate/query fail cleanly with\n"
+         " 'deadline exceeded' and exit code 1.\n"
          " serve answers the same commands over a newline-delimited protocol —\n"
          " on a TCP socket with --port (0 = pick a free port), else on\n"
          " stdin/stdout — keeping compiled nets and sealed reachability graphs\n"
          " cached across requests, --cache-bytes bounding the graphs' resident\n"
-         " total; '.stats' reports cache traffic, '.quit' ends the session)\n";
+         " total; '.stats' reports cache traffic, '.quit' ends the session.\n"
+         " Operational limits, cancellation semantics and the signal-driven\n"
+         " drain are documented in docs/SERVE.md)\n";
 }
 
 int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {

@@ -1,13 +1,16 @@
 #include "cli/session.h"
 
+#include <atomic>
 #include <fstream>
 #include <future>
 #include <limits>
 #include <map>
 #include <mutex>
+#include <new>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
+#include <system_error>
 
 #include "analysis/invariants.h"
 #include "analysis/marked_graph.h"
@@ -27,6 +30,7 @@
 #include "trace/filter.h"
 #include "trace/trace_text.h"
 #include "tracer/tracer.h"
+#include "util/stop.h"
 
 namespace pnut::cli {
 
@@ -41,17 +45,21 @@ const FlagSpec* spec_for(const std::string& command) {
       {"check", {}},
       {"print", {}},
       {"simulate",
-       {{"until", "seed", "trace", "keep"}, {"stats", "tbl", "no-expr-vm"}, false}},
-      {"replicate", {{"replications", "horizon", "seed", "threads"}, {}, false}},
+       {{"until", "seed", "trace", "keep", "timeout"},
+        {"stats", "tbl", "no-expr-vm"},
+        false}},
+      {"replicate",
+       {{"replications", "horizon", "seed", "threads", "timeout"}, {}, false}},
       {"stat", {}},
       {"query",
-       {{"reach", "max-states", "threads", "max-resident-bytes", "spill-dir"},
+       {{"reach", "max-states", "threads", "max-resident-bytes", "spill-dir",
+         "timeout"},
         {"no-expr-vm"},
         false}},
       {"render", {{"signals", "from", "to", "columns"}, {"unicode"}, true}},
       {"animate", {{"steps"}, {}, false}},
       {"analyze",
-       {{"max-states", "threads", "max-resident-bytes", "spill-dir"},
+       {{"max-states", "threads", "max-resident-bytes", "spill-dir", "timeout"},
         {"no-expr-vm"},
         false}},
   };
@@ -148,12 +156,30 @@ struct Session::Impl {
   };
 
   mutable std::mutex mu;
+  /// Drain flag watched by every request's stop token: once set (serve
+  /// shutdown), all in-flight and future commands cancel at their next poll.
+  std::atomic<bool> drain{false};
   SessionStats counters;  // graph_cache_bytes/entries derived in stats()
   std::uint64_t tick = 0;
   std::size_t cached_bytes = 0;
   std::map<std::string, ModelSlot> models;  // keyed by source content
   std::map<std::string, GraphSlot<analysis::ReachabilityGraph>> reach_cache;
   std::map<std::string, GraphSlot<analysis::TimedReachabilityGraph>> timed_cache;
+
+  /// The request's stop token: always watches the session drain flag;
+  /// `--timeout S` (or, absent that, the session default) adds a deadline.
+  /// An explicit `--timeout 0` is a pre-expired deadline — the command
+  /// stops at its first poll.
+  [[nodiscard]] StopToken make_stop(const Args& args) {
+    StopSource source;
+    source.watch(&drain);
+    if (const std::optional<double> timeout = parse_timeout(args)) {
+      source.set_timeout_seconds(*timeout);
+    } else if (options.default_timeout_seconds > 0) {
+      source.set_timeout_seconds(options.default_timeout_seconds);
+    }
+    return source.token();
+  }
 
   // --- caches ---------------------------------------------------------------
 
@@ -281,10 +307,17 @@ struct Session::Impl {
       std::lock_guard<std::mutex> lock(mu);
       const auto it = cache.find(key);
       if (it != cache.end()) {
-        it->second.bytes = graph->memory_bytes();
-        it->second.ready = true;
-        cached_bytes += it->second.bytes;
-        evict_over_budget(key);
+        if (graph->stopped()) {
+          // A drain cancel tripped mid-build: the truncated prefix is a
+          // valid answer for *this* request but must never satisfy a future
+          // same-key request that expects the full graph.
+          cache.erase(it);
+        } else {
+          it->second.bytes = graph->memory_bytes();
+          it->second.ready = true;
+          cached_bytes += it->second.bytes;
+          evict_over_budget(key);
+        }
       }
     }
     promise.set_value(graph);
@@ -295,8 +328,10 @@ struct Session::Impl {
       const Model& m, const analysis::ReachOptions& o) {
     // Spill-mode graphs remap segments on read — neither resident nor safe
     // under concurrent readers — so they bypass the cache; the cache budget
-    // is the serve-mode residency control.
-    if (!options.cache || o.spill.max_resident_bytes != 0) {
+    // is the serve-mode residency control. Deadline-bearing builds bypass
+    // too: their truncation point depends on wall-clock, so the graph is
+    // not a pure function of the cache key.
+    if (!options.cache || o.spill.max_resident_bytes != 0 || o.stop.may_expire()) {
       return std::make_shared<const analysis::ReachabilityGraph>(m.compiled, o);
     }
     return cached_graph(reach_cache, reach_key(m.source, o), [&] {
@@ -306,7 +341,7 @@ struct Session::Impl {
 
   std::shared_ptr<const analysis::TimedReachabilityGraph> timed_graph(
       const Model& m, const analysis::TimedReachOptions& o) {
-    if (!options.cache || o.spill.max_resident_bytes != 0) {
+    if (!options.cache || o.spill.max_resident_bytes != 0 || o.stop.may_expire()) {
       return std::make_shared<const analysis::TimedReachabilityGraph>(m.compiled, o);
     }
     return cached_graph(timed_cache, timed_key(m.source, o), [&] {
@@ -407,7 +442,19 @@ struct Session::Impl {
     Simulator sim(m->compiled, sim_options);
     sim.set_sink(&sinks);
     sim.reset(seed);
-    const StopReason reason = sim.run_until(until);
+    const StopToken stop = make_stop(args);
+    StopReason reason;
+    if (stop.possible()) {
+      // Chunked run: poll the token between event batches so a deadline or
+      // drain cancel lands within kStopCheckStride events.
+      stop.throw_if_stopped();
+      while ((reason = sim.run_until(until, kStopCheckStride)) ==
+             StopReason::kEventLimit) {
+        stop.throw_if_stopped();
+      }
+    } else {
+      reason = sim.run_until(until);
+    }
     sim.finish();
 
     out << "simulated to t=" << sim.now() << " (seed " << seed << ", "
@@ -457,8 +504,8 @@ struct Session::Impl {
 
     // Replications run as lanes of one batched engine off a single compiled
     // net; the output is bit-identical for every --threads value.
-    const ReplicationResult result =
-        run_replications(doc.net, horizon, replications, metrics, seed, threads);
+    const ReplicationResult result = run_replications(
+        doc.net, horizon, replications, metrics, seed, threads, make_stop(args));
     out << replications << " replications to t=" << horizon << " (seeds " << seed
         << ".." << seed + replications - 1 << ")\n";
     out << format_metric_summaries(result.metrics);
@@ -466,6 +513,7 @@ struct Session::Impl {
   }
 
   int cmd_query(const Args& args, std::ostream& out) {
+    const StopToken stop = make_stop(args);
     if (args.has("reach")) {
       const ModelPtr m = model(args.get("reach"));
       analysis::ReachOptions options;
@@ -473,15 +521,20 @@ struct Session::Impl {
       options.threads = parse_threads(args);
       options.use_expr_vm = !args.has("no-expr-vm");
       options.spill = parse_spill(args);
+      options.stop = stop;
       const auto graph = reach_graph(*m, options);
       if (graph->status() != analysis::ReachStatus::kComplete) {
-        out << "warning: graph "
-            << (graph->status() == analysis::ReachStatus::kTruncated ? "truncated"
-                                                                     : "unbounded")
-            << "; result is not a proof\n";
+        const char* why = "unbounded";
+        switch (graph->status()) {
+          case analysis::ReachStatus::kTruncated: why = "truncated"; break;
+          case analysis::ReachStatus::kTimeout: why = "stopped at deadline"; break;
+          case analysis::ReachStatus::kCancelled: why = "cancelled"; break;
+          default: break;
+        }
+        out << "warning: graph " << why << "; result is not a proof\n";
       }
       const std::string& query = require_positional(args, 0, "query string");
-      const auto result = analysis::eval_query(*graph, query);
+      const auto result = analysis::eval_query(*graph, query, stop);
       out << (result.holds ? "holds" : "fails") << " over " << graph->num_states()
           << " states (" << result.explanation << ")\n";
       return result.holds ? 0 : 1;
@@ -489,7 +542,7 @@ struct Session::Impl {
     const RecordedTrace trace = load_trace(require_positional(args, 0, "trace file"));
     const std::string& query = require_positional(args, 1, "query string");
     const analysis::TraceStateSpace space(trace);
-    const auto result = analysis::eval_query(space, query);
+    const auto result = analysis::eval_query(space, query, stop);
     out << (result.holds ? "holds" : "fails") << " over " << space.num_states()
         << " trace states (" << result.explanation << ")\n";
     return result.holds ? 0 : 1;
@@ -582,6 +635,8 @@ struct Session::Impl {
     options.threads = threads;
     options.use_expr_vm = !args.has("no-expr-vm");
     options.spill = parse_spill(args);
+    const StopToken stop = make_stop(args);
+    options.stop = stop;
     const auto graph = reach_graph(*m, options);
     out << "\nreachability: " << graph->num_states() << " states, "
         << graph->num_edges() << " edges";
@@ -589,6 +644,8 @@ struct Session::Impl {
       case analysis::ReachStatus::kComplete: out << " (complete)\n"; break;
       case analysis::ReachStatus::kTruncated: out << " (TRUNCATED at limit)\n"; break;
       case analysis::ReachStatus::kUnbounded: out << " (UNBOUNDED place found)\n"; break;
+      case analysis::ReachStatus::kTimeout: out << " (STOPPED at deadline)\n"; break;
+      case analysis::ReachStatus::kCancelled: out << " (CANCELLED)\n"; break;
     }
     if (graph->num_states() > 0) {
       const std::size_t bytes = graph->memory_bytes();
@@ -645,12 +702,24 @@ struct Session::Impl {
       topts.max_states = static_cast<std::size_t>(args.get_uint64("max-states", 100000));
       topts.threads = threads;
       topts.spill = options.spill;
+      topts.stop = stop;
       const auto timed = timed_graph(*m, topts);
+      const char* timed_status = " (complete)";
+      switch (timed->status()) {
+        case analysis::TimedReachStatus::kComplete: break;
+        case analysis::TimedReachStatus::kTruncated:
+          timed_status = " (TRUNCATED)";
+          break;
+        case analysis::TimedReachStatus::kTimeout:
+          timed_status = " (STOPPED at deadline)";
+          break;
+        case analysis::TimedReachStatus::kCancelled:
+          timed_status = " (CANCELLED)";
+          break;
+      }
       out << "timed reachability: " << timed->num_states() << " states"
-          << (timed->status() == analysis::TimedReachStatus::kComplete
-                  ? " (complete)"
-                  : " (TRUNCATED)")
-          << ", timed deadlocks: " << timed->deadlock_states().size() << '\n';
+          << timed_status << ", timed deadlocks: " << timed->deadlock_states().size()
+          << '\n';
     } catch (const std::invalid_argument&) {
       out << "timed reachability: skipped (non-integer delays or interpreted net)\n";
     }
@@ -704,16 +773,31 @@ Result Session::execute(const Request& request) {
     return {2, {}, "unknown command '" + request.command + "'\n" + usage()};
   }
   std::ostringstream out;
+  // Partial output stays in `out` — the one-shot CLI would have printed it
+  // before the failure, and the served result must match byte for byte.
+  // Crash-only contract: *nothing* escapes as an exception. Operational
+  // failures — a tripped deadline/cancel, memory exhaustion, spill I/O (a
+  // full disk) — are code 1: the request was well-formed, the environment
+  // failed, a retry may succeed. Anything else (bad flags, unknown names,
+  // parse errors) stays code 2.
   try {
     const Args args(request.args, 0, *spec);
     const int code = impl_->dispatch(request.command, args, out);
     return {code, out.str(), {}};
+  } catch (const StopError& e) {
+    return {1, out.str(), "pnut " + request.command + ": " + e.what() + "\n"};
+  } catch (const std::bad_alloc&) {
+    return {1, out.str(), "pnut " + request.command + ": out of memory\n"};
+  } catch (const std::system_error& e) {
+    return {1, out.str(), "pnut " + request.command + ": " + e.what() + "\n"};
   } catch (const std::exception& e) {
-    // Partial output stays in `out` — the one-shot CLI would have printed
-    // it before the failure, and the served result must match byte for byte.
     return {2, out.str(), "pnut " + request.command + ": " + e.what() + "\n"};
+  } catch (...) {
+    return {1, out.str(), "pnut " + request.command + ": unknown failure\n"};
   }
 }
+
+void Session::cancel_inflight() { impl_->drain.store(true, std::memory_order_relaxed); }
 
 SessionStats Session::stats() const {
   std::lock_guard<std::mutex> lock(impl_->mu);

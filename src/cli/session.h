@@ -86,6 +86,11 @@ struct SessionOptions {
   /// Entry cap for the compile cache (model sources are small; this is a
   /// leak bound for very long-running servers, not a memory budget).
   std::size_t compile_cache_capacity = 128;
+  /// Deadline applied to every long-running command that does not carry its
+  /// own `--timeout` flag, in seconds; 0 means none. The serve front end
+  /// maps `--request-timeout` here so one slow request cannot wedge a
+  /// shared server.
+  double default_timeout_seconds = 0;
 };
 
 class Session {
@@ -95,9 +100,18 @@ class Session {
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
-  /// Execute one request. Never throws: errors come back as Result::code 2
-  /// with the message in Result::err. Thread-safe.
+  /// Execute one request. Never throws — *every* failure comes back as a
+  /// structured Result: usage/parse errors as code 2, operational failures
+  /// (deadline/cancellation, out of memory, spill I/O) as code 1, each with
+  /// the message in Result::err. Thread-safe.
   Result execute(const Request& request);
+
+  /// Cooperatively cancel every in-flight and future request: their stop
+  /// tokens trip at the next poll and the commands return code 1
+  /// ("cancelled"). The serve drain path calls this on SIGINT/SIGTERM so
+  /// clients receive complete framed error responses instead of a torn
+  /// connection. Irreversible for this Session — drain, don't pause.
+  void cancel_inflight();
 
   [[nodiscard]] SessionStats stats() const;
   /// Human-readable stats block (the serve `.stats` response body).

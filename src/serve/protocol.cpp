@@ -5,6 +5,33 @@
 
 namespace pnut::serve {
 
+namespace {
+
+/// Bounded line reader: reads up to kMaxRequestLine bytes into `line`,
+/// stopping at '\n' (not stored). An overlong line sets `oversized`,
+/// discards the excess through its newline, and still counts as one read —
+/// the caller answers it with one framed error and keeps the session.
+/// Returns false only at EOF with nothing read.
+bool read_request_line(std::istream& in, std::string& line, bool& oversized) {
+  line.clear();
+  oversized = false;
+  char c = 0;
+  while (in.get(c)) {
+    if (c == '\n') return true;
+    if (line.size() >= kMaxRequestLine) {
+      oversized = true;
+      while (in.get(c)) {
+        if (c == '\n') break;
+      }
+      return true;
+    }
+    line += c;
+  }
+  return !line.empty();  // final line without a trailing newline
+}
+
+}  // namespace
+
 std::optional<std::vector<std::string>> tokenize(const std::string& line,
                                                  std::string& error) {
   std::vector<std::string> tokens;
@@ -51,7 +78,14 @@ bool serve_session(cli::Session& session, std::istream& in, std::ostream& out) {
   out << kGreeting;
   out.flush();
   std::string line;
-  while (std::getline(in, line)) {
+  bool oversized = false;
+  while (read_request_line(in, line, oversized)) {
+    if (oversized) {
+      write_response(out, {2, {},
+                           "request line exceeds " + std::to_string(kMaxRequestLine) +
+                               " bytes\n"});
+      continue;
+    }
     if (!line.empty() && line.back() == '\r') line.pop_back();  // telnet clients
     if (line.empty()) continue;
     if (line[0] == '.') {

@@ -19,6 +19,7 @@
 // ends the whole server. Blank lines are ignored.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <optional>
 #include <string>
@@ -29,6 +30,12 @@
 namespace pnut::serve {
 
 inline constexpr const char kGreeting[] = "pnut-serve 1\n";
+
+/// Hard cap on one request line. The reader never buffers more than this:
+/// an oversized line is discarded through its newline and answered with a
+/// framed usage error, and the connection survives — a client bug (or a
+/// hostile peer) cannot balloon server memory or kill its own session.
+inline constexpr std::size_t kMaxRequestLine = 64 * 1024;
 
 /// Split a request line into argv tokens. Returns nullopt and sets `error`
 /// on a malformed line (unterminated quote, trailing backslash).

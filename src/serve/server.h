@@ -24,7 +24,14 @@ namespace pnut::serve {
 struct ServeOptions {
   bool use_tcp = false;  ///< --port given (0 = kernel-assigned ephemeral port)
   int port = 0;
-  cli::SessionOptions session;  ///< cache on; --cache-bytes sets the budget
+  /// Concurrent client cap (--max-clients). A connection over the cap gets
+  /// the greeting plus one framed code-1 error, then is closed — a full
+  /// server degrades loudly instead of accumulating threads without bound.
+  std::size_t max_clients = 64;
+  /// cache on; --cache-bytes sets the budget; --request-timeout sets
+  /// session.default_timeout_seconds (a deadline for every request that
+  /// does not carry its own --timeout).
+  cli::SessionOptions session;
 };
 
 /// Parse `serve` flags from the full CLI argv (`args[0] == "serve"`).
@@ -37,7 +44,7 @@ ServeOptions parse_serve_options(const std::vector<std::string>& args);
 /// run by the destructor). Tests and the bench drive this in-process.
 class Server {
  public:
-  Server(cli::Session& session, int port);
+  Server(cli::Session& session, int port, std::size_t max_clients = 64);
   ~Server();
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
@@ -48,10 +55,20 @@ class Server {
   void start();
   void stop();
 
+  /// Graceful shutdown: cooperatively cancel in-flight builds (through the
+  /// shared Session's drain flag), stop accepting, send EOF to every
+  /// client's *read* side only — responses already owed still flush as
+  /// complete frames — then join everything. Idempotent with stop(); the
+  /// SIGINT/SIGTERM path runs this so no client ever sees a torn frame.
+  void drain();
+
   /// True once a client has sent `.shutdown`.
   [[nodiscard]] bool shutdown_requested() const;
-  /// Block until a client sends `.shutdown`.
+  /// Block until a client sends `.shutdown` (or request_shutdown is called).
   void wait_for_shutdown();
+  /// Unblock wait_for_shutdown() from outside the protocol — the signal
+  /// watcher's hook into the same drain path `.shutdown` takes.
+  void request_shutdown();
 
  private:
   struct Impl;
@@ -60,6 +77,9 @@ class Server {
 
 /// The `pnut serve` entry point. Runs until shutdown; returns the process
 /// exit code (2 on usage errors, 1 when the socket cannot be bound).
+/// In TCP mode SIGINT/SIGTERM trigger the same graceful drain `.shutdown`
+/// does — in-flight requests cancel cooperatively and receive complete
+/// framed error responses, then the process exits 0.
 int run_serve(const std::vector<std::string>& args, std::ostream& out,
               std::ostream& err);
 

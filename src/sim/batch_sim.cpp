@@ -593,7 +593,14 @@ struct LaneRun {
   }
 
   void run_to(Time horizon) {
+    const bool stoppable = b.options_.stop.possible();
+    std::uint64_t events = 0;
     while (!w.heap.empty() && w.heap.front().time <= horizon) {
+      // Cooperative stop: the StopError parks in this lane's error slot and
+      // run() rethrows the lowest lane's, like any other lane failure.
+      if (stoppable && (events++ % kStopCheckStride) == 0) {
+        b.options_.stop.throw_if_stopped();
+      }
       const Event ev = w.heap.front();
       std::pop_heap(w.heap.begin(), w.heap.end(), EventAfter{});
       w.heap.pop_back();

@@ -62,6 +62,7 @@
 #include "sim/simulator.h"
 #include "stat/stat.h"
 #include "trace/trace.h"
+#include "util/stop.h"
 
 namespace pnut {
 
@@ -79,6 +80,10 @@ struct BatchOptions {
   /// Worker threads lanes are partitioned over; 0 picks from the hardware.
   /// Results are bit-identical for every value.
   unsigned threads = 1;
+  /// Cooperative deadline/cancellation (util/stop.h), polled every
+  /// kStopCheckStride events per lane. A stop surfaces as StopError through
+  /// run() — the same parked-exception path a lane's own failure takes.
+  StopToken stop;
 };
 
 /// N replication lanes of one compiled net, run as one batch. Construct,

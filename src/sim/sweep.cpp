@@ -142,6 +142,7 @@ SweepResult run_sweep(std::shared_ptr<const CompiledNet> net,
   batch_options.start_time = options.start_time;
   batch_options.use_expr_vm = options.use_expr_vm;
   batch_options.threads = options.threads;
+  batch_options.stop = options.stop;
   BatchSimulator batch(std::move(net), num_cells * reps, batch_options);
 
   // Lane layout: cell-major, replications contiguous. Replication r of

@@ -82,6 +82,9 @@ struct SweepOptions {
   /// Worker threads for the batch; 0 picks from the hardware. Results are
   /// bit-identical for every value.
   unsigned threads = 1;
+  /// Cooperative deadline/cancellation (util/stop.h): a tripped stop
+  /// surfaces as StopError from run_sweep, with no partial grid.
+  StopToken stop;
 };
 
 /// One grid cell's outcome: its coordinates (one value per axis, same

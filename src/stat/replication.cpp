@@ -53,7 +53,8 @@ MetricSummary summarize_metric(const MetricSpec& spec, std::span<const RunStats>
 ReplicationResult run_replications(const Net& net, Time horizon,
                                    std::size_t num_replications,
                                    const std::vector<MetricSpec>& metrics,
-                                   std::uint64_t base_seed, unsigned num_threads) {
+                                   std::uint64_t base_seed, unsigned num_threads,
+                                   StopToken stop) {
   ReplicationResult result;
 
   if (num_replications > 0) {
@@ -64,6 +65,7 @@ ReplicationResult run_replications(const Net& net, Time horizon,
     BatchOptions options;
     options.base_seed = base_seed;
     options.threads = num_threads;  // 0 = hardware, as before
+    options.stop = stop;
     BatchSimulator batch(CompiledNet::compile(net), num_replications, options);
     for (std::size_t k = 0; k < num_replications; ++k) {
       batch.set_run_number(k, static_cast<int>(k + 1));

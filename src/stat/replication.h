@@ -22,6 +22,7 @@
 
 #include "sim/simulator.h"
 #include "stat/stat.h"
+#include "util/stop.h"
 
 namespace pnut {
 
@@ -59,11 +60,16 @@ struct ReplicationResult {
 /// (every model in this repository) are safe; a callback capturing shared
 /// mutable state needs its own synchronization — or pass num_threads = 1
 /// to keep the historical sequential behavior.
+///
+/// `stop` (util/stop.h) cancels cooperatively: a tripped deadline or cancel
+/// surfaces as StopError, with no partial result — the caller retries or
+/// gives up, it never sees half an experiment.
 ReplicationResult run_replications(const Net& net, Time horizon,
                                    std::size_t num_replications,
                                    const std::vector<MetricSpec>& metrics,
                                    std::uint64_t base_seed = 1,
-                                   unsigned num_threads = 0);
+                                   unsigned num_threads = 0,
+                                   StopToken stop = {});
 
 /// Summarize one metric across runs: mean, sample stddev, min/max and the
 /// 95% CI half-width. The shared aggregation of run_replications and the

@@ -1,0 +1,76 @@
+#include "util/fault_inject.h"
+
+#include <cerrno>
+#include <new>
+#include <system_error>
+
+namespace pnut::testing {
+
+namespace {
+
+struct SiteState {
+  /// Remaining checks before the site starts throwing; <0 means disarmed.
+  std::atomic<std::int64_t> countdown{-1};
+  std::atomic<unsigned> failure{0};
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> checks{0};
+};
+
+SiteState& site_state(FaultInjector::Site site) {
+  static SiteState states[FaultInjector::kNumSites];
+  return states[static_cast<unsigned>(site)];
+}
+
+}  // namespace
+
+std::atomic<bool> FaultInjector::armed_{false};
+
+void FaultInjector::arm(Site site, std::uint64_t countdown, Failure failure) {
+  SiteState& s = site_state(site);
+  s.failure.store(static_cast<unsigned>(failure), std::memory_order_relaxed);
+  s.hits.store(0, std::memory_order_relaxed);
+  s.checks.store(0, std::memory_order_relaxed);
+  s.countdown.store(countdown == 0 ? 1 : static_cast<std::int64_t>(countdown),
+                    std::memory_order_relaxed);
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm_all() {
+  armed_.store(false, std::memory_order_relaxed);
+  for (unsigned i = 0; i < kNumSites; ++i) {
+    site_state(static_cast<Site>(i)).countdown.store(-1, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t FaultInjector::hits(Site site) {
+  return site_state(site).hits.load(std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::checks(Site site) {
+  return site_state(site).checks.load(std::memory_order_relaxed);
+}
+
+void FaultInjector::check_slow(Site site) {
+  SiteState& s = site_state(site);
+  std::int64_t c = s.countdown.load(std::memory_order_relaxed);
+  if (c < 0) return;  // this site is disarmed
+  s.checks.fetch_add(1, std::memory_order_relaxed);
+  while (true) {
+    if (c < 0) return;
+    // Once the countdown reaches 1 the site keeps failing on every further
+    // check (a full disk stays full) until disarm_all() resets it.
+    if (c <= 1) break;
+    if (s.countdown.compare_exchange_weak(c, c - 1, std::memory_order_relaxed)) {
+      return;
+    }
+  }
+  s.hits.fetch_add(1, std::memory_order_relaxed);
+  if (static_cast<Failure>(s.failure.load(std::memory_order_relaxed)) ==
+      Failure::kBadAlloc) {
+    throw std::bad_alloc();
+  }
+  throw std::system_error(ENOSPC, std::generic_category(),
+                          "pnut: injected disk-full fault");
+}
+
+}  // namespace pnut::testing

@@ -1,0 +1,50 @@
+// Deterministic fault injection for robustness tests.
+//
+// Always compiled in, armed only by tests: the disarmed fast path is a single
+// relaxed atomic load, and the checks sit on cold growth/IO edges (spill
+// writes, segment mmaps, arena growth) rather than per-element hot paths.
+// Arming site S with countdown n makes the n-th subsequent check of S throw —
+// and every later check too, like a disk that stays full — until disarm_all().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace pnut::testing {
+
+class FaultInjector {
+ public:
+  enum class Site : unsigned {
+    kSpillWrite = 0,  ///< SpillFile::write (pwrite of a sealed segment)
+    kSpillMap = 1,    ///< SpillFile::map (mmap fault-in of a spilled segment)
+    kArenaGrow = 2,   ///< segment/table growth in the state stores
+  };
+  static constexpr unsigned kNumSites = 3;
+
+  enum class Failure : unsigned {
+    kDiskFull,  ///< std::system_error(ENOSPC)
+    kBadAlloc,  ///< std::bad_alloc
+  };
+
+  /// The countdown-th check of `site` from now (1 = the very next) throws.
+  static void arm(Site site, std::uint64_t countdown,
+                  Failure failure = Failure::kDiskFull);
+  static void disarm_all();
+
+  /// Number of times `site` actually threw since the last disarm_all().
+  [[nodiscard]] static std::uint64_t hits(Site site);
+  /// Number of times `site` was checked while armed (for countdown sizing).
+  [[nodiscard]] static std::uint64_t checks(Site site);
+
+  static void check(Site site) {
+    if (!armed_.load(std::memory_order_relaxed)) return;
+    check_slow(site);
+  }
+
+ private:
+  static void check_slow(Site site);
+
+  static std::atomic<bool> armed_;
+};
+
+}  // namespace pnut::testing

@@ -561,5 +561,36 @@ TEST_F(CliTest, NegativeHorizonsAreRejected) {
   EXPECT_EQ(run_cli({"simulate", model_path_, "--until", "0"}).code, 0);
 }
 
+TEST_F(CliTest, TimeoutFlagSemantics) {
+  // A pre-expired deadline: simulate/replicate/query fail cleanly with exit
+  // code 1 and no partial verdict...
+  const Result sim = run_cli({"simulate", model_path_, "--until", "1000", "--timeout", "0"});
+  EXPECT_EQ(sim.code, 1);
+  EXPECT_NE(sim.err.find("deadline exceeded"), std::string::npos) << sim.err;
+  const Result query =
+      run_cli({"query", "--reach", model_path_, "forall s in S [ 1 = 1 ]",
+               "--timeout", "0"});
+  EXPECT_EQ(query.code, 1);
+  EXPECT_NE(query.err.find("deadline exceeded"), std::string::npos) << query.err;
+  // ...while analyze reports the deterministic truncated prefix, honestly
+  // labeled, as a successful (exit 0) report.
+  const Result analyze = run_cli({"analyze", model_path_, "--timeout", "0"});
+  EXPECT_EQ(analyze.code, 0) << analyze.err;
+  EXPECT_NE(analyze.out.find("STOPPED at deadline"), std::string::npos) << analyze.out;
+  // Malformed values are usage errors.
+  const Result bad = run_cli({"simulate", model_path_, "--timeout", "-3"});
+  EXPECT_EQ(bad.code, 2);
+  EXPECT_NE(bad.err.find("--timeout"), std::string::npos) << bad.err;
+  const Result nan = run_cli({"simulate", model_path_, "--timeout", "banana"});
+  EXPECT_EQ(nan.code, 2);
+  // A generous timeout changes nothing about a fast command's output.
+  const Result plain = run_cli({"simulate", model_path_, "--until", "100", "--seed", "3"});
+  const Result timed =
+      run_cli({"simulate", model_path_, "--until", "100", "--seed", "3",
+               "--timeout", "3600"});
+  EXPECT_EQ(timed.code, plain.code);
+  EXPECT_EQ(timed.out, plain.out);
+}
+
 }  // namespace
 }  // namespace pnut::cli

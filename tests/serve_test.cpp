@@ -5,6 +5,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -479,6 +481,190 @@ TEST_F(ServeTest, TcpServerServesScriptedSessionEndToEnd) {
   server.wait_for_shutdown();
   server.stop();
   EXPECT_TRUE(server.shutdown_requested());
+}
+
+TEST_F(ServeTest, OversizedRequestLineIsRejectedAndSessionSurvives) {
+  cli::SessionOptions options;
+  options.cache = true;
+  cli::Session session(options);
+  // One line over the cap, then a normal request: the oversized line gets a
+  // framed usage error (nothing buffered without bound, nothing executed)
+  // and the session keeps serving.
+  const std::string huge(kMaxRequestLine + 512, 'x');
+  const auto responses = serve_script(
+      session, huge + "\n" + to_line({"validate", model_path_}));
+  ASSERT_EQ(responses.size(), 2U);
+  EXPECT_EQ(responses[0].code, 2);
+  EXPECT_NE(responses[0].err.find("request line exceeds"), std::string::npos)
+      << responses[0].err;
+  EXPECT_EQ(responses[1].code, 0);
+  EXPECT_NE(responses[1].out.find("4 places"), std::string::npos);
+  // A line of exactly the cap is still served (boundary: not oversized).
+  std::string exact = to_line({"validate", model_path_});
+  exact.insert(exact.size() - 1, std::string(kMaxRequestLine - exact.size() + 1, ' '));
+  const auto boundary = serve_script(session, exact);
+  ASSERT_EQ(boundary.size(), 1U);
+  EXPECT_EQ(boundary[0].code, 0);
+}
+
+TEST_F(ServeTest, ParseServeOptionsLimits) {
+  const ServeOptions opts = parse_serve_options(
+      {"serve", "--port", "0", "--max-clients", "2", "--request-timeout", "1.5"});
+  EXPECT_TRUE(opts.use_tcp);
+  EXPECT_EQ(opts.max_clients, 2U);
+  EXPECT_DOUBLE_EQ(opts.session.default_timeout_seconds, 1.5);
+  EXPECT_THROW(parse_serve_options({"serve", "--max-clients", "0"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_serve_options({"serve", "--request-timeout", "-1"}),
+               std::invalid_argument);
+}
+
+/// Raw TCP client helper for the capacity and drain tests: connect, keep
+/// the socket open, read on demand.
+class RawClient {
+ public:
+  explicit RawClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    connected_ =
+        fd_ >= 0 &&
+        ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0;
+  }
+  ~RawClient() { close(); }
+  RawClient(const RawClient&) = delete;
+  RawClient& operator=(const RawClient&) = delete;
+
+  [[nodiscard]] bool connected() const { return connected_; }
+
+  void send_line(const std::string& line) {
+    ASSERT_EQ(::send(fd_, line.data(), line.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(line.size()));
+  }
+
+  /// Blocking read until `bytes` arrived (or EOF).
+  std::string read_exact(std::size_t bytes) {
+    std::string data;
+    char buffer[4096];
+    while (data.size() < bytes) {
+      const ssize_t n =
+          ::recv(fd_, buffer, std::min(sizeof(buffer), bytes - data.size()), 0);
+      if (n <= 0) break;
+      data.append(buffer, static_cast<std::size_t>(n));
+    }
+    return data;
+  }
+
+  std::string read_to_eof() {
+    std::string data;
+    char buffer[4096];
+    ssize_t n;
+    while ((n = ::recv(fd_, buffer, sizeof(buffer), 0)) > 0) {
+      data.append(buffer, static_cast<std::size_t>(n));
+    }
+    return data;
+  }
+
+  void shutdown_write() { ::shutdown(fd_, SHUT_WR); }
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+};
+
+TEST_F(ServeTest, MaxClientsCapRejectsWithFramedErrorAndServesTheRest) {
+  cli::SessionOptions options;
+  options.cache = true;
+  cli::Session session(options);
+  Server server(session, 0, /*max_clients=*/2);
+  server.start();
+
+  // Two clients occupy the cap (each holds its connection after the
+  // greeting).
+  RawClient a(server.port());
+  RawClient b(server.port());
+  ASSERT_TRUE(a.connected());
+  ASSERT_TRUE(b.connected());
+  EXPECT_EQ(a.read_exact(std::strlen(kGreeting)), kGreeting);
+  EXPECT_EQ(b.read_exact(std::strlen(kGreeting)), kGreeting);
+
+  // The third gets the greeting plus one complete framed code-1 rejection,
+  // then EOF — loud, well-formed degradation, not a dropped connection.
+  RawClient c(server.port());
+  ASSERT_TRUE(c.connected());
+  const auto rejected = parse_responses(c.read_to_eof());
+  ASSERT_EQ(rejected.size(), 1U);
+  EXPECT_EQ(rejected[0].code, 1);
+  EXPECT_NE(rejected[0].err.find("server at capacity"), std::string::npos)
+      << rejected[0].err;
+
+  // The clients inside the cap are unaffected.
+  a.send_line(to_line({"validate", model_path_}));
+  a.shutdown_write();
+  const auto served = parse_responses(kGreeting + a.read_to_eof());
+  ASSERT_EQ(served.size(), 1U);
+  EXPECT_EQ(served[0].code, 0);
+
+  a.close();
+  b.close();
+  server.stop();
+}
+
+TEST_F(ServeTest, ShutdownRacingInflightRequestsYieldsCompleteFrames) {
+  // Clients fire graph-building requests while another client sends
+  // `.shutdown` and the server drains. Whatever each client got — a full
+  // answer, a cooperative code-1 cancellation, or nothing yet — its
+  // transcript must be the greeting plus zero or more COMPLETE frames:
+  // drain never tears a response mid-frame. (In the TSan CI run this test
+  // also proves the drain/accept/client-thread handshake race-free.)
+  const std::string ring = write_ring("drain_ring", 20, 5);  // ~42k states
+  const std::string ring_query = "exists s in S [ P0(s) = 0 ]";
+  cli::SessionOptions options;
+  options.cache = true;
+  cli::Session session(options);
+  Server server(session, 0);
+  server.start();
+
+  constexpr int kClients = 4;
+  std::vector<std::string> transcripts(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      RawClient client(server.port());
+      if (!client.connected()) return;  // raced the listen-socket teardown
+      client.send_line(to_line({"query", "--reach", ring, ring_query}));
+      transcripts[i] = client.read_to_eof();
+    });
+  }
+  // Let the requests get in flight, then drain — the same path SIGINT and a
+  // client `.shutdown` take.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server.request_shutdown();
+  server.wait_for_shutdown();
+  server.drain();
+  for (std::thread& t : clients) t.join();
+
+  for (int i = 0; i < kClients; ++i) {
+    if (transcripts[i].empty()) continue;  // connection raced the teardown
+    SCOPED_TRACE("client " + std::to_string(i));
+    const auto responses = parse_responses(transcripts[i]);
+    for (const Framed& r : responses) {
+      if (r.code == 0) {
+        EXPECT_NE(r.out.find("holds"), std::string::npos) << r.out;
+      } else {
+        EXPECT_EQ(r.code, 1);
+        EXPECT_NE(r.err.find("cancelled"), std::string::npos) << r.err;
+      }
+    }
+  }
+  server.stop();
 }
 
 #undef ASSERT_EQ_RET
